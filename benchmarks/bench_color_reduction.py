@@ -1,0 +1,46 @@
+"""E2 (Section 4.5): the doubly exponential color reduction on rings."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    embedded_coloring_size,
+    run_color_reduction,
+)
+from repro.core.speedup import speedup
+from repro.problems.coloring import coloring
+from repro.sim.algorithms.cole_vishkin import three_color_ring
+from repro.sim.graphs import ring
+from repro.sim.ports import assign_unique_ids
+from repro.sim.verifier import verify_proper_coloring
+
+
+@pytest.mark.parametrize("k", [4, 6, 8])
+def test_bench_hardening_construction(benchmark, k):
+    result = benchmark.pedantic(run_color_reduction, args=(k,), rounds=1, iterations=1)
+    assert result.reproduces_paper
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["k_prime"] = result.k_prime
+    benchmark.extra_info["doubly_exponential"] = result.doubly_exponential
+
+
+def test_bench_engine_embedding(benchmark):
+    """Engine-side: Pi'_1 of 4-coloring embeds at least an 8-coloring."""
+
+    def derive_and_embed():
+        derived = speedup(coloring(4, 2)).full
+        return embedded_coloring_size(derived)
+
+    embedded = benchmark.pedantic(derive_and_embed, rounds=1, iterations=1)
+    assert embedded >= 8
+    benchmark.extra_info["embedded_coloring"] = embedded
+
+
+@pytest.mark.parametrize("n", [64, 256, 1024])
+def test_bench_cole_vishkin(benchmark, n):
+    """The matching upper bound: O(log* n) 3-coloring on rings."""
+    graph = ring(n)
+    ids = assign_unique_ids(graph, seed=n, space=n * n)
+    run = benchmark(lambda: three_color_ring(ids, n))
+    assert verify_proper_coloring(graph, run.colors)
+    benchmark.extra_info["rounds"] = run.rounds
+    benchmark.extra_info["n"] = n

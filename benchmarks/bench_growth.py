@@ -1,0 +1,31 @@
+"""E13 (Section 2.1): the description-complexity explosion, measured."""
+
+from repro.analysis.growth import measure_growth
+from repro.problems.coloring import coloring
+from repro.problems.sinkless import sinkless_coloring
+from repro.problems.weak_coloring import weak_coloring_pointer
+
+
+def test_bench_growth_fixed_point(benchmark):
+    rows = benchmark.pedantic(
+        measure_growth, args=(sinkless_coloring(3), 3), rounds=1, iterations=1
+    )
+    sizes = [row.description_size for row in rows]
+    assert len(set(sizes[1:])) == 1  # flat after the first step
+    benchmark.extra_info["sizes"] = sizes
+
+
+def test_bench_growth_coloring_explosion(benchmark):
+    rows = benchmark.pedantic(
+        measure_growth, args=(coloring(3, 2), 2), rounds=1, iterations=1
+    )
+    benchmark.extra_info["labels_per_step"] = [row.labels for row in rows]
+    assert rows[1].labels > rows[0].labels
+
+
+def test_bench_growth_weak2(benchmark):
+    rows = benchmark.pedantic(
+        measure_growth, args=(weak_coloring_pointer(2, 3), 1), rounds=1, iterations=1
+    )
+    benchmark.extra_info["labels_per_step"] = [row.labels for row in rows]
+    assert rows[1].node_configs == 9

@@ -1,0 +1,31 @@
+"""Catalog-wide survey: one speedup step across every cataloged problem."""
+
+from repro.analysis.landscape import landscape_markdown, survey_catalog
+
+
+def test_bench_catalog_survey(benchmark):
+    names = [
+        "sinkless-coloring",
+        "sinkless-orientation",
+        "mis",
+        "perfect-matching",
+        "maximal-matching",
+        "2-coloring",
+        "3-coloring",
+        "weak-2-coloring",
+        "superweak-2-coloring",
+    ]
+    rows = benchmark.pedantic(
+        survey_catalog, kwargs={"delta": 3, "names": names}, rounds=1, iterations=1
+    )
+    assert len(rows) == len(names)
+    by_name = {row.name.split("[")[0]: row for row in rows}
+    assert by_name["sinkless-coloring"].fixed_point
+    assert not by_name["sinkless-coloring"].zero_round_oriented
+    table = landscape_markdown(rows)
+    assert "sinkless-coloring" in table
+    for row in rows:
+        benchmark.extra_info[row.name] = (
+            f"derived={row.derived_labels} fixed_point={row.fixed_point} "
+            f"zero_round={row.derived_zero_round_oriented}"
+        )

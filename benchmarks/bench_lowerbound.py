@@ -1,0 +1,44 @@
+"""E8 (Theorem 4): the Omega(log* Delta) bound table and the 0-round adversary."""
+
+import pytest
+
+from repro.superweak.adversary import find_violation, random_algorithm
+from repro.superweak.lowerbound import bound_table, theorem4_lower_bound
+from repro.utils.tower import Tower
+
+
+def test_bench_bound_table(benchmark):
+    """The paper's headline comparison: certified lower bound vs upper shape."""
+    heights = [8, 15, 30, 60, 120, 250]
+    rows = benchmark.pedantic(bound_table, args=(heights,), rounds=1, iterations=1)
+    for row in rows:
+        assert row.certified_lower_bound <= row.shape_upper_bound
+        # The certified bound tracks (log* - 7) / 5 within one round.
+        assert abs(row.certified_lower_bound - max(0.0, row.shape_lower_bound)) <= 1.2
+        benchmark.extra_info[f"h{row.tower_height}"] = (
+            f"log*={row.log_star_delta} LB={row.certified_lower_bound}"
+        )
+
+
+@pytest.mark.parametrize("height", [30, 120])
+def test_bench_single_bound(benchmark, height):
+    delta = Tower(height, 2)
+    bound = benchmark(lambda: theorem4_lower_bound(delta))
+    assert bound >= (height - 10) // 5
+    benchmark.extra_info["bound"] = bound
+
+
+def test_bench_adversary_sweep(benchmark):
+    """Every sampled valid 0-round algorithm is defeated (delta=17, k*=3)."""
+
+    def sweep():
+        defeats = 0
+        for seed in range(20):
+            algorithm = random_algorithm(17, 3, seed=seed)
+            if find_violation(algorithm, 3, 17, range(1, 10)) is not None:
+                defeats += 1
+        return defeats
+
+    defeats = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert defeats == 20
+    benchmark.extra_info["algorithms_defeated"] = defeats

@@ -1,0 +1,73 @@
+"""Simulation-substrate throughput: views, executors, verifier, solver."""
+
+import pytest
+
+from repro.problems.sinkless import sinkless_orientation
+from repro.sim.algorithms.reference import solve_sinkless_orientation
+from repro.sim.graphs import random_regular_with_girth, ring, tutte_coxeter
+from repro.sim.ports import InputLabeling, PortGraph, assign_unique_ids
+from repro.sim.simulator import FunctionAlgorithm, GatherProtocol, run_message_passing, run_view_algorithm
+from repro.sim.solver import solve_problem_on_graph
+from repro.sim.verifier import solves
+from repro.sim.views import full_node_view
+
+
+def _fingerprint(view, degree):
+    return (str(hash(view) % 997),) * degree
+
+
+@pytest.mark.parametrize("t", [1, 2, 3])
+def test_bench_view_collection(benchmark, t):
+    """Radius-t view construction on the (3,8)-cage (girth 8 covers t <= 3)."""
+    graph = tutte_coxeter()
+    pg = PortGraph(graph)
+    inputs = InputLabeling(ids=assign_unique_ids(graph, seed=1))
+
+    def collect():
+        return [full_node_view(pg, inputs, v, t) for v in pg.nodes()]
+
+    views = benchmark(collect)
+    assert len(views) == graph.number_of_nodes()
+
+
+def test_bench_view_vs_message_passing(benchmark):
+    """One full message-passing execution (2 rounds) on a 200-node ring."""
+    graph = ring(200)
+    pg = PortGraph(graph)
+    inputs = InputLabeling(node_color={v: v % 3 + 1 for v in range(200)})
+
+    def run():
+        return run_message_passing(
+            pg, inputs, GatherProtocol(rounds=2, view_function=_fingerprint)
+        )
+
+    outputs = benchmark(run)
+    reference = run_view_algorithm(pg, inputs, FunctionAlgorithm(2, _fingerprint))
+    assert outputs == reference
+
+
+def test_bench_verifier(benchmark):
+    """Verify a sinkless orientation on a girth-5 regular graph."""
+    graph = random_regular_with_girth(3, 30, 5, seed=2)
+    pg = PortGraph(graph)
+    problem = sinkless_orientation(3)
+    orientation = solve_sinkless_orientation(graph)
+    outputs = {}
+    for v in pg.nodes():
+        for port in range(pg.degree(v)):
+            u = pg.neighbor(v, port)
+            key = (v, u) if v <= u else (u, v)
+            tail, _head = orientation[key]
+            outputs[(v, port)] = "1" if tail == v else "0"
+    result = benchmark(lambda: solves(problem, pg, outputs))
+    assert result
+
+
+def test_bench_solver_three_coloring(benchmark):
+    """Backtracking solver: 3-coloring an even ring of 40 nodes."""
+    from repro.problems.coloring import coloring
+
+    problem = coloring(3, 2)
+    pg = PortGraph(ring(40))
+    outputs = benchmark(lambda: solve_problem_on_graph(problem, pg))
+    assert outputs is not None

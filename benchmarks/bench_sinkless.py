@@ -1,0 +1,36 @@
+"""E1 (Section 4.4): sinkless coloring's fixed point, regenerated and timed."""
+
+import pytest
+
+from repro.analysis.experiments import run_sinkless
+from repro.analysis.certificates import check_certificate, sinkless_certificate
+from repro.core.speedup import speedup
+from repro.problems.sinkless import sinkless_coloring
+
+
+@pytest.mark.parametrize("delta", [3, 4, 5])
+def test_bench_sinkless_experiment(benchmark, delta):
+    result = benchmark.pedantic(run_sinkless, args=(delta,), rounds=1, iterations=1)
+    assert result.reproduces_paper
+    benchmark.extra_info["half_is_sinkless_orientation"] = (
+        result.half_is_sinkless_orientation
+    )
+    benchmark.extra_info["full_is_sinkless_coloring"] = result.full_is_sinkless_coloring
+    benchmark.extra_info["zero_round"] = result.zero_round_with_orientations
+
+
+@pytest.mark.parametrize("delta", [3, 4, 5, 6])
+def test_bench_speedup_step(benchmark, delta):
+    """Raw engine throughput: one full speedup of sinkless coloring."""
+    problem = sinkless_coloring(delta)
+    result = benchmark(lambda: speedup(problem).full)
+    assert len(result.labels) == 2
+
+
+def test_bench_certificate_check(benchmark):
+    certificate = sinkless_certificate(delta=3, rounds=4)
+    verdict = benchmark.pedantic(
+        check_certificate, args=(certificate,), rounds=1, iterations=1
+    )
+    assert verdict.valid
+    benchmark.extra_info["certified_bound"] = verdict.bound

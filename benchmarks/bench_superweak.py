@@ -1,0 +1,64 @@
+"""E4-E7, E12 (Section 5.1): superweak coloring machinery."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    run_lemma3_graph_demo,
+    run_lemma3_local_check,
+    run_membership_crosscheck,
+    run_superweak_half,
+)
+
+
+@pytest.mark.parametrize("delta", [3, 4])
+def test_bench_superweak_half_equivalence(benchmark, delta):
+    """E4: engine Pi'_{1/2} is the trit-sequence problem."""
+    result = benchmark.pedantic(
+        run_superweak_half, args=(2, delta), rounds=1, iterations=1
+    )
+    assert result.reproduces_paper
+    benchmark.extra_info["labels"] = result.engine_labels
+
+
+def test_bench_membership_oracle(benchmark):
+    """E5: the condensed MILP oracle vs engine and brute force."""
+    result = benchmark.pedantic(
+        run_membership_crosscheck, args=(2, 3), rounds=1, iterations=1
+    )
+    assert result.all_property_a and result.all_maximal
+    assert result.oracle_matches_bruteforce
+    benchmark.extra_info["configs"] = result.configs
+
+
+def test_bench_lemma3_local_consistency(benchmark):
+    """E6/E7: the demanding/accepting promise over all same-R pairs (Delta=3)."""
+    result = benchmark.pedantic(
+        run_lemma3_local_check, args=(2, 3), rounds=1, iterations=1
+    )
+    assert result.violations_under_hypothesis == 0
+    benchmark.extra_info["pairs_checked"] = result.same_r_pairs_checked
+    benchmark.extra_info["violations_outside_hypothesis"] = result.violations_total
+
+
+def test_bench_lemma3_hypercube_demo(benchmark):
+    """E7/E12: full Lemma 3 run on Q_4, verifier-checked."""
+    demo = benchmark.pedantic(run_lemma3_graph_demo, rounds=1, iterations=1)
+    assert demo.reproduces_paper
+    benchmark.extra_info["colors_used"] = demo.colors_used
+    benchmark.extra_info["n"] = demo.n
+
+
+def test_bench_huge_delta_membership(benchmark):
+    """E5: Property A decided at Delta = 2^16 + 2 via condensed counts."""
+    from repro.superweak.membership import CondensedConfig, property_a_holds
+
+    delta = 2**16 + 2
+    config = CondensedConfig.from_mapping(
+        {
+            frozenset({"21"}): 2,
+            frozenset({"11"}): delta - 2,
+        }
+    )
+    result = benchmark(lambda: property_a_holds(config, 2))
+    assert result
+    benchmark.extra_info["delta"] = delta

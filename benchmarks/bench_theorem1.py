@@ -1,0 +1,42 @@
+"""E9 (Theorem 1): the executable speedup on colored ring classes."""
+
+from repro.problems.coloring import coloring
+from repro.sim.speedup_exec import (
+    ColoredRingClass,
+    ColorReductionAlgorithm,
+    SpeedupExecution,
+)
+
+
+def test_bench_theorem1_forward_and_backward(benchmark):
+    """Index the class, derive A_{1/2} and A_1, verify Properties 1-4 on all
+    7680 instances, then reconstruct the t-round algorithm and verify it."""
+
+    def run():
+        execution = SpeedupExecution(
+            ring_class=ColoredRingClass(n=5, num_colors=4),
+            problem=coloring(3, 2),
+            algorithm=ColorReductionAlgorithm(num_colors=4),
+        )
+        return execution.reconstruct_and_verify()
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.all_ok
+    benchmark.extra_info["instances"] = report.instances
+    benchmark.extra_info["half_ok"] = report.half_ok
+    benchmark.extra_info["full_ok"] = report.full_ok
+    benchmark.extra_info["reconstructed_ok"] = report.reconstructed_ok
+
+
+def test_bench_class_indexing_only(benchmark):
+    """Cost of the extension indexes alone (the two class scans)."""
+
+    def build():
+        return SpeedupExecution(
+            ring_class=ColoredRingClass(n=5, num_colors=4),
+            problem=coloring(3, 2),
+            algorithm=ColorReductionAlgorithm(num_colors=4),
+        )
+
+    execution = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert execution is not None

@@ -1,0 +1,29 @@
+"""E3 (Section 4.6): the derived problems of weak 2-coloring."""
+
+import pytest
+
+from repro.analysis.experiments import run_weak2
+from repro.sim.algorithms.weak2 import weak_two_coloring
+from repro.sim.graphs import odd_regular_graph
+from repro.sim.ports import assign_unique_ids
+from repro.sim.verifier import verify_weak_coloring
+
+
+@pytest.mark.parametrize("delta", [3, 4])
+def test_bench_weak2_derivation(benchmark, delta):
+    result = benchmark.pedantic(run_weak2, args=(delta,), rounds=1, iterations=1)
+    assert result.reproduces_paper
+    benchmark.extra_info["usable_half_labels"] = result.usable_half_labels
+    benchmark.extra_info["h1_size"] = result.h1_size
+    benchmark.extra_info["self_compatible_configs"] = result.self_compatible_configs
+
+
+@pytest.mark.parametrize("delta,n", [(3, 20), (5, 24), (7, 32)])
+def test_bench_weak2_upper_bound(benchmark, delta, n):
+    """The (substituted) upper-bound algorithm on odd-degree graphs."""
+    graph = odd_regular_graph(delta, n, seed=delta)
+    ids = assign_unique_ids(graph, seed=delta)
+    run = benchmark(lambda: weak_two_coloring(graph, ids))
+    assert verify_weak_coloring(graph, run.colors)
+    benchmark.extra_info["rounds"] = run.rounds
+    benchmark.extra_info["delta"] = delta

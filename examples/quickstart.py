@@ -1,0 +1,50 @@
+"""Quickstart: one automatic speedup step, end to end.
+
+Runs the engine on sinkless coloring (the paper's Section 4.4 warm-up):
+derives ``Pi'_{1/2}`` and ``Pi'_1``, recognises the fixed point, checks
+0-round solvability, and prints the Round-Eliminator-style descriptions.
+
+    python examples/quickstart.py
+"""
+
+from repro import are_isomorphic, format_problem, sinkless_coloring, speedup
+from repro.core import half_step, zero_round_with_orientations
+from repro.problems import sinkless_orientation
+
+
+def main() -> None:
+    delta = 3
+    problem = sinkless_coloring(delta)
+    print("=== the problem Pi ===")
+    print(format_problem(problem))
+
+    half = half_step(problem)
+    print("=== the derived Pi'_{1/2} (labels are Galois-closed sets) ===")
+    print(format_problem(half.problem))
+    print(
+        "Pi'_{1/2} is sinkless orientation:",
+        are_isomorphic(half.problem.compressed(), sinkless_orientation(delta).compressed()),
+    )
+
+    result = speedup(problem)
+    print("=== the derived Pi'_1 (renamed to short labels) ===")
+    print(format_problem(result.full))
+    for label in sorted(result.full.labels):
+        print(f"  {label} stands for {sorted(result.full_meaning[label])}")
+    print(
+        "Pi'_1 is sinkless coloring again (a fixed point!):",
+        are_isomorphic(result.full.compressed(), problem.compressed()),
+    )
+
+    witness = zero_round_with_orientations(problem)
+    print("0-round solvable with orientation inputs:", witness is not None)
+    print(
+        "\nConclusion: each speedup step would shave one round off any"
+        "\nalgorithm, yet the problem never becomes 0-round solvable --"
+        "\nthe Omega(log n) lower bound of Brandt et al. [STOC'16],"
+        "\nreproduced automatically."
+    )
+
+
+if __name__ == "__main__":
+    main()

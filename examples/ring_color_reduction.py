@@ -1,0 +1,57 @@
+"""Section 4.5: the doubly exponential color reduction on rings.
+
+Three demonstrations in one script:
+
+1. the paper's ``Pi*_1`` hardening: ``k``-coloring speeds up to
+   ``k'``-coloring with ``k' = 2^(C(k, k/2)/2)`` (verified structurally);
+2. the engine-side counterpart: the derived problem of ``4``-coloring on
+   rings contains a large embedded coloring sub-problem;
+3. the genuine distributed upper bound: Cole-Vishkin 3-coloring on a ring
+   in O(log* n) rounds, plus iterated one-round color reduction.
+
+    python examples/ring_color_reduction.py
+"""
+
+from repro import coloring, speedup
+from repro.analysis import embedded_coloring_size, run_color_reduction
+from repro.sim.algorithms import three_color_ring
+from repro.sim.graphs import ring
+from repro.sim.ports import assign_unique_ids
+from repro.sim.verifier import verify_proper_coloring
+from repro.utils.logstar import log_star
+
+
+def main() -> None:
+    print("=== the paper's Pi*_1 construction (Section 4.5) ===")
+    for k in (4, 6, 8):
+        result = run_color_reduction(k)
+        print(
+            f"k={k}: k' = {result.k_prime} (expected {result.expected_k_prime}), "
+            f"edge property: {result.pairwise_edge_property}, "
+            f"node property: {result.diagonal_node_property}, "
+            f"doubly exponential: {result.doubly_exponential}"
+        )
+
+    print("\n=== engine-side embedding for k = 4 on rings ===")
+    derived = speedup(coloring(4, 2)).full
+    embedded = embedded_coloring_size(derived)
+    print(
+        f"Pi'_1 of 4-coloring has {len(derived.labels)} labels and embeds a "
+        f"{embedded}-coloring sub-problem (paper's hardening yields 8)"
+    )
+
+    print("\n=== Cole-Vishkin on actual rings ===")
+    for n in (16, 64, 256, 1024):
+        graph = ring(n)
+        ids = assign_unique_ids(graph, seed=42, space=n * n)
+        run = three_color_ring(ids, n)
+        ok = verify_proper_coloring(graph, run.colors)
+        print(
+            f"n={n:5d}: colors={sorted(set(run.colors.values()))} "
+            f"rounds={run.rounds:3d} proper={ok} (log* of id space = "
+            f"{log_star(n * n)})"
+        )
+
+
+if __name__ == "__main__":
+    main()

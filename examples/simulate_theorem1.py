@@ -1,0 +1,49 @@
+"""Theorem 1, executed on a real graph class.
+
+Takes the classical one-round color reduction (4 colors to 3) on properly
+4-colored rings, derives ``A_{1/2}`` and ``A_1`` exactly as the proof of
+Theorem 1 does (by enumerating all class-consistent extensions), verifies
+Properties 1-4 on *every* instance of the class, and then reconstructs a
+one-round algorithm for the original problem from the derived zero-round
+algorithm (the converse direction), verifying it too.
+
+Also checks the class's t-independence (the theorem's hypothesis) and
+demonstrates that the same class with unique identifiers is NOT
+t-independent -- the reason Theorem 3 (order-invariance) exists.
+
+    python examples/simulate_theorem1.py
+"""
+
+from repro import coloring
+from repro.analysis import run_independence
+from repro.sim.speedup_exec import (
+    ColoredRingClass,
+    ColorReductionAlgorithm,
+    SpeedupExecution,
+)
+
+
+def main() -> None:
+    ring_class = ColoredRingClass(n=5, num_colors=4)
+    problem = coloring(3, 2)
+    algorithm = ColorReductionAlgorithm(num_colors=4)
+
+    print("=== hypothesis: t-independence of the class (Figure 1) ===")
+    independence = run_independence(n=5, t=1, num_colors=4)
+    print("colored ring class 1-independent:", independence.colored_class_independent)
+    print("unique-ID ring class 1-independent:", independence.id_class_independent)
+
+    print("\n=== Theorem 1 forward and backward ===")
+    execution = SpeedupExecution(
+        ring_class=ring_class, problem=problem, algorithm=algorithm
+    )
+    report = execution.reconstruct_and_verify()
+    print(f"instances checked:        {report.instances}")
+    print(f"A_1/2 satisfies Pi_1/2:   {report.half_ok}   (Properties 1 and 2)")
+    print(f"A_1 satisfies Pi_1:       {report.full_ok}   (Properties 3 and 4)")
+    print(f"reconstruction solves Pi: {report.reconstructed_ok}   ((2) => (1))")
+    print("\nTheorem 1 verified in both directions on the whole class.")
+
+
+if __name__ == "__main__":
+    main()

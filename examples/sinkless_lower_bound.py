@@ -1,0 +1,39 @@
+"""The Section 4.4 lower bound as an auditable certificate.
+
+Runs the iterated round-elimination pipeline on sinkless coloring, detects
+the fixed point, then builds and re-verifies a lower-bound certificate whose
+links (speedup steps and relaxations-by-isomorphism) are checked from
+scratch -- the library's equivalent of exporting a machine-checkable proof.
+
+    python examples/sinkless_lower_bound.py
+"""
+
+from repro import run_round_elimination, sinkless_coloring
+from repro.analysis import check_certificate, sinkless_certificate
+
+
+def main() -> None:
+    delta = 3
+    problem = sinkless_coloring(delta)
+
+    print("=== iterated round elimination ===")
+    result = run_round_elimination(problem, max_steps=4)
+    print(result.summary())
+    print("unbounded chain (fixed point, never 0-round):", result.unbounded)
+
+    print("\n=== certificate for a 6-round lower bound ===")
+    certificate = sinkless_certificate(delta, rounds=6)
+    verdict = check_certificate(certificate)
+    print("links:", len(certificate.links))
+    print("valid:", verdict.valid)
+    print("certified bound:", verdict.bound, "rounds")
+    print(
+        "\nOn Delta-regular graph classes of girth >= 2t+2 with input edge"
+        "\norientations, the same chain extends to any t -- and such classes"
+        "\nexist for t = Omega(log n) [Bollobas], giving the Omega(log n)"
+        "\nlower bound for sinkless orientation and the distributed LLL."
+    )
+
+
+if __name__ == "__main__":
+    main()

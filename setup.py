@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment is offline and has no ``wheel`` package, so PEP 660
+editable installs (which must build a wheel) fail.  Providing ``setup.py``
+lets ``pip install -e .`` fall back to the classic ``setup.py develop`` path,
+which works with the stock setuptools available here.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,87 @@
+"""repro: round elimination for locally checkable problems.
+
+A Python reproduction of Sebastian Brandt, *An Automatic Speedup Theorem for
+Distributed Problems* (PODC 2019, arXiv:1902.09958).
+
+The library is organised in five layers:
+
+* :mod:`repro.core` -- the round-elimination engine (Theorems 1 and 2): the
+  problem model, the ``Pi -> Pi_{1/2} -> Pi_1`` derivations with the
+  maximality simplification, 0-round solvability, isomorphism, relaxations
+  and iterated pipelines;
+* :mod:`repro.problems` -- the catalog of concrete problems (sinkless
+  orientation/coloring, colorings, weak and superweak colorings, MIS,
+  matchings);
+* :mod:`repro.superweak` -- the Section 5 machinery behind the
+  Omega(log* Delta) weak 2-coloring lower bound (Lemmas 1-4, Theorem 4);
+* :mod:`repro.sim` -- the port-numbering/LOCAL simulation substrate:
+  graphs, views, executors, verifiers, t-independence, and Theorem 1 run on
+  real graph classes;
+* :mod:`repro.analysis` -- experiment drivers regenerating every checkable
+  claim of the paper (see DESIGN.md and EXPERIMENTS.md).
+
+Quickstart::
+
+    from repro import speedup, sinkless_coloring, are_isomorphic
+
+    problem = sinkless_coloring(delta=3)
+    derived = speedup(problem).full
+    assert are_isomorphic(derived.compressed(), problem.compressed())
+"""
+
+from repro.core import (
+    EliminationResult,
+    Problem,
+    ProblemFamily,
+    are_isomorphic,
+    find_isomorphism,
+    format_problem,
+    half_step,
+    is_zero_round_solvable,
+    iterate_speedup,
+    parse_problem,
+    run_round_elimination,
+    speedup,
+)
+from repro.problems import (
+    catalog,
+    coloring,
+    get_family,
+    get_problem,
+    maximal_matching,
+    mis,
+    perfect_matching,
+    sinkless_coloring,
+    sinkless_orientation,
+    superweak,
+    weak_coloring_pointer,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EliminationResult",
+    "Problem",
+    "ProblemFamily",
+    "are_isomorphic",
+    "catalog",
+    "coloring",
+    "find_isomorphism",
+    "format_problem",
+    "get_family",
+    "get_problem",
+    "half_step",
+    "is_zero_round_solvable",
+    "iterate_speedup",
+    "maximal_matching",
+    "mis",
+    "parse_problem",
+    "perfect_matching",
+    "run_round_elimination",
+    "sinkless_coloring",
+    "sinkless_orientation",
+    "speedup",
+    "superweak",
+    "weak_coloring_pointer",
+    "__version__",
+]

@@ -1,0 +1,128 @@
+"""A catalog-wide round-elimination survey.
+
+Runs one speedup step (and the 0-round tests, and fixed-point detection)
+across every problem in the catalog, producing the summary table a
+practitioner would consult first: how the derived descriptions grow, which
+problems are trivial, which hit fixed points.  This exercises the engine far
+beyond the paper's own examples (the paper's Section 6 anticipates exactly
+this use: "we expect many other problems to be solved by this technique").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.isomorphism import are_isomorphic
+from repro.core.problem import Problem
+from repro.core.speedup import EngineLimitError, speedup
+from repro.core.zero_round import zero_round_no_input, zero_round_with_orientations
+
+
+@dataclass(frozen=True)
+class LandscapeRow:
+    """One catalog problem's one-step round-elimination profile."""
+
+    name: str
+    delta: int
+    labels: int
+    zero_round_plain: bool
+    zero_round_oriented: bool
+    derived_labels: int | None
+    derived_node_configs: int | None
+    derived_zero_round_oriented: bool | None
+    fixed_point: bool | None
+    blew_up: bool
+
+    def as_tuple(self) -> tuple:
+        return (
+            self.name,
+            self.delta,
+            self.labels,
+            self.zero_round_plain,
+            self.zero_round_oriented,
+            self.derived_labels,
+            self.derived_node_configs,
+            self.derived_zero_round_oriented,
+            self.fixed_point,
+            self.blew_up,
+        )
+
+
+def survey_problem(problem: Problem) -> LandscapeRow:
+    """One-step profile of a single problem."""
+    zero_plain = zero_round_no_input(problem) is not None
+    zero_oriented = zero_round_with_orientations(problem) is not None
+    try:
+        derived = speedup(problem).full
+    except EngineLimitError:
+        return LandscapeRow(
+            name=problem.name,
+            delta=problem.delta,
+            labels=len(problem.labels),
+            zero_round_plain=zero_plain,
+            zero_round_oriented=zero_oriented,
+            derived_labels=None,
+            derived_node_configs=None,
+            derived_zero_round_oriented=None,
+            fixed_point=None,
+            blew_up=True,
+        )
+    return LandscapeRow(
+        name=problem.name,
+        delta=problem.delta,
+        labels=len(problem.labels),
+        zero_round_plain=zero_plain,
+        zero_round_oriented=zero_oriented,
+        derived_labels=len(derived.labels),
+        derived_node_configs=len(derived.node_constraint),
+        derived_zero_round_oriented=zero_round_with_orientations(derived) is not None,
+        fixed_point=are_isomorphic(derived.compressed(), problem.compressed()),
+        blew_up=False,
+    )
+
+
+def survey_catalog(delta: int = 3, names: list[str] | None = None) -> list[LandscapeRow]:
+    """Profile every cataloged family instantiable at ``delta``."""
+    from repro.problems.catalog import catalog
+
+    rows = []
+    for name, family in sorted(catalog().items()):
+        if names is not None and name not in names:
+            continue
+        if family.min_delta > delta:
+            continue
+        rows.append(survey_problem(family(delta)))
+    return rows
+
+
+def landscape_markdown(rows: list[LandscapeRow]) -> str:
+    """Render the survey as a markdown table."""
+    from repro.analysis.report import render_table
+
+    headers = [
+        "problem",
+        "delta",
+        "|labels|",
+        "0-round",
+        "0-round (orient)",
+        "|labels| after speedup",
+        "|h'_1|",
+        "derived 0-round (orient)",
+        "fixed point",
+    ]
+    body = []
+    for row in rows:
+        body.append(
+            [
+                row.name,
+                row.delta,
+                row.labels,
+                "yes" if row.zero_round_plain else "no",
+                "yes" if row.zero_round_oriented else "no",
+                "blow-up" if row.blew_up else row.derived_labels,
+                "-" if row.blew_up else row.derived_node_configs,
+                "-" if row.blew_up else ("yes" if row.derived_zero_round_oriented else "no"),
+                "-" if row.blew_up else ("yes" if row.fixed_point else "no"),
+            ]
+        )
+    return render_table(headers, body)

@@ -1,0 +1,18 @@
+"""Small helpers for rendering experiment results as markdown tables."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def render_section(title: str, body: str) -> str:
+    return f"## {title}\n\n{body}\n"

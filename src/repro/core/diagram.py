@@ -1,0 +1,143 @@
+"""The label strength diagram: which labels dominate which.
+
+Round-elimination practice (and Olivetti's Round Eliminator) leans on a
+partial order between output labels: ``a <= b`` ("b is at least as strong as
+a") iff replacing one occurrence of ``a`` by ``b`` keeps every allowed
+configuration allowed -- in both the edge and the node constraint.  Strong
+labels are always safe substitutes, so:
+
+* relaxations can collapse a label up to a stronger one;
+* derived set-labels can be normalised to upward-closed sets;
+* problem descriptions shrink by merging equivalent labels.
+
+The diagram of a *derived* problem is particularly structured: after a half
+step, set-labels compare by inclusion of their meanings, which is exactly
+the order :mod:`repro.core.speedup` exploits.  This module computes the
+diagram of an arbitrary problem directly from its constraints and offers the
+resulting normalisations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.problem import Label, Problem, edge_config, node_config
+
+
+def replaceable(problem: Problem, weak: Label, strong: Label) -> bool:
+    """True iff ``strong`` may replace ``weak`` in every allowed configuration.
+
+    Checked exhaustively: for each edge configuration containing ``weak``,
+    the configuration with one ``weak`` swapped for ``strong`` must be
+    allowed; likewise for node configurations.
+    """
+    for pair in problem.edge_constraint:
+        if weak not in pair:
+            continue
+        other = pair[1] if pair[0] == weak else pair[0]
+        if edge_config(strong, other) not in problem.edge_constraint:
+            return False
+    for config in problem.node_constraint:
+        if weak not in config:
+            continue
+        swapped = list(config)
+        swapped.remove(weak)
+        swapped.append(strong)
+        if node_config(swapped) not in problem.node_constraint:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class Diagram:
+    """The full strength relation of a problem's labels.
+
+    ``stronger[a]`` is the set of labels that can replace ``a`` everywhere
+    (always contains ``a`` itself).  The relation is a preorder; labels with
+    ``a <= b`` and ``b <= a`` are *equivalent* and can be merged without
+    changing the problem's solvability.
+    """
+
+    problem: Problem
+    stronger: dict[Label, frozenset[Label]]
+
+    def leq(self, weak: Label, strong: Label) -> bool:
+        return strong in self.stronger[weak]
+
+    def equivalent(self, a: Label, b: Label) -> bool:
+        return self.leq(a, b) and self.leq(b, a)
+
+    def equivalence_classes(self) -> list[frozenset[Label]]:
+        """Partition the labels into strength-equivalence classes."""
+        remaining = set(self.problem.labels)
+        classes = []
+        while remaining:
+            pivot = min(remaining)
+            cls = frozenset(
+                label for label in remaining if self.equivalent(pivot, label)
+            )
+            classes.append(cls)
+            remaining -= cls
+        return sorted(classes, key=sorted)
+
+    def maximal_labels(self) -> frozenset[Label]:
+        """Labels not strictly dominated by any other label."""
+        return frozenset(
+            a
+            for a in self.problem.labels
+            if not any(
+                self.leq(a, b) and not self.leq(b, a)
+                for b in self.problem.labels
+                if b != a
+            )
+        )
+
+    def edges(self) -> list[tuple[Label, Label]]:
+        """The Hasse-style cover list (without reflexive pairs), sorted."""
+        pairs = []
+        for weak in sorted(self.problem.labels):
+            for strong in sorted(self.stronger[weak]):
+                if strong != weak:
+                    pairs.append((weak, strong))
+        return pairs
+
+
+def compute_diagram(problem: Problem) -> Diagram:
+    """Compute the strength preorder by exhaustive replaceability checks."""
+    stronger = {
+        weak: frozenset(
+            strong
+            for strong in problem.labels
+            if strong == weak or replaceable(problem, weak, strong)
+        )
+        for weak in problem.labels
+    }
+    return Diagram(problem=problem, stronger=stronger)
+
+
+def merge_equivalent_labels(problem: Problem) -> tuple[Problem, dict[Label, Label]]:
+    """Collapse strength-equivalent labels to one representative each.
+
+    Returns the merged problem and the label map applied.  The map is a
+    relaxation certificate in both directions, so the merged problem has
+    exactly the same round complexity.
+    """
+    diagram = compute_diagram(problem)
+    mapping: dict[Label, Label] = {}
+    for cls in diagram.equivalence_classes():
+        representative = min(cls)
+        for label in cls:
+            mapping[label] = representative
+    merged = Problem.make(
+        name=f"{problem.name}|merged",
+        delta=problem.delta,
+        edge_configs=[
+            (mapping[a], mapping[b]) for a, b in problem.edge_constraint
+        ],
+        node_configs=[
+            tuple(mapping[label] for label in config)
+            for config in problem.node_constraint
+        ],
+        labels={mapping[label] for label in problem.labels},
+    )
+    return merged, mapping

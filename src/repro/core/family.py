@@ -1,0 +1,43 @@
+"""Degree-indexed problem families: the paper's ``(O, f, g, h)`` quadruples.
+
+The paper's problem definition fixes functions ``f, g, h`` of the maximum
+degree delta.  A :class:`ProblemFamily` wraps a builder callable
+``delta -> Problem`` together with a validity predicate (for example,
+superweak k-coloring is defined for ``delta >= 1`` but its lower-bound lemmas
+need large delta).  Families are what the catalog in
+:mod:`repro.problems.catalog` exposes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.problem import Problem
+
+
+@dataclass(frozen=True)
+class ProblemFamily:
+    """A problem for every maximum degree: ``family(delta) -> Problem``."""
+
+    name: str
+    builder: Callable[[int], Problem]
+    min_delta: int = 1
+    description: str = ""
+
+    def __call__(self, delta: int) -> Problem:
+        if delta < self.min_delta:
+            raise ValueError(
+                f"{self.name} requires delta >= {self.min_delta}, got {delta}"
+            )
+        problem = self.builder(delta)
+        if problem.delta != delta:
+            raise ValueError(
+                f"builder for {self.name} returned delta={problem.delta}, "
+                f"expected {delta}"
+            )
+        return problem
+
+    def instances(self, deltas: list[int]) -> list[Problem]:
+        """Instantiate the family at each degree in ``deltas``."""
+        return [self(delta) for delta in deltas]

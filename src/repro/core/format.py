@@ -1,0 +1,94 @@
+"""A Round-Eliminator-style textual syntax for problems.
+
+The format is line-oriented and round-trips exactly::
+
+    problem sinkless-coloring delta=3
+    labels: 0 1
+    node:
+    0 0 1
+    edge:
+    0 0
+    0 1
+
+Node and edge configurations are whitespace-separated label lists (order
+inside a line does not matter; the parser canonicalises).  Lines starting
+with ``#`` and blank lines are ignored.  This mirrors the input syntax of
+Olivetti's Round Eliminator closely enough that problems can be transcribed
+between the two tools by hand.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.problem import Problem, ProblemError
+
+_HEADER_RE = re.compile(r"^problem\s+(?P<name>\S+)\s+delta=(?P<delta>\d+)\s*$")
+
+
+def format_problem(problem: Problem) -> str:
+    """Serialise a problem to the textual format (inverse of :func:`parse_problem`)."""
+    lines = [f"problem {problem.name} delta={problem.delta}"]
+    lines.append("labels: " + " ".join(sorted(problem.labels)))
+    lines.append("node:")
+    lines.extend(" ".join(config) for config in sorted(problem.node_constraint))
+    lines.append("edge:")
+    lines.extend(" ".join(pair) for pair in sorted(problem.edge_constraint))
+    return "\n".join(lines) + "\n"
+
+
+def parse_problem(text: str) -> Problem:
+    """Parse the textual format produced by :func:`format_problem`.
+
+    Raises :class:`ProblemError` on malformed input.
+    """
+    name: str | None = None
+    delta: int | None = None
+    labels: list[str] | None = None
+    node_lines: list[list[str]] = []
+    edge_lines: list[list[str]] = []
+    section: str | None = None
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        header = _HEADER_RE.match(line)
+        if header:
+            name = header.group("name")
+            delta = int(header.group("delta"))
+            continue
+        if line.startswith("labels:"):
+            labels = line[len("labels:") :].split()
+            continue
+        if line == "node:":
+            section = "node"
+            continue
+        if line == "edge:":
+            section = "edge"
+            continue
+        tokens = line.split()
+        if section == "node":
+            node_lines.append(tokens)
+        elif section == "edge":
+            edge_lines.append(tokens)
+        else:
+            raise ProblemError(f"configuration line outside a section: {line!r}")
+
+    if name is None or delta is None:
+        raise ProblemError("missing 'problem <name> delta=<d>' header")
+    for tokens in edge_lines:
+        if len(tokens) != 2:
+            raise ProblemError(f"edge configuration {tokens!r} is not a pair")
+    for tokens in node_lines:
+        if len(tokens) != delta:
+            raise ProblemError(
+                f"node configuration {tokens!r} does not have {delta} entries"
+            )
+    return Problem.make(
+        name=name,
+        delta=delta,
+        edge_configs=edge_lines,
+        node_configs=node_lines,
+        labels=labels,
+    )

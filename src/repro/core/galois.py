@@ -1,0 +1,94 @@
+"""The compatibility operator and its Galois connection.
+
+For a problem with edge constraint ``g``, define for a set ``Y`` of labels
+
+    comp(Y) = { z : for all y in Y, {y, z} in g }.
+
+``comp`` is antitone and ``comp(comp(.))`` is a closure operator, so the pair
+``(comp, comp)`` is a Galois connection on the subset lattice.  Property 5 of
+the maximality simplification (Theorem 2) says exactly that the usable
+half-step labels are the *closed* sets ``Y = comp(comp(Y))`` and that the
+simplified edge constraint is ``{ {Y, comp(Y)} : Y closed }`` -- each closed
+set paired with its polar.
+
+Closed sets are intersections of the polars of singletons, so they can be
+enumerated by closing ``{comp({y})} U {full set}`` under pairwise
+intersection, without touching the exponential subset lattice.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.problem import Label, Problem, edge_config
+
+
+class Compatibility:
+    """Compatibility queries against a fixed problem's edge constraint."""
+
+    def __init__(self, problem: Problem):
+        self._problem = problem
+        self._labels = frozenset(problem.labels)
+        # Precompute singleton polars once; everything else is intersections.
+        self._singleton_polar: dict[Label, frozenset[Label]] = {
+            y: frozenset(
+                z for z in self._labels if edge_config(y, z) in problem.edge_constraint
+            )
+            for y in self._labels
+        }
+
+    @property
+    def problem(self) -> Problem:
+        return self._problem
+
+    def polar(self, subset: frozenset[Label]) -> frozenset[Label]:
+        """Return ``comp(subset)``: labels compatible with *every* element."""
+        result = self._labels
+        for y in subset:
+            result = result & self._singleton_polar[y]
+            if not result:
+                break
+        return result
+
+    def closure(self, subset: frozenset[Label]) -> frozenset[Label]:
+        """Return the Galois closure ``comp(comp(subset))``."""
+        return self.polar(self.polar(subset))
+
+    def is_closed(self, subset: frozenset[Label]) -> bool:
+        """Return True iff ``subset`` equals its own closure."""
+        return self.closure(subset) == subset
+
+    def closed_sets(self) -> frozenset[frozenset[Label]]:
+        """Enumerate all Galois-closed sets.
+
+        Every closed set is ``comp(X)`` for some ``X`` and
+        ``comp(X) = intersection of comp({x}) over x in X``, so the closed
+        sets are exactly the intersection-closure of the singleton polars
+        together with ``comp(empty) = all labels``.
+        """
+        generators = set(self._singleton_polar.values())
+        generators.add(self._labels)
+        closed: set[frozenset[Label]] = set(generators)
+        frontier = list(generators)
+        while frontier:
+            current = frontier.pop()
+            for generator in generators:
+                candidate = current & generator
+                if candidate not in closed:
+                    closed.add(candidate)
+                    frontier.append(candidate)
+        return frozenset(closed)
+
+    def usable_closed_sets(self) -> frozenset[frozenset[Label]]:
+        """Closed sets usable as half-step labels.
+
+        A half-step label ``Y`` appears on one side of an edge whose other
+        side carries ``comp(Y)``; if either is empty the label can never be
+        part of a correct solution (``h_{1/2}`` requires a choice from every
+        set), so both must be non-empty.
+        """
+        return frozenset(
+            candidate
+            for candidate in self.closed_sets()
+            if candidate and self.polar(candidate)
+        )

@@ -1,0 +1,122 @@
+"""Problem isomorphism: label bijections preserving both constraints.
+
+Round elimination produces problems whose labels are freshly generated, so
+recognising that a derived problem *is* a known problem (for example that the
+half-step of sinkless coloring is sinkless orientation, Section 4.4, or that
+``Pi_1`` of sinkless coloring is sinkless coloring again -- the fixed point
+behind the Omega(log n) bound) requires isomorphism testing.  Label counts in
+this library stay small, so a signature-pruned backtracking search is exact
+and fast.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.problem import Label, Problem, edge_config, node_config
+
+
+def _label_signature(problem: Problem, label: Label) -> tuple:
+    """An isomorphism-invariant fingerprint of a label.
+
+    Combines how often the label appears in edge configurations (split by
+    whether the partner equals the label), and the multiset of
+    (multiplicity-in-configuration) counts over node configurations.
+    """
+    self_pairs = sum(1 for pair in problem.edge_constraint if pair == (label, label))
+    other_pairs = sum(
+        1 for pair in problem.edge_constraint if label in pair and pair[0] != pair[1]
+    )
+    node_profile = Counter(
+        config.count(label) for config in problem.node_constraint if label in config
+    )
+    return (self_pairs, other_pairs, tuple(sorted(node_profile.items())))
+
+
+def find_isomorphism(first: Problem, second: Problem) -> dict[Label, Label] | None:
+    """Return a label bijection mapping ``first`` onto ``second``, or None.
+
+    The bijection must map the edge constraint of ``first`` exactly onto that
+    of ``second`` and likewise for the node constraint.  Labels unused by any
+    configuration still participate (they must map to similarly-unused
+    labels), so problems differing only in dead labels are not isomorphic;
+    call :meth:`Problem.compressed` first if that distinction is unwanted.
+    """
+    if first.delta != second.delta:
+        return None
+    if len(first.labels) != len(second.labels):
+        return None
+    if len(first.edge_constraint) != len(second.edge_constraint):
+        return None
+    if len(first.node_constraint) != len(second.node_constraint):
+        return None
+
+    first_sig = {label: _label_signature(first, label) for label in first.labels}
+    second_sig = {label: _label_signature(second, label) for label in second.labels}
+    if sorted(first_sig.values()) != sorted(second_sig.values()):
+        return None
+
+    candidates = {
+        label: sorted(
+            other for other in second.labels if second_sig[other] == first_sig[label]
+        )
+        for label in first.labels
+    }
+    # Assign most-constrained labels first.
+    order = sorted(first.labels, key=lambda lbl: (len(candidates[lbl]), lbl))
+    mapping: dict[Label, Label] = {}
+    used: set[Label] = set()
+
+    def consistent_so_far(new_label: Label) -> bool:
+        """Check constraints among already-mapped labels involving ``new_label``."""
+        for pair in first.edge_constraint:
+            if new_label in pair and all(lbl in mapping for lbl in pair):
+                image = edge_config(mapping[pair[0]], mapping[pair[1]])
+                if image not in second.edge_constraint:
+                    return False
+        for config in first.node_constraint:
+            if new_label in config and all(lbl in mapping for lbl in config):
+                image = node_config(mapping[lbl] for lbl in config)
+                if image not in second.node_constraint:
+                    return False
+        return True
+
+    def backtrack(index: int) -> bool:
+        if index == len(order):
+            return _is_exact_mapping(first, second, mapping)
+        label = order[index]
+        for candidate in candidates[label]:
+            if candidate in used:
+                continue
+            mapping[label] = candidate
+            used.add(candidate)
+            if consistent_so_far(label) and backtrack(index + 1):
+                return True
+            del mapping[label]
+            used.discard(candidate)
+        return False
+
+    if backtrack(0):
+        return dict(mapping)
+    return None
+
+
+def _is_exact_mapping(
+    first: Problem, second: Problem, mapping: dict[Label, Label]
+) -> bool:
+    """Verify the mapping sends constraints of ``first`` exactly onto ``second``'s."""
+    mapped_edges = {
+        edge_config(mapping[a], mapping[b]) for a, b in first.edge_constraint
+    }
+    if mapped_edges != second.edge_constraint:
+        return False
+    mapped_nodes = {
+        node_config(mapping[lbl] for lbl in config)
+        for config in first.node_constraint
+    }
+    return mapped_nodes == second.node_constraint
+
+
+def are_isomorphic(first: Problem, second: Problem) -> bool:
+    """Return True iff a constraint-preserving label bijection exists."""
+    return find_isomorphism(first, second) is not None

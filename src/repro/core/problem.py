@@ -1,0 +1,272 @@
+"""The paper's notion of a locally checkable problem, instantiated at fixed degree.
+
+Section 3 of the paper defines a problem as a tuple ``(O, f, g, h)``:
+
+* ``O`` -- a set of output labels,
+* ``f(delta)`` -- the finite subset of ``O`` usable at maximum degree delta,
+* ``g(delta)`` -- the allowed *edge configurations*: 2-element multisets of
+  labels, one label per endpoint of the edge,
+* ``h(delta)`` -- the allowed *node configurations*: multisets of at most
+  delta labels, one label per incident edge (per port).
+
+A :class:`Problem` is the instantiation at one fixed ``delta``: a finite label
+set, a set of 2-multisets (edge constraint) and a set of ``delta``-multisets
+(node constraint).  Multisets are canonical sorted tuples of label strings
+(see :mod:`repro.utils.multiset`).
+
+Degree-indexed families -- the paper's actual ``(O, f, g, h)`` -- live in
+:mod:`repro.core.family`; everything the speedup engine does happens at a
+fixed delta, exactly as in Theorem 1, which speaks about graph classes
+``G_{n, delta}``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.utils.multiset import multiset
+
+Label = str
+EdgeConfig = tuple[Label, Label]
+NodeConfig = tuple[Label, ...]
+
+
+def edge_config(a: Label, b: Label) -> EdgeConfig:
+    """Return the canonical (sorted) 2-multiset for an edge configuration."""
+    return (a, b) if a <= b else (b, a)
+
+
+def node_config(labels: Iterable[Label]) -> NodeConfig:
+    """Return the canonical (sorted) multiset for a node configuration."""
+    return multiset(labels)
+
+
+class ProblemError(ValueError):
+    """Raised when a problem description is malformed."""
+
+
+@dataclass(frozen=True)
+class Problem:
+    """A locally checkable problem at a fixed maximum degree.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, carried through derivations.
+    delta:
+        The degree parameter; node configurations have exactly ``delta``
+        entries.  (The paper allows "at most delta"; on the regular graph
+        classes all lower bounds are proved for, configurations have exactly
+        delta entries, and sub-delta nodes can be modelled by adding an
+        explicit pad label, so we fix the arity.)
+    labels:
+        The finite output alphabet ``f(delta)``.
+    edge_constraint:
+        The allowed 2-multisets ``g(delta)``, canonical sorted pairs.
+    node_constraint:
+        The allowed ``delta``-multisets ``h(delta)``, canonical sorted tuples.
+    """
+
+    name: str
+    delta: int
+    labels: frozenset[Label]
+    edge_constraint: frozenset[EdgeConfig]
+    node_constraint: frozenset[NodeConfig]
+
+    def __post_init__(self) -> None:
+        if self.delta < 1:
+            raise ProblemError("delta must be at least 1")
+        for pair in self.edge_constraint:
+            if len(pair) != 2:
+                raise ProblemError(f"edge configuration {pair!r} is not a pair")
+            if tuple(sorted(pair)) != pair:
+                raise ProblemError(f"edge configuration {pair!r} is not canonical")
+            if not set(pair) <= self.labels:
+                raise ProblemError(f"edge configuration {pair!r} uses unknown labels")
+        for config in self.node_constraint:
+            if len(config) != self.delta:
+                raise ProblemError(
+                    f"node configuration {config!r} does not have {self.delta} entries"
+                )
+            if tuple(sorted(config)) != config:
+                raise ProblemError(f"node configuration {config!r} is not canonical")
+            if not set(config) <= self.labels:
+                raise ProblemError(f"node configuration {config!r} uses unknown labels")
+
+    # -- construction helpers ---------------------------------------------
+
+    @staticmethod
+    def make(
+        name: str,
+        delta: int,
+        edge_configs: Iterable[Iterable[Label]],
+        node_configs: Iterable[Iterable[Label]],
+        labels: Iterable[Label] | None = None,
+    ) -> "Problem":
+        """Build a problem, canonicalising configurations.
+
+        If ``labels`` is omitted, the alphabet is inferred as the union of
+        labels mentioned by the constraints.
+        """
+        edges = frozenset(edge_config(*sorted(pair)) for pair in map(list, edge_configs))
+        nodes = frozenset(node_config(config) for config in node_configs)
+        if labels is None:
+            inferred: set[Label] = set()
+            for pair in edges:
+                inferred.update(pair)
+            for config in nodes:
+                inferred.update(config)
+            label_set = frozenset(inferred)
+        else:
+            label_set = frozenset(labels)
+        return Problem(
+            name=name,
+            delta=delta,
+            labels=label_set,
+            edge_constraint=edges,
+            node_constraint=nodes,
+        )
+
+    # -- queries ------------------------------------------------------------
+
+    def allows_edge(self, a: Label, b: Label) -> bool:
+        """Return True iff the multiset {a, b} is an allowed edge configuration."""
+        return edge_config(a, b) in self.edge_constraint
+
+    def allows_node(self, labels: Iterable[Label]) -> bool:
+        """Return True iff the multiset of ``labels`` is an allowed node configuration."""
+        return node_config(labels) in self.node_constraint
+
+    @cached_property
+    def usable_labels(self) -> frozenset[Label]:
+        """Labels that occur in both some edge and some node configuration.
+
+        Only these can appear in a correct solution (the paper's compression
+        remark in Section 4.2).
+        """
+        in_edges = {label for pair in self.edge_constraint for label in pair}
+        in_nodes = {label for config in self.node_constraint for label in config}
+        return frozenset(in_edges & in_nodes)
+
+    @cached_property
+    def is_empty(self) -> bool:
+        """True iff no output can ever be valid (no node or edge configuration)."""
+        return not self.node_constraint or not self.edge_constraint
+
+    # -- transformations ------------------------------------------------------
+
+    def compressed(self, name: str | None = None) -> "Problem":
+        """Drop labels that cannot occur in any correct solution.
+
+        Removing a label invalidates configurations that mention it, which can
+        make further labels unusable, so the pruning iterates to a fixpoint.
+        The resulting problem has the same solutions as the original.
+        """
+        labels = set(self.labels)
+        edges = set(self.edge_constraint)
+        nodes = set(self.node_constraint)
+        while True:
+            in_edges = {label for pair in edges for label in pair}
+            in_nodes = {label for config in nodes for label in config}
+            usable = in_edges & in_nodes
+            if usable == labels:
+                break
+            labels = usable
+            edges = {pair for pair in edges if set(pair) <= usable}
+            nodes = {config for config in nodes if set(config) <= usable}
+        return Problem(
+            name=name if name is not None else self.name,
+            delta=self.delta,
+            labels=frozenset(labels),
+            edge_constraint=frozenset(edges),
+            node_constraint=frozenset(nodes),
+        )
+
+    def renamed(
+        self, mapping: Mapping[Label, Label], name: str | None = None
+    ) -> "Problem":
+        """Apply an injective label renaming.
+
+        Raises :class:`ProblemError` if ``mapping`` is not injective on the
+        problem's labels or does not cover all of them.
+        """
+        missing = self.labels - set(mapping)
+        if missing:
+            raise ProblemError(f"renaming does not cover labels {sorted(missing)}")
+        images = [mapping[label] for label in self.labels]
+        if len(set(images)) != len(images):
+            raise ProblemError("renaming is not injective")
+        return Problem(
+            name=name if name is not None else self.name,
+            delta=self.delta,
+            labels=frozenset(images),
+            edge_constraint=frozenset(
+                edge_config(mapping[a], mapping[b]) for a, b in self.edge_constraint
+            ),
+            node_constraint=frozenset(
+                node_config(mapping[label] for label in config)
+                for config in self.node_constraint
+            ),
+        )
+
+    def restricted(self, keep: Iterable[Label], name: str | None = None) -> "Problem":
+        """Return the sub-problem using only the labels in ``keep``.
+
+        This is the *hardening* direction from Section 2.1 (dual of
+        relaxation): a solution of the restricted problem is a solution of the
+        original, so the restriction is at least as hard.
+        """
+        keep_set = frozenset(keep)
+        unknown = keep_set - self.labels
+        if unknown:
+            raise ProblemError(f"cannot restrict to unknown labels {sorted(unknown)}")
+        return Problem(
+            name=name if name is not None else f"{self.name}|restricted",
+            delta=self.delta,
+            labels=keep_set,
+            edge_constraint=frozenset(
+                pair for pair in self.edge_constraint if set(pair) <= keep_set
+            ),
+            node_constraint=frozenset(
+                config for config in self.node_constraint if set(config) <= keep_set
+            ),
+        )
+
+    # -- presentation ---------------------------------------------------------
+
+    def describe(self) -> str:
+        """Multi-line human-readable description of the problem."""
+        lines = [f"problem {self.name} (delta={self.delta})"]
+        lines.append("labels: " + " ".join(sorted(self.labels)))
+        lines.append("node configurations:")
+        for config in sorted(self.node_constraint):
+            lines.append("  " + " ".join(config))
+        lines.append("edge configurations:")
+        for pair in sorted(self.edge_constraint):
+            lines.append("  " + " ".join(pair))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Problem({self.name!r}, delta={self.delta}, "
+            f"|labels|={len(self.labels)}, |edge|={len(self.edge_constraint)}, "
+            f"|node|={len(self.node_constraint)})"
+        )
+
+    # -- metrics ---------------------------------------------------------------
+
+    @cached_property
+    def description_size(self) -> int:
+        """A size measure of the problem description (for growth experiments).
+
+        Counts every label occurrence in every configuration plus the
+        alphabet size; this is the quantity whose per-step explosion motivates
+        the paper's relaxation technique (Section 2.1).
+        """
+        return (
+            len(self.labels)
+            + sum(2 for _ in self.edge_constraint)
+            + sum(self.delta for _ in self.node_constraint)
+        )

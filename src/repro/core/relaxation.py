@@ -1,0 +1,148 @@
+"""Relaxations between problems, certified by label maps.
+
+Section 2.1 describes the simplification strategy that makes iterated
+round elimination tractable: after each speedup step, replace the derived
+problem by a *relaxation* -- a problem provably no harder -- with a much
+simpler description.  The basic certified relaxation is a label map: if a
+(not necessarily injective) function ``m`` from the labels of ``P`` to the
+labels of ``Q`` sends every allowed edge configuration of ``P`` to an
+allowed edge configuration of ``Q`` and likewise for node configurations,
+then any algorithm solving ``P`` solves ``Q`` in the same time by
+post-composing the map; hence ``Q`` is a relaxation of ``P``.
+
+The same machinery run in the opposite direction certifies the *hardening*
+used for upper bounds (Section 4.5): restricting the derived problem's labels
+yields a problem at least as hard whose solutions still solve the original.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.problem import Label, Problem, edge_config, node_config
+
+
+@dataclass(frozen=True)
+class RelaxationCertificate:
+    """A verified witness that ``target`` is a relaxation of ``source``."""
+
+    source_name: str
+    target_name: str
+    mapping: dict[Label, Label]
+
+    def describe(self) -> str:
+        pairs = ", ".join(f"{a}->{b}" for a, b in sorted(self.mapping.items()))
+        return (
+            f"{self.target_name} relaxes {self.source_name} via {{{pairs}}}"
+        )
+
+
+def is_relaxation_map(
+    source: Problem, target: Problem, mapping: Mapping[Label, Label]
+) -> bool:
+    """Check that ``mapping`` certifies ``target`` as a relaxation of ``source``.
+
+    Every usable label of ``source`` must be mapped; every allowed edge and
+    node configuration of ``source`` must map into the corresponding allowed
+    set of ``target``.
+    """
+    if source.delta != target.delta:
+        return False
+    if not source.usable_labels <= set(mapping):
+        return False
+    if not set(mapping.values()) <= target.labels:
+        return False
+    for pair in source.edge_constraint:
+        if not set(pair) <= set(mapping):
+            continue  # configurations over unusable labels never occur
+        if edge_config(mapping[pair[0]], mapping[pair[1]]) not in target.edge_constraint:
+            return False
+    for config in source.node_constraint:
+        if not set(config) <= set(mapping):
+            continue
+        if node_config(mapping[lbl] for lbl in config) not in target.node_constraint:
+            return False
+    return True
+
+
+def certify_relaxation(
+    source: Problem, target: Problem, mapping: Mapping[Label, Label]
+) -> RelaxationCertificate:
+    """Validate ``mapping`` and wrap it in a certificate; raise on failure."""
+    if not is_relaxation_map(source, target, mapping):
+        raise ValueError(
+            f"map does not certify {target.name} as a relaxation of {source.name}"
+        )
+    return RelaxationCertificate(
+        source_name=source.name, target_name=target.name, mapping=dict(mapping)
+    )
+
+
+def find_relaxation_map(
+    source: Problem, target: Problem
+) -> dict[Label, Label] | None:
+    """Search for a certifying label map, or return None.
+
+    Backtracking over assignments of the usable labels of ``source`` (most
+    used in constraints first), checking partial configurations eagerly.
+    Non-injective maps are allowed -- collapsing labels is the typical way a
+    relaxation simplifies a problem.
+    """
+    if source.delta != target.delta:
+        return None
+    source_labels = sorted(
+        source.usable_labels,
+        key=lambda lbl: -sum(config.count(lbl) for config in source.node_constraint),
+    )
+    target_labels = sorted(target.labels)
+    mapping: dict[Label, Label] = {}
+
+    def partial_ok() -> bool:
+        for pair in source.edge_constraint:
+            if all(lbl in mapping for lbl in pair):
+                if (
+                    edge_config(mapping[pair[0]], mapping[pair[1]])
+                    not in target.edge_constraint
+                ):
+                    return False
+        for config in source.node_constraint:
+            if all(lbl in mapping for lbl in config):
+                if (
+                    node_config(mapping[lbl] for lbl in config)
+                    not in target.node_constraint
+                ):
+                    return False
+        return True
+
+    def backtrack(index: int) -> bool:
+        if index == len(source_labels):
+            return True
+        label = source_labels[index]
+        for candidate in target_labels:
+            mapping[label] = candidate
+            if partial_ok() and backtrack(index + 1):
+                return True
+            del mapping[label]
+        return False
+
+    if backtrack(0):
+        return dict(mapping)
+    return None
+
+
+def is_harder_restriction(source: Problem, restricted: Problem) -> bool:
+    """Check the dual (upper-bound) direction: ``restricted`` embeds in ``source``.
+
+    True iff ``restricted``'s labels are a subset of ``source``'s and its
+    constraints are subsets of the corresponding ``source`` constraints; then
+    every solution of ``restricted`` is verbatim a solution of ``source``.
+    This certifies the Section 4.5 maneuver of making a derived problem
+    harder to obtain a clean upper-bound problem.
+    """
+    return (
+        restricted.delta == source.delta
+        and restricted.labels <= source.labels
+        and restricted.edge_constraint <= source.edge_constraint
+        and restricted.node_constraint <= source.node_constraint
+    )

@@ -1,0 +1,226 @@
+"""Iterated round elimination: the ``Pi, Pi_1, Pi_2, ...`` pipeline.
+
+This module drives the workflow of Section 2.1: starting from a problem,
+apply the speedup repeatedly, optionally interleaving *relaxation* steps
+(each certified by a label map), watching for two terminating events:
+
+* some ``Pi_t`` becomes 0-round solvable -- then the original problem has
+  complexity at least ``t`` (exactly ``t`` on the matching high-girth
+  t-independent class, by Theorem 1);
+* some ``Pi_t`` is isomorphic to an earlier ``Pi_s`` with no 0-round
+  solvable problem in between -- a **fixed point / cycle** (sinkless
+  coloring is the paradigm, Section 4.4), which certifies that the problem
+  is not solvable in any number of rounds for which the required high-girth
+  t-independent class exists, i.e. an Omega(log n) lower bound on bounded
+  degree classes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.isomorphism import find_isomorphism
+from repro.core.problem import Problem
+from repro.core.relaxation import RelaxationCertificate, certify_relaxation
+from repro.core.speedup import EngineLimitError, speedup
+from repro.core.zero_round import (
+    ZeroRoundWitness,
+    zero_round_no_input,
+    zero_round_with_orientations,
+)
+
+# A relaxer takes (derived problem, step index) and returns the relaxed
+# problem together with the certifying label map, or None to keep the
+# derived problem unchanged.
+Relaxer = Callable[[Problem, int], tuple[Problem, dict[str, str]] | None]
+
+
+@dataclass(frozen=True)
+class SequenceStep:
+    """Record of one pipeline step."""
+
+    index: int
+    problem: Problem
+    relaxation: RelaxationCertificate | None
+    zero_round_witness: ZeroRoundWitness | None
+    isomorphic_to_step: int | None
+
+    @property
+    def zero_round_solvable(self) -> bool:
+        return self.zero_round_witness is not None
+
+
+@dataclass(frozen=True)
+class EliminationResult:
+    """Outcome of an iterated round-elimination run.
+
+    ``steps[0]`` is the initial problem; ``steps[t]`` is the problem after
+    ``t`` speedup(+relaxation) applications.  ``stopped_by_limit`` records
+    that the description-complexity explosion (Section 2.1) tripped the
+    engine's size guards -- the situation the relaxation technique exists
+    to tame.
+    """
+
+    steps: list[SequenceStep] = field(default_factory=list)
+    stopped_by_limit: bool = False
+
+    @property
+    def first_zero_round_index(self) -> int | None:
+        for step in self.steps:
+            if step.zero_round_solvable:
+                return step.index
+        return None
+
+    @property
+    def fixed_point_index(self) -> int | None:
+        """Index of the first step isomorphic to an earlier one, if any."""
+        for step in self.steps:
+            if step.isomorphic_to_step is not None:
+                return step.index
+        return None
+
+    @property
+    def lower_bound(self) -> int:
+        """A certified round lower bound for the initial problem.
+
+        If no problem in the computed prefix is 0-round solvable, every
+        computed step certifies one more round (given girth/t-independence),
+        so the bound is the number of speedup steps performed.  If step ``t``
+        is the first 0-round solvable problem, the bound is ``t``.
+        """
+        first = self.first_zero_round_index
+        if first is not None:
+            return first
+        return len(self.steps) - 1
+
+    @property
+    def unbounded(self) -> bool:
+        """True iff a fixed point was found with no 0-round solvable problem.
+
+        In that case the lower bound grows with the maximal ``t`` for which a
+        girth-(2t+2) t-independent class exists -- Omega(log n) on bounded
+        degree graphs (Section 4.4).
+        """
+        return (
+            self.fixed_point_index is not None
+            and self.first_zero_round_index is None
+        )
+
+    def summary(self) -> str:
+        lines = []
+        for step in self.steps:
+            tags = []
+            if step.relaxation is not None:
+                tags.append(f"relaxed->{step.relaxation.target_name}")
+            if step.zero_round_solvable:
+                tags.append("0-round")
+            if step.isomorphic_to_step is not None:
+                tags.append(f"iso-to-step-{step.isomorphic_to_step}")
+            suffix = f"  [{', '.join(tags)}]" if tags else ""
+            lines.append(
+                f"step {step.index}: {step.problem.name} "
+                f"(labels={len(step.problem.labels)}, "
+                f"node={len(step.problem.node_constraint)}, "
+                f"edge={len(step.problem.edge_constraint)}){suffix}"
+            )
+        if self.unbounded:
+            lines.append(
+                "fixed point with no 0-round solvable problem: "
+                "Omega(log n) lower bound on bounded-degree high-girth classes"
+            )
+        else:
+            lines.append(f"certified lower bound: {self.lower_bound} rounds")
+        if self.stopped_by_limit:
+            lines.append(
+                "stopped by description-size limits (Section 2.1's explosion); "
+                "apply a relaxation to continue"
+            )
+        return "\n".join(lines)
+
+
+def run_round_elimination(
+    problem: Problem,
+    max_steps: int,
+    relaxer: Relaxer | None = None,
+    orientations: bool = True,
+    simplify: bool = True,
+    detect_fixed_points: bool = True,
+    stop_at_zero_round: bool = True,
+) -> EliminationResult:
+    """Run the iterated speedup pipeline.
+
+    Parameters
+    ----------
+    problem:
+        The initial problem ``Pi``.
+    max_steps:
+        Maximum number of speedup applications.
+    relaxer:
+        Optional hook applied after each speedup; must return the relaxed
+        problem and the label map certifying it (the map is re-verified
+        here -- an invalid relaxation raises).
+    orientations:
+        Whether 0-round solvability is tested in the orientation-input
+        setting (the Theorem 2 setting) or with no input at all.
+    simplify:
+        Use the maximality-simplified derivation (Theorem 2).
+    detect_fixed_points:
+        Test each new problem for isomorphism against all previous ones.
+    stop_at_zero_round:
+        Stop as soon as a 0-round solvable problem appears.
+    """
+
+    def witness_for(p: Problem) -> ZeroRoundWitness | None:
+        if orientations:
+            return zero_round_with_orientations(p)
+        return zero_round_no_input(p)
+
+    steps: list[SequenceStep] = []
+    current = problem
+    steps.append(
+        SequenceStep(
+            index=0,
+            problem=current,
+            relaxation=None,
+            zero_round_witness=witness_for(current),
+            isomorphic_to_step=None,
+        )
+    )
+
+    stopped_by_limit = False
+    for index in range(1, max_steps + 1):
+        if stop_at_zero_round and steps[-1].zero_round_solvable:
+            break
+        if steps[-1].isomorphic_to_step is not None:
+            break
+        try:
+            derived = speedup(current, simplify=simplify).full
+        except EngineLimitError:
+            stopped_by_limit = True
+            break
+        certificate = None
+        if relaxer is not None:
+            relaxed = relaxer(derived, index)
+            if relaxed is not None:
+                target, mapping = relaxed
+                certificate = certify_relaxation(derived, target, mapping)
+                derived = target
+        iso_index = None
+        if detect_fixed_points:
+            for earlier in steps:
+                if find_isomorphism(derived.compressed(), earlier.problem.compressed()):
+                    iso_index = earlier.index
+                    break
+        steps.append(
+            SequenceStep(
+                index=index,
+                problem=derived,
+                relaxation=certificate,
+                zero_round_witness=witness_for(derived),
+                isomorphic_to_step=iso_index,
+            )
+        )
+        current = derived
+
+    return EliminationResult(steps=steps, stopped_by_limit=stopped_by_limit)

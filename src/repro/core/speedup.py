@@ -1,0 +1,438 @@
+"""The automatic speedup: derive ``Pi_{1/2}`` and ``Pi_1`` from ``Pi``.
+
+This module implements the paper's Section 4.1 (the derivation behind
+Theorem 1) and Section 4.2 (the maximality simplification, Theorem 2).
+
+The derivation has two dual steps.
+
+**Half step** ``Pi -> Pi_{1/2}``: output labels become *sets* of original
+labels; the edge constraint becomes universal (Property 1: every pair of
+choices must be allowed) and the node constraint becomes existential
+(Property 2: some choice per set must form an allowed configuration).
+Under the maximality simplification (Property 5), the usable labels are
+exactly the Galois-*closed* sets ``Y = comp(comp(Y))`` and the edge
+constraint collapses to the pairs ``{Y, comp(Y)}`` -- this is what
+:mod:`repro.core.galois` computes.
+
+**Full step** ``Pi_{1/2} -> Pi_1``: labels become sets of half-step labels;
+now the edge constraint is existential (Property 3) and the node constraint
+universal (Property 4), maximised under Property 6.  Because the half-step
+node constraint is monotone in the subset order on half-labels, every
+maximal node configuration of ``Pi_1`` uses only *upward-closed* sets
+(filters) of the half-label poset, and the universal check only needs each
+filter's minimal elements.  Filters are enumerated as antichains
+(:mod:`repro.utils.orders`), which keeps the derived description small --
+the same representation trick the Round Eliminator uses.
+
+Both the simplified (Theorem 2) and the literal unsimplified (Theorem 1)
+derivations are provided; the latter blows up quickly and is intended for
+the small instances used by the executable Theorem 1 experiments.
+"""
+
+from __future__ import annotations
+
+import string
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from itertools import chain, combinations, product
+
+from repro.core.galois import Compatibility
+from repro.core.problem import Label, NodeConfig, Problem, edge_config, node_config
+from repro.utils.matching import maximum_bipartite_matching, perfect_matching_exists
+from repro.utils.multiset import multisets_of_size
+from repro.utils.orders import filters as poset_filters
+from repro.utils.orders import minimal_elements
+
+
+class EngineLimitError(RuntimeError):
+    """Raised when a derivation would exceed the configured size limits."""
+
+
+# Hard caps keeping accidental exponential blow-ups debuggable instead of
+# hanging the interpreter.  The unsimplified path hits these first.
+MAX_DERIVED_LABELS = 100_000
+MAX_CANDIDATE_CONFIGS = 8_000_000
+
+
+def set_label_name(members: Iterable[Label]) -> Label:
+    """Canonical display name for a set-valued label: ``{a,b,c}``."""
+    return "{" + ",".join(sorted(members)) + "}"
+
+
+def short_names(count: int) -> list[Label]:
+    """Deterministic short label names: A..Z then L26, L27, ..."""
+    letters = list(string.ascii_uppercase)
+    if count <= len(letters):
+        return letters[:count]
+    return letters + [f"L{i}" for i in range(len(letters), count)]
+
+
+@dataclass(frozen=True)
+class HalfStepResult:
+    """The derived problem ``Pi_{1/2}`` plus the meaning of its labels."""
+
+    original: Problem
+    problem: Problem
+    meaning: dict[Label, frozenset[Label]]
+    simplified: bool
+
+    def polar_name(self, label: Label) -> Label:
+        """Name of ``comp(meaning(label))`` -- the partner in a maximal edge pair."""
+        comp = Compatibility(self.original)
+        return set_label_name(comp.polar(self.meaning[label]))
+
+
+@dataclass(frozen=True)
+class SpeedupResult:
+    """One full application of the speedup: ``Pi -> Pi_{1/2} -> Pi_1``.
+
+    ``full`` carries short atomic labels (ready for iteration);
+    ``full_meaning`` maps each of them to the set of half-step label names it
+    stands for, and ``half_meaning`` maps half-step names to sets of original
+    labels, so provenance is recoverable across iterations.
+    """
+
+    original: Problem
+    half: Problem
+    half_meaning: dict[Label, frozenset[Label]]
+    full: Problem
+    full_meaning: dict[Label, frozenset[Label]]
+    simplified: bool
+
+    def full_label_as_original_sets(self, label: Label) -> frozenset[frozenset[Label]]:
+        """Expand a derived label to its set-of-sets over the original alphabet."""
+        return frozenset(
+            frozenset(self.half_meaning[half_name])
+            for half_name in self.full_meaning[label]
+        )
+
+
+class _HalfMembership:
+    """Memoised membership test for the existential constraint ``h_{1/2}``.
+
+    A tuple of label *sets* ``(Y_1, ..., Y_j)`` (``j <= delta``) is
+    *extendable* iff some allowed configuration ``C`` of the original problem
+    can assign a distinct position of ``C`` to every slot, with slot ``i``
+    receiving a label from ``Y_i``; for ``j == delta`` this is exactly
+    membership in ``h_{1/2}`` (Property 2).  Each test is a bipartite
+    matching per candidate configuration.
+    """
+
+    def __init__(self, problem: Problem):
+        self._configs = sorted(problem.node_constraint)
+        self._delta = problem.delta
+        self._cache: dict[tuple[frozenset[Label], ...], bool] = {}
+
+    def extendable(self, slots: Sequence[frozenset[Label]]) -> bool:
+        key = tuple(sorted(slots, key=sorted))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = any(self._partial_realizable(key, config) for config in self._configs)
+        self._cache[key] = result
+        return result
+
+    def allows(self, slots: Sequence[frozenset[Label]]) -> bool:
+        """Full membership: requires exactly ``delta`` slots."""
+        if len(slots) != self._delta:
+            return False
+        return self.extendable(slots)
+
+    @staticmethod
+    def _partial_realizable(
+        slots: tuple[frozenset[Label], ...], config: NodeConfig
+    ) -> bool:
+        adjacency = {
+            index: [
+                position for position, label in enumerate(config) if label in slot
+            ]
+            for index, slot in enumerate(slots)
+        }
+        matching = maximum_bipartite_matching(adjacency)
+        return len(matching) == len(slots)
+
+
+def half_step(problem: Problem, simplify: bool = True) -> HalfStepResult:
+    """Derive ``Pi_{1/2}`` (simplified: ``Pi'_{1/2}``) from ``Pi``.
+
+    With ``simplify=True`` the maximality constraint of Theorem 2
+    (Property 5) is applied, so labels are the usable Galois-closed sets and
+    the edge constraint pairs each closed set with its polar.  With
+    ``simplify=False`` the literal Theorem 1 construction is used: labels are
+    all non-empty subsets and the edge constraint contains every universally
+    compatible pair.  (The empty set is omitted: the existential node
+    constraint can never use it, so it is unusable by definition.)
+    """
+    comp = Compatibility(problem)
+    if simplify:
+        half_sets = sorted(comp.usable_closed_sets(), key=sorted)
+    else:
+        base = sorted(problem.labels)
+        # The raw construction materialises all subsets AND a quadratic edge
+        # relation over them; guard both.
+        if 2 ** len(base) > MAX_DERIVED_LABELS or 4 ** len(base) > MAX_CANDIDATE_CONFIGS:
+            raise EngineLimitError(
+                f"unsimplified half step over {len(base)} labels is too large"
+            )
+        half_sets = [
+            frozenset(subset)
+            for size in range(1, len(base) + 1)
+            for subset in combinations(base, size)
+        ]
+
+    names = {subset: set_label_name(subset) for subset in half_sets}
+    meaning = {name: subset for subset, name in names.items()}
+
+    if simplify:
+        edge_configs = {
+            edge_config(names[subset], set_label_name(comp.polar(subset)))
+            for subset in half_sets
+        }
+    else:
+        edge_configs = set()
+        for first in half_sets:
+            polar_of_first = comp.polar(first)
+            for second in half_sets:
+                if second <= polar_of_first:
+                    edge_configs.add(edge_config(names[first], names[second]))
+
+    membership = _HalfMembership(problem)
+    ordered_names = sorted(meaning)
+    candidate_count = _multiset_count(len(ordered_names), problem.delta)
+    if candidate_count > MAX_CANDIDATE_CONFIGS:
+        raise EngineLimitError(
+            f"half step would enumerate {candidate_count} node configurations"
+        )
+    node_configs = [
+        config
+        for config in multisets_of_size(ordered_names, problem.delta)
+        if membership.allows([meaning[name] for name in config])
+    ]
+
+    derived = Problem(
+        name=f"{problem.name}|half" + ("" if simplify else "|raw"),
+        delta=problem.delta,
+        labels=frozenset(meaning),
+        edge_constraint=frozenset(edge_configs),
+        node_constraint=frozenset(node_configs),
+    ).compressed()
+    kept_meaning = {name: meaning[name] for name in derived.labels}
+    return HalfStepResult(
+        original=problem, problem=derived, meaning=kept_meaning, simplified=simplify
+    )
+
+
+def full_step(half: HalfStepResult, simplify: bool = True) -> SpeedupResult:
+    """Derive ``Pi_1`` (simplified: ``Pi'_1``) from a half-step result.
+
+    The returned :class:`SpeedupResult` carries the derived problem twice:
+    structured (labels are ``{...}`` set names over half labels -- stored in
+    ``full_meaning``) and renamed to short atomic labels (``full``), which is
+    what iteration consumes.
+    """
+    half_problem = half.problem
+    meaning = half.meaning
+    membership = _HalfMembership(half.original)
+
+    def leq(a: Label, b: Label) -> bool:
+        return meaning[a] <= meaning[b]
+
+    half_names = sorted(half_problem.labels)
+    if simplify:
+        collected: list[frozenset[Label]] = []
+        for candidate in poset_filters(half_names, leq):
+            collected.append(candidate)
+            if len(collected) > MAX_DERIVED_LABELS:
+                raise EngineLimitError(
+                    f"full step over {len(half_names)} half labels produces "
+                    f"more than {MAX_DERIVED_LABELS} filters"
+                )
+        candidate_sets = sorted(collected, key=sorted)
+    else:
+        if 2 ** len(half_names) > MAX_DERIVED_LABELS:
+            raise EngineLimitError(
+                f"unsimplified full step over {len(half_names)} labels is too large"
+            )
+        candidate_sets = [
+            frozenset(subset)
+            for size in range(1, len(half_names) + 1)
+            for subset in combinations(half_names, size)
+        ]
+
+    # The universal node check (Property 4) only needs the minimal elements of
+    # each candidate set: h_{1/2} is monotone under the half-label order.
+    mins = {
+        candidate: tuple(sorted(minimal_elements(candidate, leq)))
+        for candidate in candidate_sets
+    }
+
+    universal_cache: dict[tuple[frozenset[Label], ...], bool] = {}
+
+    def universal(config_sets: tuple[frozenset[Label], ...]) -> bool:
+        key = tuple(sorted(config_sets, key=sorted))
+        cached = universal_cache.get(key)
+        if cached is not None:
+            return cached
+        result = all(
+            membership.allows([meaning[name] for name in choice])
+            for choice in product(*(mins[candidate] for candidate in key))
+        )
+        universal_cache[key] = result
+        return result
+
+    def extendable(config_sets: tuple[frozenset[Label], ...]) -> bool:
+        """Prune: every min-choice of a partial configuration must extend."""
+        return all(
+            membership.extendable([meaning[name] for name in choice])
+            for choice in product(*(mins[candidate] for candidate in config_sets))
+        )
+
+    delta = half_problem.delta
+    candidate_count = _multiset_count(len(candidate_sets), delta)
+    if candidate_count > MAX_CANDIDATE_CONFIGS:
+        raise EngineLimitError(
+            f"full step would enumerate {candidate_count} node configurations"
+        )
+
+    allowed_configs = _enumerate_universal_configs(
+        candidate_sets, delta, universal, extendable
+    )
+    if simplify:
+        allowed_configs = _discard_dominated(allowed_configs)
+
+    # Edge constraint (Property 3, existential).  Simplified: {W, X} allowed
+    # iff some Y in W has its polar partner in X.  Unsimplified: some pair
+    # (Y, Z) with Z a subset of comp(Y).
+    comp = Compatibility(half.original)
+    polar_name = {
+        name: set_label_name(comp.polar(meaning[name])) for name in half_names
+    }
+    used_sets = sorted({s for config in allowed_configs for s in config}, key=sorted)
+    set_names = {candidate: set_label_name(candidate) for candidate in used_sets}
+
+    edge_configs = set()
+    for first in used_sets:
+        for second in used_sets:
+            if simplify:
+                allowed = any(polar_name[y] in second for y in first)
+            else:
+                allowed = any(
+                    meaning[z] <= comp.polar(meaning[y])
+                    for y in first
+                    for z in second
+                )
+            if allowed:
+                edge_configs.add(edge_config(set_names[first], set_names[second]))
+
+    structured = Problem(
+        name=f"{half.original.name}|full" + ("" if simplify else "|raw"),
+        delta=delta,
+        labels=frozenset(set_names.values()),
+        edge_constraint=frozenset(edge_configs),
+        node_constraint=frozenset(
+            node_config(set_names[s] for s in config) for config in allowed_configs
+        ),
+    ).compressed()
+
+    # Rename to short atomic labels for iteration; keep provenance.
+    ordered = sorted(structured.labels)
+    rename = dict(zip(ordered, short_names(len(ordered))))
+    renamed = structured.renamed(rename, name=f"{half.original.name}+1")
+    name_of_set = {v: k for k, v in set_names.items()}
+    full_meaning = {
+        rename[structured_name]: frozenset(name_of_set[structured_name])
+        for structured_name in ordered
+    }
+    return SpeedupResult(
+        original=half.original,
+        half=half_problem,
+        half_meaning=dict(half.meaning),
+        full=renamed,
+        full_meaning=full_meaning,
+        simplified=simplify and half.simplified,
+    )
+
+
+def speedup(problem: Problem, simplify: bool = True) -> SpeedupResult:
+    """Apply one full speedup step: ``Pi -> Pi_1`` (Theorem 1 / Theorem 2).
+
+    The derived problem is exactly one round easier than ``Pi`` on
+    t-independent graph classes of girth at least ``2t + 2`` (with edge
+    orientations available when ``simplify=True``, per Theorem 2).
+    """
+    return full_step(half_step(problem, simplify=simplify), simplify=simplify)
+
+
+def iterate_speedup(
+    problem: Problem, steps: int, simplify: bool = True
+) -> list[SpeedupResult]:
+    """Apply the speedup ``steps`` times, returning every intermediate result."""
+    results: list[SpeedupResult] = []
+    current = problem
+    for _ in range(steps):
+        result = speedup(current, simplify=simplify)
+        results.append(result)
+        current = result.full
+    return results
+
+
+# -- internal helpers -------------------------------------------------------
+
+
+def _multiset_count(universe: int, size: int) -> int:
+    """Number of multisets of ``size`` elements over ``universe`` symbols."""
+    from math import comb
+
+    return comb(universe + size - 1, size)
+
+
+def _enumerate_universal_configs(
+    candidates: Sequence[frozenset[Label]],
+    delta: int,
+    universal,
+    extendable,
+) -> list[tuple[frozenset[Label], ...]]:
+    """DFS over non-decreasing candidate indices with extendability pruning."""
+    results: list[tuple[frozenset[Label], ...]] = []
+
+    def extend(start: int, chosen: list[frozenset[Label]]) -> None:
+        if len(chosen) == delta:
+            config = tuple(chosen)
+            if universal(config):
+                results.append(tuple(sorted(config, key=sorted)))
+            return
+        for index in range(start, len(candidates)):
+            chosen.append(candidates[index])
+            if extendable(tuple(chosen)):
+                extend(index, chosen)
+            chosen.pop()
+
+    extend(0, [])
+    # Deduplicate (sorting may collapse distinct orders of equal multisets).
+    unique = sorted(set(results), key=lambda cfg: [sorted(s) for s in cfg])
+    return unique
+
+
+def _discard_dominated(
+    configs: list[tuple[frozenset[Label], ...]],
+) -> list[tuple[frozenset[Label], ...]]:
+    """Keep only configurations maximal under componentwise set containment.
+
+    ``A`` dominates ``B`` iff some bijection pairs every component of ``B``
+    with a distinct superset component of ``A`` -- a perfect-matching test.
+    Mutual domination implies equality, so the survivors are an antichain.
+    """
+
+    def dominates(a: tuple[frozenset[Label], ...], b: tuple[frozenset[Label], ...]) -> bool:
+        adjacency = {
+            index: [j for j, big in enumerate(a) if small <= big]
+            for index, small in enumerate(b)
+        }
+        return perfect_matching_exists(adjacency)
+
+    kept: list[tuple[frozenset[Label], ...]] = []
+    for config in configs:
+        if any(other != config and dominates(other, config) for other in configs):
+            continue
+        kept.append(config)
+    return kept

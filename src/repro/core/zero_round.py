@@ -1,0 +1,171 @@
+"""Decision procedures for 0-round solvability in the port numbering model.
+
+The endpoint of every round-elimination argument (Section 2.1) is the
+question whether some derived problem ``Pi_t`` can be solved in zero rounds.
+In the port numbering model a 0-round algorithm is a single function from a
+node's initial knowledge to a tuple of output labels, one per port; the
+adversary controls the port numbering and (within the graph class) the
+inputs.  Two input settings matter for the paper:
+
+* **No symmetry-breaking input.**  Every node sees the same nothing, so all
+  nodes answer the same configuration ``C`` (up to port permutation), and any
+  element of ``C`` at one endpoint can face any element of ``C`` at the other.
+  Solvability therefore means: some allowed node configuration is
+  *self-compatible* -- every pair of its labels is an allowed edge
+  configuration.
+
+* **Input edge orientations** (the symmetry breaking Theorem 2 requires).  A
+  node's 0-round view is the orientation pattern of its ports; on a
+  delta-regular class the adversary realises every in-degree ``s`` in
+  ``{0..delta}``.  A 0-round algorithm picks, for each ``s``, a split of an
+  allowed node configuration into labels for in-ports and labels for
+  out-ports; on an edge, an out-label of one endpoint faces an in-label of
+  the other, and both the endpoints' in-degrees are arbitrary.  Solvability
+  means: splits ``(I_s, O_s)`` can be chosen so that every out-label from any
+  chosen split is edge-compatible with every in-label from any chosen split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.problem import Label, NodeConfig, Problem, edge_config
+from repro.utils.multiset import multiset_difference, submultisets_of_size
+
+
+@dataclass(frozen=True)
+class ZeroRoundWitness:
+    """Evidence that a problem is 0-round solvable.
+
+    For the no-input setting, ``splits`` holds the single self-compatible
+    configuration under key ``-1``.  For the orientation setting, ``splits``
+    maps each in-degree ``s`` to the chosen ``(in_labels, out_labels)`` pair.
+    """
+
+    problem_name: str
+    setting: str
+    splits: dict[int, tuple[NodeConfig, NodeConfig]]
+
+    def describe(self) -> str:
+        lines = [f"0-round witness for {self.problem_name} ({self.setting})"]
+        for key in sorted(self.splits):
+            ins, outs = self.splits[key]
+            if key == -1:
+                lines.append(f"  configuration: {' '.join(outs)}")
+            else:
+                lines.append(
+                    f"  in-degree {key}: in={' '.join(ins) or '-'} "
+                    f"out={' '.join(outs) or '-'}"
+                )
+        return "\n".join(lines)
+
+
+def zero_round_no_input(problem: Problem) -> ZeroRoundWitness | None:
+    """0-round solvability with no symmetry-breaking input.
+
+    Returns a witness configuration or None.  The condition is the classical
+    round-elimination triviality test: some ``C`` in ``h`` with
+    ``{x, y} in g`` for all ``x, y`` drawn from ``C``'s support.
+    """
+    for config in sorted(problem.node_constraint):
+        support = sorted(set(config))
+        if all(
+            problem.allows_edge(x, y)
+            for i, x in enumerate(support)
+            for y in support[i:]
+        ):
+            return ZeroRoundWitness(
+                problem_name=problem.name,
+                setting="no-input",
+                splits={-1: ((), config)},
+            )
+    return None
+
+
+def _orientation_splits(problem: Problem, in_degree: int) -> list[tuple[NodeConfig, NodeConfig]]:
+    """Distinct split *signatures*: one representative per (in-set, out-set).
+
+    The compatibility search only depends on which label sets face each
+    other, not on multiplicities, so splits are deduplicated by the pair of
+    *support sets* -- a large reduction on derived problems with many
+    configurations.
+    """
+    by_signature: dict[tuple[frozenset[Label], frozenset[Label]], tuple[NodeConfig, NodeConfig]] = {}
+    for config in sorted(problem.node_constraint):
+        for in_part in submultisets_of_size(config, in_degree):
+            out_part = multiset_difference(config, in_part)
+            signature = (frozenset(in_part), frozenset(out_part))
+            by_signature.setdefault(signature, (in_part, out_part))
+    return sorted(by_signature.values())
+
+
+def zero_round_with_orientations(problem: Problem) -> ZeroRoundWitness | None:
+    """0-round solvability given input edge orientations on a regular class.
+
+    Performs a depth-first search over the choice of one split per in-degree,
+    maintaining the union of chosen in-labels and out-labels, pruning as soon
+    as some out-label would face some in-label not allowed by ``g``, and
+    memoising failed ``(level, in-union, out-union)`` states.
+    """
+    delta = problem.delta
+    per_degree = [_orientation_splits(problem, s) for s in range(delta + 1)]
+    if any(not options for options in per_degree):
+        return None
+    # Search the most-constrained levels first (fewest options).
+    level_order = sorted(range(delta + 1), key=lambda s: len(per_degree[s]))
+
+    chosen: dict[int, tuple[NodeConfig, NodeConfig]] = {}
+    failed: set[tuple[int, frozenset[Label], frozenset[Label]]] = set()
+
+    def pair_ok(out_label: Label, in_label: Label) -> bool:
+        return edge_config(out_label, in_label) in problem.edge_constraint
+
+    def search(index: int, in_union: frozenset[Label], out_union: frozenset[Label]) -> bool:
+        if index == len(level_order):
+            return True
+        state = (index, in_union, out_union)
+        if state in failed:
+            return False
+        s = level_order[index]
+        for in_part, out_part in per_degree[s]:
+            new_in_labels = frozenset(in_part) - in_union
+            new_out_labels = frozenset(out_part) - out_union
+            # Only the freshly added labels need checking against the unions.
+            if not all(
+                pair_ok(o, i)
+                for o in new_out_labels
+                for i in in_union | new_in_labels
+            ):
+                continue
+            if not all(
+                pair_ok(o, i)
+                for o in out_union
+                for i in new_in_labels
+            ):
+                continue
+            chosen[s] = (in_part, out_part)
+            if search(index + 1, in_union | new_in_labels, out_union | new_out_labels):
+                return True
+            del chosen[s]
+        failed.add(state)
+        return False
+
+    if search(0, frozenset(), frozenset()):
+        return ZeroRoundWitness(
+            problem_name=problem.name,
+            setting="edge-orientations",
+            splits=dict(chosen),
+        )
+    return None
+
+
+def is_zero_round_solvable(problem: Problem, orientations: bool = True) -> bool:
+    """Convenience wrapper returning a bare boolean.
+
+    With ``orientations=True`` (the setting of Theorem 2 and all the paper's
+    lower bounds) the orientation-input procedure is used; note a problem
+    solvable with no input is a fortiori solvable with orientations.
+    """
+    if orientations:
+        return zero_round_with_orientations(problem) is not None
+    return zero_round_no_input(problem) is not None

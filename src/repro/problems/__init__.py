@@ -1,0 +1,63 @@
+"""Concrete locally checkable problems in the paper's formal encoding."""
+
+from repro.problems.catalog import catalog, get_family, get_problem
+from repro.problems.coloring import (
+    color_labels,
+    coloring,
+    coloring_family,
+    edge_coloring,
+    edge_coloring_family,
+)
+from repro.problems.misc import (
+    MAXIMAL_MATCHING,
+    MIS,
+    PERFECT_MATCHING,
+    maximal_matching,
+    mis,
+    perfect_matching,
+)
+from repro.problems.sinkless import (
+    SINKLESS_COLORING,
+    SINKLESS_ORIENTATION,
+    sinkless_coloring,
+    sinkless_orientation,
+)
+from repro.problems.superweak import (
+    superweak,
+    superweak_family,
+    superweak_labels,
+    weak2_to_superweak2_map,
+)
+from repro.problems.weak_coloring import (
+    weak_coloring_family,
+    weak_coloring_labels,
+    weak_coloring_pointer,
+)
+
+__all__ = [
+    "MAXIMAL_MATCHING",
+    "MIS",
+    "PERFECT_MATCHING",
+    "SINKLESS_COLORING",
+    "SINKLESS_ORIENTATION",
+    "catalog",
+    "color_labels",
+    "coloring",
+    "coloring_family",
+    "edge_coloring",
+    "edge_coloring_family",
+    "get_family",
+    "get_problem",
+    "maximal_matching",
+    "mis",
+    "perfect_matching",
+    "sinkless_coloring",
+    "sinkless_orientation",
+    "superweak",
+    "superweak_family",
+    "superweak_labels",
+    "weak2_to_superweak2_map",
+    "weak_coloring_family",
+    "weak_coloring_labels",
+    "weak_coloring_pointer",
+]

@@ -1,0 +1,49 @@
+"""Registry of all problem families shipped with the library."""
+
+from __future__ import annotations
+
+from repro.core.family import ProblemFamily
+from repro.core.problem import Problem
+from repro.problems.coloring import coloring_family, edge_coloring_family
+from repro.problems.misc import MAXIMAL_MATCHING, MIS, PERFECT_MATCHING
+from repro.problems.sinkless import SINKLESS_COLORING, SINKLESS_ORIENTATION
+from repro.problems.superweak import superweak_family
+from repro.problems.weak_coloring import weak_coloring_family
+
+_STATIC_FAMILIES: dict[str, ProblemFamily] = {
+    family.name: family
+    for family in (
+        SINKLESS_COLORING,
+        SINKLESS_ORIENTATION,
+        MIS,
+        PERFECT_MATCHING,
+        MAXIMAL_MATCHING,
+    )
+}
+
+
+def catalog() -> dict[str, ProblemFamily]:
+    """All statically named families plus small parameterised instances."""
+    families = dict(_STATIC_FAMILIES)
+    for k in (2, 3, 4, 5, 6):
+        families[f"{k}-coloring"] = coloring_family(k)
+    for k in (2, 3):
+        families[f"weak-{k}-coloring"] = weak_coloring_family(k)
+        families[f"superweak-{k}-coloring"] = superweak_family(k)
+    for k in (3, 4):
+        families[f"{k}-edge-coloring"] = edge_coloring_family(k)
+    return families
+
+
+def get_family(name: str) -> ProblemFamily:
+    """Look up a family by name; raises KeyError with the available names."""
+    families = catalog()
+    if name not in families:
+        available = ", ".join(sorted(families))
+        raise KeyError(f"unknown problem family {name!r}; available: {available}")
+    return families[name]
+
+
+def get_problem(name: str, delta: int) -> Problem:
+    """Instantiate a cataloged family at the given degree."""
+    return get_family(name)(delta)

@@ -1,0 +1,114 @@
+"""Further locally checkable problems: MIS, matchings.
+
+These are not analysed in the paper itself, but the follow-up work it
+highlights (Balliu et al. [2], the maximal matching / MIS lower bounds)
+applies the same speedup; having the encodings in the catalog lets the
+engine run on them and exercises it beyond the paper's own examples.
+"""
+
+from __future__ import annotations
+
+from repro.core.family import ProblemFamily
+from repro.core.problem import Problem
+
+# Maximal independent set, pointer encoding:
+#   I -- "I am in the set" (on every port of a set node);
+#   P -- "I am not in the set; this port points to my dominator";
+#   O -- "I am not in the set" (other ports).
+IN_SET = "I"
+DOMINATOR_POINTER = "P"
+OUT_SET = "O"
+
+
+def mis(delta: int) -> Problem:
+    """Maximal independent set in a pointer encoding.
+
+    Independence: no edge may connect two set nodes ({I, I} forbidden).
+    Maximality: every non-set node points at a set neighbor ({P, x} allowed
+    only for x = I).
+    """
+    node_configs = [
+        (IN_SET,) * delta,
+        tuple(sorted((DOMINATOR_POINTER,) + (OUT_SET,) * (delta - 1))),
+    ]
+    edge_configs = [
+        (IN_SET, OUT_SET),
+        (IN_SET, DOMINATOR_POINTER),
+        (OUT_SET, OUT_SET),
+    ]
+    return Problem.make(
+        name=f"mis[d={delta}]",
+        delta=delta,
+        edge_configs=edge_configs,
+        node_configs=node_configs,
+        labels=[IN_SET, DOMINATOR_POINTER, OUT_SET],
+    )
+
+
+# Matching encodings: M on both endpoints of a matched edge, O elsewhere,
+# P on every port of an unmatched node (maximal matching only).
+MATCHED = "M"
+UNMATCHED_POINTER = "P"
+FREE = "O"
+
+
+def perfect_matching(delta: int) -> Problem:
+    """Perfect matching: every node matched along exactly one edge.
+
+    An edge belongs to the matching iff *both* endpoints output M on it, so
+    the mixed pair {M, O} is forbidden (the endpoints would disagree).
+    """
+    return Problem.make(
+        name=f"perfect-matching[d={delta}]",
+        delta=delta,
+        edge_configs=[(MATCHED, MATCHED), (FREE, FREE)],
+        node_configs=[tuple(sorted((MATCHED,) + (FREE,) * (delta - 1)))],
+        labels=[MATCHED, FREE],
+    )
+
+
+def maximal_matching(delta: int) -> Problem:
+    """Maximal matching: matched nodes use one M; unmatched nodes emit all P.
+
+    An edge is in the matching iff both endpoints say M on it; a P port
+    (unmatched node) must face a matched node's port (M or O), so two
+    unmatched nodes can never be adjacent -- maximality.
+    """
+    node_configs = [
+        tuple(sorted((MATCHED,) + (FREE,) * (delta - 1))),
+        (UNMATCHED_POINTER,) * delta,
+    ]
+    edge_configs = [
+        (MATCHED, MATCHED),
+        (FREE, FREE),
+        (FREE, UNMATCHED_POINTER),
+    ]
+    return Problem.make(
+        name=f"maximal-matching[d={delta}]",
+        delta=delta,
+        edge_configs=edge_configs,
+        node_configs=node_configs,
+        labels=[MATCHED, UNMATCHED_POINTER, FREE],
+    )
+
+
+MIS = ProblemFamily(
+    name="mis",
+    builder=mis,
+    min_delta=2,
+    description="Maximal independent set, pointer encoding.",
+)
+
+PERFECT_MATCHING = ProblemFamily(
+    name="perfect-matching",
+    builder=perfect_matching,
+    min_delta=2,
+    description="Perfect matching in the split-output encoding.",
+)
+
+MAXIMAL_MATCHING = ProblemFamily(
+    name="maximal-matching",
+    builder=maximal_matching,
+    min_delta=2,
+    description="Maximal matching, pointer encoding (cf. Balliu et al. [2]).",
+)

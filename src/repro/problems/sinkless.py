@@ -1,0 +1,70 @@
+"""Sinkless orientation and sinkless coloring (Section 4.4).
+
+*Sinkless coloring*: each node outputs 1 on exactly one port ("I choose the
+color of this edge") and 0 elsewhere; an edge may not have both endpoints
+output 1.  *Sinkless orientation*: an edge has exactly one endpoint output 1
+("oriented away from me") and every node has at least one outgoing edge.
+
+These are the paper's warm-up: applying the (simplified) speedup to sinkless
+coloring yields sinkless orientation as ``Pi'_{1/2}`` and sinkless coloring
+again as ``Pi'_1`` -- the fixed point behind the Omega(log n) lower bound of
+Brandt et al. [STOC'16], reproduced automatically here.
+"""
+
+from __future__ import annotations
+
+from repro.core.family import ProblemFamily
+from repro.core.problem import Problem
+from repro.utils.multiset import multisets_of_size
+
+
+def sinkless_coloring(delta: int) -> Problem:
+    """Sinkless coloring exactly as specified in Section 4.4.
+
+    ``f = O = {0, 1}``, ``g = {{0,0}, {0,1}}``, ``h = {{0,...,0,1}}``.
+    """
+    config = ("0",) * (delta - 1) + ("1",)
+    return Problem.make(
+        name=f"sinkless-coloring[d={delta}]",
+        delta=delta,
+        edge_configs=[("0", "0"), ("0", "1")],
+        node_configs=[config],
+        labels=["0", "1"],
+    )
+
+
+def sinkless_orientation(delta: int) -> Problem:
+    """Sinkless orientation in the split-output encoding of Section 4.4.
+
+    An output 1 at ``(v, e)`` means ``v`` orients ``e`` away from itself.
+    Consistency requires exactly one endpoint to output 1 per edge
+    (``g = {{0,1}}``); sinklessness requires each node to output at least one
+    1 (``h`` = all configurations containing a 1).
+    """
+    node_configs = [
+        config
+        for config in multisets_of_size(["0", "1"], delta)
+        if "1" in config
+    ]
+    return Problem.make(
+        name=f"sinkless-orientation[d={delta}]",
+        delta=delta,
+        edge_configs=[("0", "1")],
+        node_configs=node_configs,
+        labels=["0", "1"],
+    )
+
+
+SINKLESS_COLORING = ProblemFamily(
+    name="sinkless-coloring",
+    builder=sinkless_coloring,
+    min_delta=2,
+    description="Section 4.4: each node picks one incident edge; edges not picked twice.",
+)
+
+SINKLESS_ORIENTATION = ProblemFamily(
+    name="sinkless-orientation",
+    builder=sinkless_orientation,
+    min_delta=2,
+    description="Section 4.4: orient all edges so that no node is a sink.",
+)

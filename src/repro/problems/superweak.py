@@ -1,0 +1,108 @@
+"""Superweak k-coloring (Section 5.1), the engine of the Theorem 4 bound.
+
+Each node outputs one color from ``{1..k}`` plus, per port, one of three
+pointer kinds: *demanding* (``D``, the paper's right arrow), *accepting*
+(``A``, the paper's left tack) or *plain* (``N``, the paper's bullet).
+Validity:
+
+* per node (``h``): one color on all ports, and
+  ``min(k + 1, #demanding) > #accepting`` -- strictly more demanding than
+  accepting pointers, with the demanding count capped at ``k + 1`` (which
+  also enforces ``#accepting <= k``);
+* per edge (``g``): different colors, or neither side points, or at least
+  one side accepts.
+
+Superweak 2-coloring is a relaxation of the pointer version of weak
+2-coloring (a single demanding pointer and no accepting ones), so lower
+bounds for superweak coloring transfer to weak 2-coloring -- which is how
+Theorem 4 concludes.
+"""
+
+from __future__ import annotations
+
+from repro.core.family import ProblemFamily
+from repro.core.problem import Problem
+from repro.problems.coloring import color_labels
+from repro.utils.multiset import multisets_of_size
+
+DEMANDING = "D"
+ACCEPTING = "A"
+PLAIN = "N"
+KINDS = (DEMANDING, ACCEPTING, PLAIN)
+
+
+def superweak_labels(k: int) -> list[str]:
+    """All output labels of superweak k-coloring: ``<color><kind>``."""
+    return [color + kind for color in color_labels(k) for kind in KINDS]
+
+
+def split_label(label: str) -> tuple[str, str]:
+    """Split ``c1D`` into ``('c1', 'D')``."""
+    return label[:-1], label[-1]
+
+
+def kind_counts_valid(k: int, demanding: int, accepting: int) -> bool:
+    """The node-side counting condition: ``min(k+1, #D) > #A``."""
+    return min(k + 1, demanding) > accepting
+
+
+def superweak(k: int, delta: int) -> Problem:
+    """Superweak k-coloring at degree delta, exactly as defined in Section 5.1."""
+    if k < 2:
+        raise ValueError("superweak coloring needs k >= 2")
+    labels = superweak_labels(k)
+
+    edge_configs = []
+    for first in labels:
+        for second in labels:
+            color_a, kind_a = split_label(first)
+            color_b, kind_b = split_label(second)
+            if (
+                color_a != color_b
+                or (kind_a == PLAIN and kind_b == PLAIN)
+                or ACCEPTING in (kind_a, kind_b)
+            ):
+                edge_configs.append((first, second))
+
+    node_configs = []
+    for color in color_labels(k):
+        for kinds in multisets_of_size(KINDS, delta):
+            demanding = kinds.count(DEMANDING)
+            accepting = kinds.count(ACCEPTING)
+            if kind_counts_valid(k, demanding, accepting):
+                node_configs.append(tuple(color + kind for kind in kinds))
+
+    return Problem.make(
+        name=f"superweak-{k}-coloring[d={delta}]",
+        delta=delta,
+        edge_configs=edge_configs,
+        node_configs=node_configs,
+        labels=labels,
+    )
+
+
+def superweak_family(k: int) -> ProblemFamily:
+    """Degree-indexed family for superweak k-coloring."""
+    return ProblemFamily(
+        name=f"superweak-{k}-coloring",
+        builder=lambda delta: superweak(k, delta),
+        min_delta=2,
+        description=(
+            f"Superweak {k}-coloring (Section 5.1): demanding/accepting/plain "
+            "pointers with min(k+1, #D) > #A per node."
+        ),
+    )
+
+
+def weak2_to_superweak2_map(delta: int) -> dict[str, str]:
+    """The label map certifying superweak 2-coloring relaxes weak 2-coloring.
+
+    A single pointer becomes a demanding pointer, no-pointer stays plain:
+    ``cP -> cD`` and ``cN -> cN`` for both colors.  Used with
+    :func:`repro.core.relaxation.is_relaxation_map` in tests and experiments.
+    """
+    mapping = {}
+    for color in color_labels(2):
+        mapping[color + "P"] = color + DEMANDING
+        mapping[color + "N"] = color + PLAIN
+    return mapping

@@ -1,0 +1,76 @@
+"""Weak k-coloring, pointer version (Section 4.6).
+
+Plain weak coloring ("some neighbor has a different color") is not
+edge-checkable, so the paper works with the *pointer version* Pi: each node
+outputs a color and points to exactly one neighbor; a pointer must target a
+node of a different color.  Any weak-coloring algorithm becomes a
+pointer-version algorithm with one extra round (each node learns neighbors'
+colors and aims its pointer), so lower bounds for Pi transfer.
+
+Labels are ``<color>P`` ("this port carries my pointer") and ``<color>N``
+("no pointer here").  Following the paper, the encoding targets
+delta-regular graphs: a node configuration is delta outputs of one color
+with exactly one ``P``.
+"""
+
+from __future__ import annotations
+
+from repro.core.family import ProblemFamily
+from repro.core.problem import Problem
+from repro.problems.coloring import color_labels
+
+POINTER = "P"
+NO_POINTER = "N"
+
+
+def weak_coloring_labels(k: int) -> list[str]:
+    """All output labels of the pointer version of weak k-coloring."""
+    return [color + kind for color in color_labels(k) for kind in (POINTER, NO_POINTER)]
+
+
+def split_label(label: str) -> tuple[str, str]:
+    """Split ``c07P`` into ``('c07', 'P')``."""
+    return label[:-1], label[-1]
+
+
+def weak_coloring_pointer(k: int, delta: int) -> Problem:
+    """The pointer version of weak k-coloring, per Section 4.6.
+
+    ``g`` allows a pair iff the colors differ or neither side points
+    (``y != z  or  y' = N = z'``); ``h`` forces one color repeated on all
+    ports with exactly one pointer.
+    """
+    if k < 2:
+        raise ValueError("weak coloring needs at least 2 colors")
+    labels = weak_coloring_labels(k)
+    edge_configs = []
+    for first in labels:
+        for second in labels:
+            color_a, kind_a = split_label(first)
+            color_b, kind_b = split_label(second)
+            if color_a != color_b or (kind_a == NO_POINTER and kind_b == NO_POINTER):
+                edge_configs.append((first, second))
+    node_configs = [
+        (color + POINTER,) + (color + NO_POINTER,) * (delta - 1)
+        for color in color_labels(k)
+    ]
+    return Problem.make(
+        name=f"weak-{k}-coloring[d={delta}]",
+        delta=delta,
+        edge_configs=edge_configs,
+        node_configs=node_configs,
+        labels=labels,
+    )
+
+
+def weak_coloring_family(k: int) -> ProblemFamily:
+    """Degree-indexed family for the pointer version of weak k-coloring."""
+    return ProblemFamily(
+        name=f"weak-{k}-coloring",
+        builder=lambda delta: weak_coloring_pointer(k, delta),
+        min_delta=2,
+        description=(
+            f"Pointer version of weak {k}-coloring (Section 4.6): point to a "
+            "differently colored neighbor."
+        ),
+    )

@@ -1,0 +1,115 @@
+"""The simulation substrate: port-numbered graphs, views, executors, verifiers.
+
+This package makes the paper's model (Section 3) executable:
+
+* :mod:`repro.sim.graphs` -- generators (rings, trees, cages, high-girth);
+* :mod:`repro.sim.ports` -- the port numbering model and input labelings;
+* :mod:`repro.sim.views` -- radius-t neighborhoods as canonical trees;
+* :mod:`repro.sim.simulator` -- view-based and message-passing executors;
+* :mod:`repro.sim.verifier` -- locally checkable output verification;
+* :mod:`repro.sim.independence` -- executable t-independence checks;
+* :mod:`repro.sim.speedup_exec` -- Theorem 1 run on real graph classes;
+* :mod:`repro.sim.algorithms` -- Cole-Vishkin, Linial, weak 2-coloring, and
+  centralized reference solvers.
+"""
+
+from repro.sim.graphs import (
+    cage,
+    complete_regular_tree,
+    girth,
+    heawood,
+    mcgee,
+    odd_regular_graph,
+    path,
+    petersen,
+    random_regular_with_girth,
+    ring,
+    torus_grid,
+    tutte_coxeter,
+)
+from repro.sim.independence import IndependenceReport, check_t_independence
+from repro.sim.ports import (
+    InputLabeling,
+    PortGraph,
+    assign_unique_ids,
+    greedy_edge_coloring,
+    greedy_node_coloring,
+    id_orientation,
+    random_orientation,
+)
+from repro.sim.simulator import (
+    FunctionAlgorithm,
+    GatherProtocol,
+    run_message_passing,
+    run_view_algorithm,
+)
+from repro.sim.speedup_exec import (
+    ColoredRingClass,
+    ColorReductionAlgorithm,
+    SpeedupExecution,
+    TheoremOneReport,
+)
+from repro.sim.verifier import (
+    ConstraintViolation,
+    solves,
+    verify_matching,
+    verify_mis,
+    verify_outputs,
+    verify_proper_coloring,
+    verify_sinkless_orientation,
+    verify_superweak_coloring,
+    verify_weak_coloring,
+)
+from repro.sim.views import (
+    edge_view,
+    edge_view_from,
+    full_node_view,
+    node_view,
+    relabel_ids_by_rank,
+)
+
+__all__ = [
+    "ColorReductionAlgorithm",
+    "ColoredRingClass",
+    "ConstraintViolation",
+    "FunctionAlgorithm",
+    "GatherProtocol",
+    "IndependenceReport",
+    "InputLabeling",
+    "PortGraph",
+    "SpeedupExecution",
+    "TheoremOneReport",
+    "assign_unique_ids",
+    "cage",
+    "check_t_independence",
+    "complete_regular_tree",
+    "edge_view",
+    "edge_view_from",
+    "full_node_view",
+    "girth",
+    "greedy_edge_coloring",
+    "greedy_node_coloring",
+    "heawood",
+    "id_orientation",
+    "mcgee",
+    "node_view",
+    "odd_regular_graph",
+    "path",
+    "petersen",
+    "random_orientation",
+    "random_regular_with_girth",
+    "relabel_ids_by_rank",
+    "ring",
+    "run_message_passing",
+    "run_view_algorithm",
+    "solves",
+    "torus_grid",
+    "tutte_coxeter",
+    "verify_matching",
+    "verify_mis",
+    "verify_outputs",
+    "verify_proper_coloring",
+    "verify_sinkless_orientation",
+    "verify_superweak_coloring",
+    "verify_weak_coloring",
+]

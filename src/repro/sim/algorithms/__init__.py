@@ -1,0 +1,49 @@
+"""Distributed algorithms (and centralized references) for the simulation layer."""
+
+from repro.sim.algorithms.cole_vishkin import (
+    PointerColoringRun,
+    bit_trick_step,
+    reduce_to_six,
+    remove_color_class,
+    ring_successor_pointers,
+    shift_down,
+    three_color_pointer_structure,
+    three_color_ring,
+)
+from repro.sim.algorithms.linial import LinialRun, linial_coloring, linial_step
+from repro.sim.algorithms.reference import (
+    matching_outputs,
+    mis_outputs,
+    solve_maximal_matching,
+    solve_mis,
+    solve_proper_coloring,
+    solve_sinkless_orientation,
+)
+from repro.sim.algorithms.weak2 import (
+    WeakTwoColoringRun,
+    max_id_pseudoforest,
+    weak_two_coloring,
+)
+
+__all__ = [
+    "LinialRun",
+    "PointerColoringRun",
+    "WeakTwoColoringRun",
+    "bit_trick_step",
+    "linial_coloring",
+    "linial_step",
+    "matching_outputs",
+    "max_id_pseudoforest",
+    "mis_outputs",
+    "reduce_to_six",
+    "remove_color_class",
+    "ring_successor_pointers",
+    "shift_down",
+    "solve_maximal_matching",
+    "solve_mis",
+    "solve_proper_coloring",
+    "solve_sinkless_orientation",
+    "three_color_pointer_structure",
+    "three_color_ring",
+    "weak_two_coloring",
+]

@@ -1,0 +1,105 @@
+"""Linial-style one-shot color reduction via polynomials over finite fields.
+
+Linial's classical construction reduces an ``m``-coloring to an
+``O(Delta^2 log^2 m)``-coloring in a *single* round, and iterating it gives
+an ``O(Delta^2)``-ish coloring in ``log* m + O(1)`` rounds.  Colors are read
+as polynomials of degree ``d`` over ``F_p`` (their base-``p`` digits are the
+coefficients); a node picks an evaluation point ``x`` where its polynomial
+differs from every neighbor's -- possible whenever ``p > d * Delta`` because
+two distinct degree-``d`` polynomials agree on at most ``d`` points -- and
+its new color is the pair ``(x, f(x))`` with at most ``p^2`` values.
+
+The weak 2-coloring algorithm uses this to build its processing schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.sim.ports import Node
+
+
+def smallest_prime_above(n: int) -> int:
+    """The smallest prime strictly greater than ``n`` (trial division)."""
+    candidate = max(n + 1, 2)
+    while True:
+        if all(candidate % d for d in range(2, int(candidate**0.5) + 1)):
+            return candidate
+        candidate += 1
+
+
+def _digits(value: int, base: int, width: int) -> list[int]:
+    out = []
+    for _ in range(width):
+        out.append(value % base)
+        value //= base
+    return out
+
+
+def _evaluate(coefficients: list[int], x: int, p: int) -> int:
+    result = 0
+    for coefficient in reversed(coefficients):
+        result = (result * x + coefficient) % p
+    return result
+
+
+@dataclass
+class LinialRun:
+    """Colors after the reduction and the number of (simulated) rounds."""
+
+    colors: dict[Node, int]
+    rounds: int
+    palette_size: int
+
+
+def linial_step(
+    graph: nx.Graph, colors: dict[Node, int], num_colors: int
+) -> tuple[dict[Node, int], int]:
+    """One Linial round: ``num_colors`` colors down to at most ``p^2``.
+
+    Returns the new coloring and its palette size ``p^2``.  Requires the
+    input coloring to be proper.
+    """
+    delta = max((graph.degree(v) for v in graph.nodes), default=1)
+    # Degree d polynomials need p^(d+1) >= num_colors and p > d * delta.
+    degree = 1
+    while True:
+        p = smallest_prime_above(degree * delta)
+        if p ** (degree + 1) >= num_colors:
+            break
+        degree += 1
+        if degree > 64:  # pragma: no cover - defensive
+            raise RuntimeError("no workable polynomial degree found")
+    new_colors = {}
+    for v in graph.nodes:
+        own = _digits(colors[v], p, degree + 1)
+        forbidden: set[int] = set()
+        for u in graph.neighbors(v):
+            other = _digits(colors[u], p, degree + 1)
+            for x in range(p):
+                if _evaluate(own, x, p) == _evaluate(other, x, p):
+                    forbidden.add(x)
+        x = next(value for value in range(p) if value not in forbidden)
+        new_colors[v] = x * p + _evaluate(own, x, p)
+    return new_colors, p * p
+
+
+def linial_coloring(graph: nx.Graph, ids: dict[Node, int]) -> LinialRun:
+    """Iterate Linial steps from the identifier coloring to a fixed point.
+
+    Stops when a step no longer shrinks the palette; the result is a proper
+    coloring with ``O(Delta^2 log^2 Delta)`` colors after ``O(log* id_space)``
+    rounds.
+    """
+    colors = dict(ids)
+    palette = max(colors.values()) + 1
+    rounds = 0
+    while True:
+        new_colors, new_palette = linial_step(graph, colors, palette)
+        rounds += 1
+        if new_palette >= palette:
+            # The step no longer helps; keep the previous coloring.
+            return LinialRun(colors=colors, rounds=rounds - 1, palette_size=palette)
+        colors, palette = new_colors, new_palette

@@ -1,0 +1,123 @@
+"""Centralized reference solvers.
+
+These are *not* distributed algorithms; they produce known-correct solutions
+used to (a) cross-validate the locally-checkable verifier against the
+problem encodings in :mod:`repro.problems` and (b) seed the simulation
+examples (e.g. a valid ``Pi'_1`` output for the Lemma 3 transformation).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.sim.ports import Node, PortGraph
+
+Edge = tuple[Node, Node]
+
+
+def _edge_key(u: Node, v: Node) -> Edge:
+    return (u, v) if u <= v else (v, u)
+
+
+def solve_sinkless_orientation(graph: nx.Graph) -> dict[Edge, tuple[Node, Node]]:
+    """Orient the edges of a connected graph with a cycle so no node is a sink.
+
+    Construction: find one cycle, orient it cyclically; orient every other
+    node's BFS-parent edge away from the node (toward the cycle); remaining
+    edges point toward the smaller endpoint (irrelevant for sinklessness).
+    """
+    cycle_edges = nx.find_cycle(graph)
+    cycle_nodes = [u for u, _v in cycle_edges]
+    orientation: dict[Edge, tuple[Node, Node]] = {}
+    for u, v in cycle_edges:
+        orientation[_edge_key(u, v)] = (u, v)
+
+    # BFS layers away from the cycle; each off-cycle node's first discovered
+    # edge points back toward the cycle.
+    visited = set(cycle_nodes)
+    frontier = list(cycle_nodes)
+    while frontier:
+        current = frontier.pop(0)
+        for neighbor in graph.neighbors(current):
+            if neighbor in visited:
+                continue
+            visited.add(neighbor)
+            orientation[_edge_key(neighbor, current)] = (neighbor, current)
+            frontier.append(neighbor)
+
+    for u, v in graph.edges:
+        key = _edge_key(u, v)
+        if key not in orientation:
+            orientation[key] = (max(u, v), min(u, v))
+    return orientation
+
+
+def solve_mis(graph: nx.Graph) -> set[Node]:
+    """Greedy maximal independent set (by node order)."""
+    independent: set[Node] = set()
+    blocked: set[Node] = set()
+    for v in sorted(graph.nodes):
+        if v not in blocked:
+            independent.add(v)
+            blocked.add(v)
+            blocked.update(graph.neighbors(v))
+    return independent
+
+
+def solve_maximal_matching(graph: nx.Graph) -> set[Edge]:
+    """Greedy maximal matching (by edge order)."""
+    matched_nodes: set[Node] = set()
+    matching: set[Edge] = set()
+    for u, v in sorted(graph.edges):
+        if u not in matched_nodes and v not in matched_nodes:
+            matching.add(_edge_key(u, v))
+            matched_nodes.update((u, v))
+    return matching
+
+
+def solve_proper_coloring(graph: nx.Graph) -> dict[Node, int]:
+    """Greedy (Delta + 1)-coloring, colors numbered from 1."""
+    colors: dict[Node, int] = {}
+    for v in sorted(graph.nodes):
+        used = {colors[u] for u in graph.neighbors(v) if u in colors}
+        color = 1
+        while color in used:
+            color += 1
+        colors[v] = color
+    return colors
+
+
+def mis_outputs(pg: PortGraph, independent: set[Node]) -> dict[tuple[Node, int], str]:
+    """Encode an MIS as outputs of the catalog's pointer encoding."""
+    outputs = {}
+    for v in pg.nodes():
+        if v in independent:
+            for port in range(pg.degree(v)):
+                outputs[(v, port)] = "I"
+        else:
+            dominator_port = next(
+                port
+                for port in range(pg.degree(v))
+                if pg.neighbor(v, port) in independent
+            )
+            for port in range(pg.degree(v)):
+                outputs[(v, port)] = "P" if port == dominator_port else "O"
+    return outputs
+
+
+def matching_outputs(
+    pg: PortGraph, matching: set[Edge], maximal: bool
+) -> dict[tuple[Node, int], str]:
+    """Encode a (maximal or perfect) matching in the catalog's label scheme."""
+    matched_port: dict[Node, int] = {}
+    for u, v in matching:
+        matched_port[u] = pg.port_toward(u, v)
+        matched_port[v] = pg.port_toward(v, u)
+    outputs = {}
+    for v in pg.nodes():
+        for port in range(pg.degree(v)):
+            if v in matched_port:
+                outputs[(v, port)] = "M" if port == matched_port[v] else "O"
+            else:
+                outputs[(v, port)] = "P" if maximal else "O"
+    return outputs

@@ -1,0 +1,177 @@
+"""Graph generators for the simulation substrate.
+
+The speedup theorem quantifies over graph classes of girth at least
+``2t + 2``.  The paper leans on Bollobas' (non-constructive) existence of
+high-girth regular graphs; for the executable substrate we provide the
+constructive pieces that matter at simulation scale:
+
+* rings and paths (girth = n; the color-reduction experiments live here);
+* complete regular trees (infinite girth locally);
+* the classical small cages for Delta = 3 (Petersen, Heawood, McGee,
+  Tutte-Coxeter: girths 5-8);
+* random regular graphs with rejection sampling on girth;
+* torus grids.
+
+All generators return :class:`networkx.Graph` objects with nodes relabelled
+to ``0..n-1``; the port-numbering wrapper lives in :mod:`repro.sim.ports`.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+
+def ring(n: int) -> nx.Graph:
+    """The cycle on ``n >= 3`` nodes (2-regular, girth ``n``)."""
+    if n < 3:
+        raise ValueError("a ring needs at least 3 nodes")
+    return nx.cycle_graph(n)
+
+
+def path(n: int) -> nx.Graph:
+    """The path on ``n >= 2`` nodes (acyclic: infinite girth)."""
+    if n < 2:
+        raise ValueError("a path needs at least 2 nodes")
+    return nx.path_graph(n)
+
+
+def complete_regular_tree(delta: int, depth: int) -> nx.Graph:
+    """A tree whose internal nodes have degree ``delta``, to the given depth.
+
+    The root has ``delta`` children; every other internal node has
+    ``delta - 1`` children; leaves sit at distance ``depth`` from the root.
+    """
+    if delta < 2:
+        raise ValueError("degree must be at least 2")
+    graph = nx.Graph()
+    graph.add_node(0)
+    next_id = 1
+    frontier = [0]
+    for level in range(depth):
+        new_frontier = []
+        for node in frontier:
+            fanout = delta if level == 0 else delta - 1
+            for _ in range(fanout):
+                graph.add_edge(node, next_id)
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return graph
+
+
+def petersen() -> nx.Graph:
+    """The Petersen graph: the (3, 5)-cage (3-regular, girth 5, n=10)."""
+    return nx.petersen_graph()
+
+def heawood() -> nx.Graph:
+    """The Heawood graph: the (3, 6)-cage (3-regular, girth 6, n=14)."""
+    return nx.heawood_graph()
+
+
+def mcgee() -> nx.Graph:
+    """The McGee graph: the (3, 7)-cage (3-regular, girth 7, n=24)."""
+    edges = []
+    n = 24
+    for i in range(n):
+        edges.append((i, (i + 1) % n))  # outer cycle
+    # Chords of the standard McGee construction: i -> i + 12 for i = 0 mod 3,
+    # i -> i + 7 for i = 1 mod 3, i -> i - 7 (i.e. +17) for i = 2 mod 3.
+    for i in range(0, n, 3):
+        edges.append((i, (i + 12) % n))
+    for i in range(1, n, 3):
+        edges.append((i, (i + 7) % n))
+    graph = nx.Graph()
+    graph.add_edges_from(edges)
+    return graph
+
+
+def tutte_coxeter() -> nx.Graph:
+    """The Tutte-Coxeter (Levi) graph: the (3, 8)-cage (3-regular, girth 8, n=30)."""
+    return nx.LCF_graph(30, [-13, -9, 7, -7, 9, 13], 5)
+
+
+def cage(delta: int, girth: int) -> nx.Graph:
+    """A known (delta, girth)-cage, when this library ships one."""
+    known = {
+        (3, 5): petersen,
+        (3, 6): heawood,
+        (3, 7): mcgee,
+        (3, 8): tutte_coxeter,
+    }
+    if (delta, girth) not in known:
+        raise KeyError(f"no cage for (delta={delta}, girth={girth}) is bundled")
+    return known[(delta, girth)]()
+
+
+def torus_grid(rows: int, cols: int) -> nx.Graph:
+    """The ``rows x cols`` torus (4-regular when both dimensions >= 3)."""
+    graph = nx.Graph()
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            graph.add_edge(node, r * cols + (c + 1) % cols)
+            graph.add_edge(node, ((r + 1) % rows) * cols + c)
+    return graph
+
+
+def girth(graph: nx.Graph) -> float:
+    """The length of a shortest cycle (``inf`` for forests).
+
+    BFS from every node; a cross/back edge at depths ``d1, d2`` witnesses a
+    cycle of length ``d1 + d2 + 1``.  Exact, O(n * m), fine at our sizes.
+    """
+    best = float("inf")
+    for source in graph.nodes:
+        depth = {source: 0}
+        parent = {source: None}
+        queue = [source]
+        while queue:
+            current = queue.pop(0)
+            for neighbor in graph.neighbors(current):
+                if neighbor not in depth:
+                    depth[neighbor] = depth[current] + 1
+                    parent[neighbor] = current
+                    queue.append(neighbor)
+                elif parent[current] != neighbor:
+                    best = min(best, depth[current] + depth[neighbor] + 1)
+        if best == 3:
+            return 3
+    return best
+
+
+def random_regular_with_girth(
+    delta: int, n: int, min_girth: int, seed: int, max_tries: int = 500
+) -> nx.Graph:
+    """Rejection-sample a connected ``delta``-regular graph of girth >= ``min_girth``.
+
+    This replaces the paper's non-constructive existence argument at
+    simulation scale; raises RuntimeError when the sampler gives up (small
+    ``n`` simply cannot reach large girth).
+    """
+    rng = random.Random(seed)
+    for _ in range(max_tries):
+        graph = nx.random_regular_graph(delta, n, seed=rng.randrange(2**31))
+        if not nx.is_connected(graph):
+            continue
+        if girth(graph) >= min_girth:
+            return nx.convert_node_labels_to_integers(graph)
+    raise RuntimeError(
+        f"could not sample a {delta}-regular graph on {n} nodes with girth "
+        f">= {min_girth} in {max_tries} tries"
+    )
+
+
+def odd_regular_graph(delta: int, n: int, seed: int) -> nx.Graph:
+    """A connected ``delta``-regular graph with odd ``delta`` (weak 2-coloring demos)."""
+    if delta % 2 == 0:
+        raise ValueError("degree must be odd")
+    if (delta * n) % 2 != 0:
+        raise ValueError("delta * n must be even for a regular graph")
+    rng = random.Random(seed)
+    for _ in range(200):
+        graph = nx.random_regular_graph(delta, n, seed=rng.randrange(2**31))
+        if nx.is_connected(graph):
+            return nx.convert_node_labels_to_integers(graph)
+    raise RuntimeError("could not sample a connected regular graph")

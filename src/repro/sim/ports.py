@@ -1,0 +1,191 @@
+"""The port numbering model (Section 3) as an executable structure.
+
+A :class:`PortGraph` wraps a simple graph with, per node ``v``, an ordering
+of its incident edges into ports ``0..d(v)-1`` (the paper numbers from 1;
+zero-based indexing is used consistently here).  The half-edge set ``B(G)``
+of the paper becomes the set of pairs ``(v, port)``.
+
+Inputs (Sigma-labelings of ``B(G)``) are held in an :class:`InputLabeling`:
+edge orientations (visible from both endpoints, as the paper's footnote 7
+prescribes), identifiers, node colors and edge colors -- every symmetry
+breaking the experiments need.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+Node = int
+Port = int
+
+
+class PortGraph:
+    """A graph with a fixed port numbering.
+
+    ``ports[v]`` lists the neighbors of ``v`` in port order.  Worst-case
+    (adversarial) port numberings are modelled by constructing with a
+    permuted neighbor order.
+    """
+
+    def __init__(self, graph: nx.Graph, neighbor_order: dict[Node, list[Node]] | None = None):
+        self._graph = graph
+        if neighbor_order is None:
+            neighbor_order = {v: sorted(graph.neighbors(v)) for v in graph.nodes}
+        self._ports: dict[Node, list[Node]] = {}
+        self._port_of: dict[tuple[Node, Node], Port] = {}
+        for v in graph.nodes:
+            order = neighbor_order[v]
+            if sorted(order) != sorted(graph.neighbors(v)):
+                raise ValueError(f"port order for node {v} does not list its neighbors")
+            self._ports[v] = list(order)
+            for port, u in enumerate(order):
+                self._port_of[(v, u)] = port
+
+    @staticmethod
+    def with_random_ports(graph: nx.Graph, seed: int) -> "PortGraph":
+        """A port numbering drawn uniformly at random (adversarial surrogate)."""
+        rng = random.Random(seed)
+        order = {}
+        for v in graph.nodes:
+            neighbors = list(graph.neighbors(v))
+            rng.shuffle(neighbors)
+            order[v] = neighbors
+        return PortGraph(graph, order)
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.Graph:
+        return self._graph
+
+    @property
+    def n(self) -> int:
+        return self._graph.number_of_nodes()
+
+    @property
+    def delta(self) -> int:
+        return max(dict(self._graph.degree).values())
+
+    def nodes(self) -> Iterable[Node]:
+        return self._graph.nodes
+
+    def degree(self, v: Node) -> int:
+        return self._graph.degree(v)
+
+    def neighbor(self, v: Node, port: Port) -> Node:
+        return self._ports[v][port]
+
+    def port_toward(self, v: Node, u: Node) -> Port:
+        return self._port_of[(v, u)]
+
+    def b_elements(self) -> Iterator[tuple[Node, Port]]:
+        """Iterate the half-edge set B(G) as (node, port) pairs."""
+        for v in self._graph.nodes:
+            for port in range(self.degree(v)):
+                yield (v, port)
+
+    def edges_with_ports(self) -> Iterator[tuple[Node, Port, Node, Port]]:
+        """Iterate each edge once as (u, port at u, v, port at v)."""
+        for u, v in self._graph.edges:
+            yield (u, self.port_toward(u, v), v, self.port_toward(v, u))
+
+
+def _edge_key(u: Node, v: Node) -> tuple[Node, Node]:
+    return (u, v) if u <= v else (v, u)
+
+
+@dataclass
+class InputLabeling:
+    """Input labels on ``B(G)``: the symmetry-breaking information of Section 3.
+
+    All fields are optional; each experiment attaches only what its setting
+    provides (for example, Theorem 2's setting needs ``orientation``; the
+    LOCAL-model experiments also need ``ids``).
+    """
+
+    # edge -> (tail, head): the edge is oriented tail -> head.
+    orientation: dict[tuple[Node, Node], tuple[Node, Node]] = field(default_factory=dict)
+    ids: dict[Node, int] = field(default_factory=dict)
+    node_color: dict[Node, int] = field(default_factory=dict)
+    edge_color: dict[tuple[Node, Node], int] = field(default_factory=dict)
+
+    def orientation_at(self, pg: PortGraph, v: Node, port: Port) -> str | None:
+        """"out" if the port's edge leaves ``v``, "in" if it enters, None if unset."""
+        u = pg.neighbor(v, port)
+        key = _edge_key(u, v)
+        if key not in self.orientation:
+            return None
+        tail, _head = self.orientation[key]
+        return "out" if tail == v else "in"
+
+    def edge_color_at(self, pg: PortGraph, v: Node, port: Port) -> int | None:
+        u = pg.neighbor(v, port)
+        return self.edge_color.get(_edge_key(u, v))
+
+
+def random_orientation(graph: nx.Graph, seed: int) -> dict[tuple[Node, Node], tuple[Node, Node]]:
+    """Orient every edge by a fair coin (the adversary's generic orientation)."""
+    rng = random.Random(seed)
+    orientation = {}
+    for u, v in graph.edges:
+        key = _edge_key(u, v)
+        orientation[key] = (u, v) if rng.random() < 0.5 else (v, u)
+    return orientation
+
+
+def id_orientation(graph: nx.Graph, ids: dict[Node, int]) -> dict[tuple[Node, Node], tuple[Node, Node]]:
+    """Orient each edge toward the endpoint with the larger identifier."""
+    orientation = {}
+    for u, v in graph.edges:
+        key = _edge_key(u, v)
+        orientation[key] = (u, v) if ids[u] < ids[v] else (v, u)
+    return orientation
+
+
+def assign_unique_ids(graph: nx.Graph, seed: int, space: int | None = None) -> dict[Node, int]:
+    """Assign unique identifiers from ``{1..space}`` (default: ``n**2``)."""
+    rng = random.Random(seed)
+    n = graph.number_of_nodes()
+    if space is None:
+        space = max(n * n, 16)
+    if space < n:
+        raise ValueError("identifier space smaller than the node count")
+    values = rng.sample(range(1, space + 1), n)
+    return {v: values[i] for i, v in enumerate(sorted(graph.nodes))}
+
+
+def greedy_edge_coloring(graph: nx.Graph) -> dict[tuple[Node, Node], int]:
+    """A proper edge coloring with at most ``2 * Delta - 1`` colors (greedy).
+
+    Good enough as input labeling; the speedup experiments never rely on the
+    color count being exactly Delta.
+    """
+    coloring: dict[tuple[Node, Node], int] = {}
+    for u, v in sorted(graph.edges):
+        used = {
+            coloring[_edge_key(a, b)]
+            for node in (u, v)
+            for a, b in graph.edges(node)
+            if _edge_key(a, b) in coloring
+        }
+        color = 0
+        while color in used:
+            color += 1
+        coloring[_edge_key(u, v)] = color
+    return coloring
+
+
+def greedy_node_coloring(graph: nx.Graph) -> dict[Node, int]:
+    """A proper node coloring with at most ``Delta + 1`` colors (greedy)."""
+    coloring: dict[Node, int] = {}
+    for v in sorted(graph.nodes):
+        used = {coloring[u] for u in graph.neighbors(v) if u in coloring}
+        color = 0
+        while color in used:
+            color += 1
+        coloring[v] = color
+    return coloring

@@ -1,0 +1,153 @@
+"""Synchronous executors for the port numbering / LOCAL model.
+
+Two equivalent execution styles are provided:
+
+* **View-based** (:func:`run_view_algorithm`): the paper's observation that a
+  ``t``-round algorithm *is* a function from radius-``t`` views to output
+  tuples.  An algorithm is any object with a ``radius`` attribute and an
+  ``outputs(view, degree)`` method returning one label per port.
+
+* **Message-passing** (:func:`run_message_passing`): a literal synchronous
+  executor (send to all ports, receive from all ports, local computation)
+  for algorithms written as communicating state machines.  The full
+  information protocol :class:`GatherProtocol` shows the two styles agree:
+  after ``t`` rounds its state determines the radius-``t`` view.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.sim.ports import InputLabeling, Node, Port, PortGraph
+from repro.sim.views import View, full_node_view
+
+Outputs = dict[tuple[Node, Port], str]
+
+
+class ViewAlgorithm(Protocol):
+    """A distributed algorithm in functional form (Section 3's normal form)."""
+
+    radius: int
+
+    def outputs(self, view: View, degree: int) -> tuple[str, ...]:
+        """Map a radius-``radius`` view to one output label per port."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class FunctionAlgorithm:
+    """Wrap a plain function as a :class:`ViewAlgorithm`."""
+
+    radius: int
+    function: Callable[[View, int], tuple[str, ...]]
+
+    def outputs(self, view: View, degree: int) -> tuple[str, ...]:
+        return self.function(view, degree)
+
+
+def run_view_algorithm(
+    pg: PortGraph, inputs: InputLabeling, algorithm: ViewAlgorithm
+) -> Outputs:
+    """Execute a view-based algorithm on every node; collect outputs on B(G)."""
+    outputs: Outputs = {}
+    for v in pg.nodes():
+        view = full_node_view(pg, inputs, v, algorithm.radius)
+        labels = algorithm.outputs(view, pg.degree(v))
+        if len(labels) != pg.degree(v):
+            raise ValueError(
+                f"algorithm returned {len(labels)} labels for degree {pg.degree(v)}"
+            )
+        for port, label in enumerate(labels):
+            outputs[(v, port)] = label
+    return outputs
+
+
+class MessageAlgorithm(Protocol):
+    """A literal synchronous message-passing protocol."""
+
+    rounds: int
+
+    def initial_state(self, pg: PortGraph, inputs: InputLabeling, v: Node) -> object:
+        ...  # pragma: no cover - protocol
+
+    def send(self, state: object, round_index: int, port: Port) -> object:
+        ...  # pragma: no cover - protocol
+
+    def receive(
+        self, state: object, round_index: int, messages: dict[Port, object]
+    ) -> object:
+        ...  # pragma: no cover - protocol
+
+    def outputs(self, state: object, degree: int) -> tuple[str, ...]:
+        ...  # pragma: no cover - protocol
+
+
+def run_message_passing(
+    pg: PortGraph, inputs: InputLabeling, protocol: MessageAlgorithm
+) -> Outputs:
+    """Execute a message-passing protocol synchronously, round by round."""
+    states = {v: protocol.initial_state(pg, inputs, v) for v in pg.nodes()}
+    for round_index in range(protocol.rounds):
+        inboxes: dict[Node, dict[Port, object]] = {v: {} for v in pg.nodes()}
+        for v in pg.nodes():
+            for port in range(pg.degree(v)):
+                message = protocol.send(states[v], round_index, port)
+                u = pg.neighbor(v, port)
+                inboxes[u][pg.port_toward(u, v)] = message
+        for v in pg.nodes():
+            states[v] = protocol.receive(states[v], round_index, inboxes[v])
+    outputs: Outputs = {}
+    for v in pg.nodes():
+        labels = protocol.outputs(states[v], pg.degree(v))
+        for port, label in enumerate(labels):
+            outputs[(v, port)] = label
+    return outputs
+
+
+@dataclass
+class GatherProtocol:
+    """Full-information protocol: after ``t`` rounds each node knows ``N^t(v)``.
+
+    The state is the collected view; ``outputs`` delegates to a view
+    function.  Used to validate that message passing and the view shortcut
+    produce identical results (the classical equivalence the paper's model
+    section takes for granted).
+    """
+
+    rounds: int
+    view_function: Callable[[View, int], tuple[str, ...]]
+
+    def initial_state(self, pg: PortGraph, inputs: InputLabeling, v: Node) -> object:
+        return full_node_view(pg, inputs, v, 0)
+
+    def send(self, state: object, round_index: int, port: Port) -> object:
+        # Tag the message with the port it leaves on: the receiver learns the
+        # sender's back port this way (and only this way -- a 0-round view
+        # deliberately does not contain it).
+        return (port, state)
+
+    def receive(
+        self, state: object, round_index: int, messages: dict[Port, object]
+    ) -> object:
+        # Reassemble a deeper view: replace each branch's subview with the
+        # (round_index)-deep view just received from that port.
+        tag, own, degree, branches = state  # type: ignore[misc]
+        new_branches = []
+        for port, edge_info, _old_back, _old_sub in branches:
+            back_port, neighbor_view = messages[port]
+            new_branches.append(
+                (port, edge_info, back_port, _strip_branch(neighbor_view, back_port))
+            )
+        return (tag, own, degree, tuple(new_branches))
+
+    def outputs(self, state: object, degree: int) -> tuple[str, ...]:
+        return self.view_function(state, degree)
+
+
+def _strip_branch(view: View, exclude_port: Port) -> View:
+    """Drop the branch through ``exclude_port`` (the child's view of its parent)."""
+    tag, own, degree, branches = view
+    kept = tuple(branch for branch in branches if branch[0] != exclude_port)
+    return (tag, own, degree, kept)

@@ -1,0 +1,104 @@
+"""A centralized constraint solver: find *some* valid output on a given graph.
+
+Round elimination reasons about problems abstractly; the simulation layer
+sometimes needs a concrete witness solution on a concrete graph -- e.g. a
+valid ``Pi'_1`` output to feed the Lemma 3 transformation, or evidence that
+a derived problem is satisfiable on a given instance at all.  This is a
+plain backtracking search over nodes: each node picks an allowed
+configuration and an assignment of its labels to ports, pruned against the
+edge constraint toward already-assigned neighbors.
+
+This solver is intentionally centralized and exhaustive; it is a test/demo
+utility, not a distributed algorithm.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.core.problem import Problem
+from repro.sim.ports import Node, Port, PortGraph
+
+Outputs = dict[tuple[Node, Port], str]
+
+
+class SolverBudgetExceeded(RuntimeError):
+    """Raised when the backtracking budget runs out before a decision."""
+
+
+def solve_problem_on_graph(
+    problem: Problem, pg: PortGraph, budget: int = 2_000_000
+) -> Outputs | None:
+    """Find a correct output assignment on ``B(G)``, or prove none exists.
+
+    Returns None when the instance is unsatisfiable.  Raises
+    :class:`SolverBudgetExceeded` if the search exceeds ``budget`` extension
+    steps (so callers can distinguish "no" from "gave up").
+    """
+    # BFS order from an arbitrary root: every node after the first has an
+    # already-assigned neighbor, so the edge constraint prunes immediately.
+    all_nodes = sorted(pg.nodes())
+    seen: set[Node] = set()
+    nodes: list[Node] = []
+    for root in all_nodes:
+        if root in seen:
+            continue
+        seen.add(root)
+        queue = [root]
+        while queue:
+            current = queue.pop(0)
+            nodes.append(current)
+            for port in range(pg.degree(current)):
+                neighbor = pg.neighbor(current, port)
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+    # Precompute, per degree, the distinct port assignments of each allowed
+    # configuration (permutations of a multiset, deduplicated).
+    assignments_by_degree: dict[int, list[tuple[str, ...]]] = {}
+    for degree in {pg.degree(v) for v in nodes}:
+        options: set[tuple[str, ...]] = set()
+        for config in problem.node_constraint:
+            if len(config) == degree:
+                options.update(permutations(config))
+        assignments_by_degree[degree] = sorted(options)
+
+    outputs: Outputs = {}
+    assigned: set[Node] = set()
+    steps = 0
+
+    def consistent(v: Node, assignment: tuple[str, ...]) -> bool:
+        for port, label in enumerate(assignment):
+            u = pg.neighbor(v, port)
+            if u in assigned:
+                other = outputs[(u, pg.port_toward(u, v))]
+                if not problem.allows_edge(label, other):
+                    return False
+        return True
+
+    def backtrack(index: int) -> bool:
+        nonlocal steps
+        if index == len(nodes):
+            return True
+        v = nodes[index]
+        for assignment in assignments_by_degree[pg.degree(v)]:
+            steps += 1
+            if steps > budget:
+                raise SolverBudgetExceeded(
+                    f"solver exceeded {budget} steps on {problem.name}"
+                )
+            if not consistent(v, assignment):
+                continue
+            for port, label in enumerate(assignment):
+                outputs[(v, port)] = label
+            assigned.add(v)
+            if backtrack(index + 1):
+                return True
+            assigned.discard(v)
+            for port in range(pg.degree(v)):
+                del outputs[(v, port)]
+        return False
+
+    if backtrack(0):
+        return dict(outputs)
+    return None

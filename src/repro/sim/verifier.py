@@ -1,0 +1,145 @@
+"""Locally checkable verification of outputs on ``B(G)``.
+
+The defining property of the paper's problem class is that a global output
+is correct iff every node configuration is in ``h`` and every edge
+configuration is in ``g``.  :func:`verify_outputs` is that check, reporting
+each violation.  Direct verifiers for the concrete problems (colorings,
+weak/superweak colorings, orientations, MIS, matchings) cross-validate the
+encodings in :mod:`repro.problems` against first-principles definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.core.problem import Problem, edge_config, node_config
+from repro.sim.ports import Node, Port, PortGraph
+
+Outputs = dict[tuple[Node, Port], str]
+
+
+@dataclass(frozen=True)
+class ConstraintViolation:
+    """One broken constraint: a node configuration or an edge configuration."""
+
+    kind: str  # "node" or "edge"
+    where: tuple
+    configuration: tuple
+    detail: str = ""
+
+
+def verify_outputs(
+    problem: Problem, pg: PortGraph, outputs: Outputs
+) -> list[ConstraintViolation]:
+    """Check an assignment on ``B(G)`` against the problem's ``g`` and ``h``."""
+    violations: list[ConstraintViolation] = []
+    for v in pg.nodes():
+        config = node_config(outputs[(v, port)] for port in range(pg.degree(v)))
+        if config not in problem.node_constraint:
+            violations.append(
+                ConstraintViolation(kind="node", where=(v,), configuration=config)
+            )
+    for u, pu, v, pv in pg.edges_with_ports():
+        pair = edge_config(outputs[(u, pu)], outputs[(v, pv)])
+        if pair not in problem.edge_constraint:
+            violations.append(
+                ConstraintViolation(kind="edge", where=(u, v), configuration=pair)
+            )
+    return violations
+
+
+def solves(problem: Problem, pg: PortGraph, outputs: Outputs) -> bool:
+    """True iff the outputs are a correct solution on this graph."""
+    return not verify_outputs(problem, pg, outputs)
+
+
+# -- first-principles verifiers --------------------------------------------
+
+
+def verify_proper_coloring(graph: nx.Graph, colors: dict[Node, int]) -> bool:
+    """No edge monochromatic."""
+    return all(colors[u] != colors[v] for u, v in graph.edges)
+
+
+def verify_weak_coloring(graph: nx.Graph, colors: dict[Node, int]) -> bool:
+    """Every node with a neighbor has a differently colored neighbor."""
+    for v in graph.nodes:
+        neighbors = list(graph.neighbors(v))
+        if neighbors and all(colors[u] == colors[v] for u in neighbors):
+            return False
+    return True
+
+
+def verify_sinkless_orientation(
+    graph: nx.Graph, orientation: dict[tuple[Node, Node], tuple[Node, Node]]
+) -> bool:
+    """Every edge oriented; every node has at least one outgoing edge."""
+    out_degree = {v: 0 for v in graph.nodes}
+    for u, v in graph.edges:
+        key = (u, v) if u <= v else (v, u)
+        if key not in orientation:
+            return False
+        tail, head = orientation[key]
+        if {tail, head} != {u, v}:
+            return False
+        out_degree[tail] += 1
+    return all(out_degree[v] >= 1 for v in graph.nodes)
+
+
+def verify_superweak_coloring(
+    graph: nx.Graph,
+    pg: PortGraph,
+    k: int,
+    colors: dict[Node, int],
+    kinds: dict[tuple[Node, Port], str],
+) -> bool:
+    """First-principles check of superweak k-coloring (Section 5.1 / Figure 2).
+
+    Node side: strictly more demanding than accepting pointers, at most ``k``
+    accepting.  Edge side: a demanding pointer from ``v`` to ``u`` requires
+    different colors or an accepting pointer back from ``u`` to ``v``.
+    """
+    for v in graph.nodes:
+        port_kinds = [kinds[(v, port)] for port in range(pg.degree(v))]
+        demanding = port_kinds.count("D")
+        accepting = port_kinds.count("A")
+        if accepting > k or demanding <= accepting:
+            return False
+    for u, pu, v, pv in pg.edges_with_ports():
+        for me, my_port, other, other_port in ((u, pu, v, pv), (v, pv, u, pu)):
+            if kinds[(me, my_port)] == "D":
+                if colors[me] == colors[other] and kinds[(other, other_port)] != "A":
+                    return False
+    return True
+
+
+def verify_mis(graph: nx.Graph, in_set: set[Node]) -> bool:
+    """Independence plus domination."""
+    for u, v in graph.edges:
+        if u in in_set and v in in_set:
+            return False
+    for v in graph.nodes:
+        if v not in in_set and not any(u in in_set for u in graph.neighbors(v)):
+            return False
+    return True
+
+
+def verify_matching(
+    graph: nx.Graph, matched_edges: set[tuple[Node, Node]], maximal: bool
+) -> bool:
+    """A set of edges is a matching; optionally maximal."""
+    seen: set[Node] = set()
+    for u, v in matched_edges:
+        if not graph.has_edge(u, v):
+            return False
+        if u in seen or v in seen:
+            return False
+        seen.add(u)
+        seen.add(v)
+    if maximal:
+        for u, v in graph.edges:
+            if u not in seen and v not in seen:
+                return False
+    return True

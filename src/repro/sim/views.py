@@ -1,0 +1,177 @@
+"""Radius-t neighborhoods ``N^t(v)`` and ``N^t(e)`` as canonical view trees.
+
+On graph classes of girth at least ``2t + 2`` the radius-t neighborhood of a
+node unfolds into a tree (the paper's footnote 5), so the information a node
+can gather in ``t`` rounds is exactly a rooted, port-labelled, input-labelled
+tree of depth ``t``.  This module materialises those trees as canonical
+nested tuples (hashable; equal iff the neighborhoods are isomorphic in the
+paper's sense), implements edge views ``N^t(e) = N^t(u) cap N^t(v)``, and
+computes the *extension* decompositions ``Ext^t_v(e)`` and ``Ext^t_e(v)``
+used by the algorithm transformations of Theorem 1.
+
+Views deliberately contain no raw node identities -- only inputs (ids,
+colors, orientations) and port structure -- because that is all a
+port-numbering algorithm may depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.ports import InputLabeling, Node, Port, PortGraph
+
+# A node view of depth t:
+#   ("node", own_inputs, degree, ((edge_inputs, back_port, subview), ...per port))
+# where subview is a node view of depth t - 1 or None when t == 0.
+View = tuple
+
+
+def _own_inputs(inputs: InputLabeling, v: Node) -> tuple:
+    return (
+        inputs.ids.get(v),
+        inputs.node_color.get(v),
+    )
+
+
+def _edge_inputs(pg: PortGraph, inputs: InputLabeling, v: Node, port: Port) -> tuple:
+    return (
+        inputs.orientation_at(pg, v, port),
+        inputs.edge_color_at(pg, v, port),
+    )
+
+
+def node_view(
+    pg: PortGraph,
+    inputs: InputLabeling,
+    v: Node,
+    t: int,
+    exclude_port: Port | None = None,
+) -> View:
+    """The canonical radius-``t`` view of ``v``.
+
+    ``exclude_port`` omits one branch -- used internally to unfold the tree
+    (children never look back through their parent edge) and externally to
+    build edge views.  Requires girth > 2t for the tree unfolding to be
+    faithful; the callers in this library always arrange that.
+    """
+    branches = []
+    for port in range(pg.degree(v)):
+        if port == exclude_port:
+            continue
+        edge_info = _edge_inputs(pg, inputs, v, port)
+        if t <= 0:
+            # Zero remaining rounds: the neighbor is not visited, so neither
+            # its port for the connecting edge (the back port) nor anything
+            # beyond is visible -- only the local edge inputs.
+            branches.append((port, edge_info, None, None))
+            continue
+        u = pg.neighbor(v, port)
+        back_port = pg.port_toward(u, v)
+        subview = node_view(pg, inputs, u, t - 1, exclude_port=back_port)
+        branches.append((port, edge_info, back_port, subview))
+    return ("node", _own_inputs(inputs, v), pg.degree(v), tuple(branches))
+
+
+def full_node_view(pg: PortGraph, inputs: InputLabeling, v: Node, t: int) -> View:
+    """The radius-``t`` view with all branches (what ``t`` rounds gather).
+
+    At ``t = 0`` a node still sees its own inputs, its degree and the input
+    labels on its incident half-edges (one label per port, per Section 3).
+    """
+    return node_view(pg, inputs, v, t)
+
+
+def edge_view(
+    pg: PortGraph, inputs: InputLabeling, u: Node, v: Node, t: int
+) -> View:
+    """The radius-``t`` view ``N^t(e)`` of the edge ``e = {u, v}``.
+
+    Per Section 3 this is the information both endpoints can gather in ``t``
+    rounds: the edge itself plus, from each endpoint, everything at distance
+    ``t - 1`` on its own side.  Canonicalised so the two endpoint roles are
+    ordered by their (port, subview) encoding -- the encoding of an
+    unordered edge.
+    """
+    port_uv = pg.port_toward(u, v)
+    port_vu = pg.port_toward(v, u)
+    edge_info = _edge_inputs(pg, inputs, u, port_uv)
+    side_u = (port_uv, node_view(pg, inputs, u, t - 1, exclude_port=port_uv))
+    side_v = (port_vu, node_view(pg, inputs, v, t - 1, exclude_port=port_vu))
+    oriented = inputs.orientation_at(pg, u, port_uv)
+    if oriented == "out":
+        sides = (side_u, side_v)
+    elif oriented == "in":
+        sides = (side_v, side_u)
+    else:
+        sides = tuple(sorted((side_u, side_v), key=repr))
+    return ("edge", edge_info, sides)
+
+
+@dataclass(frozen=True)
+class EdgeViewSides:
+    """The two directed readings of an edge view (who is 'me')."""
+
+    view: View
+    my_port: Port
+    my_side_view: View
+    other_port: Port
+    other_side_view: View
+
+
+def edge_view_from(
+    pg: PortGraph, inputs: InputLabeling, v: Node, port: Port, t: int
+) -> EdgeViewSides:
+    """``N^t(e)`` for the edge at ``(v, port)``, remembering which side is ``v``."""
+    u = pg.neighbor(v, port)
+    back = pg.port_toward(u, v)
+    return EdgeViewSides(
+        view=edge_view(pg, inputs, v, u, t),
+        my_port=port,
+        my_side_view=node_view(pg, inputs, v, t - 1, exclude_port=port),
+        other_port=back,
+        other_side_view=node_view(pg, inputs, u, t - 1, exclude_port=back),
+    )
+
+
+def relabel_ids_by_rank(view: View) -> View:
+    """Replace identifier values in a view by their ranks (order-invariance).
+
+    Two views agree after this transformation iff an order-invariant
+    algorithm (Section 4.3) must answer them identically.
+    """
+    ids: list[int] = []
+
+    def collect(v: View) -> None:
+        if v is None:
+            return
+        kind = v[0]
+        if kind == "node":
+            _tag, own, _degree, branches = v
+            if own[0] is not None:
+                ids.append(own[0])
+            for _port, _edge_info, _back, sub in branches:
+                collect(sub)
+        elif kind == "edge":
+            _tag, _edge_info, sides = v
+            for _port, side in sides:
+                collect(side)
+
+    collect(view)
+    rank = {value: index for index, value in enumerate(sorted(set(ids)))}
+
+    def rewrite(v: View) -> View:
+        if v is None:
+            return None
+        kind = v[0]
+        if kind == "node":
+            _tag, own, degree, branches = v
+            new_own = (rank.get(own[0]) if own[0] is not None else None, own[1])
+            new_branches = tuple(
+                (port, edge_info, back, rewrite(sub))
+                for port, edge_info, back, sub in branches
+            )
+            return ("node", new_own, degree, new_branches)
+        _tag, edge_info, sides = v
+        return ("edge", edge_info, tuple((port, rewrite(side)) for port, side in sides))
+
+    return rewrite(view)

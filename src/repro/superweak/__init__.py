@@ -1,0 +1,124 @@
+"""Section 5 machinery: superweak coloring and the weak 2-coloring lower bound.
+
+* :mod:`repro.superweak.tritseq` -- the trit-sequence label alphabet;
+* :mod:`repro.superweak.equivalents` -- the equivalent ``Pi'_{1/2}``
+  descriptions of Sections 4.6 and 5.1;
+* :mod:`repro.superweak.membership` -- ``h_1`` membership at huge degree
+  (condensed counts + MILP adversary search);
+* :mod:`repro.superweak.lemma1` -- the dominant element ``P_infinity``;
+* :mod:`repro.superweak.lemma2` -- pointer sets via Hall violators;
+* :mod:`repro.superweak.lemma3` -- the superweak k'-coloring transformation;
+* :mod:`repro.superweak.lowerbound` -- Theorem 4's exact tower-arithmetic
+  bound chain;
+* :mod:`repro.superweak.adversary` -- the executable 0-round adversary.
+"""
+
+from repro.superweak.adversary import (
+    Violation,
+    ZeroRoundAlgorithm,
+    canonical_pattern,
+    constant_algorithm,
+    find_violation,
+    id_parity_algorithm,
+    random_algorithm,
+)
+from repro.superweak.equivalents import superweak_half_equivalent, weak2_half_equivalent
+from repro.superweak.lemma1 import (
+    PInfinityResult,
+    delta_hypothesis,
+    find_p_infinity,
+    small_multiplicity_bound,
+    total_small_bound,
+)
+from repro.superweak.lemma2 import Lemma2Error, PointerSets, compute_pointer_sets, g1_allows
+from repro.superweak.lemma3 import (
+    SuperweakColoringTransformer,
+    SuperweakNodeOutput,
+    canonical_r,
+    log2_distinct_r_bound,
+    log2_k_prime,
+)
+from repro.superweak.lowerbound import (
+    BoundRow,
+    ChainReport,
+    bound_table,
+    delta_supports_k,
+    k_sequence,
+    max_certified_rounds,
+    naor_stockmeyer_upper_shape,
+    theorem4_lower_bound,
+    theorem4_shape,
+    verify_chain,
+)
+from repro.superweak.membership import (
+    CondensedConfig,
+    is_h1_member,
+    is_maximal,
+    property_a_bruteforce,
+    property_a_holds,
+)
+from repro.superweak.weak9 import (
+    SpecialElementReport,
+    analyze_special_element,
+    fully_self_compatible_configs,
+)
+from repro.superweak.tritseq import (
+    all_ones,
+    all_tritseqs,
+    complement,
+    node_choice_is_good,
+    sums_to_twos,
+    tritwise_sum,
+    weak2_choice_is_good,
+)
+
+__all__ = [
+    "BoundRow",
+    "ChainReport",
+    "CondensedConfig",
+    "Lemma2Error",
+    "PInfinityResult",
+    "PointerSets",
+    "SuperweakColoringTransformer",
+    "SuperweakNodeOutput",
+    "SpecialElementReport",
+    "Violation",
+    "ZeroRoundAlgorithm",
+    "all_ones",
+    "analyze_special_element",
+    "all_tritseqs",
+    "bound_table",
+    "canonical_pattern",
+    "canonical_r",
+    "complement",
+    "compute_pointer_sets",
+    "constant_algorithm",
+    "delta_hypothesis",
+    "delta_supports_k",
+    "log2_distinct_r_bound",
+    "find_p_infinity",
+    "find_violation",
+    "fully_self_compatible_configs",
+    "g1_allows",
+    "id_parity_algorithm",
+    "is_h1_member",
+    "is_maximal",
+    "k_sequence",
+    "log2_k_prime",
+    "max_certified_rounds",
+    "naor_stockmeyer_upper_shape",
+    "node_choice_is_good",
+    "property_a_bruteforce",
+    "property_a_holds",
+    "random_algorithm",
+    "small_multiplicity_bound",
+    "sums_to_twos",
+    "superweak_half_equivalent",
+    "theorem4_lower_bound",
+    "theorem4_shape",
+    "total_small_bound",
+    "tritwise_sum",
+    "verify_chain",
+    "weak2_choice_is_good",
+    "weak2_half_equivalent",
+]

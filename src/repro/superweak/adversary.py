@@ -1,0 +1,196 @@
+"""The 0-round adversary from Theorem 4's endgame.
+
+The last step of the lower bound shows no 0-round algorithm solves superweak
+``k*``-coloring when ``k* <= (Delta - 3) / 2`` (with ``Delta > 16`` odd):
+take the orientation pattern with ``(Delta-1)/2`` incoming and
+``(Delta+1)/2`` outgoing ports; by pigeonhole two identifiers get the same
+color; the first node must emit a demanding pointer somewhere, and the
+second node -- having at most ``k*`` accepting pointers but strictly more
+ports of each orientation -- has a compatible port with no accepting
+pointer.  Wiring those two ports together (the adversary controls port
+numbering) breaks the edge constraint.
+
+This module is that adversary as an executable: it takes *any* candidate
+0-round algorithm (a function of identifier and orientation pattern) and
+either returns a concrete violation or reports that the pigeonhole
+preconditions were not met (e.g. ``k*`` too large for the degree).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.problems.superweak import kind_counts_valid
+
+Pattern = tuple[str, ...]  # "in"/"out" per port
+# A 0-round algorithm: (identifier, orientation pattern) -> (color, kinds).
+ZeroRoundAlgorithm = Callable[[int, Pattern], tuple[int, tuple[str, ...]]]
+
+DEMANDING = "D"
+ACCEPTING = "A"
+PLAIN = "N"
+
+
+def canonical_pattern(delta: int) -> Pattern:
+    """The proof's pattern: (Delta-1)/2 incoming then (Delta+1)/2 outgoing ports."""
+    if delta % 2 == 0:
+        raise ValueError("the adversary argument needs odd degree")
+    incoming = (delta - 1) // 2
+    return ("in",) * incoming + ("out",) * (delta - incoming)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A concrete refutation of a candidate 0-round algorithm."""
+
+    kind: str  # "node" (invalid node output) or "edge" (broken edge)
+    detail: str
+    first_id: int
+    second_id: int | None = None
+    first_port: int | None = None
+    second_port: int | None = None
+
+
+def _node_violation(
+    algorithm: ZeroRoundAlgorithm, identifier: int, pattern: Pattern, k_star: int
+) -> Violation | None:
+    color, kinds = algorithm(identifier, pattern)
+    if len(kinds) != len(pattern):
+        return Violation(
+            kind="node",
+            detail="algorithm emitted wrong number of port outputs",
+            first_id=identifier,
+        )
+    demanding = sum(1 for kind in kinds if kind == DEMANDING)
+    accepting = sum(1 for kind in kinds if kind == ACCEPTING)
+    if not kind_counts_valid(k_star, demanding, accepting):
+        return Violation(
+            kind="node",
+            detail=(
+                f"node constraint broken: #D={demanding}, #A={accepting}, "
+                f"k*={k_star}"
+            ),
+            first_id=identifier,
+        )
+    return None
+
+
+def find_violation(
+    algorithm: ZeroRoundAlgorithm,
+    k_star: int,
+    delta: int,
+    id_pool: Sequence[int],
+) -> Violation | None:
+    """Run the Theorem 4 adversary against a candidate 0-round algorithm.
+
+    Requires odd ``delta > 2 k_star + 2`` (so non-accepting ports of both
+    orientations are guaranteed) and ``len(id_pool) > k_star`` (so the
+    pigeonhole finds a monochromatic identifier pair).  Returns a
+    :class:`Violation`, or None only when the preconditions fail.
+    """
+    if delta % 2 == 0 or delta <= 2 * k_star + 2:
+        return None
+    pattern = canonical_pattern(delta)
+
+    # Step 0: per-node validity is itself a requirement of the problem.
+    outputs: dict[int, tuple[int, tuple[str, ...]]] = {}
+    for identifier in id_pool:
+        node_issue = _node_violation(algorithm, identifier, pattern, k_star)
+        if node_issue is not None:
+            return node_issue
+        outputs[identifier] = algorithm(identifier, pattern)
+
+    # Step 1: pigeonhole two identifiers with equal colors.
+    by_color: dict[int, int] = {}
+    pair: tuple[int, int] | None = None
+    for identifier in id_pool:
+        color, _ = outputs[identifier]
+        if color in by_color and by_color[color] != identifier:
+            pair = (by_color[color], identifier)
+            break
+        by_color.setdefault(color, identifier)
+    if pair is None:
+        return None  # needs |id_pool| > number of colors used
+    first_id, second_id = pair
+
+    # Step 2: the first node emits a demanding pointer somewhere
+    # (#D > #A >= 0 by node validity).
+    _color, first_kinds = outputs[first_id]
+    first_port = next(
+        port for port, kind in enumerate(first_kinds) if kind == DEMANDING
+    )
+    needed_orientation = "out" if pattern[first_port] == "in" else "in"
+
+    # Step 3: the second node has a non-accepting port of the orientation
+    # that lets the adversary join the two ports into one consistent edge.
+    _color2, second_kinds = outputs[second_id]
+    second_port = next(
+        (
+            port
+            for port, kind in enumerate(second_kinds)
+            if kind != ACCEPTING and pattern[port] == needed_orientation
+        ),
+        None,
+    )
+    if second_port is None:
+        # Impossible when k* <= (delta - 3) / 2: there are more ports of each
+        # orientation than accepting pointers.  Defensive fallback only.
+        return None
+    return Violation(
+        kind="edge",
+        detail=(
+            "same color, demanding pointer not answered by an accepting one: "
+            f"color={outputs[first_id][0]}"
+        ),
+        first_id=first_id,
+        second_id=second_id,
+        first_port=first_port,
+        second_port=second_port,
+    )
+
+
+# -- candidate algorithms for the adversary to defeat ----------------------
+
+
+def constant_algorithm(delta: int) -> ZeroRoundAlgorithm:
+    """Always color 1 and demand on the first port."""
+
+    def algorithm(_identifier: int, pattern: Pattern) -> tuple[int, tuple[str, ...]]:
+        kinds = [PLAIN] * len(pattern)
+        kinds[0] = DEMANDING
+        return 1, tuple(kinds)
+
+    return algorithm
+
+
+def id_parity_algorithm(delta: int) -> ZeroRoundAlgorithm:
+    """Color by identifier parity, demand on every outgoing port."""
+
+    def algorithm(identifier: int, pattern: Pattern) -> tuple[int, tuple[str, ...]]:
+        kinds = tuple(
+            DEMANDING if side == "out" else PLAIN for side in pattern
+        )
+        return 1 + identifier % 2, kinds
+
+    return algorithm
+
+
+def random_algorithm(delta: int, k_star: int, seed: int) -> ZeroRoundAlgorithm:
+    """A random but node-valid 0-round algorithm (deterministic per identifier)."""
+
+    def algorithm(identifier: int, pattern: Pattern) -> tuple[int, tuple[str, ...]]:
+        rng = random.Random(hash((seed, identifier, pattern)))
+        color = rng.randrange(1, k_star + 1)
+        accepting = rng.randrange(0, min(k_star, (len(pattern) - 1) // 2) + 1)
+        demanding = rng.randrange(accepting + 1, len(pattern) - accepting + 1)
+        kinds = (
+            [DEMANDING] * demanding
+            + [ACCEPTING] * accepting
+            + [PLAIN] * (len(pattern) - demanding - accepting)
+        )
+        rng.shuffle(kinds)
+        return color, tuple(kinds)
+
+    return algorithm

@@ -1,0 +1,76 @@
+"""The equivalent trit-sequence descriptions of ``Pi'_{1/2}`` (4.6 and 5.1).
+
+The paper gives, for both weak 2-coloring and superweak k-coloring, a second
+description of the derived-and-simplified half problem whose labels are trit
+sequences.  These constructors build that second description as ordinary
+:class:`~repro.core.problem.Problem` objects, so that its claimed equivalence
+with the engine's output is a plain isomorphism test (experiments E3/E4).
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import Problem
+from repro.superweak.tritseq import (
+    all_tritseqs,
+    node_choice_is_good,
+    sums_to_twos,
+    weak2_choice_is_good,
+)
+from repro.utils.multiset import multisets_of_size
+
+
+def weak2_half_equivalent(delta: int) -> Problem:
+    """Section 4.6's equivalent description of ``Pi'_{1/2}`` for weak 2-coloring.
+
+    Labels: length-2 trit sequences excluding ``00`` and ``22``.  Edge
+    configurations: pairs summing tritwise to ``22``.  Node configurations:
+    multisets with an index ``j`` where some sequence has a 2 and none has
+    a 0.
+    """
+    labels = [seq for seq in all_tritseqs(2) if seq not in ("00", "22")]
+    edge_configs = [
+        (a, b)
+        for i, a in enumerate(labels)
+        for b in labels[i:]
+        if sums_to_twos(a, b)
+    ]
+    node_configs = [
+        config
+        for config in multisets_of_size(labels, delta)
+        if weak2_choice_is_good(list(config))
+    ]
+    return Problem.make(
+        name=f"weak2-half-tritseq[d={delta}]",
+        delta=delta,
+        edge_configs=edge_configs,
+        node_configs=node_configs,
+        labels=labels,
+    )
+
+
+def superweak_half_equivalent(k: int, delta: int) -> Problem:
+    """Section 5.1's equivalent description of ``Pi'_{1/2}`` for superweak k.
+
+    Labels: *all* trit sequences of length ``k``.  Edge configurations: pairs
+    summing tritwise to ``22...2``.  Node configurations: multisets with a
+    position ``j`` holding strictly more 2s than 0s and at most ``k`` 0s.
+    """
+    labels = all_tritseqs(k)
+    edge_configs = [
+        (a, b)
+        for i, a in enumerate(labels)
+        for b in labels[i:]
+        if sums_to_twos(a, b)
+    ]
+    node_configs = [
+        config
+        for config in multisets_of_size(labels, delta)
+        if node_choice_is_good(list(config), k)
+    ]
+    return Problem.make(
+        name=f"superweak{k}-half-tritseq[d={delta}]",
+        delta=delta,
+        edge_configs=edge_configs,
+        node_configs=node_configs,
+        labels=labels,
+    )

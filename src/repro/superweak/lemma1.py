@@ -1,0 +1,96 @@
+"""Lemma 1: the dominant element ``P_infinity`` of an ``h_1`` configuration.
+
+Lemma 1 states that every ``Q in h_1(Delta)`` with ``Delta >= 2^(4^k) + 1``
+contains a *unique* element ``P_infinity`` of multiplicity at least
+``Delta - 2^(4^k)``, and that ``P_infinity`` contains the all-ones sequence
+``11...1``.  The proof bounds every other element's multiplicity by
+``(k + 1) * 3^k`` and the number of distinct elements by ``2^(3^k)``.
+
+This module extracts ``P_infinity`` from a condensed configuration and
+checks the lemma's quantitative guarantees, so experiments can verify the
+statement on engine-derived and synthetically scaled configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.superweak.membership import CondensedConfig
+from repro.superweak.tritseq import TritSeq, all_ones
+
+
+def small_multiplicity_bound(k: int) -> int:
+    """The proof's per-element multiplicity bound for non-dominant elements."""
+    return (k + 1) * 3**k
+
+
+def total_small_bound(k: int) -> int:
+    """The proof's bound ``2^(4^k)`` on the total multiplicity of non-dominant elements.
+
+    (The paper uses the convenient over-estimate
+    ``(k+1) * 3^k * 2^(3^k) <= 2^(4^k)`` for ``k >= 2``.)
+    """
+    return 2 ** (4**k)
+
+
+def delta_hypothesis(k: int) -> int:
+    """The smallest Delta for which Lemma 1's hypothesis holds: ``2^(4^k) + 1``."""
+    return total_small_bound(k) + 1
+
+
+@dataclass(frozen=True)
+class PInfinityResult:
+    """Outcome of the ``P_infinity`` extraction."""
+
+    p_infinity: frozenset[TritSeq]
+    multiplicity: int
+    delta: int
+    unique_dominant: bool
+    contains_all_ones: bool
+    meets_multiplicity_bound: bool
+
+    @property
+    def lemma_conclusion_holds(self) -> bool:
+        return (
+            self.unique_dominant
+            and self.contains_all_ones
+            and self.meets_multiplicity_bound
+        )
+
+
+def find_p_infinity(config: CondensedConfig, k: int) -> PInfinityResult:
+    """Locate the dominant element of ``config`` and check Lemma 1's claims.
+
+    The dominant element is taken to be the one with the largest
+    multiplicity (ties broken toward sets containing ``11...1``, then
+    canonically).  The returned record reports whether it is the *unique*
+    element with multiplicity above the proof's ``(k+1) * 3^k`` threshold,
+    whether it contains ``11...1`` and whether its multiplicity is at least
+    ``Delta - 2^(4^k)``.
+    """
+    if not config.counts:
+        raise ValueError("empty configuration has no dominant element")
+    ones = all_ones(k)
+
+    def sort_key(item: tuple[tuple[TritSeq, ...], int]) -> tuple:
+        members, multiplicity = item
+        return (multiplicity, ones in members, tuple(sorted(members)))
+
+    dominant_members, dominant_multiplicity = max(config.counts, key=sort_key)
+    threshold = small_multiplicity_bound(k)
+    heavy = [
+        members
+        for members, multiplicity in config.counts
+        if multiplicity > threshold
+    ]
+    delta = config.delta
+    return PInfinityResult(
+        p_infinity=frozenset(dominant_members),
+        multiplicity=dominant_multiplicity,
+        delta=delta,
+        unique_dominant=len(heavy) <= 1,
+        contains_all_ones=ones in dominant_members,
+        meets_multiplicity_bound=(
+            dominant_multiplicity >= delta - total_small_bound(k)
+        ),
+    )

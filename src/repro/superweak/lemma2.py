@@ -1,0 +1,151 @@
+"""Lemma 2: the pointer index sets ``J*`` and ``N(J*)`` via Hall violators.
+
+Given a node's ``Pi'_1`` output ``Q = {Q_1, ..., Q_Delta}`` (one set of trit
+sequences per port) and an in/out orientation ``alpha`` per port, Lemma 2
+guarantees an index set ``J* subset I`` with
+
+* ``|J*| > |N(J*)|``,
+* every ``j in J*`` has the same orientation, opposite to every
+  ``i in N(J*)``,
+
+where ``I`` collects the ports whose set is incompatible with the dominant
+element ``P_infinity`` (and misses ``11...1``), and ``N(J)`` collects ports
+edge-compatible (in ``g_1``, with opposite orientation) with some port of
+``J``.  The paper proves existence by contradiction through Hall's marriage
+theorem; algorithmically that contradiction *is* the algorithm: build the
+bipartite compatibility graph, compute a maximum matching, and extract the
+Hall violator when the matching fails to saturate ``I`` (it must, whenever
+``Q`` genuinely satisfies Property A).  The violator is then split by
+orientation; one side satisfies the strict inequality.
+
+The construction is deterministic given the multiset
+``R = {(Q_i, beta_i)}`` -- ports are processed in a canonical order -- which
+is exactly the consistency Lemma 3 requires of two adjacent nodes with equal
+``R``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.superweak.lemma1 import find_p_infinity
+from repro.superweak.membership import CondensedConfig
+from repro.superweak.tritseq import TritSeq, all_ones, sums_to_twos
+from repro.utils.matching import hall_violator
+
+Orientation = str  # "in" or "out"
+NONE_BETA = "none"
+
+
+class Lemma2Error(RuntimeError):
+    """Raised when no Hall violator exists (the input is not a valid h_1 output)."""
+
+
+def g1_allows(first: frozenset[TritSeq], second: frozenset[TritSeq]) -> bool:
+    """The edge constraint of ``Pi'_1``: some pair sums tritwise to ``22...2``."""
+    return any(sums_to_twos(w, x) for w in first for x in second)
+
+
+@dataclass(frozen=True)
+class PointerSets:
+    """The Lemma 2 output: demanding ports ``J*``, accepting ports ``N(J*)``."""
+
+    j_star: frozenset[int]
+    n_of_j_star: frozenset[int]
+    p_infinity: frozenset[TritSeq]
+    index_set: frozenset[int]
+
+
+def _beta(
+    q_list: list[frozenset[TritSeq]],
+    alpha: list[Orientation],
+    p_infinity: frozenset[TritSeq],
+) -> list[str]:
+    """``beta(i) = alpha(i)`` except ``none`` on ports carrying ``P_infinity``."""
+    return [
+        NONE_BETA if q == p_infinity else a for q, a in zip(q_list, alpha)
+    ]
+
+
+def canonical_port_order(
+    q_list: list[frozenset[TritSeq]], alpha: list[Orientation]
+) -> list[int]:
+    """Ports sorted by the canonical key of ``(Q_i, alpha_i)``.
+
+    Two nodes whose multisets ``{(Q_i, beta_i)}`` agree will see the same
+    sorted key sequence, so running the deterministic matching over this
+    order yields the same *multiset* of selected ``(Q_i, beta_i)`` pairs on
+    both -- the consistency property Lemma 3 needs.
+    """
+    return sorted(
+        range(len(q_list)), key=lambda i: (tuple(sorted(q_list[i])), alpha[i], i)
+    )
+
+
+def compute_pointer_sets(
+    q_list: list[frozenset[TritSeq]],
+    alpha: list[Orientation],
+    k: int,
+) -> PointerSets:
+    """Run the Lemma 2 construction on one node's ``Pi'_1`` output.
+
+    Raises :class:`Lemma2Error` when no Hall violator exists, which by the
+    lemma means ``q_list`` does not satisfy Property A at this ``Delta``
+    (e.g. the degree is too small for the dominant-element structure).
+    """
+    if len(q_list) != len(alpha):
+        raise ValueError("one orientation per port is required")
+    condensed = CondensedConfig.from_sequence(q_list)
+    p_infinity = find_p_infinity(condensed, k).p_infinity
+    ones = all_ones(k)
+
+    index_set = frozenset(
+        i
+        for i, q in enumerate(q_list)
+        if not g1_allows(q, p_infinity) and ones not in q
+    )
+
+    order = canonical_port_order(q_list, alpha)
+    adjacency = {
+        j: [
+            i
+            for i in order
+            if alpha[i] != alpha[j] and g1_allows(q_list[i], q_list[j])
+        ]
+        for j in order
+        if j in index_set
+    }
+    violator = hall_violator(adjacency)
+    if violator is None:
+        raise Lemma2Error(
+            "no Hall violator: the configuration does not satisfy Property A "
+            "with a dominant element at this degree"
+        )
+
+    def neighbors(of: frozenset[int]) -> frozenset[int]:
+        return frozenset(
+            i
+            for i in range(len(q_list))
+            if any(
+                alpha[i] != alpha[j] and g1_allows(q_list[i], q_list[j])
+                for j in of
+            )
+        )
+
+    by_side = {
+        side: frozenset(j for j in violator if alpha[j] == side)
+        for side in ("in", "out")
+    }
+    for side in ("in", "out"):
+        candidate = by_side[side]
+        if candidate and len(candidate) > len(neighbors(candidate)):
+            return PointerSets(
+                j_star=candidate,
+                n_of_j_star=neighbors(candidate),
+                p_infinity=p_infinity,
+                index_set=index_set,
+            )
+    raise Lemma2Error(
+        "Hall violator found but neither orientation class satisfies the "
+        "strict inequality -- inconsistent input"
+    )

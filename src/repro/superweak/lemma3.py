@@ -1,0 +1,134 @@
+"""Lemma 3: transform a ``Pi'_1`` solution into a superweak k'-coloring.
+
+Lemma 3 is the algorithmic heart of the Theorem 4 speedup chain: any
+algorithm solving ``Pi'_1`` (the derived problem of superweak k-coloring)
+yields -- with *zero* extra rounds -- an algorithm for superweak k'-coloring
+with ``k' = 2^(2^(5^k))``.  Each node locally:
+
+1. collects its ``Pi'_1`` outputs ``Q_1..Q_Delta`` (sets of trit sequences,
+   one per port) and the input edge orientations ``alpha``;
+2. forms ``R = {(Q_i, beta_i)}`` where ``beta`` masks the dominant element
+   ``P_infinity`` to ``none`` (Lemma 1);
+3. outputs the color ``c(R)`` under a fixed injective table
+   ``c : H_1(Delta) -> {1..k'}``;
+4. outputs a *demanding* pointer on the ports of ``J*``, an *accepting*
+   pointer on the ports of ``N(J*)`` (Lemma 2) and plain otherwise.
+
+The correctness argument shows two same-colored neighbors joined by a
+demanding pointer must see the accepting pointer come back.  This module
+implements the node-local transformation; the simulation layer feeds it
+graph-wide outputs and the verifier checks the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.superweak.lemma2 import NONE_BETA, PointerSets, _beta, compute_pointer_sets
+from repro.superweak.membership import CondensedConfig
+from repro.superweak.lemma1 import find_p_infinity, total_small_bound
+from repro.superweak.tritseq import TritSeq
+
+DEMANDING = "D"
+ACCEPTING = "A"
+PLAIN = "N"
+
+
+def log2_k_prime(k: int) -> int:
+    """``log2`` of the paper's ``k' = 2^(2^(5^k))`` -- i.e. ``2^(5^k)``."""
+    return 2 ** (5**k)
+
+
+def log2_distinct_r_bound(k: int) -> int:
+    """An upper bound on ``log2`` of the proof's ``|H_1(Delta)|`` estimate.
+
+    The proof bounds the number of distinct ``R`` multisets by
+    ``(3 * 2^(3^k))^(2^(4^k) + 1)``; since ``3 * 2^(3^k) < 2^(3^k + 2)``, its
+    ``log2`` is below ``(3^k + 2) * (2^(4^k) + 1)`` -- comfortably below
+    ``log2(k') = 2^(5^k)``, which is the comparison Lemma 3 needs.  (The
+    bound itself is returned rather than the full integer, which would have
+    ~2^64 bits already at k = 3.)
+    """
+    return (3**k + 2) * (total_small_bound(k) + 1)
+
+
+CanonicalR = tuple[tuple[tuple[TritSeq, ...], str], ...]
+
+
+def canonical_r(
+    q_list: list[frozenset[TritSeq]], alpha: list[str], k: int
+) -> CanonicalR:
+    """The canonical form of the multiset ``R_v = {(Q_i, beta_i)}``."""
+    condensed = CondensedConfig.from_sequence(q_list)
+    p_infinity = find_p_infinity(condensed, k).p_infinity
+    betas = _beta(q_list, alpha, p_infinity)
+    return tuple(
+        sorted((tuple(sorted(q)), beta) for q, beta in zip(q_list, betas))
+    )
+
+
+@dataclass(frozen=True)
+class SuperweakNodeOutput:
+    """One node's superweak coloring output: a color plus a kind per port."""
+
+    color: int
+    kinds: tuple[str, ...]
+    pointer_sets: PointerSets
+
+
+@dataclass
+class SuperweakColoringTransformer:
+    """The Lemma 3 transformation with a shared injective color table.
+
+    The color table plays the role of the fixed function
+    ``c : H_1(Delta) -> {1..k'}``; in a distributed execution it is agreed
+    upon in advance, here it is a registry filled on first use (injectivity
+    is guaranteed by construction, and :meth:`within_color_budget` checks the
+    ``k'`` bound).
+    """
+
+    k: int
+    _table: dict[CanonicalR, int] = field(default_factory=dict)
+
+    def color_of(self, r: CanonicalR) -> int:
+        if r not in self._table:
+            self._table[r] = len(self._table) + 1
+        return self._table[r]
+
+    @property
+    def colors_used(self) -> int:
+        return len(self._table)
+
+    def within_color_budget(self) -> bool:
+        """True iff the number of colors used respects ``k' = 2^(2^(5^k))``.
+
+        Compared in the logarithm: ``log2(k') = 2^(5^k)`` always exceeds any
+        practical table size, so this effectively asserts injectivity stayed
+        affordable.
+        """
+        return self.colors_used.bit_length() <= log2_k_prime(self.k)
+
+    def transform_node(
+        self, q_list: list[frozenset[TritSeq]], alpha: list[str]
+    ) -> SuperweakNodeOutput:
+        """Apply Lemma 3 at one node.
+
+        ``q_list[i]`` is the ``Pi'_1`` output at port ``i``; ``alpha[i]`` the
+        input orientation ("in"/"out") of the incident edge.  Raises
+        :class:`repro.superweak.lemma2.Lemma2Error` when the Lemma 2
+        construction fails, i.e. the input was not a valid ``Pi'_1`` output
+        for a degree in the lemma's range.
+        """
+        pointer_sets = compute_pointer_sets(q_list, alpha, self.k)
+        color = self.color_of(canonical_r(q_list, alpha, self.k))
+        kinds = []
+        for port in range(len(q_list)):
+            if port in pointer_sets.j_star:
+                kinds.append(DEMANDING)
+            elif port in pointer_sets.n_of_j_star:
+                kinds.append(ACCEPTING)
+            else:
+                kinds.append(PLAIN)
+        return SuperweakNodeOutput(
+            color=color, kinds=tuple(kinds), pointer_sets=pointer_sets
+        )

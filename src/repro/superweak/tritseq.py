@@ -1,0 +1,89 @@
+"""Trit sequences: the compact label alphabet of Sections 4.6 and 5.1.
+
+The derived problem ``Pi'_{1/2}`` of (super)weak coloring admits an
+equivalent description whose labels are *trit sequences* -- strings over
+``{0, 1, 2}`` of length ``k`` (one trit per color).  The mapping (Section
+5.1) is per color ``c``:
+
+* trit ``0``: the half-label contains only ``(c, accepting)``;
+* trit ``1``: it contains ``(c, accepting)`` and ``(c, plain)``;
+* trit ``2``: it contains all three of ``(c, demanding/accepting/plain)``.
+
+(For plain weak 2-coloring, Section 4.6, there is no accepting pointer and
+the trit counts ``|Y ∩ {(c,->), (c,.)}|`` instead.)
+
+The edge constraint of the equivalent description is "tritwise sums to
+``22...2``", i.e. each sequence is paired with its tritwise complement.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+TritSeq = str
+
+
+def all_tritseqs(k: int) -> list[TritSeq]:
+    """All ``3^k`` trit sequences of length ``k``, lexicographically."""
+    return ["".join(digits) for digits in product("012", repeat=k)]
+
+
+def tritwise_sum(a: TritSeq, b: TritSeq) -> TritSeq | None:
+    """Return the tritwise sum, or None if any position exceeds 2."""
+    if len(a) != len(b):
+        raise ValueError("trit sequences must have equal length")
+    out = []
+    for x, y in zip(a, b):
+        total = int(x) + int(y)
+        if total > 2:
+            return None
+        out.append(str(total))
+    return "".join(out)
+
+
+def complement(a: TritSeq) -> TritSeq:
+    """The unique partner with tritwise sum ``22...2``."""
+    return "".join(str(2 - int(x)) for x in a)
+
+
+def sums_to_twos(a: TritSeq, b: TritSeq) -> bool:
+    """True iff the tritwise sum of ``a`` and ``b`` is ``22...2``."""
+    return all(int(x) + int(y) == 2 for x, y in zip(a, b))
+
+
+def all_ones(k: int) -> TritSeq:
+    """The self-complementary sequence ``11...1`` central to Lemma 1."""
+    return "1" * k
+
+
+def count_at_position(seqs: list[TritSeq], position: int, digit: str) -> int:
+    """How many sequences have ``digit`` at ``position``."""
+    return sum(1 for seq in seqs if seq[position] == digit)
+
+
+def node_choice_is_good(choice: list[TritSeq], k: int) -> bool:
+    """The half-step node condition on a concrete choice of trit sequences.
+
+    Per Section 5.1's equivalent description of ``h_{1/2}`` for superweak
+    k-coloring: some position ``j`` has strictly more 2s than 0s and at most
+    ``k`` zeros.
+    """
+    for position in range(k):
+        zeros = count_at_position(choice, position, "0")
+        twos = count_at_position(choice, position, "2")
+        if twos > zeros and zeros <= k:
+            return True
+    return False
+
+
+def weak2_choice_is_good(choice: list[TritSeq]) -> bool:
+    """Section 4.6's condition for weak 2-coloring (k = 2, no accepting).
+
+    Some position has at least one 2 and no 0.
+    """
+    for position in range(2):
+        zeros = count_at_position(choice, position, "0")
+        twos = count_at_position(choice, position, "2")
+        if twos >= 1 and zeros == 0:
+            return True
+    return False

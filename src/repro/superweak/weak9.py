@@ -1,0 +1,130 @@
+"""Section 4.6's weak 9-coloring analysis: the special element Q.
+
+The paper motivates superweak coloring through a failed first attempt: map
+each of the 9 elements of ``h_1(Delta)`` (for weak 2-coloring) to a color,
+hoping to relax ``Pi'_1`` to weak 9-coloring.  This works for 8 of the 9
+elements, but one special element ``Q`` can be output by a node *and all its
+neighbors* simultaneously, and then no valid pointer exists.  The paper
+observes ``Q``'s saving structure: it can be written as
+``{Q_1, Q_2, Q_3, Q_4, ..., Q_4}`` where ``{Q_1, Q_3}`` and ``{Q_2, Q_3}``
+are the only ``g_1`` pairs inside ``Q`` involving ``Q_1`` or ``Q_2`` -- so a
+node outputting ``Q`` can emit two *demanding* pointers (at ``Q_1, Q_2``)
+and one *accepting* pointer (at ``Q_3``), which is precisely the shape
+generalised into superweak coloring.
+
+This module extracts those facts mechanically from the engine's derived
+problem, so the motivation chapter of the paper is itself reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.problem import Label, NodeConfig, Problem
+
+
+@dataclass(frozen=True)
+class SpecialElementReport:
+    """Mechanical findings about ``h'_1`` of weak 2-coloring.
+
+    ``fully_self_compatible`` lists the elements a node *and all its
+    neighbors* could output simultaneously (every entry of the multiset has
+    an edge partner inside the multiset); among those, ``q_structured``
+    lists the ones with the paper's Q shape -- a strict majority of
+    *demanding* positions whose only internal partners are a minority
+    *accepting* label -- and ``special`` is the first of them, with its
+    split recorded in ``demanding_labels`` / ``accepting_label``.
+    """
+
+    h1_size: int
+    fully_self_compatible: tuple[NodeConfig, ...]
+    q_structured: tuple[NodeConfig, ...]
+    special: NodeConfig | None
+    demanding_labels: tuple[Label, ...]
+    accepting_label: Label | None
+
+    @property
+    def matches_paper(self) -> bool:
+        """The Section 4.6 narrative, mechanised: exactly one element has the
+        Q shape ``{Q_1, Q_2, Q_3, ...}`` with ``{Q_1, Q_3}, {Q_2, Q_3}`` the
+        only internal pairs through Q_1, Q_2."""
+        return (
+            self.h1_size == 9
+            and len(self.q_structured) == 1
+            and self.special is not None
+            and len(self.demanding_labels) >= 2
+            and self.accepting_label is not None
+        )
+
+
+def fully_self_compatible_configs(problem: Problem) -> list[NodeConfig]:
+    """Configs a node and *all* its neighbors could share.
+
+    Each neighbor freely arranges the same multiset on its own ports, so the
+    situation is realisable (pairwise) iff every entry of the multiset has
+    some edge partner within the multiset's support.
+    """
+    result = []
+    for config in sorted(problem.node_constraint):
+        support = sorted(set(config))
+        if all(
+            any(problem.allows_edge(x, y) for y in support) for x in support
+        ):
+            result.append(config)
+    return result
+
+
+def _q_split(problem: Problem, config: NodeConfig) -> tuple[list[Label], Label] | None:
+    """Find the paper's demanding/accepting split of a configuration.
+
+    Looks for an *accepting* label whose multiplicity is strictly smaller
+    than the total multiplicity of the *demanding* labels -- those whose only
+    internal partner is the accepting label.
+    """
+    support = sorted(set(config))
+
+    def partners(label: Label) -> set[Label]:
+        return {other for other in support if problem.allows_edge(label, other)}
+
+    for accepting in support:
+        demanding = [
+            label
+            for label in support
+            if label != accepting and partners(label) == {accepting}
+        ]
+        if len(demanding) < 2:
+            continue
+        demanding_count = sum(1 for entry in config if entry in demanding)
+        if demanding_count > config.count(accepting):
+            return demanding, accepting
+    return None
+
+
+def analyze_special_element(derived: Problem) -> SpecialElementReport:
+    """Extract the Section 4.6 narrative from the engine's ``Pi'_1``.
+
+    ``derived`` must be the engine's derived problem of the pointer version
+    of weak 2-coloring.  The report records the fully-self-compatible
+    elements, identifies the one(s) with the paper's Q structure, and
+    returns the demanding/accepting split that motivates superweak coloring.
+    """
+    compatible = fully_self_compatible_configs(derived)
+    q_structured = []
+    chosen_split: tuple[list[Label], Label] | None = None
+    special: NodeConfig | None = None
+    for config in compatible:
+        split = _q_split(derived, config)
+        if split is not None:
+            q_structured.append(config)
+            if special is None:
+                special = config
+                chosen_split = split
+    demanding, accepting = chosen_split if chosen_split else ([], None)
+    return SpecialElementReport(
+        h1_size=len(derived.node_constraint),
+        fully_self_compatible=tuple(compatible),
+        q_structured=tuple(q_structured),
+        special=special,
+        demanding_labels=tuple(sorted(demanding)),
+        accepting_label=accepting,
+    )

@@ -1,0 +1,36 @@
+"""Shared utilities: multisets, posets, log-star arithmetic, power towers.
+
+These modules are substrate-free helpers used across the round-elimination
+engine (:mod:`repro.core`), the superweak-coloring machinery
+(:mod:`repro.superweak`) and the simulation layer (:mod:`repro.sim`).
+"""
+
+from repro.utils.logstar import log2_ceil, log_star, tower
+from repro.utils.matching import maximum_bipartite_matching, perfect_matching_exists
+from repro.utils.multiset import (
+    Multiset,
+    multiset,
+    multiset_contains,
+    multisets_of_size,
+    submultisets_of_size,
+)
+from repro.utils.orders import antichains, is_antichain, minimal_elements, upward_closure
+from repro.utils.tower import Tower
+
+__all__ = [
+    "Multiset",
+    "Tower",
+    "antichains",
+    "is_antichain",
+    "log2_ceil",
+    "log_star",
+    "maximum_bipartite_matching",
+    "minimal_elements",
+    "multiset",
+    "multiset_contains",
+    "multisets_of_size",
+    "perfect_matching_exists",
+    "submultisets_of_size",
+    "tower",
+    "upward_closure",
+]

@@ -1,0 +1,100 @@
+"""Finite partial orders: antichains, filters (up-sets) and minimal elements.
+
+The maximality simplification of the full speedup step (Theorem 2, Property 6)
+admits a classical reformulation: because the half-step node constraint
+``h_{1/2}`` is *monotone* in the subset order on half-labels, the maximal node
+configurations of the derived problem only ever use *upward-closed* sets of
+half-labels.  Upward-closed sets are in bijection with antichains (their sets
+of minimal elements), so enumerating candidate labels for the derived problem
+reduces to enumerating antichains of a small poset.  This module provides that
+machinery for arbitrary finite posets given by a ``leq`` predicate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable, Iterator
+from typing import TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+Leq = Callable[[T, T], bool]
+
+
+def minimal_elements(items: Iterable[T], leq: Leq) -> frozenset[T]:
+    """Return the minimal elements of ``items`` under the partial order ``leq``."""
+    pool = list(items)
+    result = []
+    for candidate in pool:
+        dominated = any(
+            other != candidate and leq(other, candidate) and not leq(candidate, other)
+            for other in pool
+        )
+        if not dominated:
+            result.append(candidate)
+    # Collapse order-equivalent duplicates (leq both ways) to one representative
+    # per equivalence class so the result is a genuine antichain.
+    chosen: list[T] = []
+    for candidate in result:
+        if not any(leq(candidate, kept) and leq(kept, candidate) for kept in chosen):
+            chosen.append(candidate)
+    return frozenset(chosen)
+
+
+def maximal_elements(items: Iterable[T], leq: Leq) -> frozenset[T]:
+    """Return the maximal elements of ``items`` under ``leq``."""
+    return minimal_elements(items, lambda a, b: leq(b, a))
+
+
+def upward_closure(seed: Iterable[T], universe: Iterable[T], leq: Leq) -> frozenset[T]:
+    """Return ``{u in universe : exists s in seed with s <= u}``."""
+    seeds = list(seed)
+    return frozenset(u for u in universe if any(leq(s, u) for s in seeds))
+
+
+def is_antichain(items: Iterable[T], leq: Leq) -> bool:
+    """Return True iff no two distinct elements of ``items`` are comparable."""
+    pool = list(items)
+    for i, a in enumerate(pool):
+        for b in pool[i + 1 :]:
+            if leq(a, b) or leq(b, a):
+                return False
+    return True
+
+
+def antichains(universe: Iterable[T], leq: Leq) -> Iterator[frozenset[T]]:
+    """Yield every antichain of the poset ``(universe, leq)``, including the empty one.
+
+    The poset is assumed small (the engine uses it on half-label sets, which
+    the maximality simplification keeps to at most a few dozen elements).  The
+    enumeration is a depth-first search over elements in a fixed order,
+    branching on inclusion, and pruning branches that would create a
+    comparable pair.
+    """
+    pool = sorted(set(universe), key=repr)
+
+    def extend(index: int, current: list[T]) -> Iterator[frozenset[T]]:
+        if index == len(pool):
+            yield frozenset(current)
+            return
+        candidate = pool[index]
+        # Branch 1: skip the candidate.
+        yield from extend(index + 1, current)
+        # Branch 2: take it, if it stays incomparable with everything chosen.
+        if all(not leq(candidate, c) and not leq(c, candidate) for c in current):
+            current.append(candidate)
+            yield from extend(index + 1, current)
+            current.pop()
+
+    yield from extend(0, [])
+
+
+def filters(universe: Iterable[T], leq: Leq) -> Iterator[frozenset[T]]:
+    """Yield every non-empty upward-closed subset (filter) of the poset.
+
+    Each filter is produced exactly once, as the upward closure of one of the
+    poset's antichains.
+    """
+    pool = sorted(set(universe), key=repr)
+    for chain in antichains(pool, leq):
+        if chain:
+            yield upward_closure(chain, pool, leq)

@@ -1,0 +1,54 @@
+"""Shared fixtures: canonical problems and small graphs used across tests."""
+
+import pytest
+
+from repro.problems.coloring import coloring
+from repro.problems.misc import maximal_matching, mis, perfect_matching
+from repro.problems.sinkless import sinkless_coloring, sinkless_orientation
+from repro.problems.superweak import superweak
+from repro.problems.weak_coloring import weak_coloring_pointer
+
+
+@pytest.fixture(scope="session")
+def sc3():
+    return sinkless_coloring(3)
+
+
+@pytest.fixture(scope="session")
+def so3():
+    return sinkless_orientation(3)
+
+
+@pytest.fixture(scope="session")
+def col3_ring():
+    return coloring(3, 2)
+
+
+@pytest.fixture(scope="session")
+def col4_ring():
+    return coloring(4, 2)
+
+
+@pytest.fixture(scope="session")
+def weak2_d3():
+    return weak_coloring_pointer(2, 3)
+
+
+@pytest.fixture(scope="session")
+def superweak2_d3():
+    return superweak(2, 3)
+
+
+@pytest.fixture(scope="session")
+def mis_d3():
+    return mis(3)
+
+
+@pytest.fixture(scope="session")
+def mm_d3():
+    return maximal_matching(3)
+
+
+@pytest.fixture(scope="session")
+def pm_d3():
+    return perfect_matching(3)

@@ -1,0 +1,86 @@
+"""Tests for the Theorem 4 zero-round adversary."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.superweak.adversary import (
+    canonical_pattern,
+    constant_algorithm,
+    find_violation,
+    id_parity_algorithm,
+    random_algorithm,
+)
+
+
+def test_canonical_pattern_split():
+    pattern = canonical_pattern(17)
+    assert pattern.count("in") == 8
+    assert pattern.count("out") == 9
+
+
+def test_canonical_pattern_rejects_even():
+    with pytest.raises(ValueError):
+        canonical_pattern(4)
+
+
+def test_constant_algorithm_defeated():
+    violation = find_violation(constant_algorithm(17), k_star=3, delta=17, id_pool=range(1, 6))
+    assert violation is not None
+    assert violation.kind == "edge"
+    assert violation.first_id != violation.second_id
+
+
+def test_id_parity_algorithm_defeated():
+    violation = find_violation(
+        id_parity_algorithm(17), k_star=3, delta=17, id_pool=range(1, 8)
+    )
+    assert violation is not None
+
+
+def test_random_algorithms_defeated():
+    for seed in range(5):
+        algorithm = random_algorithm(17, k_star=3, seed=seed)
+        violation = find_violation(algorithm, k_star=3, delta=17, id_pool=range(1, 10))
+        assert violation is not None, f"seed {seed} survived"
+
+
+def test_invalid_node_output_reported():
+    def cheater(identifier, pattern):
+        # More accepting than demanding pointers: invalid per-node output.
+        kinds = ["A"] * 2 + ["D"] + ["N"] * (len(pattern) - 3)
+        return 1, tuple(kinds)
+
+    violation = find_violation(cheater, k_star=3, delta=17, id_pool=range(1, 4))
+    assert violation is not None
+    assert violation.kind == "node"
+
+
+def test_preconditions_degree_too_small():
+    # delta <= 2 k* + 2: the pigeonhole geometry is not guaranteed.
+    assert find_violation(constant_algorithm(7), k_star=3, delta=7, id_pool=range(1, 9)) is None
+
+
+def test_pool_too_small_for_pigeonhole():
+    def distinct_colors(identifier, pattern):
+        kinds = ["D"] + ["N"] * (len(pattern) - 1)
+        return identifier, tuple(kinds)  # every node a fresh color
+
+    assert (
+        find_violation(distinct_colors, k_star=8, delta=19, id_pool=range(1, 5))
+        is None
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_every_random_valid_algorithm_is_defeated(seed):
+    """Theorem 4's endgame as a property: with k* <= (delta-3)/2, *no*
+    node-valid 0-round algorithm survives the adversary."""
+    delta, k_star = 11, 2
+    algorithm = random_algorithm(delta, k_star, seed=seed)
+    violation = find_violation(
+        algorithm, k_star=k_star, delta=delta, id_pool=range(1, k_star + 3)
+    )
+    assert violation is not None
+    assert violation.kind in ("node", "edge")

@@ -1,0 +1,147 @@
+"""Tests for the distributed algorithms: Cole-Vishkin, Linial, weak 2-coloring."""
+
+import networkx as nx
+import pytest
+
+from repro.sim.algorithms.cole_vishkin import (
+    bit_trick_step,
+    reduce_to_six,
+    ring_successor_pointers,
+    shift_down,
+    three_color_pointer_structure,
+    three_color_ring,
+)
+from repro.sim.algorithms.linial import linial_coloring, linial_step, smallest_prime_above
+from repro.sim.algorithms.weak2 import max_id_pseudoforest, weak_two_coloring
+from repro.sim.graphs import odd_regular_graph, petersen, ring
+from repro.sim.ports import assign_unique_ids
+from repro.sim.verifier import verify_proper_coloring, verify_weak_coloring
+from repro.utils.logstar import log_star
+
+
+def test_bit_trick_preserves_pointer_properness():
+    n = 32
+    pointer = ring_successor_pointers(n)
+    colors = {v: v for v in range(n)}  # distinct along successors... careful
+    colors = {v: (v * 7919 + 13) % (1 << 20) for v in range(n)}
+    # Ensure distinct along pointers first.
+    assert all(colors[v] != colors[pointer[v]] for v in range(n))
+    reduced = bit_trick_step(colors, pointer)
+    assert all(reduced[v] != reduced[pointer[v]] for v in range(n))
+    assert max(reduced.values()) < 2 * 20
+
+
+def test_bit_trick_rejects_equal_colors():
+    pointer = {0: 1, 1: 0}
+    with pytest.raises(ValueError):
+        bit_trick_step({0: 5, 1: 5}, pointer)
+
+
+def test_reduce_to_six_round_count_is_log_star():
+    n = 64
+    pointer = ring_successor_pointers(n)
+    ids = {v: v + 1 for v in range(n)}
+    run = reduce_to_six(ids, pointer)
+    assert max(run.colors.values()) <= 5
+    # Round count is tiny even from 64-value IDs.
+    assert run.rounds <= log_star(64) + 3
+
+
+def test_shift_down_preserves_properness():
+    n = 10
+    pointer = ring_successor_pointers(n)
+    colors = {v: v % 3 for v in range(n)}
+    colors[n - 1] = 1 if colors[pointer[n - 1]] != 1 else 2
+    if any(colors[v] == colors[pointer[v]] for v in range(n)):
+        pytest.skip("fixture not proper; adjust n")
+    shifted = shift_down(colors, pointer)
+    assert all(shifted[v] != shifted[pointer[v]] for v in range(n))
+
+
+@pytest.mark.parametrize("n", [8, 33, 100])
+def test_three_color_ring(n):
+    ids = assign_unique_ids(ring(n), seed=n)
+    run = three_color_ring(ids, n)
+    assert set(run.colors.values()) <= {0, 1, 2}
+    # Proper along the successor pointers, i.e. around the whole ring.
+    pointer = ring_successor_pointers(n)
+    assert all(run.colors[v] != run.colors[pointer[v]] for v in range(n))
+    assert verify_proper_coloring(ring(n), run.colors)
+
+
+def test_three_color_pseudoforest():
+    graph = petersen()
+    ids = assign_unique_ids(graph, seed=4)
+    pointer = max_id_pseudoforest(graph, ids)
+    run = three_color_pointer_structure(ids, pointer)
+    assert all(run.colors[v] != run.colors[pointer[v]] for v in graph.nodes)
+    assert set(run.colors.values()) <= {0, 1, 2}
+
+
+def test_smallest_prime_above():
+    assert smallest_prime_above(1) == 2
+    assert smallest_prime_above(6) == 7
+    assert smallest_prime_above(7) == 11
+    assert smallest_prime_above(90) == 97
+
+
+def test_linial_step_reduces_and_stays_proper():
+    graph = petersen()
+    ids = assign_unique_ids(graph, seed=1, space=10_000)
+    new_colors, palette = linial_step(graph, ids, 10_001)
+    assert verify_proper_coloring(graph, new_colors)
+    assert max(new_colors.values()) < palette
+    assert palette < 10_001
+
+
+def test_linial_coloring_fixed_point():
+    graph = petersen()
+    ids = assign_unique_ids(graph, seed=1, space=10_000)
+    run = linial_coloring(graph, ids)
+    assert verify_proper_coloring(graph, run.colors)
+    assert run.palette_size <= 170  # O(Delta^2 log^2 Delta) at Delta = 3
+    assert run.rounds <= log_star(10_000) + 4
+
+
+@pytest.mark.parametrize("delta,n,seed", [(3, 14, 0), (5, 20, 1), (7, 24, 2)])
+def test_weak_two_coloring_on_odd_regular(delta, n, seed):
+    graph = odd_regular_graph(delta, n, seed=seed)
+    ids = assign_unique_ids(graph, seed=seed)
+    run = weak_two_coloring(graph, ids)
+    assert verify_weak_coloring(graph, run.colors)
+    assert set(run.colors.values()) <= {1, 2}
+    for v in graph.nodes:
+        assert run.colors[run.pointer[v]] != run.colors[v]
+        assert graph.has_edge(v, run.pointer[v])
+
+
+def test_weak_two_coloring_on_even_degree_graphs_too():
+    """The substituted algorithm needs no odd-degree assumption."""
+    graph = nx.random_regular_graph(4, 16, seed=3)
+    ids = assign_unique_ids(graph, seed=3)
+    run = weak_two_coloring(graph, ids)
+    assert verify_weak_coloring(graph, run.colors)
+
+
+def test_weak_two_coloring_many_seeds():
+    """Regression sweep: the flip-round argument holds across instances."""
+    for seed in range(8):
+        graph = odd_regular_graph(3, 12, seed=seed)
+        ids = assign_unique_ids(graph, seed=seed + 100)
+        run = weak_two_coloring(graph, ids)
+        assert verify_weak_coloring(graph, run.colors), f"seed {seed}"
+
+
+def test_weak_two_coloring_rejects_isolated_nodes():
+    graph = nx.Graph()
+    graph.add_node(0)
+    with pytest.raises(ValueError):
+        weak_two_coloring(graph, {0: 1})
+
+
+def test_max_id_pseudoforest_points_at_max():
+    graph = petersen()
+    ids = assign_unique_ids(graph, seed=7)
+    pointer = max_id_pseudoforest(graph, ids)
+    for v, target in pointer.items():
+        assert ids[target] == max(ids[u] for u in graph.neighbors(v))

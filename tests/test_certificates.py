@@ -1,0 +1,76 @@
+"""Tests for lower-bound certificates."""
+
+from repro.analysis.certificates import (
+    ChainLink,
+    LinkKind,
+    LowerBoundCertificate,
+    check_certificate,
+    sinkless_certificate,
+)
+from repro.core.speedup import speedup
+from repro.problems.sinkless import sinkless_coloring
+
+
+def test_sinkless_certificate_valid():
+    certificate = sinkless_certificate(delta=3, rounds=3)
+    verdict = check_certificate(certificate)
+    assert verdict.valid
+    assert verdict.bound == 3
+    assert certificate.speedup_steps == 3
+
+
+def test_certificate_counts_only_speedup_links():
+    certificate = sinkless_certificate(delta=3, rounds=2)
+    assert len(certificate.links) == 4  # speedup + relaxation, twice
+    assert certificate.claimed_bound == 2
+
+
+def test_tampered_relaxation_is_rejected(sc3):
+    derived = speedup(sc3).full
+    bad_link = ChainLink(
+        kind=LinkKind.RELAXATION,
+        problem=sc3,
+        mapping={label: "0" for label in derived.labels},  # collapses everything
+    )
+    certificate = LowerBoundCertificate(
+        initial=sc3,
+        links=(ChainLink(kind=LinkKind.SPEEDUP, problem=derived), bad_link),
+    )
+    verdict = check_certificate(certificate)
+    assert not verdict.valid
+    assert any("does not certify" in failure for failure in verdict.failures)
+
+
+def test_wrong_speedup_result_is_rejected(sc3, col3_ring):
+    certificate = LowerBoundCertificate(
+        initial=sc3,
+        links=(ChainLink(kind=LinkKind.SPEEDUP, problem=col3_ring),),
+    )
+    verdict = check_certificate(certificate)
+    assert not verdict.valid
+
+
+def test_zero_round_final_problem_proves_nothing():
+    from repro.core.problem import Problem
+    from repro.utils.multiset import multisets_of_size
+
+    trivial = Problem.make(
+        "trivial",
+        3,
+        [("a", "a")],
+        list(multisets_of_size(["a"], 3)),
+        labels=["a"],
+    )
+    certificate = LowerBoundCertificate(initial=trivial, links=())
+    verdict = check_certificate(certificate)
+    assert not verdict.valid
+    assert any("0-round solvable" in failure for failure in verdict.failures)
+
+
+def test_missing_relaxation_map_is_rejected(sc3):
+    certificate = LowerBoundCertificate(
+        initial=sc3,
+        links=(ChainLink(kind=LinkKind.RELAXATION, problem=sc3, mapping=None),),
+    )
+    verdict = check_certificate(certificate)
+    assert not verdict.valid

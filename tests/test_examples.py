@@ -1,0 +1,49 @@
+"""Smoke tests: the example scripts' core flows run and hold their claims.
+
+The full scripts print at length; these tests execute their decision-making
+cores quickly (the scripts themselves are exercised by CI-style manual runs,
+see README).
+"""
+
+from repro import are_isomorphic, run_round_elimination, sinkless_coloring, speedup
+from repro.analysis import check_certificate, sinkless_certificate
+from repro.sim.algorithms import weak_two_coloring
+from repro.sim.graphs import petersen
+from repro.sim.ports import PortGraph, assign_unique_ids
+from repro.sim.verifier import verify_superweak_coloring
+
+
+def test_quickstart_flow():
+    problem = sinkless_coloring(3)
+    result = speedup(problem)
+    assert are_isomorphic(result.full.compressed(), problem.compressed())
+
+
+def test_sinkless_lower_bound_flow():
+    result = run_round_elimination(sinkless_coloring(3), max_steps=3)
+    assert result.unbounded
+    verdict = check_certificate(sinkless_certificate(3, rounds=2))
+    assert verdict.valid and verdict.bound == 2
+
+
+def test_figure2_flow():
+    graph = petersen()
+    pg = PortGraph(graph)
+    ids = assign_unique_ids(graph, seed=9)
+    run = weak_two_coloring(graph, ids)
+    kinds = {}
+    for v in pg.nodes():
+        witness_port = pg.port_toward(v, run.pointer[v])
+        for port in range(pg.degree(v)):
+            kinds[(v, port)] = "D" if port == witness_port else "N"
+    assert verify_superweak_coloring(graph, pg, 2, run.colors, kinds)
+
+
+def test_repl_demo_parses_and_runs():
+    from examples.round_eliminator_repl import DEMO
+    from repro import parse_problem
+
+    problem = parse_problem(DEMO)
+    assert problem.name == "mis"
+    result = run_round_elimination(problem, max_steps=1)
+    assert len(result.steps) >= 2

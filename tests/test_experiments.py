@@ -1,0 +1,110 @@
+"""Integration tests: the experiment drivers reproduce the paper's claims."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    embedded_coloring_size,
+    paper_hardening_labels,
+    run_color_reduction,
+    run_maximality,
+    run_membership_crosscheck,
+    run_sinkless,
+    run_superweak_half,
+    run_weak2,
+)
+
+
+@pytest.mark.parametrize("delta", [3, 4])
+def test_e1_sinkless(delta):
+    result = run_sinkless(delta)
+    assert result.half_is_sinkless_orientation
+    assert result.full_is_sinkless_coloring
+    assert not result.zero_round_with_orientations
+    assert result.reproduces_paper
+
+
+def test_e2_color_reduction_k4():
+    result = run_color_reduction(4)
+    assert result.k_prime == 8  # 2^(C(4,2)/2) = 2^3
+    assert result.reproduces_paper
+
+
+def test_e2_color_reduction_k6_doubly_exponential():
+    result = run_color_reduction(6)
+    assert result.k_prime == 2**10  # C(6,3)/2 = 10
+    assert result.k_prime >= 2 ** (2**3)
+    assert result.exhaustive
+    assert result.reproduces_paper
+
+
+def test_e2_color_reduction_k8_sampled():
+    """2^35 labels cannot be materialised; count arithmetic + sampled checks."""
+    result = run_color_reduction(8, sample_size=32)
+    assert result.k_prime == 2**35
+    assert not result.exhaustive
+    assert result.reproduces_paper
+
+
+def test_e2_hardening_labels_structure():
+    labels = paper_hardening_labels(4)
+    assert len(labels) == 8
+    ground = frozenset(range(1, 5))
+    for label in labels:
+        for member in label:
+            assert len(member) == 2
+            # Exactly one of each complementary pair.
+            assert (ground - member) not in label
+
+
+def test_e2_hardening_rejects_odd_k():
+    with pytest.raises(ValueError):
+        paper_hardening_labels(5)
+
+
+def test_e2_engine_embeds_large_coloring():
+    """The derived problem of 4-coloring on rings embeds >= 8 colors."""
+    from repro.core.speedup import speedup
+    from repro.problems.coloring import coloring
+
+    derived = speedup(coloring(4, 2)).full
+    assert embedded_coloring_size(derived) >= 8
+
+
+def test_e3_weak2():
+    result = run_weak2(delta=3)
+    assert result.usable_half_labels == 7
+    assert result.usable_edge_rows == 4
+    assert result.trit_description_isomorphic
+    assert result.h1_size == 9
+    assert result.reproduces_paper
+    # At least one derived configuration is self-compatible -- the paper's
+    # special element Q that defeats the naive weak 9-coloring relaxation.
+    assert result.self_compatible_configs >= 1
+
+
+@pytest.mark.parametrize("delta", [3, 4])
+def test_e4_superweak_half(delta):
+    result = run_superweak_half(2, delta)
+    assert result.isomorphic
+    assert result.engine_labels == 9  # all 3^2 trit sequences usable
+    assert result.reproduces_paper
+
+
+def test_e5_membership_crosscheck():
+    result = run_membership_crosscheck(2, 3)
+    assert result.all_property_a
+    assert result.all_maximal
+    assert result.oracle_matches_bruteforce
+    assert result.configs > 0
+
+
+def test_e10_maximality_sinkless(sc3):
+    result = run_maximality(sc3)
+    assert result.zero_round_match
+    assert result.simplified_relaxes_raw
+    assert result.reproduces_paper
+
+
+def test_e10_maximality_coloring(col3_ring):
+    result = run_maximality(col3_ring)
+    assert result.reproduces_paper

@@ -1,0 +1,31 @@
+"""Tests for degree-indexed problem families."""
+
+import pytest
+
+from repro.core.family import ProblemFamily
+from repro.problems.sinkless import SINKLESS_COLORING, sinkless_coloring
+
+
+def test_family_builds_requested_delta():
+    problem = SINKLESS_COLORING(4)
+    assert problem.delta == 4
+
+
+def test_family_enforces_min_delta():
+    with pytest.raises(ValueError):
+        SINKLESS_COLORING(1)
+
+
+def test_family_instances():
+    problems = SINKLESS_COLORING.instances([3, 4, 5])
+    assert [p.delta for p in problems] == [3, 4, 5]
+
+
+def test_family_checks_builder_consistency():
+    bad = ProblemFamily(name="bad", builder=lambda delta: sinkless_coloring(3))
+    with pytest.raises(ValueError):
+        bad(4)
+
+
+def test_family_carries_description():
+    assert "Section 4.4" in SINKLESS_COLORING.description

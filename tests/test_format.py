@@ -1,0 +1,76 @@
+"""Round-trip tests for the textual problem format."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.format import format_problem, parse_problem
+from repro.core.problem import Problem, ProblemError
+from repro.utils.multiset import multisets_of_size
+
+
+def test_roundtrip_sinkless(sc3):
+    assert parse_problem(format_problem(sc3)) == sc3
+
+
+def test_roundtrip_weak2(weak2_d3):
+    assert parse_problem(format_problem(weak2_d3)) == weak2_d3
+
+
+def test_parse_ignores_comments_and_blanks():
+    text = """
+# a comment
+problem demo delta=2
+
+labels: a b
+node:
+a b
+# another comment
+edge:
+a a
+"""
+    problem = parse_problem(text)
+    assert problem.name == "demo"
+    assert problem.delta == 2
+    assert problem.allows_node(["a", "b"])
+    assert problem.allows_edge("a", "a")
+
+
+def test_parse_missing_header():
+    with pytest.raises(ProblemError):
+        parse_problem("labels: a\nnode:\na a\nedge:\na a\n")
+
+
+def test_parse_rejects_line_outside_section():
+    with pytest.raises(ProblemError):
+        parse_problem("problem p delta=2\na a\n")
+
+
+def test_parse_rejects_bad_edge_arity():
+    with pytest.raises(ProblemError):
+        parse_problem("problem p delta=2\nlabels: a\nnode:\na a\nedge:\na a a\n")
+
+
+def test_parse_rejects_bad_node_arity():
+    with pytest.raises(ProblemError):
+        parse_problem("problem p delta=3\nlabels: a\nnode:\na a\nedge:\na a\n")
+
+
+@st.composite
+def random_problems(draw):
+    delta = draw(st.integers(1, 3))
+    labels = draw(
+        st.lists(
+            st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=4, unique=True
+        )
+    )
+    all_edges = list(multisets_of_size(labels, 2))
+    all_nodes = list(multisets_of_size(labels, delta))
+    edges = draw(st.lists(st.sampled_from(all_edges), max_size=len(all_edges)))
+    nodes = draw(st.lists(st.sampled_from(all_nodes), max_size=len(all_nodes)))
+    return Problem.make("random", delta, edges, nodes, labels=labels)
+
+
+@given(random_problems())
+def test_roundtrip_random(problem):
+    assert parse_problem(format_problem(problem)) == problem

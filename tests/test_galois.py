@@ -1,0 +1,91 @@
+"""Tests for the compatibility Galois connection."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.galois import Compatibility
+from repro.core.problem import Problem
+from repro.problems.coloring import coloring
+from repro.utils.multiset import multisets_of_size
+
+
+def test_polar_of_singleton(sc3):
+    comp = Compatibility(sc3)
+    # 0 is compatible with both labels; 1 only with 0.
+    assert comp.polar(frozenset({"0"})) == frozenset({"0", "1"})
+    assert comp.polar(frozenset({"1"})) == frozenset({"0"})
+
+
+def test_polar_is_antitone(sc3):
+    comp = Compatibility(sc3)
+    small = frozenset({"0"})
+    large = frozenset({"0", "1"})
+    assert comp.polar(large) <= comp.polar(small)
+
+
+def test_closure_is_idempotent_and_extensive(sc3):
+    comp = Compatibility(sc3)
+    for subset in (frozenset(), frozenset({"0"}), frozenset({"1"}), frozenset({"0", "1"})):
+        closure = comp.closure(subset)
+        assert subset <= closure
+        assert comp.closure(closure) == closure
+
+
+def test_closed_sets_sinkless(sc3):
+    comp = Compatibility(sc3)
+    closed = comp.closed_sets()
+    # For sinkless coloring: comp({0}) = {0,1}, comp({1}) = {0}, comp({0,1}) = {0}.
+    assert frozenset({"0"}) in closed
+    assert frozenset({"0", "1"}) in closed
+
+
+def test_usable_closed_sets_sinkless(sc3):
+    comp = Compatibility(sc3)
+    usable = comp.usable_closed_sets()
+    assert usable == frozenset({frozenset({"0"}), frozenset({"0", "1"})})
+
+
+def test_coloring_closed_sets_are_all_proper_subsets():
+    # For k-coloring the polar is the complement, so every nonempty proper
+    # subset is closed and usable (Section 4.5: 14 sets for k = 4).
+    problem = coloring(4, 2)
+    comp = Compatibility(problem)
+    usable = comp.usable_closed_sets()
+    assert len(usable) == 14
+    for subset in usable:
+        assert comp.polar(subset) == problem.labels - subset
+
+
+def test_polar_pair_is_closed(col4_ring):
+    comp = Compatibility(col4_ring)
+    for subset in comp.usable_closed_sets():
+        assert comp.is_closed(comp.polar(subset))
+
+
+@st.composite
+def small_problems(draw):
+    labels = ["a", "b", "c"]
+    all_edges = list(multisets_of_size(labels, 2))
+    edges = draw(st.lists(st.sampled_from(all_edges), max_size=6))
+    return Problem.make("rand", 2, edges, [("a", "a")], labels=labels)
+
+
+@given(small_problems())
+def test_galois_connection_laws(problem):
+    comp = Compatibility(problem)
+    subsets = [frozenset(), frozenset({"a"}), frozenset({"a", "b"}), frozenset({"a", "b", "c"})]
+    for x in subsets:
+        for y in subsets:
+            # Galois: x <= polar(y)  <=>  y <= polar(x).
+            assert (x <= comp.polar(y)) == (y <= comp.polar(x))
+
+
+@given(small_problems())
+def test_closed_sets_are_exactly_polars(problem):
+    comp = Compatibility(problem)
+    closed = comp.closed_sets()
+    for candidate in closed:
+        assert comp.is_closed(candidate)
+    # Every polar of anything is closed and must appear in the enumeration.
+    for subset in [frozenset({"a"}), frozenset({"b", "c"})]:
+        assert comp.polar(subset) in closed

@@ -1,0 +1,97 @@
+"""Tests for the graph generators and girth computation."""
+
+import networkx as nx
+import pytest
+
+from repro.sim.graphs import (
+    cage,
+    complete_regular_tree,
+    girth,
+    heawood,
+    mcgee,
+    odd_regular_graph,
+    path,
+    petersen,
+    random_regular_with_girth,
+    ring,
+    torus_grid,
+    tutte_coxeter,
+)
+
+
+@pytest.mark.parametrize(
+    "builder,n,expected_girth",
+    [(petersen, 10, 5), (heawood, 14, 6), (mcgee, 24, 7), (tutte_coxeter, 30, 8)],
+)
+def test_cages_are_cubic_with_right_girth(builder, n, expected_girth):
+    graph = builder()
+    assert graph.number_of_nodes() == n
+    assert set(dict(graph.degree).values()) == {3}
+    assert girth(graph) == expected_girth
+    assert nx.is_connected(graph)
+
+
+def test_cage_lookup():
+    assert cage(3, 7).number_of_nodes() == 24
+    with pytest.raises(KeyError):
+        cage(4, 5)
+
+
+def test_ring_girth_is_n():
+    assert girth(ring(7)) == 7
+
+
+def test_ring_too_small():
+    with pytest.raises(ValueError):
+        ring(2)
+
+
+def test_path_has_no_cycle():
+    assert girth(path(6)) == float("inf")
+
+
+def test_complete_regular_tree_structure():
+    tree = complete_regular_tree(3, 2)
+    # Root: 3 children; each child: 2 children -> 1 + 3 + 6 = 10 nodes.
+    assert tree.number_of_nodes() == 10
+    assert tree.degree(0) == 3
+    assert girth(tree) == float("inf")
+    internal = [v for v in tree.nodes if tree.degree(v) > 1]
+    assert all(tree.degree(v) == 3 for v in internal)
+
+
+def test_torus_grid_regularity():
+    torus = torus_grid(4, 5)
+    assert torus.number_of_nodes() == 20
+    assert set(dict(torus.degree).values()) == {4}
+    assert girth(torus) == 4
+
+
+def test_triangle_girth():
+    assert girth(nx.complete_graph(3)) == 3
+
+
+def test_random_regular_with_girth():
+    graph = random_regular_with_girth(3, 20, 5, seed=1)
+    assert set(dict(graph.degree).values()) == {3}
+    assert girth(graph) >= 5
+    assert nx.is_connected(graph)
+
+
+def test_random_regular_with_girth_impossible():
+    with pytest.raises(RuntimeError):
+        # K4 is the only 3-regular graph on 4 nodes; girth 3.
+        random_regular_with_girth(3, 4, 5, seed=1, max_tries=10)
+
+
+def test_odd_regular_graph():
+    graph = odd_regular_graph(5, 12, seed=3)
+    assert set(dict(graph.degree).values()) == {5}
+    assert nx.is_connected(graph)
+
+
+def test_odd_regular_graph_validation():
+    with pytest.raises(ValueError):
+        odd_regular_graph(4, 10, seed=1)
+    with pytest.raises(ValueError):
+        odd_regular_graph(3, 7, seed=1)  # odd * odd is not even

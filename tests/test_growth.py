@@ -1,0 +1,40 @@
+"""E13: description-complexity growth under iterated speedup."""
+
+from repro.analysis.growth import measure_growth
+from repro.problems.coloring import coloring
+from repro.problems.sinkless import sinkless_coloring
+from repro.problems.weak_coloring import weak_coloring_pointer
+
+
+def test_sinkless_growth_is_flat():
+    """The fixed point keeps descriptions constant-size forever."""
+    rows = measure_growth(sinkless_coloring(3), steps=3)
+    assert len(rows) == 4
+    sizes = [row.description_size for row in rows[1:]]
+    assert len(set(sizes)) == 1
+    assert not any(row.blew_up for row in rows)
+
+
+def test_coloring_growth_explodes():
+    """3-coloring on rings: labels multiply until the guards trip --
+    Section 2.1's 'explosion in complexity'."""
+    rows = measure_growth(coloring(3, 2), steps=3)
+    assert rows[1].labels > rows[0].labels
+    assert rows[-1].blew_up or rows[-1].labels > rows[1].labels
+
+
+def test_weak2_first_step_shrinks_then_grows():
+    rows = measure_growth(weak_coloring_pointer(2, 3), steps=1)
+    assert len(rows) == 2
+    # Step 1: 17 labels vs the original 4 -- already bigger.
+    assert rows[1].labels > rows[0].labels
+    assert rows[1].node_configs == 9
+
+
+def test_growth_rows_record_metrics():
+    rows = measure_growth(sinkless_coloring(3), steps=1)
+    first = rows[0]
+    assert first.labels == 2
+    assert first.edge_configs == 2
+    assert first.node_configs == 1
+    assert first.description_size == 2 + 4 + 3

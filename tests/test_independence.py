@@ -1,0 +1,36 @@
+"""E11: executable t-independence (Figure 1 / Section 2.2)."""
+
+from repro.analysis.experiments import run_independence
+from repro.sim.independence import check_t_independence
+from repro.sim.speedup_exec import ColoredRingClass
+
+
+def test_colored_ring_class_is_1_independent():
+    report = check_t_independence(ColoredRingClass(n=5, num_colors=3).instances(), t=1)
+    assert report.node_side_independent
+    assert report.edge_side_independent
+    assert report.independent
+    assert report.node_views_checked > 0
+
+
+def test_colored_ring_class_more_colors_still_independent():
+    report = check_t_independence(ColoredRingClass(n=5, num_colors=4).instances(), t=1)
+    assert report.independent
+
+
+def test_unique_ids_break_independence():
+    """An ID seen along one extension excludes it from the others (Section 2.2)."""
+    result = run_independence(n=5, t=1, num_colors=3)
+    assert result.colored_class_independent
+    assert not result.id_class_independent
+    assert result.reproduces_paper
+
+
+def test_single_instance_class_is_not_independent():
+    """A one-graph class is not t-independent: the same base view occurs at
+    several nodes with different extension combinations, but the mixed
+    combinations are not realised anywhere else in the (singleton) class."""
+    instances = list(ColoredRingClass(n=5, num_colors=3).instances())[:1]
+    report = check_t_independence(instances, t=1)
+    assert not report.node_side_independent
+    assert not report.independent

@@ -1,0 +1,64 @@
+"""Tests for problem isomorphism detection."""
+
+from repro.core.isomorphism import are_isomorphic, find_isomorphism
+from repro.core.problem import Problem
+from repro.problems.coloring import coloring
+from repro.problems.sinkless import sinkless_coloring
+
+
+def test_identity_isomorphism(sc3):
+    mapping = find_isomorphism(sc3, sc3)
+    assert mapping == {"0": "0", "1": "1"}
+
+
+def test_renaming_is_isomorphic(sc3):
+    renamed = sc3.renamed({"0": "x", "1": "y"})
+    mapping = find_isomorphism(sc3, renamed)
+    assert mapping == {"0": "x", "1": "y"}
+
+
+def test_isomorphism_verifies_exactly():
+    # Same label counts and signatures would pass naive checks; the
+    # constraints differ, so no isomorphism exists.
+    first = Problem.make("p", 2, [("a", "b")], [("a", "a"), ("b", "b")])
+    second = Problem.make("q", 2, [("a", "a")], [("a", "b"), ("b", "b")])
+    assert not are_isomorphic(first, second)
+
+
+def test_different_sizes_fail_fast(sc3, col3_ring):
+    assert not are_isomorphic(sc3, col3_ring)
+
+
+def test_different_delta_fail(sc3):
+    other = sinkless_coloring(4)
+    assert not are_isomorphic(sc3, other)
+
+
+def test_coloring_color_permutations():
+    first = coloring(3, 2)
+    # Swap two colors: still isomorphic, and the map must be a permutation.
+    second = first.renamed({"c1": "c2", "c2": "c1", "c3": "c3"}, name="swapped")
+    mapping = find_isomorphism(first, second)
+    assert mapping is not None
+    assert sorted(mapping.values()) == sorted(first.labels)
+
+
+def test_dead_labels_matter():
+    alive = Problem.make("p", 2, [("a", "a")], [("a", "a")], labels=["a"])
+    with_dead = Problem.make("q", 2, [("a", "a")], [("a", "a")], labels=["a", "z"])
+    assert not are_isomorphic(alive, with_dead)
+    assert are_isomorphic(alive, with_dead.compressed())
+
+
+def test_asymmetric_signature_pruning():
+    """Labels with distinct roles can only map to their counterparts."""
+    first = Problem.make("p", 2, [("a", "a"), ("a", "b")], [("a", "b")])
+    second = Problem.make("q", 2, [("x", "x"), ("x", "y")], [("x", "y")])
+    mapping = find_isomorphism(first, second)
+    assert mapping == {"a": "x", "b": "y"}
+
+
+def test_self_loop_edge_config_distinguishes():
+    first = Problem.make("p", 2, [("a", "b")], [("a", "b")])
+    second = Problem.make("q", 2, [("a", "a")], [("a", "b")])
+    assert not are_isomorphic(first, second)

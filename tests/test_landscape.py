@@ -1,0 +1,33 @@
+"""Tests for the catalog-wide round-elimination survey."""
+
+from repro.analysis.landscape import landscape_markdown, survey_catalog, survey_problem
+from repro.problems.sinkless import sinkless_coloring
+
+
+def test_survey_sinkless_row():
+    row = survey_problem(sinkless_coloring(3))
+    assert row.fixed_point
+    assert not row.zero_round_oriented
+    assert not row.derived_zero_round_oriented
+    assert row.derived_labels == 2
+    assert not row.blew_up
+
+
+def test_survey_subset_of_catalog():
+    rows = survey_catalog(
+        delta=3,
+        names=["sinkless-coloring", "sinkless-orientation", "mis", "2-coloring"],
+    )
+    by_name = {row.name.split("[")[0]: row for row in rows}
+    assert by_name["sinkless-coloring"].fixed_point
+    # Sinkless orientation's derivation also cycles through the pair.
+    assert not by_name["mis"].zero_round_oriented
+    assert len(rows) == 4
+
+
+def test_landscape_markdown_renders():
+    rows = survey_catalog(delta=3, names=["sinkless-coloring"])
+    table = landscape_markdown(rows)
+    assert "problem" in table
+    assert "sinkless-coloring" in table
+    assert table.count("|") > 10

@@ -1,0 +1,89 @@
+"""Tests for Lemma 1: the dominant element P_infinity."""
+
+import pytest
+
+from repro.superweak.lemma1 import (
+    delta_hypothesis,
+    find_p_infinity,
+    small_multiplicity_bound,
+    total_small_bound,
+)
+from repro.superweak.membership import CondensedConfig
+from repro.superweak.tritseq import all_ones, all_tritseqs
+
+
+def test_bounds_for_k2():
+    assert small_multiplicity_bound(2) == 3 * 9  # (k+1) * 3^k
+    assert total_small_bound(2) == 2**16
+    assert delta_hypothesis(2) == 2**16 + 1
+
+
+def test_paper_overestimate_holds():
+    """(k+1) * 3^k * 2^(3^k) <= 2^(4^k) for k >= 2 (the proof's footnote 14)."""
+    for k in (2, 3):
+        assert (k + 1) * 3**k * 2 ** (3**k) <= 2 ** (4**k)
+
+
+def test_find_p_infinity_on_dominant_structure():
+    delta = delta_hypothesis(2) + 7
+    ones = frozenset({all_ones(2)})
+    other = frozenset({"02", "20"})
+    config = CondensedConfig.from_mapping({ones: delta - 2, other: 2})
+    result = find_p_infinity(config, 2)
+    assert result.p_infinity == ones
+    assert result.multiplicity == delta - 2
+    assert result.unique_dominant
+    assert result.contains_all_ones
+    assert result.meets_multiplicity_bound
+    assert result.lemma_conclusion_holds
+
+
+def test_find_p_infinity_flags_missing_ones():
+    delta = delta_hypothesis(2)
+    no_ones = frozenset({"02", "20"})
+    config = CondensedConfig.from_mapping({no_ones: delta})
+    result = find_p_infinity(config, 2)
+    assert not result.contains_all_ones
+    assert not result.lemma_conclusion_holds
+
+
+def test_find_p_infinity_flags_two_heavy_elements():
+    bound = small_multiplicity_bound(2)
+    first = frozenset({all_ones(2)})
+    second = frozenset({"02"})
+    config = CondensedConfig.from_mapping({first: bound + 5, second: bound + 5})
+    result = find_p_infinity(config, 2)
+    assert not result.unique_dominant
+
+
+def test_find_p_infinity_prefers_all_ones_on_ties():
+    first = frozenset({all_ones(2), "02"})
+    second = frozenset({"20", "21"})
+    config = CondensedConfig.from_mapping({first: 3, second: 3})
+    result = find_p_infinity(config, 2)
+    assert all_ones(2) in result.p_infinity
+
+
+def test_find_p_infinity_empty_raises():
+    with pytest.raises(ValueError):
+        find_p_infinity(CondensedConfig.from_sequence([]), 2)
+
+
+def test_engine_configs_dominant_selection():
+    """On engine-derived h'_1 configs, the extractor picks a true maximum and
+    prefers an 11...1-containing element whenever one attains the maximum."""
+    from collections import Counter
+
+    from repro.analysis.experiments import superweak_full_in_trit_form
+
+    full, to_trit = superweak_full_in_trit_form(2, 3)
+    ones = all_ones(2)
+    for config in sorted(full.node_constraint):
+        sets = [to_trit[l] for l in config]
+        condensed = CondensedConfig.from_sequence(sets)
+        result = find_p_infinity(condensed, 2)
+        tally = Counter(frozenset(s) for s in sets)
+        top = max(tally.values())
+        assert result.multiplicity == top
+        if any(ones in member for member, count in tally.items() if count == top):
+            assert ones in result.p_infinity

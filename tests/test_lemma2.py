@@ -1,0 +1,160 @@
+"""Tests for Lemma 2: the Hall-violator pointer construction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.superweak.lemma2 import (
+    Lemma2Error,
+    compute_pointer_sets,
+    g1_allows,
+)
+from repro.superweak.tritseq import all_ones, all_tritseqs
+
+ALL2 = all_tritseqs(2)
+
+
+def test_g1_allows_complement_pairs():
+    assert g1_allows(frozenset({"01"}), frozenset({"21"}))
+    assert g1_allows(frozenset({"11"}), frozenset({"11"}))
+    assert not g1_allows(frozenset({"01"}), frozenset({"01"}))
+    assert g1_allows(frozenset({"01", "02"}), frozenset({"20", "00"}))
+
+
+def make_dominated_q(delta: int):
+    """A Q-list with a dominant element and a genuine Hall violator.
+
+    P_infinity = {11}; two ports hold {00} (not g1-compatible with {11},
+    no 11 inside: both in the index set I) but only one port holds their
+    unique partner {22} -- so the two {00} ports cannot be matched and form
+    the violator J* with |J*| = 2 > 1 = |N(J*)|.
+    """
+    p_inf = frozenset({all_ones(2)})
+    q = [p_inf] * (delta - 3) + [
+        frozenset({"00"}),
+        frozenset({"00"}),
+        frozenset({"22"}),
+    ]
+    return q
+
+
+def test_pointer_sets_on_dominated_structure():
+    delta = 6
+    q = make_dominated_q(delta)
+    alpha = ["in"] * (delta - 3) + ["out", "out", "in"]
+    result = compute_pointer_sets(q, alpha, 2)
+    assert len(result.j_star) > len(result.n_of_j_star)
+    # J* must be inside the index set I.
+    assert result.j_star <= result.index_set
+    # alpha-homogeneity of J*, opposite on N(J*).
+    sides = {alpha[i] for i in result.j_star}
+    assert len(sides) == 1
+    for i in result.n_of_j_star:
+        assert alpha[i] not in sides
+
+
+def test_pointer_sets_exclude_p_infinity_ports():
+    delta = 6
+    q = make_dominated_q(delta)
+    alpha = ["out"] * (delta - 3) + ["out", "out", "in"]
+    result = compute_pointer_sets(q, alpha, 2)
+    for index in result.j_star | result.n_of_j_star:
+        assert q[index] != result.p_infinity
+
+
+def test_mismatched_lengths_raise():
+    with pytest.raises(ValueError):
+        compute_pointer_sets([frozenset({"11"})], ["in", "out"], 2)
+
+
+def test_lemma2_error_when_no_violator():
+    """A Q where every index is g1-compatible with P_infinity: I is empty."""
+    q = [frozenset({"11"})] * 4
+    with pytest.raises(Lemma2Error):
+        compute_pointer_sets(q, ["in", "out", "in", "out"], 2)
+
+
+def test_determinism_under_port_permutation():
+    """Two nodes with the same (Q, alpha) multisets select the same pointer
+    multiset -- the consistency Lemma 3 requires."""
+    delta = 6
+    q = make_dominated_q(delta)
+    alpha = ["in"] * (delta - 3) + ["out", "out", "in"]
+    result = compute_pointer_sets(q, alpha, 2)
+    reference = sorted(
+        (tuple(sorted(q[i])), alpha[i]) for i in result.j_star
+    )
+    # Permute ports; the selected (Q, alpha) multiset must not change.
+    permutation = [delta - 1 - i for i in range(delta)]
+    permuted_q = [q[p] for p in permutation]
+    permuted_alpha = [alpha[p] for p in permutation]
+    permuted = compute_pointer_sets(permuted_q, permuted_alpha, 2)
+    assert reference == sorted(
+        (tuple(sorted(permuted_q[i])), permuted_alpha[i]) for i in permuted.j_star
+    )
+
+
+def brute_force_violator_exists(q, alpha, index_set) -> bool:
+    """Reference implementation: scan all homogeneous subsets of I."""
+    from itertools import combinations
+
+    def neighbors(of):
+        return {
+            i
+            for i in range(len(q))
+            if any(alpha[i] != alpha[j] and g1_allows(q[i], q[j]) for j in of)
+        }
+
+    for side in ("in", "out"):
+        candidates = [i for i in index_set if alpha[i] == side]
+        for size in range(1, len(candidates) + 1):
+            for subset in combinations(candidates, size):
+                if len(subset) > len(neighbors(set(subset))):
+                    return True
+    return False
+
+
+@st.composite
+def random_q_instances(draw):
+    delta = draw(st.integers(3, 5))
+    sets = st.frozensets(st.sampled_from(ALL2), min_size=1, max_size=4)
+    q = [draw(sets) for _ in range(delta)]
+    alpha = [draw(st.sampled_from(["in", "out"])) for _ in range(delta)]
+    return q, alpha
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_q_instances())
+def test_algorithm_agrees_with_bruteforce(instance):
+    """The Hall-based search finds a valid J* exactly when one exists."""
+    q, alpha = instance
+    try:
+        result = compute_pointer_sets(q, alpha, 2)
+        found = True
+    except Lemma2Error:
+        found = False
+        result = None
+    if found:
+        assert len(result.j_star) > len(result.n_of_j_star)
+        # N(J*) must really be the neighborhood of J*.
+        expected_n = {
+            i
+            for i in range(len(q))
+            if any(
+                alpha[i] != alpha[j] and g1_allows(q[i], q[j])
+                for j in result.j_star
+            )
+        }
+        assert result.n_of_j_star == frozenset(expected_n)
+    else:
+        # brute force over the same index set must also fail
+        from repro.superweak.lemma1 import find_p_infinity
+        from repro.superweak.membership import CondensedConfig
+
+        p_inf = find_p_infinity(CondensedConfig.from_sequence(q), 2).p_infinity
+        index_set = {
+            i
+            for i, qi in enumerate(q)
+            if not g1_allows(qi, p_inf) and all_ones(2) not in qi
+        }
+        assert not brute_force_violator_exists(q, alpha, index_set)

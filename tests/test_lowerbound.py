@@ -1,0 +1,82 @@
+"""Tests for the Theorem 4 bound chain and its tower arithmetic."""
+
+from repro.superweak.lowerbound import (
+    bound_table,
+    delta_supports_k,
+    k_sequence,
+    max_certified_rounds,
+    theorem4_lower_bound,
+    theorem4_shape,
+    verify_chain,
+)
+from repro.utils.tower import Tower
+
+
+def test_k_sequence_first_values():
+    ks = k_sequence(2)
+    assert ks[0] == 2
+    # k_1 = F^5(2) = 2^(2^65536).
+    assert ks[1] == Tower(1, 2**65536)
+    assert ks[2] > ks[1]
+
+
+def test_k_sequence_strictly_increasing():
+    ks = k_sequence(4)
+    for a, b in zip(ks, ks[1:]):
+        from repro.utils.tower import as_tower
+
+        assert as_tower(a) < as_tower(b)
+
+
+def test_delta_supports_small_k():
+    # k = 2 needs Delta >= 2^16 + 1.
+    assert delta_supports_k(2**16 + 1, 2)
+    assert not delta_supports_k(2**16, 2)
+    assert not delta_supports_k(Tower(3, 2), 2)  # = 65536: one short
+    assert delta_supports_k(Tower(4, 2), 2)  # = 2^65536: plenty
+
+
+def test_delta_supports_tower_k():
+    huge_k = Tower(2, 2**65536)
+    # Even a height-6 tower Delta supports nothing so large.
+    assert not delta_supports_k(Tower(6, 2), huge_k)
+    # A tower Delta taller than 2^(2^k) does.
+    assert delta_supports_k(Tower(2, 2**65536).exp2().exp2().exp2(), huge_k)
+
+
+def test_verify_chain_small_delta_fails():
+    report = verify_chain(Tower(4, 2), rounds=1)
+    assert not report.valid
+
+
+def test_verify_chain_large_delta_succeeds():
+    report = verify_chain(Tower(30, 2), rounds=2)
+    assert report.valid
+    assert len(report.colors) == 4  # k_0 .. k_3
+
+
+def test_max_certified_rounds_monotone_in_height():
+    bounds = [max_certified_rounds(Tower(h, 2)) for h in (8, 15, 30, 60)]
+    assert bounds == sorted(bounds)
+    assert bounds[-1] > bounds[0]
+
+
+def test_bound_matches_paper_shape():
+    """The certified bound tracks (log* Delta - 7) / 5 within one round."""
+    for height in (30, 60, 120):
+        delta = Tower(height, 2)
+        certified = theorem4_lower_bound(delta)
+        shape = theorem4_shape(delta.log_star())
+        assert abs(certified - shape) <= 1.0
+
+
+def test_bound_table_rows():
+    rows = bound_table([8, 30])
+    assert rows[0].log_star_delta == 9
+    assert rows[1].certified_lower_bound > rows[0].certified_lower_bound
+    for row in rows:
+        assert row.shape_upper_bound >= row.certified_lower_bound
+
+
+def test_theorem4_lower_bound_grows_unboundedly():
+    assert theorem4_lower_bound(Tower(200, 2)) > 35

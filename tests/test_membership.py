@@ -1,0 +1,143 @@
+"""Tests for the condensed h_1 membership oracle (Property A / Property B)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.superweak.membership import (
+    CondensedConfig,
+    is_maximal,
+    property_a_bruteforce,
+    property_a_holds,
+)
+from repro.superweak.tritseq import all_tritseqs
+
+ALL2 = all_tritseqs(2)
+FULL = frozenset(ALL2)
+
+
+def test_condensed_from_sequence_counts():
+    config = CondensedConfig.from_sequence([FULL, FULL, frozenset({"01"})])
+    assert config.delta == 3
+    assert config.as_mapping()[FULL] == 2
+
+
+def test_condensed_rejects_negative():
+    with pytest.raises(ValueError):
+        CondensedConfig.from_mapping({FULL: -1})
+
+
+def test_replace_one():
+    config = CondensedConfig.from_sequence([FULL, FULL])
+    smaller = frozenset({"01"})
+    replaced = config.replace_one(FULL, smaller)
+    assert replaced.as_mapping() == {FULL: 1, smaller: 1}
+
+
+def test_replace_one_missing_raises():
+    config = CondensedConfig.from_sequence([FULL])
+    with pytest.raises(ValueError):
+        config.replace_one(frozenset({"01"}), FULL)
+
+
+def test_full_sets_violate_property_a():
+    """The adversary picks 11 everywhere: no position has more 2s than 0s."""
+    config = CondensedConfig.from_sequence([FULL] * 3)
+    assert not property_a_holds(config, 2)
+    assert not property_a_bruteforce(config, 2)
+
+
+def test_forced_good_choice_satisfies_property_a():
+    """Singleton sets forcing {21, 21, 11}: position 0 has two 2s, no 0."""
+    config = CondensedConfig.from_sequence(
+        [frozenset({"21"}), frozenset({"21"}), frozenset({"11"})]
+    )
+    assert property_a_holds(config, 2)
+    assert property_a_bruteforce(config, 2)
+
+
+def test_forced_bad_choice_fails_property_a():
+    config = CondensedConfig.from_sequence([frozenset({"01"}), frozenset({"21"})])
+    # The only choice is {01, 21}: position 0 balanced (one 0, one 2),
+    # position 1: no 2s.  Fails.
+    assert not property_a_holds(config, 2)
+    assert not property_a_bruteforce(config, 2)
+
+
+def test_property_a_empty_config():
+    assert not property_a_holds(CondensedConfig.from_sequence([]), 2)
+
+
+def test_maximality_of_non_member():
+    config = CondensedConfig.from_sequence([FULL] * 3)
+    assert not is_maximal(config, 2)
+
+
+def test_oracle_scales_to_huge_delta():
+    """Condensed counts make Delta = 2^16 + 2 instant.
+
+    Take a forced-good structure and blow up the multiplicity of the neutral
+    {11}-set: membership must be preserved (11 adds no 0s or 2s anywhere).
+    """
+    delta = 2**16 + 2
+    config = CondensedConfig.from_mapping(
+        {
+            frozenset({"21"}): 2,
+            frozenset({"11"}): delta - 2,
+        }
+    )
+    assert config.delta == delta
+    assert property_a_holds(config, 2)
+
+
+def test_huge_delta_balance_failure():
+    """Equal forced 0s and 2s at every position fail at any scale."""
+    delta = 2**16
+    config = CondensedConfig.from_mapping(
+        {
+            frozenset({"02"}): delta // 2,
+            frozenset({"20"}): delta // 2,
+        }
+    )
+    assert not property_a_holds(config, 2)
+
+
+def test_zero_cap_failure_mode():
+    """More 2s than 0s but more than k zeros at the only good position."""
+    k = 2
+    config = CondensedConfig.from_mapping(
+        {
+            frozenset({"20"}): 10,  # position 0: ten 2s; position 1: ten 0s
+            frozenset({"00"}): 3,  # three 0s at both positions (> k)
+        }
+    )
+    # Position 0: 2s=10 > 0s=3 but zeros=3 > k=2 -> fails; position 1: all 0s.
+    assert not property_a_holds(config, k)
+    assert not property_a_bruteforce(config, k)
+
+
+@st.composite
+def small_configs(draw):
+    sets = st.frozensets(st.sampled_from(ALL2), min_size=1, max_size=3)
+    slots = draw(st.lists(sets, min_size=1, max_size=4))
+    return CondensedConfig.from_sequence(slots)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_configs())
+def test_oracle_agrees_with_bruteforce(config):
+    assert property_a_holds(config, 2) == property_a_bruteforce(config, 2)
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_configs())
+def test_shrinking_a_set_preserves_property_a(config):
+    """Property A is universal over choices: fewer choices cannot hurt."""
+    if not property_a_holds(config, 2):
+        return
+    first_type = frozenset(config.counts[0][0])
+    if len(first_type) <= 1:
+        return
+    smaller = frozenset(sorted(first_type)[:-1])
+    shrunk = config.replace_one(first_type, smaller)
+    assert property_a_holds(shrunk, 2)

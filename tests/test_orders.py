@@ -1,0 +1,88 @@
+"""Tests for the poset helpers (antichains, filters, minimal elements)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.orders import (
+    antichains,
+    filters,
+    is_antichain,
+    maximal_elements,
+    minimal_elements,
+    upward_closure,
+)
+
+
+def subset_leq(a, b):
+    return a <= b
+
+
+POWERSET = [frozenset(s) for s in [(), ("x",), ("y",), ("x", "y")]]
+
+
+def test_minimal_elements_of_powerset():
+    assert minimal_elements(POWERSET, subset_leq) == frozenset({frozenset()})
+
+
+def test_maximal_elements_of_powerset():
+    assert maximal_elements(POWERSET, subset_leq) == frozenset({frozenset({"x", "y"})})
+
+
+def test_minimal_elements_of_antichain_is_itself():
+    items = [frozenset({"x"}), frozenset({"y"})]
+    assert minimal_elements(items, subset_leq) == frozenset(items)
+
+
+def test_upward_closure():
+    closure = upward_closure([frozenset({"x"})], POWERSET, subset_leq)
+    assert closure == frozenset({frozenset({"x"}), frozenset({"x", "y"})})
+
+
+def test_is_antichain():
+    assert is_antichain([frozenset({"x"}), frozenset({"y"})], subset_leq)
+    assert not is_antichain([frozenset(), frozenset({"x"})], subset_leq)
+
+
+def test_antichain_count_boolean_lattice_2():
+    # Antichains of the Boolean lattice on 2 atoms: the Dedekind number M(2) = 6.
+    assert sum(1 for _ in antichains(POWERSET, subset_leq)) == 6
+
+
+def test_antichain_count_boolean_lattice_3():
+    # M(3) = 20.
+    atoms = ("x", "y", "z")
+    universe = [
+        frozenset(c)
+        for size in range(4)
+        for c in __import__("itertools").combinations(atoms, size)
+    ]
+    assert sum(1 for _ in antichains(universe, subset_leq)) == 20
+
+
+def test_filters_are_upward_closed_and_unique():
+    produced = list(filters(POWERSET, subset_leq))
+    assert len(produced) == len(set(produced))
+    for f in produced:
+        for member in f:
+            for other in POWERSET:
+                if subset_leq(member, other):
+                    assert other in f
+
+
+def test_filters_count_matches_nonempty_antichains():
+    n_filters = len(list(filters(POWERSET, subset_leq)))
+    n_antichains = sum(1 for _ in antichains(POWERSET, subset_leq))
+    assert n_filters == n_antichains - 1  # minus the empty antichain
+
+
+@given(st.lists(st.frozensets(st.sampled_from("abc")), min_size=1, max_size=6))
+def test_every_antichain_is_an_antichain(universe):
+    for chain in antichains(universe, subset_leq):
+        assert is_antichain(chain, subset_leq)
+
+
+@given(st.lists(st.frozensets(st.sampled_from("abc")), min_size=1, max_size=5))
+def test_minimal_elements_dominate_everything(items):
+    mins = minimal_elements(items, subset_leq)
+    for item in items:
+        assert any(subset_leq(m, item) for m in mins)

@@ -1,0 +1,107 @@
+"""Tests for the port numbering model and input labelings."""
+
+import pytest
+
+from repro.sim.graphs import petersen, ring
+from repro.sim.ports import (
+    InputLabeling,
+    PortGraph,
+    assign_unique_ids,
+    greedy_edge_coloring,
+    greedy_node_coloring,
+    id_orientation,
+    random_orientation,
+)
+
+
+def test_ports_are_a_bijection():
+    graph = petersen()
+    pg = PortGraph(graph)
+    for v in pg.nodes():
+        neighbors = [pg.neighbor(v, port) for port in range(pg.degree(v))]
+        assert sorted(neighbors) == sorted(graph.neighbors(v))
+        for port, u in enumerate(neighbors):
+            assert pg.port_toward(v, u) == port
+
+
+def test_b_elements_count():
+    graph = ring(6)
+    pg = PortGraph(graph)
+    assert len(list(pg.b_elements())) == 2 * graph.number_of_edges()
+
+
+def test_edges_with_ports_consistency():
+    pg = PortGraph(petersen())
+    for u, pu, v, pv in pg.edges_with_ports():
+        assert pg.neighbor(u, pu) == v
+        assert pg.neighbor(v, pv) == u
+
+
+def test_random_ports_still_valid():
+    pg = PortGraph.with_random_ports(petersen(), seed=5)
+    for v in pg.nodes():
+        neighbors = [pg.neighbor(v, port) for port in range(pg.degree(v))]
+        assert sorted(neighbors) == sorted(pg.graph.neighbors(v))
+
+
+def test_invalid_port_order_rejected():
+    graph = ring(4)
+    with pytest.raises(ValueError):
+        PortGraph(graph, {v: [0, 1] for v in graph.nodes})
+
+
+def test_orientation_view_from_both_sides():
+    graph = ring(5)
+    pg = PortGraph(graph)
+    orientation = random_orientation(graph, seed=1)
+    inputs = InputLabeling(orientation=orientation)
+    for u, pu, v, pv in pg.edges_with_ports():
+        sides = {inputs.orientation_at(pg, u, pu), inputs.orientation_at(pg, v, pv)}
+        assert sides == {"in", "out"}
+
+
+def test_id_orientation_points_to_larger():
+    graph = ring(6)
+    ids = assign_unique_ids(graph, seed=2)
+    orientation = id_orientation(graph, ids)
+    for (u, v), (tail, head) in orientation.items():
+        assert ids[tail] < ids[head]
+
+
+def test_assign_unique_ids_unique_and_in_range():
+    graph = petersen()
+    ids = assign_unique_ids(graph, seed=0, space=200)
+    assert len(set(ids.values())) == graph.number_of_nodes()
+    assert all(1 <= value <= 200 for value in ids.values())
+
+
+def test_assign_unique_ids_space_too_small():
+    with pytest.raises(ValueError):
+        assign_unique_ids(petersen(), seed=0, space=5)
+
+
+def test_greedy_edge_coloring_proper():
+    graph = petersen()
+    coloring = greedy_edge_coloring(graph)
+    for v in graph.nodes:
+        incident = [
+            coloring[tuple(sorted((v, u)))] for u in graph.neighbors(v)
+        ]
+        assert len(set(incident)) == len(incident)
+    assert max(coloring.values()) <= 2 * 3 - 2  # 2 Delta - 1 colors, 0-based
+
+
+def test_greedy_node_coloring_proper():
+    graph = petersen()
+    coloring = greedy_node_coloring(graph)
+    for u, v in graph.edges:
+        assert coloring[u] != coloring[v]
+    assert max(coloring.values()) <= 3  # Delta + 1 colors, 0-based
+
+
+def test_edge_color_at():
+    graph = ring(4)
+    pg = PortGraph(graph)
+    inputs = InputLabeling(edge_color=greedy_edge_coloring(graph))
+    for u, pu, v, pv in pg.edges_with_ports():
+        assert inputs.edge_color_at(pg, u, pu) == inputs.edge_color_at(pg, v, pv)

@@ -1,0 +1,145 @@
+"""Tests for the Problem model: canonicalisation, validation, transformations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.problem import Problem, ProblemError, edge_config, node_config
+
+
+def test_edge_config_canonical():
+    assert edge_config("b", "a") == ("a", "b")
+    assert edge_config("a", "a") == ("a", "a")
+
+
+def test_node_config_canonical():
+    assert node_config(["c", "a", "b"]) == ("a", "b", "c")
+
+
+def test_make_infers_labels(sc3):
+    assert sc3.labels == frozenset({"0", "1"})
+
+
+def test_make_canonicalises():
+    problem = Problem.make("p", 2, [("b", "a")], [("b", "a")])
+    assert ("a", "b") in problem.edge_constraint
+    assert ("a", "b") in problem.node_constraint
+
+
+def test_rejects_bad_delta():
+    with pytest.raises(ProblemError):
+        Problem.make("p", 0, [], [])
+
+
+def test_rejects_wrong_arity_node_config():
+    with pytest.raises(ProblemError):
+        Problem.make("p", 3, [], [("a", "b")])
+
+
+def test_rejects_unknown_labels():
+    with pytest.raises(ProblemError):
+        Problem.make("p", 2, [("a", "z")], [("a", "a")], labels=["a"])
+
+
+def test_rejects_noncanonical_direct_construction():
+    with pytest.raises(ProblemError):
+        Problem(
+            name="p",
+            delta=2,
+            labels=frozenset({"a", "b"}),
+            edge_constraint=frozenset({("b", "a")}),
+            node_constraint=frozenset(),
+        )
+
+
+def test_allows_edge_and_node(sc3):
+    assert sc3.allows_edge("0", "1")
+    assert sc3.allows_edge("1", "0")
+    assert not sc3.allows_edge("1", "1")
+    assert sc3.allows_node(["1", "0", "0"])
+    assert not sc3.allows_node(["1", "1", "0"])
+
+
+def test_usable_labels(sc3):
+    assert sc3.usable_labels == frozenset({"0", "1"})
+
+
+def test_usable_labels_drops_dead():
+    problem = Problem.make(
+        "p", 2, [("a", "a"), ("b", "b")], [("a", "a")], labels=["a", "b", "c"]
+    )
+    assert problem.usable_labels == frozenset({"a"})
+
+
+def test_compressed_cascades():
+    # b is only usable through a config also mentioning dead label c.
+    problem = Problem.make(
+        "p",
+        2,
+        [("a", "a"), ("b", "c")],
+        [("a", "a"), ("b", "c")],
+        labels=["a", "b", "c", "d"],
+    )
+    compressed = problem.compressed()
+    assert compressed.labels == frozenset({"a", "b", "c"})
+    smaller = Problem.make(
+        "q", 2, [("a", "a"), ("b", "b")], [("a", "a"), ("b", "c")], labels="abc"
+    ).compressed()
+    assert smaller.labels == frozenset({"a"})
+
+
+def test_renamed_roundtrip(sc3):
+    renamed = sc3.renamed({"0": "x", "1": "y"})
+    back = renamed.renamed({"x": "0", "y": "1"})
+    assert back.edge_constraint == sc3.edge_constraint
+    assert back.node_constraint == sc3.node_constraint
+
+
+def test_renamed_rejects_noninjective(sc3):
+    with pytest.raises(ProblemError):
+        sc3.renamed({"0": "x", "1": "x"})
+
+
+def test_renamed_rejects_partial(sc3):
+    with pytest.raises(ProblemError):
+        sc3.renamed({"0": "x"})
+
+
+def test_restricted_is_subproblem(col4_ring):
+    keep = {"c1", "c2", "c3"}
+    restricted = col4_ring.restricted(keep)
+    assert restricted.labels == frozenset(keep)
+    assert restricted.edge_constraint < col4_ring.edge_constraint
+    assert restricted.node_constraint < col4_ring.node_constraint
+
+
+def test_restricted_rejects_unknown(sc3):
+    with pytest.raises(ProblemError):
+        sc3.restricted({"0", "z"})
+
+
+def test_is_empty():
+    assert Problem.make("p", 2, [], [], labels="a").is_empty
+    assert not Problem.make("p", 2, [("a", "a")], [("a", "a")]).is_empty
+
+
+def test_describe_mentions_everything(sc3):
+    text = sc3.describe()
+    assert "0 0 1" in text
+    assert "0 1" in text
+
+
+def test_description_size(sc3):
+    # 2 labels + 2 edge configs * 2 + 1 node config * 3.
+    assert sc3.description_size == 2 + 4 + 3
+
+
+@given(st.integers(2, 4), st.integers(2, 4))
+def test_equality_is_structural(delta, num_labels):
+    labels = [f"l{i}" for i in range(num_labels)]
+    first = Problem.make("a", delta, [(labels[0], labels[0])], [(labels[0],) * delta], labels=labels)
+    second = Problem.make("b", delta, [(labels[0], labels[0])], [(labels[0],) * delta], labels=labels)
+    # Same structure, different names: dataclass equality includes the name,
+    # but constraints compare equal.
+    assert first.edge_constraint == second.edge_constraint
+    assert first.node_constraint == second.node_constraint

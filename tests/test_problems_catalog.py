@@ -1,0 +1,148 @@
+"""Tests for the problem catalog: encodings checked against first principles.
+
+Each encoding is validated two ways: structurally (expected labels and
+configuration counts) and semantically -- a known-correct solution produced
+by a centralized reference solver must pass the locally-checkable verifier
+for the encoded problem, and corrupted solutions must fail.
+"""
+
+import pytest
+
+from repro.problems.catalog import catalog, get_family, get_problem
+from repro.problems.coloring import color_labels, coloring, edge_coloring
+from repro.problems.superweak import kind_counts_valid, superweak
+from repro.problems.weak_coloring import weak_coloring_pointer
+from repro.sim.algorithms.reference import (
+    matching_outputs,
+    mis_outputs,
+    solve_maximal_matching,
+    solve_mis,
+)
+from repro.sim.graphs import heawood, petersen
+from repro.sim.ports import PortGraph
+from repro.sim.verifier import solves, verify_matching, verify_mis
+
+
+def test_catalog_lists_families():
+    families = catalog()
+    assert "sinkless-coloring" in families
+    assert "superweak-2-coloring" in families
+    assert "4-coloring" in families
+
+
+def test_get_family_unknown_raises():
+    with pytest.raises(KeyError):
+        get_family("no-such-problem")
+
+
+def test_get_problem_instantiates():
+    problem = get_problem("sinkless-orientation", 4)
+    assert problem.delta == 4
+
+
+def test_every_family_instantiates_and_has_usable_labels():
+    for name, family in catalog().items():
+        problem = family(max(family.min_delta, 3))
+        assert problem.labels, name
+        assert problem.usable_labels, name
+
+
+def test_color_labels_sorted_width():
+    labels = color_labels(12)
+    assert labels[0] == "c01"
+    assert labels == sorted(labels)
+
+
+def test_coloring_structure():
+    problem = coloring(3, 4)
+    assert len(problem.labels) == 3
+    assert len(problem.node_constraint) == 3
+    assert len(problem.edge_constraint) == 3  # C(3,2) unequal pairs
+
+
+def test_edge_coloring_structure():
+    problem = edge_coloring(3, 3)
+    assert len(problem.node_constraint) == 1  # all three colors, one each
+    assert len(problem.edge_constraint) == 3  # monochromatic pairs
+
+
+def test_edge_coloring_needs_enough_colors():
+    with pytest.raises(ValueError):
+        edge_coloring(2, 3)
+
+
+def test_weak_coloring_structure():
+    problem = weak_coloring_pointer(2, 3)
+    assert len(problem.labels) == 4
+    assert len(problem.node_constraint) == 2  # one per color
+    # Same-color pairs allowed only when neither points.
+    assert problem.allows_edge("c1N", "c1N")
+    assert not problem.allows_edge("c1P", "c1N")
+    assert problem.allows_edge("c1P", "c2N")
+
+
+def test_superweak_node_counting_rule():
+    assert kind_counts_valid(2, demanding=1, accepting=0)
+    assert not kind_counts_valid(2, demanding=1, accepting=1)
+    assert kind_counts_valid(2, demanding=3, accepting=2)
+    # The min(k+1, .) cap: many demanding pointers cannot buy more than k
+    # accepting ones.
+    assert not kind_counts_valid(2, demanding=10, accepting=3)
+    assert kind_counts_valid(2, demanding=10, accepting=2)
+
+
+def test_superweak_edge_rule():
+    problem = superweak(2, 3)
+    assert problem.allows_edge("c1D", "c2D")  # different colors
+    assert problem.allows_edge("c1N", "c1N")  # both plain
+    assert problem.allows_edge("c1D", "c1A")  # accepting saves it
+    assert not problem.allows_edge("c1D", "c1N")
+    assert not problem.allows_edge("c1D", "c1D")
+
+
+def test_mis_encoding_verified_on_graphs(mis_d3):
+    for graph in (petersen(), heawood()):
+        pg = PortGraph(graph)
+        independent = solve_mis(graph)
+        assert verify_mis(graph, independent)
+        outputs = mis_outputs(pg, independent)
+        assert solves(mis_d3, pg, outputs)
+
+
+def test_mis_encoding_rejects_bad_solution(mis_d3):
+    graph = petersen()
+    pg = PortGraph(graph)
+    outputs = mis_outputs(pg, solve_mis(graph))
+    # Corrupt: make two adjacent nodes claim membership.
+    victim = next(v for v in graph.nodes if outputs[(v, 0)] != "I")
+    for port in range(pg.degree(victim)):
+        outputs[(victim, port)] = "I"
+    assert not solves(mis_d3, pg, outputs)
+
+
+def test_maximal_matching_encoding_verified(mm_d3):
+    graph = heawood()
+    pg = PortGraph(graph)
+    matching = solve_maximal_matching(graph)
+    assert verify_matching(graph, matching, maximal=True)
+    outputs = matching_outputs(pg, matching, maximal=True)
+    assert solves(mm_d3, pg, outputs)
+
+
+def test_perfect_matching_encoding(pm_d3):
+    # The Petersen graph has a perfect matching: take one explicitly.
+    import networkx as nx
+
+    graph = petersen()
+    pg = PortGraph(graph)
+    matching_dict = nx.algorithms.matching.max_weight_matching(graph, maxcardinality=True)
+    matching = {tuple(sorted(edge)) for edge in matching_dict}
+    assert len(matching) == graph.number_of_nodes() // 2
+    outputs = matching_outputs(pg, matching, maximal=False)
+    assert solves(pm_d3, pg, outputs)
+
+
+def test_family_rejects_too_small_delta():
+    family = get_family("sinkless-coloring")
+    with pytest.raises(ValueError):
+        family(1)

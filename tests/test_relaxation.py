@@ -1,0 +1,83 @@
+"""Tests for relaxation certificates and map search."""
+
+import pytest
+
+from repro.core.relaxation import (
+    certify_relaxation,
+    find_relaxation_map,
+    is_harder_restriction,
+    is_relaxation_map,
+)
+from repro.problems.coloring import coloring
+from repro.problems.superweak import superweak, weak2_to_superweak2_map
+from repro.problems.weak_coloring import weak_coloring_pointer
+
+
+def test_identity_is_relaxation(sc3):
+    identity = {label: label for label in sc3.labels}
+    assert is_relaxation_map(sc3, sc3, identity)
+
+
+def test_weak2_relaxes_to_superweak2():
+    """The paper's Section 5 relaxation, certified by an explicit map."""
+    for delta in (3, 4, 5):
+        weak = weak_coloring_pointer(2, delta)
+        sweak = superweak(2, delta)
+        mapping = weak2_to_superweak2_map(delta)
+        assert is_relaxation_map(weak, sweak, mapping)
+
+
+def test_coloring_relaxes_to_more_colors():
+    mapping = {"c1": "c1", "c2": "c2", "c3": "c3"}
+    assert is_relaxation_map(coloring(3, 2), coloring(4, 2), mapping)
+
+
+def test_collapsing_colors_is_not_a_relaxation():
+    mapping = {"c1": "c1", "c2": "c2", "c3": "c1"}
+    assert not is_relaxation_map(coloring(3, 2), coloring(3, 2), mapping)
+
+
+def test_certify_raises_on_bad_map(sc3, col3_ring):
+    with pytest.raises(ValueError):
+        certify_relaxation(sc3, col3_ring, {"0": "c1", "1": "c1"})
+
+
+def test_certificate_describe(sc3):
+    identity = {label: label for label in sc3.labels}
+    cert = certify_relaxation(sc3, sc3, identity)
+    assert "relaxes" in cert.describe()
+
+
+def test_find_relaxation_map_finds_color_embedding():
+    mapping = find_relaxation_map(coloring(3, 2), coloring(5, 2))
+    assert mapping is not None
+    assert is_relaxation_map(coloring(3, 2), coloring(5, 2), mapping)
+
+
+def test_find_relaxation_map_none_for_fewer_colors():
+    # 4-coloring cannot relax to 3-coloring: any map collapses two colors.
+    assert find_relaxation_map(coloring(4, 2), coloring(3, 2)) is None
+
+
+def test_find_relaxation_map_respects_delta(sc3):
+    from repro.problems.sinkless import sinkless_coloring
+
+    assert find_relaxation_map(sc3, sinkless_coloring(4)) is None
+
+
+def test_harder_restriction(col4_ring):
+    restricted = col4_ring.restricted({"c1", "c2", "c3"})
+    assert is_harder_restriction(col4_ring, restricted)
+    assert not is_harder_restriction(restricted, col4_ring)
+
+
+def test_relaxation_ignores_unusable_labels():
+    """Configurations over labels that can never occur need no image."""
+    from repro.core.problem import Problem
+
+    source = Problem.make(
+        "p", 2, [("a", "a"), ("z", "z")], [("a", "a")], labels=["a", "z"]
+    )
+    target = Problem.make("q", 2, [("x", "x")], [("x", "x")], labels=["x"])
+    # z is unusable (no node config); mapping only a suffices.
+    assert is_relaxation_map(source, target, {"a": "x"})

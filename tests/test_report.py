@@ -1,0 +1,24 @@
+"""Tests for markdown rendering helpers."""
+
+from repro.analysis.report import render_section, render_table
+
+
+def test_render_table_shape():
+    table = render_table(["a", "b"], [[1, 2], [3, 4]])
+    lines = table.splitlines()
+    assert lines[0] == "| a | b |"
+    assert lines[1] == "|---|---|"
+    assert lines[2] == "| 1 | 2 |"
+    assert len(lines) == 4
+
+
+def test_render_table_stringifies():
+    table = render_table(["x"], [[None], [True]])
+    assert "None" in table
+    assert "True" in table
+
+
+def test_render_section():
+    section = render_section("Title", "body text")
+    assert section.startswith("## Title")
+    assert "body text" in section

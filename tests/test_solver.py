@@ -1,0 +1,51 @@
+"""Tests for the centralized constraint solver."""
+
+import pytest
+
+from repro.problems.coloring import coloring
+from repro.problems.sinkless import sinkless_orientation
+from repro.sim.graphs import petersen, ring
+from repro.sim.ports import PortGraph
+from repro.sim.solver import SolverBudgetExceeded, solve_problem_on_graph
+from repro.sim.verifier import solves
+
+
+def test_three_coloring_even_ring_solvable():
+    problem = coloring(3, 2)
+    pg = PortGraph(ring(6))
+    outputs = solve_problem_on_graph(problem, pg)
+    assert outputs is not None
+    assert solves(problem, pg, outputs)
+
+
+def test_two_coloring_odd_ring_unsolvable():
+    problem = coloring(2, 2)
+    pg = PortGraph(ring(5))
+    assert solve_problem_on_graph(problem, pg) is None
+
+
+def test_two_coloring_even_ring_solvable():
+    problem = coloring(2, 2)
+    pg = PortGraph(ring(6))
+    outputs = solve_problem_on_graph(problem, pg)
+    assert outputs is not None
+    assert solves(problem, pg, outputs)
+
+
+def test_sinkless_orientation_on_petersen():
+    problem = sinkless_orientation(3)
+    pg = PortGraph(petersen())
+    outputs = solve_problem_on_graph(problem, pg)
+    assert outputs is not None
+    assert solves(problem, pg, outputs)
+
+
+def test_budget_exceeded_raises():
+    import networkx as nx
+
+    from repro.analysis.experiments import superweak_full_in_trit_form
+
+    problem, _to_trit = superweak_full_in_trit_form(2, 4)
+    pg = PortGraph(nx.random_regular_graph(4, 12, seed=5))
+    with pytest.raises(SolverBudgetExceeded):
+        solve_problem_on_graph(problem, pg, budget=1000)

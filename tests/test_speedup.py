@@ -1,0 +1,145 @@
+"""Tests for the speedup engine: Section 4.4's worked example and generic laws."""
+
+import pytest
+
+from repro.core.isomorphism import are_isomorphic
+from repro.core.relaxation import find_relaxation_map
+from repro.core.speedup import (
+    EngineLimitError,
+    full_step,
+    half_step,
+    iterate_speedup,
+    set_label_name,
+    short_names,
+    speedup,
+)
+from repro.problems.coloring import coloring
+from repro.problems.sinkless import sinkless_coloring, sinkless_orientation
+
+
+def test_set_label_name_sorted():
+    assert set_label_name(["b", "a"]) == "{a,b}"
+
+
+def test_short_names_unique():
+    names = short_names(40)
+    assert len(set(names)) == 40
+    assert names[0] == "A"
+    assert names[25] == "Z"
+
+
+# -- Section 4.4: sinkless coloring --------------------------------------------
+
+
+@pytest.mark.parametrize("delta", [3, 4, 5])
+def test_sinkless_half_step_is_sinkless_orientation(delta):
+    half = half_step(sinkless_coloring(delta)).problem.compressed()
+    assert are_isomorphic(half, sinkless_orientation(delta).compressed())
+
+
+@pytest.mark.parametrize("delta", [3, 4, 5])
+def test_sinkless_full_step_is_fixed_point(delta):
+    sc = sinkless_coloring(delta)
+    derived = speedup(sc).full.compressed()
+    assert are_isomorphic(derived, sc.compressed())
+
+
+def test_sinkless_meanings_match_paper(sc3):
+    """Section 4.4's label algebra: half labels are {0} and {0,1}."""
+    half = half_step(sc3)
+    meanings = set(half.meaning.values())
+    assert meanings == {frozenset({"0"}), frozenset({"0", "1"})}
+
+
+def test_iterate_speedup_returns_all_steps(sc3):
+    results = iterate_speedup(sc3, 3)
+    assert len(results) == 3
+    for result in results:
+        assert are_isomorphic(result.full.compressed(), sc3.compressed())
+
+
+# -- generic engine laws ---------------------------------------------------------
+
+
+def test_half_labels_are_closed_sets(col4_ring):
+    from repro.core.galois import Compatibility
+
+    comp = Compatibility(col4_ring)
+    half = half_step(col4_ring)
+    for meaning in half.meaning.values():
+        assert comp.is_closed(meaning)
+        assert meaning
+        assert comp.polar(meaning)
+
+
+def test_half_edge_pairs_are_polar_pairs(col4_ring):
+    from repro.core.galois import Compatibility
+
+    comp = Compatibility(col4_ring)
+    half = half_step(col4_ring)
+    for a, b in half.problem.edge_constraint:
+        assert comp.polar(half.meaning[a]) == half.meaning[b]
+
+
+def test_full_meaning_composes(sc3):
+    result = speedup(sc3)
+    for label in result.full.labels:
+        expansion = result.full_label_as_original_sets(label)
+        assert expansion
+        for half_set in expansion:
+            assert half_set <= sc3.labels
+
+
+def test_full_node_configs_are_antichain_maximal(sc3):
+    """No derived node configuration may dominate another (Property 6)."""
+    result = speedup(sc3)
+    configs = [
+        tuple(sorted((result.full_meaning[lbl] for lbl in config), key=sorted))
+        for config in result.full.node_constraint
+    ]
+    from repro.utils.matching import perfect_matching_exists
+
+    def dominates(a, b):
+        adjacency = {
+            i: [j for j, big in enumerate(a) if small <= big]
+            for i, small in enumerate(b)
+        }
+        return perfect_matching_exists(adjacency)
+
+    for a in configs:
+        for b in configs:
+            if a != b:
+                assert not (dominates(a, b) and dominates(b, a))
+
+
+def test_simplified_is_relaxed_by_raw(sc3):
+    """Every Pi'_1 solution is a Pi_1 solution (Theorem 2's easy half)."""
+    simplified = speedup(sc3, simplify=True).full.compressed()
+    raw = speedup(sc3, simplify=False).full.compressed()
+    assert find_relaxation_map(simplified, raw) is not None
+
+
+def test_unsimplified_half_has_all_subsets(sc3):
+    half = half_step(sc3, simplify=False)
+    # 2 labels -> 3 nonempty subsets before compression; compression may drop
+    # unusable ones but meaning sets stay within the alphabet.
+    for meaning in half.meaning.values():
+        assert meaning <= sc3.labels
+
+
+def test_engine_limit_guard():
+    big = coloring(6, 2)
+    with pytest.raises(EngineLimitError):
+        # 12 labels -> 2^12 = 4096 half labels is fine, but the raw full step
+        # over 2^4095 subsets must refuse.
+        full_step(half_step(big, simplify=False), simplify=False)
+
+
+def test_derived_problem_is_compressed(sc3):
+    derived = speedup(sc3).full
+    assert derived.compressed().labels == derived.labels
+
+
+def test_speedup_result_records_simplification(sc3):
+    assert speedup(sc3, simplify=True).simplified
+    assert not speedup(sc3, simplify=False).simplified

@@ -1,0 +1,90 @@
+"""E9: Theorem 1 executed on colored ring classes, both directions."""
+
+import pytest
+
+from repro.problems.coloring import coloring
+from repro.sim.simulator import run_view_algorithm
+from repro.sim.speedup_exec import (
+    ColoredRingClass,
+    ColorReductionAlgorithm,
+    SpeedupExecution,
+)
+from repro.sim.verifier import solves
+
+
+@pytest.fixture(scope="module")
+def execution():
+    return SpeedupExecution(
+        ring_class=ColoredRingClass(n=5, num_colors=4),
+        problem=coloring(3, 2),
+        algorithm=ColorReductionAlgorithm(num_colors=4),
+    )
+
+
+def test_base_algorithm_solves_the_problem(execution):
+    count = 0
+    for pg, inputs in execution.ring_class.instances():
+        outputs = run_view_algorithm(pg, inputs, execution.algorithm)
+        assert solves(execution.problem, pg, outputs)
+        count += 1
+        if count >= 40:
+            break
+
+
+def test_class_enumeration_counts():
+    ring_class = ColoredRingClass(n=5, num_colors=4)
+    colorings = list(ring_class.proper_colorings())
+    # Proper colorings of C_n with c colors: (c-1)^n + (-1)^n (c-1).
+    assert len(colorings) == 3**5 - 3
+    instances = sum(1 for _ in ring_class.instances())
+    assert instances == (3**5 - 3) * 2**5
+
+
+def test_girth_condition_is_enforced():
+    with pytest.raises(ValueError):
+        SpeedupExecution(
+            ring_class=ColoredRingClass(n=3, num_colors=4),
+            problem=coloring(3, 2),
+            algorithm=ColorReductionAlgorithm(num_colors=4),
+        )
+
+
+def test_half_algorithm_satisfies_properties_1_and_2(execution):
+    for index, (pg, inputs) in enumerate(execution.ring_class.instances()):
+        assert execution.verify_half_instance(pg, inputs)
+        if index >= 25:
+            break
+
+
+def test_full_algorithm_satisfies_properties_3_and_4(execution):
+    for index, (pg, inputs) in enumerate(execution.ring_class.instances()):
+        assert execution.verify_full_instance(pg, inputs)
+        if index >= 25:
+            break
+
+
+def test_full_outputs_depend_only_on_zero_round_views(execution):
+    """A_1 is a genuinely 0-round algorithm: equal N^0(v) => equal outputs."""
+    from repro.sim.views import node_view
+
+    seen = {}
+    for index, (pg, inputs) in enumerate(execution.ring_class.instances()):
+        full = execution.run_full(pg, inputs)
+        for v in pg.nodes():
+            key = node_view(pg, inputs, v, 0)
+            values = tuple(full[(v, port)] for port in range(pg.degree(v)))
+            if key in seen:
+                assert seen[key] == values
+            else:
+                seen[key] = values
+        if index >= 30:
+            break
+
+
+def test_theorem1_both_directions_whole_class(execution):
+    report = execution.reconstruct_and_verify()
+    assert report.instances == (3**5 - 3) * 2**5
+    assert report.half_ok
+    assert report.full_ok
+    assert report.reconstructed_ok
+    assert report.all_ok

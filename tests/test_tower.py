@@ -1,0 +1,118 @@
+"""Tests for exact power-tower arithmetic (the Theorem 4 number system)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.tower import Tower, as_tower, exp2, iterate_exp2, tower_log_star
+
+
+def test_materialize_small():
+    assert Tower(0, 7).materialize() == 7
+    assert Tower(1, 3).materialize() == 8
+    assert Tower(2, 2).materialize() == 16
+    assert Tower(3, 2).materialize() == 65536
+
+
+def test_materialize_huge_raises():
+    with pytest.raises(OverflowError):
+        Tower(3, 100).materialize()
+
+
+def test_invalid_towers():
+    with pytest.raises(ValueError):
+        Tower(-1, 2)
+    with pytest.raises(ValueError):
+        Tower(0, 0)
+
+
+def test_comparisons_among_materializable():
+    assert Tower(2, 2) == 16
+    assert Tower(3, 2) == 65536
+    assert Tower(3, 2) > 65535
+    assert Tower(3, 2) < 65537
+    assert Tower(1, 10) == Tower(0, 1024)
+
+
+def test_comparisons_mixed_huge():
+    huge = Tower(2, 2**21)  # 2^(2^(2^21)): not materializable
+    assert huge > 2**65536
+    assert not (huge < 2**65536)
+    assert Tower(0, 7) < huge
+    assert Tower(3, 2**21) > huge
+    assert huge == Tower(2, 2**21)
+
+
+def test_height_dominates():
+    assert Tower(5, 2) > Tower(4, 2)
+    assert Tower(10, 2) > Tower(4, 1000)
+
+
+def test_exp2_and_log2_inverse():
+    value = Tower(2, 2**21)
+    assert value.exp2().log2() == value
+
+
+def test_log2_of_power_of_two_int():
+    assert Tower(0, 1024).log2() == 10
+
+
+def test_log2_of_non_power_raises():
+    with pytest.raises(ValueError):
+        Tower(0, 12).log2()
+
+
+def test_log_star_of_towers():
+    # log*(2^2^...^2 with h+1 levels) follows the recurrence exactly.
+    assert Tower(0, 2).log_star() == 1
+    assert Tower(1, 2).log_star() == 2
+    assert Tower(3, 2).log_star() == 4
+    assert Tower(40, 2).log_star() == 41
+
+
+def test_exp2_function_stays_int_when_possible():
+    assert exp2(10) == 1024
+    assert isinstance(exp2(10), int)
+    promoted = exp2(exp2(2**21))
+    assert isinstance(promoted, Tower)
+
+
+def test_iterate_exp2_chain():
+    # F^4(2) = 2^2^2^4 = 2^65536, still a plain int.
+    value = iterate_exp2(2, 4)
+    assert isinstance(value, int)
+    assert value == 2**65536
+    # F^5(2) is not materializable.
+    k1 = iterate_exp2(2, 5)
+    assert isinstance(k1, Tower)
+    assert k1 == Tower(1, 2**65536)
+
+
+def test_tower_log_star_dispatch():
+    assert tower_log_star(65536) == 4
+    assert tower_log_star(Tower(10, 2)) == 11
+
+
+@given(st.integers(1, 2**40), st.integers(1, 2**40))
+def test_int_comparisons_agree(a, b):
+    assert (as_tower(a) < as_tower(b)) == (a < b)
+    assert (as_tower(a) == as_tower(b)) == (a == b)
+
+
+@given(st.integers(0, 3), st.integers(1, 6))
+def test_materializable_comparisons_agree_with_values(height, top):
+    t = Tower(height, top)
+    try:
+        value = t.materialize()
+    except OverflowError:
+        return
+    assert t == value
+    assert t < value + 1
+    assert value - 1 < t or value == 1
+
+
+@given(st.integers(0, 4), st.integers(2, 10), st.integers(0, 4), st.integers(2, 10))
+def test_exact_transitivity_sample(h1, t1, h2, t2):
+    a, b = Tower(h1, t1), Tower(h2, t2)
+    assert (a < b) or (a == b) or (a > b)
+    assert not ((a < b) and (a > b))

@@ -1,0 +1,100 @@
+"""Tests for trit sequences (the Section 4.6 / 5.1 label algebra)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.superweak.tritseq import (
+    all_ones,
+    all_tritseqs,
+    complement,
+    count_at_position,
+    node_choice_is_good,
+    sums_to_twos,
+    tritwise_sum,
+    weak2_choice_is_good,
+)
+
+
+def test_all_tritseqs_count():
+    assert len(all_tritseqs(2)) == 9
+    assert len(all_tritseqs(3)) == 27
+    assert all(len(seq) == 2 for seq in all_tritseqs(2))
+
+
+def test_tritwise_sum():
+    assert tritwise_sum("01", "21") == "22"
+    assert tritwise_sum("11", "11") == "22"
+    assert tritwise_sum("21", "21") is None  # 2+2 overflows
+
+
+def test_tritwise_sum_length_mismatch():
+    with pytest.raises(ValueError):
+        tritwise_sum("0", "00")
+
+
+def test_complement():
+    assert complement("01") == "21"
+    assert complement("11") == "11"
+    assert complement("220") == "002"
+
+
+def test_sums_to_twos():
+    assert sums_to_twos("01", "21")
+    assert not sums_to_twos("01", "01")
+
+
+def test_all_ones_is_self_complementary():
+    for k in (1, 2, 3):
+        assert complement(all_ones(k)) == all_ones(k)
+
+
+def test_count_at_position():
+    assert count_at_position(["01", "21", "11"], 0, "0") == 1
+    assert count_at_position(["01", "21", "11"], 1, "1") == 3
+
+
+def test_node_choice_examples_from_paper():
+    """Section 4.6's examples: {02,11,...,11,12,21} good; needs position 2."""
+    choice = ["02", "11", "11", "12", "21"]
+    assert node_choice_is_good(choice, 2)
+
+
+def test_node_choice_rejects_balance():
+    # One 0 and one 2 at each position: no strict majority anywhere.
+    assert not node_choice_is_good(["02", "20"], 2)
+
+
+def test_node_choice_zero_cap():
+    # Position has more 2s than 0s but too many 0s (> k).
+    k = 2
+    choice = ["20"] * 4 + ["00"] * 3  # position 0: seven 2s? no -- build carefully
+    # position 0: '2' x4 and '0' x3 -> 4 > 3 but zeros=3 > k=2 -> must check pos 1
+    # position 1: all '0' -> fails.
+    assert not node_choice_is_good(choice, k)
+
+
+def test_weak2_choice():
+    assert weak2_choice_is_good(["21", "11"])  # position 0: a 2, no 0
+    assert not weak2_choice_is_good(["01", "10"])  # both positions have a 0
+
+
+@given(st.integers(1, 4))
+def test_complement_is_involution(k):
+    for seq in all_tritseqs(k):
+        assert complement(complement(seq)) == seq
+        assert sums_to_twos(seq, complement(seq))
+
+
+@given(st.integers(1, 3))
+def test_unique_partner(k):
+    for seq in all_tritseqs(k):
+        partners = [other for other in all_tritseqs(k) if sums_to_twos(seq, other)]
+        assert partners == [complement(seq)]
+
+
+@given(st.lists(st.sampled_from(all_tritseqs(2)), min_size=1, max_size=6))
+def test_adding_all_ones_never_breaks_goodness(choice):
+    """11...1 is neutral: it adds no 0s and no 2s anywhere."""
+    if node_choice_is_good(choice, 2):
+        assert node_choice_is_good(choice + ["11"], 2)

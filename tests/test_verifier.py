@@ -1,0 +1,113 @@
+"""Tests for the locally checkable verifier and the first-principles checkers."""
+
+import networkx as nx
+
+from repro.problems.sinkless import sinkless_orientation
+from repro.sim.algorithms.reference import (
+    solve_maximal_matching,
+    solve_mis,
+    solve_proper_coloring,
+    solve_sinkless_orientation,
+)
+from repro.sim.graphs import heawood, petersen, ring
+from repro.sim.ports import PortGraph
+from repro.sim.verifier import (
+    solves,
+    verify_matching,
+    verify_mis,
+    verify_outputs,
+    verify_proper_coloring,
+    verify_sinkless_orientation,
+    verify_weak_coloring,
+)
+
+
+def test_verify_outputs_reports_node_violation(sc3):
+    pg = PortGraph(petersen())
+    outputs = {(v, p): "0" for v in pg.nodes() for p in range(3)}
+    violations = verify_outputs(sc3, pg, outputs)
+    kinds = {violation.kind for violation in violations}
+    assert kinds == {"node"}  # all-zero: every node invalid, all edges fine
+    assert len(violations) == 10
+
+
+def test_verify_outputs_reports_edge_violation(sc3):
+    pg = PortGraph(petersen())
+    outputs = {(v, p): "0" for v in pg.nodes() for p in range(3)}
+    # Give every node one '1' but force a clash on one edge.
+    for v in pg.nodes():
+        outputs[(v, 0)] = "1"
+    violations = verify_outputs(sc3, pg, outputs)
+    assert any(violation.kind == "edge" for violation in violations)
+
+
+def test_sinkless_orientation_solution_verifies():
+    problem = sinkless_orientation(3)
+    for graph in (petersen(), heawood()):
+        pg = PortGraph(graph)
+        orientation = solve_sinkless_orientation(graph)
+        assert verify_sinkless_orientation(graph, orientation)
+        outputs = {}
+        for v in pg.nodes():
+            for port in range(pg.degree(v)):
+                u = pg.neighbor(v, port)
+                key = (v, u) if v <= u else (u, v)
+                tail, _head = orientation[key]
+                outputs[(v, port)] = "1" if tail == v else "0"
+        assert solves(problem, pg, outputs)
+
+
+def test_verify_sinkless_orientation_rejects_sink():
+    graph = ring(4)
+    orientation = {(0, 1): (1, 0), (1, 2): (2, 1), (2, 3): (3, 2), (0, 3): (3, 0)}
+    # Node 3 has two outgoing, node 0 two incoming: node 0 is fine?  No:
+    # node 0 receives from 1 and 3 -> it is a sink.
+    assert not verify_sinkless_orientation(graph, orientation)
+
+
+def test_verify_sinkless_orientation_rejects_missing_edge():
+    graph = ring(3)
+    assert not verify_sinkless_orientation(graph, {})
+
+
+def test_verify_proper_and_weak_coloring():
+    graph = petersen()
+    colors = solve_proper_coloring(graph)
+    assert verify_proper_coloring(graph, colors)
+    assert verify_weak_coloring(graph, colors)  # proper implies weak
+    monochrome = {v: 1 for v in graph.nodes}
+    assert not verify_proper_coloring(graph, monochrome)
+    assert not verify_weak_coloring(graph, monochrome)
+
+
+def test_weak_but_not_proper():
+    graph = nx.path_graph(4)
+    colors = {0: 1, 1: 2, 2: 2, 3: 1}
+    assert not verify_proper_coloring(graph, colors)
+    assert verify_weak_coloring(graph, colors)
+
+
+def test_verify_mis():
+    graph = petersen()
+    independent = solve_mis(graph)
+    assert verify_mis(graph, independent)
+    assert not verify_mis(graph, set())  # nothing dominated
+    assert not verify_mis(graph, set(graph.nodes))  # not independent
+
+
+def test_verify_matching():
+    graph = heawood()
+    matching = solve_maximal_matching(graph)
+    assert verify_matching(graph, matching, maximal=True)
+    assert verify_matching(graph, set(), maximal=False)
+    assert not verify_matching(graph, set(), maximal=True)
+    # Two edges sharing a node are not a matching.
+    v = 0
+    incident = list(graph.edges(v))[:2]
+    bad = {tuple(sorted(edge)) for edge in incident}
+    assert not verify_matching(graph, bad, maximal=False)
+
+
+def test_verify_matching_rejects_non_edge():
+    graph = ring(6)
+    assert not verify_matching(graph, {(0, 3)}, maximal=False)

@@ -1,0 +1,110 @@
+"""Tests for radius-t views, edge views and order-invariance."""
+
+from repro.sim.graphs import complete_regular_tree, ring
+from repro.sim.ports import InputLabeling, PortGraph, assign_unique_ids
+from repro.sim.views import (
+    edge_view,
+    edge_view_from,
+    full_node_view,
+    node_view,
+    relabel_ids_by_rank,
+)
+
+
+def colored_ring(n, colors, rotational_ports=False):
+    graph = ring(n)
+    if rotational_ports:
+        # Port 0 toward the clockwise successor everywhere: the numbering
+        # itself is rotation-invariant, so rotational color symmetries give
+        # genuinely isomorphic views.
+        order = {v: [(v + 1) % n, (v - 1) % n] for v in range(n)}
+        pg = PortGraph(graph, order)
+    else:
+        pg = PortGraph(graph)
+    inputs = InputLabeling(node_color={v: colors[v] for v in range(n)})
+    return pg, inputs
+
+
+def test_symmetric_positions_have_equal_views():
+    # Pattern [1,2,1,1,2,1] is invariant under rotation by 3; with a
+    # rotation-invariant port numbering, node v and node v+3 are
+    # indistinguishable at any radius.
+    pg, inputs = colored_ring(6, [1, 2, 1, 1, 2, 1], rotational_ports=True)
+    for v in range(3):
+        assert full_node_view(pg, inputs, v, 1) == full_node_view(
+            pg, inputs, (v + 3) % 6, 1
+        )
+
+
+def test_distinct_colors_give_distinct_views():
+    pg, inputs = colored_ring(6, [1, 2, 3, 1, 2, 3])
+    assert full_node_view(pg, inputs, 0, 1) != full_node_view(pg, inputs, 1, 1)
+
+
+def test_radius_zero_view_contains_inputs_and_degree():
+    pg, inputs = colored_ring(5, [1, 2, 3, 1, 2])
+    view = full_node_view(pg, inputs, 0, 0)
+    tag, own, degree, branches = view
+    assert tag == "node"
+    assert own[1] == 1  # node color
+    assert degree == 2
+    # Radius 0 still exposes per-port edge inputs, but no subviews.
+    assert all(sub is None for _p, _e, _b, sub in branches)
+
+
+def test_deeper_views_refine():
+    """If radius-2 views are equal, radius-1 views must be equal too."""
+    pg, inputs = colored_ring(8, [1, 2, 1, 2, 1, 2, 1, 2])
+    for v in range(8):
+        for u in range(8):
+            if full_node_view(pg, inputs, v, 2) == full_node_view(pg, inputs, u, 2):
+                assert full_node_view(pg, inputs, v, 1) == full_node_view(
+                    pg, inputs, u, 1
+                )
+
+
+def test_edge_view_is_symmetric_in_roles():
+    pg, inputs = colored_ring(6, [1, 2, 1, 1, 2, 1])
+    for u, pu, v, pv in pg.edges_with_ports():
+        assert edge_view(pg, inputs, u, v, 1) == edge_view(pg, inputs, v, u, 1)
+
+
+def test_edge_view_from_identifies_sides():
+    pg, inputs = colored_ring(6, [1, 2, 3, 4, 5, 6])
+    sides = edge_view_from(pg, inputs, 0, 0, 1)
+    assert sides.my_port == 0
+    assert sides.view == edge_view(pg, inputs, 0, pg.neighbor(0, 0), 1)
+
+
+def test_view_on_tree_unfolds_fully():
+    tree = complete_regular_tree(3, 2)
+    pg = PortGraph(tree)
+    inputs = InputLabeling()
+    view = full_node_view(pg, inputs, 0, 2)
+    # Root sees 3 branches, each with 2 grandchildren.
+    _tag, _own, degree, branches = view
+    assert degree == 3
+    for _port, _edge, _back, sub in branches:
+        assert sub is not None
+        assert sub[2] == 3  # child degree
+
+
+def test_relabel_ids_by_rank_order_invariance():
+    graph = ring(5)
+    pg = PortGraph(graph)
+    ids_a = {0: 10, 1: 20, 2: 30, 3: 40, 4: 50}
+    ids_b = {0: 3, 1: 7, 2: 11, 3: 500, 4: 501}  # same order, new values
+    view_a = full_node_view(pg, InputLabeling(ids=ids_a), 0, 2)
+    view_b = full_node_view(pg, InputLabeling(ids=ids_b), 0, 2)
+    assert view_a != view_b
+    assert relabel_ids_by_rank(view_a) == relabel_ids_by_rank(view_b)
+
+
+def test_relabel_distinguishes_different_orders():
+    graph = ring(5)
+    pg = PortGraph(graph)
+    ids_a = {0: 1, 1: 2, 2: 3, 3: 4, 4: 5}
+    ids_b = {0: 5, 1: 4, 2: 3, 3: 2, 4: 1}  # reversed order
+    view_a = relabel_ids_by_rank(full_node_view(pg, InputLabeling(ids=ids_a), 0, 1))
+    view_b = relabel_ids_by_rank(full_node_view(pg, InputLabeling(ids=ids_b), 0, 1))
+    assert view_a != view_b

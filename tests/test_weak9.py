@@ -1,0 +1,65 @@
+"""Tests for the Section 4.6 weak 9-coloring analysis (the special element Q)."""
+
+import pytest
+
+from repro.core.speedup import speedup
+from repro.problems.weak_coloring import weak_coloring_pointer
+from repro.superweak.weak9 import (
+    analyze_special_element,
+    fully_self_compatible_configs,
+)
+
+
+@pytest.fixture(scope="module")
+def derived_weak2():
+    return speedup(weak_coloring_pointer(2, 3)).full
+
+
+def test_self_compatible_elements_are_rare(derived_weak2):
+    """Most of the 9 elements force a differently-configured neighbor; only a
+    couple can be shared by a node and all its neighbors."""
+    compatible = fully_self_compatible_configs(derived_weak2)
+    assert 1 <= len(compatible) <= 2
+    assert len(derived_weak2.node_constraint) == 9
+
+
+def test_exactly_one_q_structured_element(derived_weak2):
+    """The paper's special element: exactly one configuration has the
+    Q = {Q_1, Q_2, Q_3, ...} shape with {Q_1,Q_3}, {Q_2,Q_3} the only
+    internal pairs through Q_1, Q_2."""
+    report = analyze_special_element(derived_weak2)
+    assert len(report.q_structured) == 1
+    assert report.matches_paper
+
+
+def test_special_element_split(derived_weak2):
+    report = analyze_special_element(derived_weak2)
+    assert report.special is not None
+    assert report.accepting_label is not None
+    assert len(report.demanding_labels) == 2
+    demanding_count = sum(
+        1 for entry in report.special if entry in report.demanding_labels
+    )
+    accepting_count = report.special.count(report.accepting_label)
+    assert demanding_count > accepting_count  # the superweak counting rule
+
+
+def test_demanding_labels_point_only_at_accepting(derived_weak2):
+    report = analyze_special_element(derived_weak2)
+    support = set(report.special)
+    for demanding in report.demanding_labels:
+        partners = {
+            other
+            for other in support
+            if derived_weak2.allows_edge(demanding, other)
+        }
+        assert partners == {report.accepting_label}
+
+
+def test_every_entry_of_self_compatible_has_partner(derived_weak2):
+    for config in fully_self_compatible_configs(derived_weak2):
+        support = set(config)
+        for entry in support:
+            assert any(
+                derived_weak2.allows_edge(entry, other) for other in support
+            )

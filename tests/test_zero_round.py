@@ -1,0 +1,106 @@
+"""Tests for 0-round solvability decisions."""
+
+import pytest
+
+from repro.core.problem import Problem
+from repro.core.zero_round import (
+    is_zero_round_solvable,
+    zero_round_no_input,
+    zero_round_with_orientations,
+)
+from repro.problems.coloring import coloring
+from repro.problems.sinkless import sinkless_coloring, sinkless_orientation
+from repro.utils.multiset import multisets_of_size
+
+
+def trivial_problem(delta: int) -> Problem:
+    """Everything allowed: solvable with zero thought."""
+    labels = ["a", "b"]
+    return Problem.make(
+        "trivial",
+        delta,
+        list(multisets_of_size(labels, 2)),
+        list(multisets_of_size(labels, delta)),
+        labels=labels,
+    )
+
+
+def test_trivial_is_zero_round():
+    witness = zero_round_no_input(trivial_problem(3))
+    assert witness is not None
+    assert witness.setting == "no-input"
+
+
+@pytest.mark.parametrize("delta", [3, 4])
+def test_sinkless_problems_not_zero_round(delta):
+    for problem in (sinkless_coloring(delta), sinkless_orientation(delta)):
+        assert zero_round_no_input(problem) is None
+        assert zero_round_with_orientations(problem) is None
+
+
+def test_coloring_not_zero_round():
+    assert zero_round_no_input(coloring(3, 2)) is None
+    assert zero_round_with_orientations(coloring(3, 2)) is None
+
+
+def test_orientation_helps():
+    """'Output the edge's orientation' is 0-round solvable with orientations only.
+
+    Labels T (I am the tail) and H (I am the head); an edge must carry one of
+    each; a node may have any mixture.
+    """
+    delta = 3
+    labels = ["H", "T"]
+    problem = Problem.make(
+        "copy-orientation",
+        delta,
+        [("H", "T")],
+        list(multisets_of_size(labels, delta)),
+        labels=labels,
+    )
+    assert zero_round_no_input(problem) is None
+    witness = zero_round_with_orientations(problem)
+    assert witness is not None
+    # The witness must cover every in-degree.
+    assert set(witness.splits) == set(range(delta + 1))
+
+
+def test_orientation_witness_is_consistent():
+    delta = 3
+    labels = ["H", "T"]
+    problem = Problem.make(
+        "copy-orientation",
+        delta,
+        [("H", "T")],
+        list(multisets_of_size(labels, delta)),
+        labels=labels,
+    )
+    witness = zero_round_with_orientations(problem)
+    for s, (in_part, out_part) in witness.splits.items():
+        assert len(in_part) == s
+        assert len(out_part) == delta - s
+        assert problem.allows_node(in_part + out_part)
+    # Cross-compatibility: every out label vs every in label of any split.
+    all_in = {label for ins, _ in witness.splits.values() for label in ins}
+    all_out = {label for _, outs in witness.splits.values() for label in outs}
+    for o in all_out:
+        for i in all_in:
+            assert problem.allows_edge(o, i)
+
+
+def test_zero_round_wrapper(sc3):
+    assert not is_zero_round_solvable(sc3, orientations=True)
+    assert not is_zero_round_solvable(sc3, orientations=False)
+    assert is_zero_round_solvable(trivial_problem(3), orientations=False)
+
+
+def test_empty_problem_not_solvable():
+    empty = Problem.make("empty", 2, [], [], labels=["a"])
+    assert zero_round_no_input(empty) is None
+    assert zero_round_with_orientations(empty) is None
+
+
+def test_witness_describe(sc3):
+    witness = zero_round_no_input(trivial_problem(2))
+    text = witness.describe()
+    assert "0-round witness" in text
