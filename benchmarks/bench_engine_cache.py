@@ -1,0 +1,90 @@
+"""Cold vs warm engine-cache latency: the content-addressed memo cache.
+
+The acceptance bar for the Engine API: a warm-cache derivation of a catalog
+problem must be at least 10x faster than the cold derivation.  In practice
+the gap is several orders of magnitude -- a warm hit costs one canonical
+hash plus a dictionary lookup (and, for renamed twins, a label-map
+translation), while the cold path runs the full ``Pi -> Pi_{1/2} -> Pi_1``
+construction.
+"""
+
+import time
+
+import pytest
+
+from repro.engine import Engine, EngineConfig
+from repro.problems.catalog import get_problem
+
+
+def _cold_and_warm(problem, *, warm_rounds: int = 5):
+    engine = Engine()
+    start = time.perf_counter()
+    cold_result = engine.speedup(problem)
+    cold = time.perf_counter() - start
+
+    warm = float("inf")
+    for _ in range(warm_rounds):  # best-of to shed timer noise
+        start = time.perf_counter()
+        warm_result = engine.speedup(problem)
+        warm = min(warm, time.perf_counter() - start)
+    assert warm_result is cold_result
+    return engine, cold, warm
+
+
+@pytest.mark.parametrize(
+    "name,delta",
+    [
+        ("sinkless-coloring", 5),
+        ("weak-2-coloring", 4),
+        ("superweak-2-coloring", 3),
+    ],
+)
+def test_bench_cache_cold_vs_warm(benchmark, name, delta):
+    """Warm-cache derivation must be >= 10x faster than cold (acceptance)."""
+    problem = get_problem(name, delta)
+    engine, cold, warm = _cold_and_warm(problem)
+
+    benchmark.pedantic(lambda: engine.speedup(problem), rounds=3, iterations=1)
+    assert warm * 10 <= cold, f"warm {warm:.6f}s vs cold {cold:.6f}s"
+    benchmark.extra_info["cold_seconds"] = cold
+    benchmark.extra_info["warm_seconds"] = warm
+    benchmark.extra_info["speedup_factor"] = cold / max(warm, 1e-9)
+    benchmark.extra_info["cache"] = engine.cache_stats()
+
+
+def test_bench_cache_renamed_twin_hit(benchmark):
+    """A label-renamed twin hits the cache via canonical hashing."""
+    problem = get_problem("weak-2-coloring", 4)
+    engine = Engine()
+    start = time.perf_counter()
+    engine.speedup(problem)
+    cold = time.perf_counter() - start
+
+    renamed = problem.renamed(
+        {label: f"r{i}" for i, label in enumerate(sorted(problem.labels))},
+        name="weak2-renamed",
+    )
+    result = benchmark(lambda: engine.speedup(renamed))
+    assert result.original == renamed
+    assert engine.cache_stats()["hits"] >= 1
+    assert engine.cache_stats()["misses"] == 1
+    benchmark.extra_info["cold_seconds"] = cold
+
+
+def test_bench_disk_cache_warm_start(benchmark, tmp_path):
+    """A fresh process-equivalent engine warm-starts from the JSON cache."""
+    problem = get_problem("sinkless-coloring", 4)
+    first = Engine(EngineConfig(cache_dir=tmp_path))
+    start = time.perf_counter()
+    first.speedup(problem)
+    cold = time.perf_counter() - start
+
+    def fresh_engine_hit():
+        engine = Engine(EngineConfig(cache_dir=tmp_path))
+        result = engine.speedup(problem)
+        assert engine.cache_stats()["misses"] == 0
+        return result
+
+    result = benchmark.pedantic(fresh_engine_hit, rounds=3, iterations=1)
+    assert result.original == problem
+    benchmark.extra_info["cold_seconds"] = cold

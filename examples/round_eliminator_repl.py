@@ -5,25 +5,22 @@ the simplified speedup repeatedly, printing each derived problem, detecting
 fixed points and 0-round solvability -- a command-line homage to Olivetti's
 Round Eliminator, which is the only other implementation of this paper.
 
+Since the Engine API landed this is a thin veneer over the real CLI: the
+same output is available as ``python -m repro run``, which adds JSON output,
+configurable limits, and a persistent cache.
+
     python examples/round_eliminator_repl.py            # demo problem
     python examples/round_eliminator_repl.py file.txt   # your own problem
 """
 
 import sys
 
-from repro import format_problem, parse_problem, run_round_elimination
+from repro import parse_problem
+from repro.cli import DEMO_PROBLEM, elimination_report
+from repro.engine import Engine
 
-DEMO = """
-problem mis delta=3
-labels: I P O
-node:
-I I I
-O O P
-edge:
-I O
-I P
-O O
-"""
+# Kept under the historic name for importers of this example.
+DEMO = DEMO_PROBLEM
 
 
 def main() -> None:
@@ -34,17 +31,9 @@ def main() -> None:
         text = DEMO
         print("(no input file given; using the bundled MIS encoding)\n")
     problem = parse_problem(text)
-    print(format_problem(problem))
 
-    result = run_round_elimination(problem, max_steps=2)
-    print(result.summary())
-    print()
-    for step in result.steps[1:]:
-        print(f"--- step {step.index} ---")
-        print(format_problem(step.problem))
-        if step.zero_round_solvable:
-            print("(0-round solvable -- chain stops here)")
-            break
+    result = Engine().run(problem, max_steps=2)
+    print(elimination_report(problem, result))
 
 
 if __name__ == "__main__":

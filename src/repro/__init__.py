@@ -3,12 +3,17 @@
 A Python reproduction of Sebastian Brandt, *An Automatic Speedup Theorem for
 Distributed Problems* (PODC 2019, arXiv:1902.09958).
 
-The library is organised in five layers:
+The library is organised in six layers:
 
-* :mod:`repro.core` -- the round-elimination engine (Theorems 1 and 2): the
-  problem model, the ``Pi -> Pi_{1/2} -> Pi_1`` derivations with the
-  maximality simplification, 0-round solvability, isomorphism, relaxations
-  and iterated pipelines;
+* :mod:`repro.core` -- the round-elimination derivations (Theorems 1 and 2):
+  the problem model, the ``Pi -> Pi_{1/2} -> Pi_1`` derivations with the
+  maximality simplification, 0-round solvability, isomorphism, canonical
+  hashing, relaxations and iterated pipelines;
+* :mod:`repro.engine` -- the unified Engine API: configuration
+  (:class:`EngineConfig`), a content-addressed derivation cache (renamed
+  twins hit via canonical problem hashes, optionally persisted as JSON),
+  batch fan-out (``speedup_many`` / ``run_many``) and streaming pipelines
+  (``iter_elimination``);
 * :mod:`repro.problems` -- the catalog of concrete problems (sinkless
   orientation/coloring, colorings, weak and superweak colorings, MIS,
   matchings);
@@ -22,17 +27,30 @@ The library is organised in five layers:
 
 Quickstart::
 
-    from repro import speedup, sinkless_coloring, are_isomorphic
+    from repro import Engine, sinkless_coloring, are_isomorphic
 
+    engine = Engine()
     problem = sinkless_coloring(delta=3)
-    derived = speedup(problem).full
+    derived = engine.speedup(problem).full          # cached content-addressed
     assert are_isomorphic(derived.compressed(), problem.compressed())
+
+    result = engine.run(problem, max_steps=5)       # iterated pipeline
+    assert result.unbounded                         # Omega(log n) fixed point
+
+    payload = result.to_dict()                      # JSON wire format
+
+The classic function surface (``speedup``, ``iterate_speedup``,
+``run_round_elimination``) remains available as compatibility shims over a
+process-wide default engine, and the whole API is scriptable from the shell
+via ``python -m repro`` (subcommands ``parse``, ``speedup``, ``run``,
+``catalog``).
 """
 
 from repro.core import (
     EliminationResult,
     Problem,
     ProblemFamily,
+    SequenceStep,
     are_isomorphic,
     find_isomorphism,
     format_problem,
@@ -42,6 +60,13 @@ from repro.core import (
     parse_problem,
     run_round_elimination,
     speedup,
+)
+from repro.engine import (
+    Engine,
+    EngineConfig,
+    canonical_hash,
+    get_default_engine,
+    set_default_engine,
 )
 from repro.problems import (
     catalog,
@@ -57,17 +82,22 @@ from repro.problems import (
     weak_coloring_pointer,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "EliminationResult",
+    "Engine",
+    "EngineConfig",
     "Problem",
     "ProblemFamily",
+    "SequenceStep",
     "are_isomorphic",
+    "canonical_hash",
     "catalog",
     "coloring",
     "find_isomorphism",
     "format_problem",
+    "get_default_engine",
     "get_family",
     "get_problem",
     "half_step",
@@ -78,6 +108,7 @@ __all__ = [
     "parse_problem",
     "perfect_matching",
     "run_round_elimination",
+    "set_default_engine",
     "sinkless_coloring",
     "sinkless_orientation",
     "speedup",

@@ -14,8 +14,9 @@ from math import comb
 
 from repro.core.isomorphism import are_isomorphic, find_isomorphism
 from repro.core.problem import Problem
-from repro.core.speedup import half_step, speedup
+from repro.core.speedup import half_step
 from repro.core.zero_round import zero_round_no_input, zero_round_with_orientations
+from repro.engine import get_default_engine
 from repro.problems.coloring import coloring
 from repro.problems.sinkless import sinkless_coloring, sinkless_orientation
 from repro.problems.superweak import superweak, weak2_to_superweak2_map
@@ -49,7 +50,7 @@ def run_sinkless(delta: int) -> SinklessResult:
     sc = sinkless_coloring(delta)
     so = sinkless_orientation(delta)
     half = half_step(sc).problem.compressed()
-    full = speedup(sc).full.compressed()
+    full = get_default_engine().speedup(sc).full.compressed()
     return SinklessResult(
         delta=delta,
         half_is_sinkless_orientation=are_isomorphic(half, so.compressed()),
@@ -250,7 +251,7 @@ def run_weak2(delta: int) -> Weak2Result:
     problem = weak_coloring_pointer(2, delta)
     half = half_step(problem)
     half_problem = half.problem.compressed()
-    result = speedup(problem)
+    result = get_default_engine().speedup(problem)
     full = result.full
 
     # A config can be shared by a node and ALL its neighbors iff every entry
@@ -316,11 +317,12 @@ def superweak_full_in_trit_form(
 ) -> tuple[Problem, dict[str, frozenset[str]]]:
     """The engine's ``Pi'_1`` of superweak k plus label -> set-of-tritseqs map.
 
-    Cached: several experiment drivers and tests share the same derivation.
+    Cached twice over: the lru_cache memoises the trit mapping, and the
+    engine's content-addressed cache memoises the derivation itself.
     """
     from repro.superweak.equivalents import superweak_half_equivalent
 
-    result = speedup(superweak(k, delta))
+    result = get_default_engine().speedup(superweak(k, delta))
     mapping = find_isomorphism(
         result.half.compressed(),
         superweak_half_equivalent(k, delta).compressed(),
@@ -595,8 +597,9 @@ def run_maximality(problem: Problem) -> MaximalityResult:
     """
     from repro.core.relaxation import is_relaxation_map
 
-    simplified_result = speedup(problem, simplify=True)
-    raw_result = speedup(problem, simplify=False)
+    engine = get_default_engine()
+    simplified_result = engine.speedup(problem, simplify=True)
+    raw_result = engine.speedup(problem, simplify=False)
     simplified = simplified_result.full.compressed()
     raw = raw_result.full.compressed()
     zero_simplified = zero_round_with_orientations(simplified) is not None

@@ -1,0 +1,272 @@
+"""``python -m repro``: the engine behind a command line.
+
+Subcommands (all built on :class:`repro.engine.Engine` and the JSON wire
+format of the core dataclasses):
+
+``parse``
+    Validate a problem file (or stdin) and echo it back canonically, as text
+    or JSON -- a syntax/round-trip checker for the Round-Eliminator-style
+    format.
+``speedup``
+    Apply the automatic speedup one or more times, printing each derived
+    problem (text) or the full provenance-carrying results (JSON).
+``run``
+    Run the iterated round-elimination pipeline: prints the input problem,
+    the lower-bound summary, and every derived step -- the same output as
+    ``examples/round_eliminator_repl.py``.
+``catalog``
+    List the built-in problem families, or instantiate one at a degree.
+
+Examples::
+
+    python -m repro run                                # bundled MIS demo
+    python -m repro run problem.txt --max-steps 5 --json
+    python -m repro speedup problem.txt --steps 2
+    python -m repro catalog --name sinkless-coloring --delta 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from repro.core.format import format_problem, parse_problem
+from repro.core.problem import Problem, ProblemError
+from repro.core.sequence import EliminationResult
+from repro.engine import Engine, EngineConfig, EngineLimitError
+from repro.problems.catalog import catalog, get_problem
+
+DEMO_PROBLEM = """
+problem mis delta=3
+labels: I P O
+node:
+I I I
+O O P
+edge:
+I O
+I P
+O O
+"""
+
+
+def elimination_report(problem: Problem, result: EliminationResult) -> str:
+    """The classic REPL rendering: input, summary, then each derived step."""
+    lines = [format_problem(problem), result.summary(), ""]
+    for step in result.steps[1:]:
+        lines.append(f"--- step {step.index} ---")
+        lines.append(format_problem(step.problem))
+        if step.zero_round_solvable:
+            lines.append("(0-round solvable -- chain stops here)")
+            break
+    return "\n".join(lines)
+
+
+def _read_problem(path: str | None, *, allow_demo: bool = False) -> tuple[Problem, bool]:
+    """Load a problem from a file, stdin (``-``), or the bundled demo.
+
+    Returns the problem and whether the demo was used.
+    """
+    if path is None:
+        if allow_demo and sys.stdin.isatty():
+            return parse_problem(DEMO_PROBLEM), True
+        text = sys.stdin.read()
+        if not text.strip() and allow_demo:
+            return parse_problem(DEMO_PROBLEM), True
+    elif path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(path) as handle:
+            text = handle.read()
+    return parse_problem(text), False
+
+
+def _engine_from_args(args: argparse.Namespace) -> Engine:
+    config = EngineConfig(
+        simplify=not getattr(args, "no_simplify", False),
+        max_derived_labels=getattr(args, "max_labels", None) or EngineConfig().max_derived_labels,
+        max_candidate_configs=getattr(args, "max_configs", None)
+        or EngineConfig().max_candidate_configs,
+        cache_dir=getattr(args, "cache_dir", None),
+    )
+    return Engine(config)
+
+
+# -- subcommands -------------------------------------------------------------
+
+
+def cmd_parse(args: argparse.Namespace) -> int:
+    problem, _ = _read_problem(args.file)
+    if args.json:
+        print(json.dumps(problem.to_dict(), indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(format_problem(problem))
+    return 0
+
+
+def cmd_speedup(args: argparse.Namespace) -> int:
+    problem, _ = _read_problem(args.file)
+    engine = _engine_from_args(args)
+    try:
+        results = engine.iterate_speedup(problem, args.steps)
+    except EngineLimitError as exc:
+        print(f"error: derivation exceeded size limits: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(
+            json.dumps(
+                {"steps": [result.to_dict() for result in results]},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for result in results:
+            sys.stdout.write(format_problem(result.full))
+            print()
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    problem, used_demo = _read_problem(args.file, allow_demo=True)
+    if used_demo:
+        print("(no input file given; using the bundled MIS encoding)\n")
+    engine = _engine_from_args(args)
+    progress = None
+    if args.progress:
+        progress = lambda step: print(  # noqa: E731
+            f"[step {step.index}] {step.problem.name}: "
+            f"{len(step.problem.labels)} labels",
+            file=sys.stderr,
+        )
+    result = engine.run(problem, max_steps=args.max_steps, progress=progress)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(elimination_report(problem, result))
+        sys.stdout.write("\n")
+    return 0
+
+
+def cmd_catalog(args: argparse.Namespace) -> int:
+    families = catalog()
+    if args.name is not None:
+        if args.delta is None:
+            family = families.get(args.name)
+            if family is None:
+                print(f"error: unknown family {args.name!r}", file=sys.stderr)
+                return 2
+            print(f"{family.name} (min_delta={family.min_delta})")
+            if family.description:
+                print(family.description)
+            return 0
+        try:
+            problem = get_problem(args.name, args.delta)
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(problem.to_dict(), indent=2, sort_keys=True))
+        else:
+            sys.stdout.write(format_problem(problem))
+        return 0
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    name: {"min_delta": family.min_delta, "description": family.description}
+                    for name, family in sorted(families.items())
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for name in sorted(families):
+            print(name)
+    return 0
+
+
+# -- parser ------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Round elimination for locally checkable problems "
+        "(Brandt, PODC 2019).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_io(p: argparse.ArgumentParser, *, optional_file: bool) -> None:
+        p.add_argument(
+            "file",
+            nargs="?" if optional_file else None,
+            default=None,
+            help="problem file in the textual format ('-' for stdin)",
+        )
+        p.add_argument("--json", action="store_true", help="emit JSON output")
+
+    p_parse = sub.add_parser("parse", help="validate and canonicalise a problem")
+    add_io(p_parse, optional_file=True)
+    p_parse.set_defaults(func=cmd_parse)
+
+    p_speedup = sub.add_parser("speedup", help="apply the automatic speedup")
+    add_io(p_speedup, optional_file=True)
+    p_speedup.add_argument("--steps", type=int, default=1, help="speedup applications")
+    p_speedup.add_argument(
+        "--no-simplify",
+        action="store_true",
+        help="use the literal Theorem 1 derivation (no maximality simplification)",
+    )
+    p_speedup.add_argument("--max-labels", type=int, help="derived-label size guard")
+    p_speedup.add_argument(
+        "--max-configs", type=int, help="candidate-configuration size guard"
+    )
+    p_speedup.add_argument("--cache-dir", help="persistent JSON cache directory")
+    p_speedup.set_defaults(func=cmd_speedup)
+
+    p_run = sub.add_parser("run", help="run the round-elimination pipeline")
+    add_io(p_run, optional_file=True)
+    p_run.add_argument(
+        "--max-steps", type=int, default=2, help="maximum speedup applications"
+    )
+    p_run.add_argument(
+        "--no-simplify",
+        action="store_true",
+        help="use the literal Theorem 1 derivation",
+    )
+    p_run.add_argument("--cache-dir", help="persistent JSON cache directory")
+    p_run.add_argument(
+        "--progress", action="store_true", help="print per-step progress to stderr"
+    )
+    p_run.set_defaults(func=cmd_run)
+
+    p_catalog = sub.add_parser("catalog", help="list or instantiate built-in problems")
+    p_catalog.add_argument("--name", help="family name to show")
+    p_catalog.add_argument("--delta", type=int, help="degree to instantiate at")
+    p_catalog.add_argument("--json", action="store_true", help="emit JSON output")
+    p_catalog.set_defaults(func=cmd_catalog)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream closed early (e.g. `... | head`); exit quietly with the
+        # conventional SIGPIPE status, muting the interpreter's flush error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
+    except ProblemError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -14,6 +14,7 @@ This package is the reproduction of the paper's core contribution
 * :mod:`repro.core.sequence` -- the iterated pipeline with lower-bound output.
 """
 
+from repro.core.canonical import CanonicalForm, canonical_form, canonical_hash
 from repro.core.diagram import Diagram, compute_diagram, merge_equivalent_labels, replaceable
 from repro.core.family import ProblemFamily
 from repro.core.format import format_problem, parse_problem
@@ -40,6 +41,7 @@ from repro.core.speedup import (
     EngineLimitError,
     HalfStepResult,
     SpeedupResult,
+    compute_speedup,
     full_step,
     half_step,
     iterate_speedup,
@@ -54,6 +56,7 @@ from repro.core.zero_round import (
 )
 
 __all__ = [
+    "CanonicalForm",
     "Compatibility",
     "Diagram",
     "EdgeConfig",
@@ -70,8 +73,11 @@ __all__ = [
     "SpeedupResult",
     "ZeroRoundWitness",
     "are_isomorphic",
+    "canonical_form",
+    "canonical_hash",
     "certify_relaxation",
     "compute_diagram",
+    "compute_speedup",
     "edge_config",
     "find_isomorphism",
     "find_relaxation_map",

@@ -1,0 +1,174 @@
+"""Canonical forms of problems, invariant under label renaming.
+
+The engine's memo cache (:mod:`repro.engine.cache`) is *content addressed*:
+two problems that differ only in their label names (and their cosmetic
+``name`` field) must map to the same cache key, because the speedup
+derivation is equivariant under label renaming -- ``speedup(rename(Pi))`` is
+``rename(speedup(Pi))`` up to the fresh short names of the derived alphabet.
+Round elimination produces exactly such renamed twins all the time: every
+iteration renames the derived labels to ``A, B, C, ...``, and the analysis
+drivers re-derive the same catalog problems under different display names.
+
+The canonical form is computed in two stages:
+
+1. **Refinement.**  Labels are partitioned by iterated signature refinement
+   (1-WL on the constraint hypergraph): the initial color is a counting
+   signature, and each round refines by the multiset of neighbor colors in
+   edge configurations and the multiset of colored node-configuration
+   profiles.  Both are isomorphism-invariant, so equivalent labels of
+   renamed twins land in equal classes.
+
+2. **Minimal encoding.**  Within-class ties are broken exactly, by
+   enumerating the (usually tiny) product of per-class permutations and
+   keeping the lexicographically smallest constraint encoding.  When a
+   problem is so symmetric that the enumeration would be large
+   (> ``PERMUTATION_BUDGET`` orderings), we fall back to an *exact* encoding
+   keyed on the actual label names: still a sound cache key (only
+   structurally identical problems collide), just blind to renamings.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from hashlib import sha256
+from itertools import chain, permutations, product
+from math import factorial
+
+from repro.core.problem import Label, Problem
+
+# Cap on the number of tie-breaking orderings tried.  8! covers every
+# fully-symmetric alphabet up to 8 labels; refinement splits larger ones in
+# practice, and the exact-name fallback keeps the key sound beyond it.
+PERMUTATION_BUDGET = 40_320
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """A cache key plus the label ordering that realises it.
+
+    ``key`` is equal for two problems iff they are identical up to label
+    renaming (or, for the symmetric fallback, identical outright); in that
+    case ``ordering[i]`` of one problem corresponds to ``ordering[i]`` of the
+    other, which is how the cache translates a stored result into the
+    requesting problem's label space.
+    """
+
+    key: str
+    ordering: tuple[Label, ...]
+
+    @property
+    def index(self) -> dict[Label, int]:
+        return {label: i for i, label in enumerate(self.ordering)}
+
+
+def _initial_colors(problem: Problem) -> dict[Label, tuple]:
+    """Counting signature per label (isomorphism-invariant seed partition)."""
+    colors: dict[Label, tuple] = {}
+    for label in problem.labels:
+        self_pairs = sum(
+            1 for pair in problem.edge_constraint if pair == (label, label)
+        )
+        other_pairs = sum(
+            1
+            for pair in problem.edge_constraint
+            if label in pair and pair[0] != pair[1]
+        )
+        node_profile = Counter(
+            config.count(label)
+            for config in problem.node_constraint
+            if label in config
+        )
+        colors[label] = (self_pairs, other_pairs, tuple(sorted(node_profile.items())))
+    return colors
+
+
+def _refine(problem: Problem) -> dict[Label, int]:
+    """Iterated signature refinement; returns a class id per label.
+
+    Class ids are assigned by sorted signature order, which is deterministic
+    and isomorphism-invariant (signatures only mention other class ids and
+    counts, never label names).
+    """
+    seed = _initial_colors(problem)
+    ranked = {sig: rank for rank, sig in enumerate(sorted(set(seed.values())))}
+    color = {label: ranked[seed[label]] for label in problem.labels}
+
+    while True:
+        signatures: dict[Label, tuple] = {}
+        for label in problem.labels:
+            edge_profile = sorted(
+                color[pair[1] if pair[0] == label else pair[0]]
+                for pair in problem.edge_constraint
+                if label in pair
+            )
+            node_profile = sorted(
+                (config.count(label), tuple(sorted(color[x] for x in config)))
+                for config in problem.node_constraint
+                if label in config
+            )
+            signatures[label] = (
+                color[label],
+                tuple(edge_profile),
+                tuple(node_profile),
+            )
+        ranked = {sig: rank for rank, sig in enumerate(sorted(set(signatures.values())))}
+        refined = {label: ranked[signatures[label]] for label in problem.labels}
+        if len(set(refined.values())) == len(set(color.values())):
+            return refined
+        color = refined
+
+
+def _encode(problem: Problem, ordering: tuple[Label, ...]) -> tuple:
+    """Constraint encoding under a label-to-index assignment."""
+    index = {label: i for i, label in enumerate(ordering)}
+    edges = sorted(
+        (index[a], index[b]) if index[a] <= index[b] else (index[b], index[a])
+        for a, b in problem.edge_constraint
+    )
+    nodes = sorted(tuple(sorted(index[x] for x in config)) for config in problem.node_constraint)
+    return (tuple(edges), tuple(nodes))
+
+
+def _digest(parts: tuple) -> str:
+    return sha256(repr(parts).encode()).hexdigest()
+
+
+def canonical_form(problem: Problem) -> CanonicalForm:
+    """Compute the renaming-invariant canonical form of a problem.
+
+    The cosmetic ``name`` field is deliberately excluded: two copies of the
+    same structure under different display names are the same content.
+    """
+    classes = _refine(problem)
+    groups: list[list[Label]] = [
+        sorted(label for label in problem.labels if classes[label] == cid)
+        for cid in sorted(set(classes.values()))
+    ]
+
+    orderings = 1
+    for group in groups:
+        orderings *= factorial(len(group))
+    # Budget also the total encoding work, not just the ordering count.
+    work = orderings * (len(problem.edge_constraint) + len(problem.node_constraint) + 1)
+    if orderings > PERMUTATION_BUDGET or work > 4_000_000:
+        ordering = tuple(sorted(problem.labels))
+        parts = ("exact", problem.delta, ordering, _encode(problem, ordering))
+        return CanonicalForm(key="exact:" + _digest(parts), ordering=ordering)
+
+    best_encoding: tuple | None = None
+    best_ordering: tuple[Label, ...] | None = None
+    for combo in product(*(permutations(group) for group in groups)):
+        ordering = tuple(chain.from_iterable(combo))
+        encoding = _encode(problem, ordering)
+        if best_encoding is None or encoding < best_encoding:
+            best_encoding = encoding
+            best_ordering = ordering
+    assert best_ordering is not None and best_encoding is not None
+    parts = ("canon", problem.delta, len(problem.labels), best_encoding)
+    return CanonicalForm(key="canon:" + _digest(parts), ordering=best_ordering)
+
+
+def canonical_hash(problem: Problem) -> str:
+    """The content-addressed cache key alone (see :func:`canonical_form`)."""
+    return canonical_form(problem).key

@@ -40,55 +40,96 @@ def format_problem(problem: Problem) -> str:
 def parse_problem(text: str) -> Problem:
     """Parse the textual format produced by :func:`format_problem`.
 
-    Raises :class:`ProblemError` on malformed input.
+    Raises :class:`ProblemError` on malformed input; messages carry the
+    1-based line number of the offending line.  Duplicate ``problem``
+    headers, ``labels:`` lines, and ``node:``/``edge:`` section headers are
+    rejected (historically a second section silently absorbed the first).
+    When the ``labels:`` line is omitted, the alphabet is inferred as the
+    union of labels mentioned by the configurations.
     """
     name: str | None = None
     delta: int | None = None
     labels: list[str] | None = None
-    node_lines: list[list[str]] = []
-    edge_lines: list[list[str]] = []
+    node_lines: list[tuple[int, list[str]]] = []
+    edge_lines: list[tuple[int, list[str]]] = []
     section: str | None = None
+    seen_sections: set[str] = set()
 
-    for raw_line in text.splitlines():
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
         line = raw_line.strip()
         if not line or line.startswith("#"):
             continue
         header = _HEADER_RE.match(line)
         if header:
+            if name is not None:
+                raise ProblemError(f"line {lineno}: duplicate 'problem' header")
             name = header.group("name")
             delta = int(header.group("delta"))
             continue
         if line.startswith("labels:"):
+            if labels is not None:
+                raise ProblemError(f"line {lineno}: duplicate 'labels:' line")
             labels = line[len("labels:") :].split()
+            duplicates = sorted({lbl for lbl in labels if labels.count(lbl) > 1})
+            if duplicates:
+                raise ProblemError(
+                    f"line {lineno}: duplicate labels {duplicates} in 'labels:' line"
+                )
             continue
-        if line == "node:":
-            section = "node"
-            continue
-        if line == "edge:":
-            section = "edge"
+        if line in ("node:", "edge:"):
+            kind = line[:-1]
+            if kind in seen_sections:
+                raise ProblemError(f"line {lineno}: duplicate '{kind}:' section")
+            seen_sections.add(kind)
+            section = kind
             continue
         tokens = line.split()
         if section == "node":
-            node_lines.append(tokens)
+            node_lines.append((lineno, tokens))
         elif section == "edge":
-            edge_lines.append(tokens)
+            edge_lines.append((lineno, tokens))
         else:
-            raise ProblemError(f"configuration line outside a section: {line!r}")
+            raise ProblemError(
+                f"line {lineno}: configuration line outside a section: {line!r}"
+            )
 
     if name is None or delta is None:
         raise ProblemError("missing 'problem <name> delta=<d>' header")
-    for tokens in edge_lines:
+    for lineno, tokens in edge_lines:
         if len(tokens) != 2:
-            raise ProblemError(f"edge configuration {tokens!r} is not a pair")
-    for tokens in node_lines:
+            raise ProblemError(
+                f"line {lineno}: edge configuration {tokens!r} is not a pair"
+            )
+    for lineno, tokens in node_lines:
         if len(tokens) != delta:
             raise ProblemError(
-                f"node configuration {tokens!r} does not have {delta} entries"
+                f"line {lineno}: node configuration {tokens!r} "
+                f"does not have {delta} entries"
             )
+
+    if labels is None:
+        # Explicit inference: the alphabet is exactly what the configurations
+        # mention (previously delegated silently to Problem.make).
+        inferred: set[str] = set()
+        for _, tokens in edge_lines:
+            inferred.update(tokens)
+        for _, tokens in node_lines:
+            inferred.update(tokens)
+        labels = sorted(inferred)
+    else:
+        known = set(labels)
+        for lineno, tokens in edge_lines + node_lines:
+            unknown = sorted(set(tokens) - known)
+            if unknown:
+                raise ProblemError(
+                    f"line {lineno}: configuration uses labels {unknown} "
+                    f"not declared on the 'labels:' line"
+                )
+
     return Problem.make(
         name=name,
         delta=delta,
-        edge_configs=edge_lines,
-        node_configs=node_lines,
+        edge_configs=[tokens for _, tokens in edge_lines],
+        node_configs=[tokens for _, tokens in node_lines],
         labels=labels,
     )

@@ -234,6 +234,52 @@ class Problem:
             ),
         )
 
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-ready description of the problem (inverse of :meth:`from_dict`).
+
+        This is the wire format used by the engine's on-disk cache and the
+        ``python -m repro`` CLI: plain lists, deterministically sorted, so the
+        output is stable across runs and diff-friendly.
+        """
+        return {
+            "name": self.name,
+            "delta": self.delta,
+            "labels": sorted(self.labels),
+            "edge_constraint": [list(pair) for pair in sorted(self.edge_constraint)],
+            "node_constraint": [list(cfg) for cfg in sorted(self.node_constraint)],
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "Problem":
+        """Rebuild a problem from :meth:`to_dict` output.
+
+        Raises :class:`ProblemError` on missing keys or malformed payloads.
+        """
+        try:
+            name = data["name"]
+            delta = data["delta"]
+            labels = data["labels"]
+            edges = data["edge_constraint"]
+            nodes = data["node_constraint"]
+        except (KeyError, TypeError) as exc:
+            raise ProblemError(f"problem payload is missing key {exc}") from exc
+        if not isinstance(name, str) or not isinstance(delta, int):
+            raise ProblemError("problem payload has malformed 'name' or 'delta'")
+        try:
+            return Problem.make(
+                name=name,
+                delta=delta,
+                edge_configs=edges,
+                node_configs=nodes,
+                labels=labels,
+            )
+        except ProblemError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise ProblemError(f"malformed problem payload: {exc}") from exc
+
     # -- presentation ---------------------------------------------------------
 
     def describe(self) -> str:

@@ -31,6 +31,22 @@ class RelaxationCertificate:
     target_name: str
     mapping: dict[Label, Label]
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (inverse of :meth:`from_dict`)."""
+        return {
+            "source_name": self.source_name,
+            "target_name": self.target_name,
+            "mapping": dict(sorted(self.mapping.items())),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "RelaxationCertificate":
+        return RelaxationCertificate(
+            source_name=data["source_name"],
+            target_name=data["target_name"],
+            mapping=dict(data["mapping"]),
+        )
+
     def describe(self) -> str:
         pairs = ", ".join(f"{a}->{b}" for a, b in sorted(self.mapping.items()))
         return (

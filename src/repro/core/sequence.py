@@ -20,15 +20,9 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
-from repro.core.isomorphism import find_isomorphism
 from repro.core.problem import Problem
-from repro.core.relaxation import RelaxationCertificate, certify_relaxation
-from repro.core.speedup import EngineLimitError, speedup
-from repro.core.zero_round import (
-    ZeroRoundWitness,
-    zero_round_no_input,
-    zero_round_with_orientations,
-)
+from repro.core.relaxation import RelaxationCertificate
+from repro.core.zero_round import ZeroRoundWitness
 
 # A relaxer takes (derived problem, step index) and returns the relaxed
 # problem together with the certifying label map, or None to keep the
@@ -50,6 +44,36 @@ class SequenceStep:
     def zero_round_solvable(self) -> bool:
         return self.zero_round_witness is not None
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (inverse of :meth:`from_dict`)."""
+        return {
+            "index": self.index,
+            "problem": self.problem.to_dict(),
+            "relaxation": None if self.relaxation is None else self.relaxation.to_dict(),
+            "zero_round_witness": (
+                None
+                if self.zero_round_witness is None
+                else self.zero_round_witness.to_dict()
+            ),
+            "isomorphic_to_step": self.isomorphic_to_step,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "SequenceStep":
+        relaxation = data.get("relaxation")
+        witness = data.get("zero_round_witness")
+        return SequenceStep(
+            index=data["index"],
+            problem=Problem.from_dict(data["problem"]),
+            relaxation=(
+                None if relaxation is None else RelaxationCertificate.from_dict(relaxation)
+            ),
+            zero_round_witness=(
+                None if witness is None else ZeroRoundWitness.from_dict(witness)
+            ),
+            isomorphic_to_step=data["isomorphic_to_step"],
+        )
+
 
 @dataclass(frozen=True)
 class EliminationResult:
@@ -64,6 +88,21 @@ class EliminationResult:
 
     steps: list[SequenceStep] = field(default_factory=list)
     stopped_by_limit: bool = False
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (inverse of :meth:`from_dict`) -- the wire format
+        emitted by ``python -m repro run --json``."""
+        return {
+            "steps": [step.to_dict() for step in self.steps],
+            "stopped_by_limit": self.stopped_by_limit,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "EliminationResult":
+        return EliminationResult(
+            steps=[SequenceStep.from_dict(step) for step in data["steps"]],
+            stopped_by_limit=data["stopped_by_limit"],
+        )
 
     @property
     def first_zero_round_index(self) -> int | None:
@@ -169,58 +208,20 @@ def run_round_elimination(
         Test each new problem for isomorphism against all previous ones.
     stop_at_zero_round:
         Stop as soon as a 0-round solvable problem appears.
+
+    Compatibility shim: delegates to the process-wide default
+    :class:`repro.engine.Engine` (re-configured with these flags but sharing
+    its derivation cache), so pipelines inherit content-addressed
+    memoisation and the once-per-step compression of fixed-point detection.
+    Use :meth:`repro.engine.Engine.iter_elimination` directly for streaming
+    access to the steps.
     """
+    from repro.engine import get_default_engine
 
-    def witness_for(p: Problem) -> ZeroRoundWitness | None:
-        if orientations:
-            return zero_round_with_orientations(p)
-        return zero_round_no_input(p)
-
-    steps: list[SequenceStep] = []
-    current = problem
-    steps.append(
-        SequenceStep(
-            index=0,
-            problem=current,
-            relaxation=None,
-            zero_round_witness=witness_for(current),
-            isomorphic_to_step=None,
-        )
+    engine = get_default_engine().with_config(
+        orientations=orientations,
+        simplify=simplify,
+        detect_fixed_points=detect_fixed_points,
+        stop_at_zero_round=stop_at_zero_round,
     )
-
-    stopped_by_limit = False
-    for index in range(1, max_steps + 1):
-        if stop_at_zero_round and steps[-1].zero_round_solvable:
-            break
-        if steps[-1].isomorphic_to_step is not None:
-            break
-        try:
-            derived = speedup(current, simplify=simplify).full
-        except EngineLimitError:
-            stopped_by_limit = True
-            break
-        certificate = None
-        if relaxer is not None:
-            relaxed = relaxer(derived, index)
-            if relaxed is not None:
-                target, mapping = relaxed
-                certificate = certify_relaxation(derived, target, mapping)
-                derived = target
-        iso_index = None
-        if detect_fixed_points:
-            for earlier in steps:
-                if find_isomorphism(derived.compressed(), earlier.problem.compressed()):
-                    iso_index = earlier.index
-                    break
-        steps.append(
-            SequenceStep(
-                index=index,
-                problem=derived,
-                relaxation=certificate,
-                zero_round_witness=witness_for(derived),
-                isomorphic_to_step=iso_index,
-            )
-        )
-        current = derived
-
-    return EliminationResult(steps=steps, stopped_by_limit=stopped_by_limit)
+    return engine.run(problem, max_steps, relaxer=relaxer)

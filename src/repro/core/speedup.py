@@ -48,8 +48,11 @@ class EngineLimitError(RuntimeError):
     """Raised when a derivation would exceed the configured size limits."""
 
 
-# Hard caps keeping accidental exponential blow-ups debuggable instead of
-# hanging the interpreter.  The unsimplified path hits these first.
+# Default caps keeping accidental exponential blow-ups debuggable instead of
+# hanging the interpreter.  The unsimplified path hits these first.  They are
+# the defaults of :class:`repro.engine.EngineConfig`; the derivation functions
+# below accept per-call overrides so an :class:`repro.engine.Engine` can be
+# configured without touching module state.
 MAX_DERIVED_LABELS = 100_000
 MAX_CANDIDATE_CONFIGS = 8_000_000
 
@@ -81,6 +84,26 @@ class HalfStepResult:
         comp = Compatibility(self.original)
         return set_label_name(comp.polar(self.meaning[label]))
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (inverse of :meth:`from_dict`)."""
+        return {
+            "original": self.original.to_dict(),
+            "problem": self.problem.to_dict(),
+            "meaning": {name: sorted(members) for name, members in sorted(self.meaning.items())},
+            "simplified": self.simplified,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "HalfStepResult":
+        return HalfStepResult(
+            original=Problem.from_dict(data["original"]),
+            problem=Problem.from_dict(data["problem"]),
+            meaning={
+                name: frozenset(members) for name, members in data["meaning"].items()
+            },
+            simplified=data["simplified"],
+        )
+
 
 @dataclass(frozen=True)
 class SpeedupResult:
@@ -104,6 +127,44 @@ class SpeedupResult:
         return frozenset(
             frozenset(self.half_meaning[half_name])
             for half_name in self.full_meaning[label]
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (inverse of :meth:`from_dict`).
+
+        This is the payload stored by the engine's on-disk cache and emitted
+        by ``python -m repro speedup --json``.
+        """
+        return {
+            "original": self.original.to_dict(),
+            "half": self.half.to_dict(),
+            "half_meaning": {
+                name: sorted(members)
+                for name, members in sorted(self.half_meaning.items())
+            },
+            "full": self.full.to_dict(),
+            "full_meaning": {
+                name: sorted(members)
+                for name, members in sorted(self.full_meaning.items())
+            },
+            "simplified": self.simplified,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "SpeedupResult":
+        return SpeedupResult(
+            original=Problem.from_dict(data["original"]),
+            half=Problem.from_dict(data["half"]),
+            half_meaning={
+                name: frozenset(members)
+                for name, members in data["half_meaning"].items()
+            },
+            full=Problem.from_dict(data["full"]),
+            full_meaning={
+                name: frozenset(members)
+                for name, members in data["full_meaning"].items()
+            },
+            simplified=data["simplified"],
         )
 
 
@@ -152,7 +213,13 @@ class _HalfMembership:
         return len(matching) == len(slots)
 
 
-def half_step(problem: Problem, simplify: bool = True) -> HalfStepResult:
+def half_step(
+    problem: Problem,
+    simplify: bool = True,
+    *,
+    max_derived_labels: int = MAX_DERIVED_LABELS,
+    max_candidate_configs: int = MAX_CANDIDATE_CONFIGS,
+) -> HalfStepResult:
     """Derive ``Pi_{1/2}`` (simplified: ``Pi'_{1/2}``) from ``Pi``.
 
     With ``simplify=True`` the maximality constraint of Theorem 2
@@ -170,7 +237,7 @@ def half_step(problem: Problem, simplify: bool = True) -> HalfStepResult:
         base = sorted(problem.labels)
         # The raw construction materialises all subsets AND a quadratic edge
         # relation over them; guard both.
-        if 2 ** len(base) > MAX_DERIVED_LABELS or 4 ** len(base) > MAX_CANDIDATE_CONFIGS:
+        if 2 ** len(base) > max_derived_labels or 4 ** len(base) > max_candidate_configs:
             raise EngineLimitError(
                 f"unsimplified half step over {len(base)} labels is too large"
             )
@@ -199,7 +266,7 @@ def half_step(problem: Problem, simplify: bool = True) -> HalfStepResult:
     membership = _HalfMembership(problem)
     ordered_names = sorted(meaning)
     candidate_count = _multiset_count(len(ordered_names), problem.delta)
-    if candidate_count > MAX_CANDIDATE_CONFIGS:
+    if candidate_count > max_candidate_configs:
         raise EngineLimitError(
             f"half step would enumerate {candidate_count} node configurations"
         )
@@ -222,7 +289,13 @@ def half_step(problem: Problem, simplify: bool = True) -> HalfStepResult:
     )
 
 
-def full_step(half: HalfStepResult, simplify: bool = True) -> SpeedupResult:
+def full_step(
+    half: HalfStepResult,
+    simplify: bool = True,
+    *,
+    max_derived_labels: int = MAX_DERIVED_LABELS,
+    max_candidate_configs: int = MAX_CANDIDATE_CONFIGS,
+) -> SpeedupResult:
     """Derive ``Pi_1`` (simplified: ``Pi'_1``) from a half-step result.
 
     The returned :class:`SpeedupResult` carries the derived problem twice:
@@ -242,14 +315,14 @@ def full_step(half: HalfStepResult, simplify: bool = True) -> SpeedupResult:
         collected: list[frozenset[Label]] = []
         for candidate in poset_filters(half_names, leq):
             collected.append(candidate)
-            if len(collected) > MAX_DERIVED_LABELS:
+            if len(collected) > max_derived_labels:
                 raise EngineLimitError(
                     f"full step over {len(half_names)} half labels produces "
-                    f"more than {MAX_DERIVED_LABELS} filters"
+                    f"more than {max_derived_labels} filters"
                 )
         candidate_sets = sorted(collected, key=sorted)
     else:
-        if 2 ** len(half_names) > MAX_DERIVED_LABELS:
+        if 2 ** len(half_names) > max_derived_labels:
             raise EngineLimitError(
                 f"unsimplified full step over {len(half_names)} labels is too large"
             )
@@ -289,7 +362,7 @@ def full_step(half: HalfStepResult, simplify: bool = True) -> SpeedupResult:
 
     delta = half_problem.delta
     candidate_count = _multiset_count(len(candidate_sets), delta)
-    if candidate_count > MAX_CANDIDATE_CONFIGS:
+    if candidate_count > max_candidate_configs:
         raise EngineLimitError(
             f"full step would enumerate {candidate_count} node configurations"
         )
@@ -353,27 +426,59 @@ def full_step(half: HalfStepResult, simplify: bool = True) -> SpeedupResult:
     )
 
 
+def compute_speedup(
+    problem: Problem,
+    simplify: bool = True,
+    *,
+    max_derived_labels: int = MAX_DERIVED_LABELS,
+    max_candidate_configs: int = MAX_CANDIDATE_CONFIGS,
+) -> SpeedupResult:
+    """The raw (uncached) derivation ``Pi -> Pi_{1/2} -> Pi_1``.
+
+    This is the computational core behind :func:`speedup` and
+    :meth:`repro.engine.Engine.speedup`; it never consults a cache.
+    """
+    half = half_step(
+        problem,
+        simplify=simplify,
+        max_derived_labels=max_derived_labels,
+        max_candidate_configs=max_candidate_configs,
+    )
+    return full_step(
+        half,
+        simplify=simplify,
+        max_derived_labels=max_derived_labels,
+        max_candidate_configs=max_candidate_configs,
+    )
+
+
 def speedup(problem: Problem, simplify: bool = True) -> SpeedupResult:
     """Apply one full speedup step: ``Pi -> Pi_1`` (Theorem 1 / Theorem 2).
 
     The derived problem is exactly one round easier than ``Pi`` on
     t-independent graph classes of girth at least ``2t + 2`` (with edge
     orientations available when ``simplify=True``, per Theorem 2).
+
+    Compatibility shim: delegates to the process-wide default
+    :class:`repro.engine.Engine`, so repeated derivations of the same (or a
+    label-renamed) problem hit the content-addressed cache.  Use an explicit
+    engine for custom limits or cache policy.
     """
-    return full_step(half_step(problem, simplify=simplify), simplify=simplify)
+    from repro.engine import get_default_engine
+
+    return get_default_engine().speedup(problem, simplify=simplify)
 
 
 def iterate_speedup(
     problem: Problem, steps: int, simplify: bool = True
 ) -> list[SpeedupResult]:
-    """Apply the speedup ``steps`` times, returning every intermediate result."""
-    results: list[SpeedupResult] = []
-    current = problem
-    for _ in range(steps):
-        result = speedup(current, simplify=simplify)
-        results.append(result)
-        current = result.full
-    return results
+    """Apply the speedup ``steps`` times, returning every intermediate result.
+
+    Compatibility shim over :meth:`repro.engine.Engine.iterate_speedup`.
+    """
+    from repro.engine import get_default_engine
+
+    return get_default_engine().iterate_speedup(problem, steps, simplify=simplify)
 
 
 # -- internal helpers -------------------------------------------------------

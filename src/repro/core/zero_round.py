@@ -46,6 +46,28 @@ class ZeroRoundWitness:
     setting: str
     splits: dict[int, tuple[NodeConfig, NodeConfig]]
 
+    def to_dict(self) -> dict:
+        """JSON-ready form; split keys become strings, configurations lists."""
+        return {
+            "problem_name": self.problem_name,
+            "setting": self.setting,
+            "splits": {
+                str(key): [list(ins), list(outs)]
+                for key, (ins, outs) in sorted(self.splits.items())
+            },
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "ZeroRoundWitness":
+        return ZeroRoundWitness(
+            problem_name=data["problem_name"],
+            setting=data["setting"],
+            splits={
+                int(key): (tuple(ins), tuple(outs))
+                for key, (ins, outs) in data["splits"].items()
+            },
+        )
+
     def describe(self) -> str:
         lines = [f"0-round witness for {self.problem_name} ({self.setting})"]
         for key in sorted(self.splits):

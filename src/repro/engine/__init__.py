@@ -1,0 +1,39 @@
+"""The unified engine API: configurable, cached, batch/streaming derivations.
+
+Quickstart::
+
+    from repro.engine import Engine, EngineConfig
+
+    engine = Engine(EngineConfig(max_workers=4))
+    result = engine.speedup(problem)          # content-addressed memo cache
+    results = engine.speedup_many(problems)   # batch fan-out, worker pool
+    for step in engine.iter_elimination(problem, max_steps=10):
+        print(step.index, step.problem.name)  # streaming pipeline
+
+The classic module-level functions (``repro.speedup``,
+``repro.iterate_speedup``, ``repro.run_round_elimination``) are thin shims
+over the process-wide default engine, so old call sites transparently share
+the cache.
+"""
+
+from repro.core.canonical import CanonicalForm, canonical_form, canonical_hash
+from repro.core.speedup import EngineLimitError
+from repro.engine.cache import SpeedupCache
+from repro.engine.config import EngineConfig
+from repro.engine.engine import (
+    Engine,
+    get_default_engine,
+    set_default_engine,
+)
+
+__all__ = [
+    "CanonicalForm",
+    "Engine",
+    "EngineConfig",
+    "EngineLimitError",
+    "SpeedupCache",
+    "canonical_form",
+    "canonical_hash",
+    "get_default_engine",
+    "set_default_engine",
+]

@@ -1,0 +1,243 @@
+"""The engine's content-addressed speedup cache.
+
+Entries are keyed on the canonical problem hash
+(:func:`repro.core.canonical.canonical_form`), so a hit fires for any problem
+that is the stored one up to label renaming.  On a hit the stored
+:class:`~repro.core.speedup.SpeedupResult` is *translated* into the
+requesting problem's label space: the derivation is equivariant under
+renaming, so mapping the stored meanings through the label bijection induced
+by the two canonical orderings yields exactly the result the derivation
+would have produced (up to the arbitrary short names of the derived
+alphabet, which are kept as stored).
+
+The cache is thread-safe (the batch APIs share it across a worker pool) and
+optionally persistent: with a ``directory``, every stored entry is written as
+one JSON file named by the key's digest, and misses consult the directory
+before recomputing, so warm starts survive process boundaries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from types import MappingProxyType
+
+from repro.core.canonical import CanonicalForm, canonical_form
+from repro.core.problem import Problem
+from repro.core.speedup import SpeedupResult, set_label_name
+
+
+class CacheEntry:
+    """One stored derivation plus the canonical form it was keyed under."""
+
+    __slots__ = ("form", "result", "weight")
+
+    def __init__(self, form: CanonicalForm, result: SpeedupResult):
+        self.form = form
+        self.result = result
+        # Approximate footprint: the description sizes of the three problems
+        # dominate the meaning dicts; used by the weight-aware LRU bound.
+        self.weight = (
+            result.original.description_size
+            + result.half.description_size
+            + result.full.description_size
+        )
+
+
+def _freeze(result: SpeedupResult) -> SpeedupResult:
+    """Make the meaning dicts read-only before a result is shared.
+
+    Cache hits hand the same object to every caller; read-only views turn a
+    would-be silent cache poisoning (a caller mutating ``full_meaning``)
+    into an immediate TypeError at the mutation site.  Equality with plain
+    dicts is unaffected.
+    """
+    return dataclasses.replace(
+        result,
+        half_meaning=MappingProxyType(dict(result.half_meaning)),
+        full_meaning=MappingProxyType(dict(result.full_meaning)),
+    )
+
+
+def _translate(
+    entry: CacheEntry,
+    problem: Problem,
+    form: CanonicalForm,
+    simplify: bool,
+) -> SpeedupResult:
+    """Re-express a stored result in the requesting problem's label space."""
+    stored = entry.result
+    # ordering[i] of the stored form corresponds to ordering[i] of the
+    # request's form; compose to map stored original labels to request labels.
+    to_request = {
+        stored_label: form.ordering[i]
+        for i, stored_label in enumerate(entry.form.ordering)
+    }
+    if stored.original == problem:
+        return stored
+
+    suffix = "" if simplify else "|raw"
+    half_rename = {
+        name: set_label_name(to_request[member] for member in members)
+        for name, members in stored.half_meaning.items()
+    }
+    half = stored.half.renamed(half_rename, name=f"{problem.name}|half{suffix}")
+    half_meaning = {
+        half_rename[name]: frozenset(to_request[member] for member in members)
+        for name, members in stored.half_meaning.items()
+    }
+    full_meaning = {
+        label: frozenset(half_rename[h] for h in members)
+        for label, members in stored.full_meaning.items()
+    }
+    full = dataclasses.replace(stored.full, name=f"{problem.name}+1")
+    return SpeedupResult(
+        original=problem,
+        half=half,
+        half_meaning=half_meaning,
+        full=full,
+        full_meaning=full_meaning,
+        simplified=stored.simplified,
+    )
+
+
+class SpeedupCache:
+    """Thread-safe LRU memo cache for speedup derivations.
+
+    ``lookup`` returns ``(result, form, key)`` -- the translated result on a
+    hit, else ``None`` plus the canonical form and key to pass back to
+    ``store`` after computing (so canonicalisation runs once per call).
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 512,
+        directory: str | Path | None = None,
+        max_weight: int | None = 5_000_000,
+    ):
+        self._lock = threading.RLock()
+        self._memory: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._maxsize = maxsize
+        self._max_weight = max_weight
+        self._total_weight = 0
+        self._directory = Path(directory) if directory is not None else None
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _insert(self, key: str, entry: CacheEntry) -> None:
+        """Insert under the lock, evicting LRU entries beyond the bounds.
+
+        Bounds are entry count *and* aggregate description weight (derived
+        problems can be enormous, so counting entries alone could pin
+        gigabytes).  The newest entry always survives, even when it alone
+        exceeds the weight bound -- evicting it immediately would make the
+        most expensive derivations the only uncached ones.
+        """
+        with self._lock:
+            old = self._memory.pop(key, None)
+            if old is not None:
+                self._total_weight -= old.weight
+            self._memory[key] = entry
+            self._total_weight += entry.weight
+            while len(self._memory) > 1 and (
+                len(self._memory) > self._maxsize
+                or (
+                    self._max_weight is not None
+                    and self._total_weight > self._max_weight
+                )
+            ):
+                _, evicted = self._memory.popitem(last=False)
+                self._total_weight -= evicted.weight
+
+    # -- keying --------------------------------------------------------------
+
+    @staticmethod
+    def _key(form: CanonicalForm, simplify: bool) -> str:
+        return ("simplified:" if simplify else "raw:") + form.key
+
+    def _path_for(self, key: str) -> Path:
+        assert self._directory is not None
+        # Keys embed sha256 digests already; flatten the prefix into the name.
+        return self._directory / (key.replace(":", "_") + ".json")
+
+    # -- public API ----------------------------------------------------------
+
+    def lookup(
+        self, problem: Problem, simplify: bool
+    ) -> tuple[SpeedupResult | None, CanonicalForm, str]:
+        form = canonical_form(problem)
+        key = self._key(form, simplify)
+        with self._lock:
+            entry = self._memory.get(key)
+            if entry is not None:
+                self._memory.move_to_end(key)
+        if entry is None and self._directory is not None:
+            entry = self._load(key)
+        if entry is None:
+            with self._lock:
+                self.misses += 1
+            return None, form, key
+        with self._lock:
+            self.hits += 1
+        return _translate(entry, problem, form, simplify), form, key
+
+    def store(
+        self, key: str, form: CanonicalForm, result: SpeedupResult
+    ) -> SpeedupResult:
+        """Store a freshly computed result; returns the frozen shared copy."""
+        frozen = _freeze(result)
+        self._insert(key, CacheEntry(form, frozen))
+        if self._directory is not None:
+            self._dump(key, result)
+        return frozen
+
+    def clear(self) -> None:
+        with self._lock:
+            self._memory.clear()
+            self._total_weight = 0
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._memory),
+            }
+
+    # -- persistence ---------------------------------------------------------
+
+    def _load(self, key: str) -> CacheEntry | None:
+        path = self._path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        try:
+            result = SpeedupResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        entry = CacheEntry(canonical_form(result.original), _freeze(result))
+        self._insert(key, entry)
+        return entry
+
+    def _dump(self, key: str, result: SpeedupResult) -> None:
+        path = self._path_for(key)
+        payload = {"version": 1, "key": key, "result": result.to_dict()}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            tmp.replace(path)
+        except OSError:
+            # A read-only or full cache directory must never fail a derivation.
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass

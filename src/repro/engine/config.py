@@ -1,0 +1,82 @@
+"""Engine configuration: every knob the derivations and pipelines honor.
+
+Historically the derivation limits were module constants in
+:mod:`repro.core.speedup` and the pipeline flags were per-call keyword
+arguments of ``run_round_elimination``.  :class:`EngineConfig` gathers all of
+them in one immutable object so an :class:`repro.engine.Engine` can be
+configured once and reused across calls, batches, and worker threads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.speedup import MAX_CANDIDATE_CONFIGS, MAX_DERIVED_LABELS
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Immutable configuration for :class:`repro.engine.Engine`.
+
+    Attributes
+    ----------
+    simplify:
+        Use the maximality-simplified derivation (Theorem 2) by default.
+    orientations:
+        Test 0-round solvability in the orientation-input setting (the
+        Theorem 2 setting) rather than with no input at all.
+    detect_fixed_points:
+        Test each pipeline step for isomorphism against all previous steps.
+    stop_at_zero_round:
+        Stop a pipeline as soon as a 0-round solvable problem appears.
+    max_derived_labels / max_candidate_configs:
+        Size guards of the derivation (previously the hard-coded
+        ``MAX_DERIVED_LABELS`` / ``MAX_CANDIDATE_CONFIGS`` constants).
+    cache:
+        Memoise speedup derivations in a content-addressed cache keyed on the
+        canonical problem hash (:mod:`repro.core.canonical`), so repeated --
+        or label-renamed -- derivations are O(1) hits.
+    cache_size:
+        Maximum number of in-memory cache entries (LRU eviction).
+    cache_max_weight:
+        Aggregate bound on the cached problems' description sizes (derived
+        problems can be enormous, so an entry count alone could pin
+        gigabytes); ``None`` disables the weight bound.  The newest entry
+        always survives eviction.
+    cache_dir:
+        Optional directory for a persistent JSON cache shared across
+        processes; entries are loaded lazily on miss and written on store.
+    max_workers:
+        Worker-pool width for the batch APIs (``speedup_many`` /
+        ``run_many``).  ``None`` picks ``min(8, cpu_count)``.
+    """
+
+    simplify: bool = True
+    orientations: bool = True
+    detect_fixed_points: bool = True
+    stop_at_zero_round: bool = True
+    max_derived_labels: int = MAX_DERIVED_LABELS
+    max_candidate_configs: int = MAX_CANDIDATE_CONFIGS
+    cache: bool = True
+    cache_size: int = 512
+    cache_max_weight: int | None = 5_000_000
+    cache_dir: str | Path | None = None
+    max_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_derived_labels < 1:
+            raise ValueError("max_derived_labels must be positive")
+        if self.max_candidate_configs < 1:
+            raise ValueError("max_candidate_configs must be positive")
+        if self.cache_size < 1:
+            raise ValueError("cache_size must be positive")
+        if self.cache_max_weight is not None and self.cache_max_weight < 1:
+            raise ValueError("cache_max_weight must be positive when given")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be positive when given")
+
+    def replace(self, **overrides) -> "EngineConfig":
+        """A copy of this configuration with the given fields changed."""
+        return dataclasses.replace(self, **overrides)

@@ -1,0 +1,328 @@
+"""The unified engine: configured, cached, batch and streaming derivations.
+
+:class:`Engine` is the stable request/response surface of the library (the
+role Olivetti's Round Eliminator server plays for its implementation).  It
+owns
+
+* an :class:`~repro.engine.config.EngineConfig` (derivation limits, simplify
+  mode, pipeline policy, cache policy),
+* a :class:`~repro.engine.cache.SpeedupCache` (content-addressed memoisation
+  keyed on canonical problem hashes, optionally persisted as JSON),
+* batch fan-out over a ``concurrent.futures`` worker pool
+  (:meth:`Engine.speedup_many`, :meth:`Engine.run_many`),
+* a lazy, streaming round-elimination pipeline
+  (:meth:`Engine.iter_elimination`) that the classic
+  ``run_round_elimination`` is a thin wrapper over.
+
+The module-level functions ``repro.speedup`` / ``repro.iterate_speedup`` /
+``repro.run_round_elimination`` remain as compatibility shims delegating to
+the process-wide default engine (:func:`get_default_engine`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Generator, Sequence
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.isomorphism import find_isomorphism
+from repro.core.problem import Problem
+from repro.core.relaxation import certify_relaxation
+from repro.core.speedup import (
+    EngineLimitError,
+    HalfStepResult,
+    SpeedupResult,
+    compute_speedup,
+)
+from repro.core.speedup import half_step as _half_step
+from repro.core.zero_round import (
+    ZeroRoundWitness,
+    zero_round_no_input,
+    zero_round_with_orientations,
+)
+from repro.engine.cache import SpeedupCache
+from repro.engine.config import EngineConfig
+
+# Callback invoked with each freshly produced SequenceStep (progress hook for
+# long pipelines: logging, UI updates, early metrics).
+ProgressCallback = Callable[["object"], None]
+
+
+class Engine:
+    """A configured round-elimination engine with a shared derivation cache.
+
+    Engines are cheap facades: :meth:`with_config` derives a re-configured
+    engine *sharing* the same cache (unless the override changes the cache
+    policy itself), which is how the compatibility shims apply per-call flags
+    without losing warm state.
+    """
+
+    def __init__(self, config: EngineConfig | None = None, *, cache: SpeedupCache | None = None):
+        self._config = config if config is not None else EngineConfig()
+        if cache is not None:
+            self._cache = cache
+        else:
+            self._cache = SpeedupCache(
+                maxsize=self._config.cache_size,
+                directory=self._config.cache_dir,
+                max_weight=self._config.cache_max_weight,
+            )
+
+    # -- configuration -------------------------------------------------------
+
+    @property
+    def config(self) -> EngineConfig:
+        return self._config
+
+    @property
+    def cache(self) -> SpeedupCache:
+        return self._cache
+
+    def with_config(self, **overrides) -> "Engine":
+        """A re-configured engine; shares this engine's cache when possible.
+
+        Overriding ``cache_size``, ``cache_dir``, or ``cache_max_weight``
+        allocates a fresh cache (the old one keeps serving engines already
+        holding it).
+        """
+        config = self._config.replace(**overrides)
+        if overrides.keys() & {"cache_size", "cache_dir", "cache_max_weight"}:
+            return Engine(config)
+        return Engine(config, cache=self._cache)
+
+    def cache_stats(self) -> dict[str, int]:
+        return self._cache.stats()
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    # -- single derivations --------------------------------------------------
+
+    def half_step(self, problem: Problem, simplify: bool | None = None) -> HalfStepResult:
+        """Derive ``Pi_{1/2}`` under this engine's size limits (uncached)."""
+        cfg = self._config
+        return _half_step(
+            problem,
+            simplify=cfg.simplify if simplify is None else simplify,
+            max_derived_labels=cfg.max_derived_labels,
+            max_candidate_configs=cfg.max_candidate_configs,
+        )
+
+    def speedup(self, problem: Problem, simplify: bool | None = None) -> SpeedupResult:
+        """One full speedup step ``Pi -> Pi_1``, memoised content-addressed.
+
+        A cache hit fires for any problem identical to a previously derived
+        one up to label renaming; the stored result is translated into the
+        request's label space (see :mod:`repro.engine.cache`).
+        """
+        cfg = self._config
+        use_simplify = cfg.simplify if simplify is None else simplify
+        if cfg.cache:
+            cached, form, key = self._cache.lookup(problem, use_simplify)
+            if cached is not None:
+                return cached
+        result = compute_speedup(
+            problem,
+            simplify=use_simplify,
+            max_derived_labels=cfg.max_derived_labels,
+            max_candidate_configs=cfg.max_candidate_configs,
+        )
+        if cfg.cache:
+            # store() returns the frozen shared copy (read-only meaning maps),
+            # so hits and the original call observe the same object.
+            result = self._cache.store(key, form, result)
+        return result
+
+    def iterate_speedup(
+        self, problem: Problem, steps: int, simplify: bool | None = None
+    ) -> list[SpeedupResult]:
+        """Apply the speedup ``steps`` times, returning every intermediate result."""
+        results: list[SpeedupResult] = []
+        current = problem
+        for _ in range(steps):
+            result = self.speedup(current, simplify=simplify)
+            results.append(result)
+            current = result.full
+        return results
+
+    # -- batch fan-out -------------------------------------------------------
+
+    def _resolve_workers(self, job_count: int) -> int:
+        if self._config.max_workers is not None:
+            return min(self._config.max_workers, max(job_count, 1))
+        import os
+
+        return min(8, os.cpu_count() or 2, max(job_count, 1))
+
+    def speedup_many(
+        self, problems: Sequence[Problem], simplify: bool | None = None
+    ) -> list[SpeedupResult]:
+        """Derive ``Pi_1`` for each problem over a worker pool.
+
+        Results are returned in input order; each is a correct derivation of
+        its input, and all workers share the engine's thread-safe cache.
+        One caveat keeps this short of bit-identical to the sequential loop:
+        if two label-renamed twins miss the cache *concurrently*, each gets a
+        fresh derivation, and the derived alphabet's arbitrary short names
+        can differ from the translated-hit names a sequential run would
+        yield.  The results are still isomorphic with identical meanings;
+        compare structurally, not byte-wise, when mixing worker counts.
+        """
+        problems = list(problems)
+        workers = self._resolve_workers(len(problems))
+        if workers <= 1 or len(problems) <= 1:
+            return [self.speedup(p, simplify=simplify) for p in problems]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(lambda p: self.speedup(p, simplify=simplify), problems))
+
+    def run_many(
+        self,
+        problems: Sequence[Problem],
+        max_steps: int,
+        relaxer=None,
+    ) -> list:
+        """Run the elimination pipeline for each problem over a worker pool.
+
+        Returns :class:`~repro.core.sequence.EliminationResult` objects in
+        input order, equal to the sequential runs.
+        """
+        problems = list(problems)
+        workers = self._resolve_workers(len(problems))
+        if workers <= 1 or len(problems) <= 1:
+            return [self.run(p, max_steps, relaxer=relaxer) for p in problems]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(
+                pool.map(lambda p: self.run(p, max_steps, relaxer=relaxer), problems)
+            )
+
+    # -- pipelines -----------------------------------------------------------
+
+    def _witness_for(self, problem: Problem) -> ZeroRoundWitness | None:
+        if self._config.orientations:
+            return zero_round_with_orientations(problem)
+        return zero_round_no_input(problem)
+
+    def iter_elimination(
+        self,
+        problem: Problem,
+        max_steps: int,
+        relaxer=None,
+        progress: ProgressCallback | None = None,
+    ) -> Generator:
+        """Stream the iterated speedup pipeline as it is computed.
+
+        Yields :class:`~repro.core.sequence.SequenceStep` objects lazily --
+        step 0 is the initial problem -- honoring the engine's pipeline
+        policy (``stop_at_zero_round``, ``detect_fixed_points``,
+        ``orientations``, ``simplify``).  ``progress`` is invoked with each
+        step before it is yielded.  The generator's return value (available
+        as ``StopIteration.value``) is True iff the description-size guards
+        stopped the pipeline (Section 2.1's explosion).
+
+        Fixed-point detection caches the compressed form of every step, so
+        each new problem is compressed once -- not once per earlier step per
+        iteration.
+        """
+        from repro.core.sequence import SequenceStep
+
+        cfg = self._config
+
+        def emit(step):
+            if progress is not None:
+                progress(step)
+            return step
+
+        steps: list = []
+        compressed: list[Problem] = []
+        current = problem
+        first = SequenceStep(
+            index=0,
+            problem=current,
+            relaxation=None,
+            zero_round_witness=self._witness_for(current),
+            isomorphic_to_step=None,
+        )
+        steps.append(first)
+        compressed.append(current.compressed())
+        yield emit(first)
+
+        for index in range(1, max_steps + 1):
+            if cfg.stop_at_zero_round and steps[-1].zero_round_solvable:
+                return False
+            if steps[-1].isomorphic_to_step is not None:
+                return False
+            try:
+                derived = self.speedup(current).full
+            except EngineLimitError:
+                return True
+            certificate = None
+            if relaxer is not None:
+                relaxed = relaxer(derived, index)
+                if relaxed is not None:
+                    target, mapping = relaxed
+                    certificate = certify_relaxation(derived, target, mapping)
+                    derived = target
+            derived_compressed = derived.compressed()
+            iso_index = None
+            if cfg.detect_fixed_points:
+                for earlier, earlier_compressed in zip(steps, compressed):
+                    if find_isomorphism(derived_compressed, earlier_compressed):
+                        iso_index = earlier.index
+                        break
+            step = SequenceStep(
+                index=index,
+                problem=derived,
+                relaxation=certificate,
+                zero_round_witness=self._witness_for(derived),
+                isomorphic_to_step=iso_index,
+            )
+            steps.append(step)
+            compressed.append(derived_compressed)
+            yield emit(step)
+            current = derived
+        return False
+
+    def run(
+        self,
+        problem: Problem,
+        max_steps: int,
+        relaxer=None,
+        progress: ProgressCallback | None = None,
+    ):
+        """Run the pipeline to completion, collecting an EliminationResult."""
+        from repro.core.sequence import EliminationResult
+
+        generator = self.iter_elimination(
+            problem, max_steps, relaxer=relaxer, progress=progress
+        )
+        steps = []
+        stopped_by_limit = False
+        while True:
+            try:
+                steps.append(next(generator))
+            except StopIteration as stop:
+                stopped_by_limit = bool(stop.value)
+                break
+        return EliminationResult(steps=steps, stopped_by_limit=stopped_by_limit)
+
+
+# -- the process-wide default engine ----------------------------------------
+
+_default_lock = threading.Lock()
+_default_engine: Engine | None = None
+
+
+def get_default_engine() -> Engine:
+    """The engine behind the compatibility shims (created on first use)."""
+    global _default_engine
+    with _default_lock:
+        if _default_engine is None:
+            _default_engine = Engine()
+        return _default_engine
+
+
+def set_default_engine(engine: Engine | None) -> None:
+    """Replace the process-wide default engine (None resets to a fresh one)."""
+    global _default_engine
+    with _default_lock:
+        _default_engine = engine

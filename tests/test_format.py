@@ -56,6 +56,52 @@ def test_parse_rejects_bad_node_arity():
         parse_problem("problem p delta=3\nlabels: a\nnode:\na a\nedge:\na a\n")
 
 
+def test_parse_infers_labels_when_line_missing():
+    problem = parse_problem("problem p delta=2\nnode:\na b\nedge:\na a\nb b\n")
+    assert problem.labels == frozenset({"a", "b"})
+
+
+def test_parse_rejects_duplicate_node_section():
+    with pytest.raises(ProblemError, match=r"line 5: duplicate 'node:'"):
+        parse_problem("problem p delta=2\nlabels: a\nnode:\na a\nnode:\na a\nedge:\na a\n")
+
+
+def test_parse_rejects_duplicate_edge_section():
+    with pytest.raises(ProblemError, match=r"duplicate 'edge:'"):
+        parse_problem(
+            "problem p delta=2\nlabels: a\nnode:\na a\nedge:\na a\nedge:\na a\n"
+        )
+
+
+def test_parse_rejects_duplicate_header():
+    with pytest.raises(ProblemError, match=r"line 2: duplicate 'problem' header"):
+        parse_problem("problem p delta=2\nproblem q delta=2\n")
+
+
+def test_parse_rejects_duplicate_labels_line():
+    with pytest.raises(ProblemError, match=r"duplicate 'labels:'"):
+        parse_problem("problem p delta=2\nlabels: a\nlabels: b\nnode:\na a\nedge:\na a\n")
+
+
+def test_parse_rejects_repeated_label_token():
+    with pytest.raises(ProblemError, match=r"duplicate labels \['a'\]"):
+        parse_problem("problem p delta=2\nlabels: a a\nnode:\na a\nedge:\na a\n")
+
+
+def test_parse_rejects_undeclared_label_with_line_number():
+    with pytest.raises(ProblemError, match=r"line 4: .*\['b'\]"):
+        parse_problem("problem p delta=2\nlabels: a\nnode:\na b\nedge:\na a\n")
+
+
+def test_parse_errors_carry_line_numbers():
+    with pytest.raises(ProblemError, match=r"line 2:"):
+        parse_problem("problem p delta=2\na a\n")
+    with pytest.raises(ProblemError, match=r"line 4: edge configuration"):
+        parse_problem("problem p delta=2\nlabels: a\nedge:\na a a\nnode:\na a\n")
+    with pytest.raises(ProblemError, match=r"line 4: node configuration"):
+        parse_problem("problem p delta=3\nlabels: a\nnode:\na a\nedge:\na a\n")
+
+
 @st.composite
 def random_problems(draw):
     delta = draw(st.integers(1, 3))
