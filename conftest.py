@@ -1,0 +1,15 @@
+"""Root conftest: repository-wide pytest options.
+
+Lives at the rootdir (not under tests/) so the option is registered no
+matter which directory or file the run targets.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden files under tests/goldens/ instead of "
+        "comparing against them (see tests/test_goldens.py)",
+    )

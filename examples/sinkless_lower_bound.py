@@ -24,7 +24,7 @@ def main() -> None:
     print("\n=== certificate for a 6-round lower bound ===")
     certificate = sinkless_certificate(delta, rounds=6)
     verdict = check_certificate(certificate)
-    print("links:", len(certificate.links))
+    print("steps:", len(certificate.steps))
     print("valid:", verdict.valid)
     print("certified bound:", verdict.bound, "rounds")
     print(

@@ -19,6 +19,10 @@ The library is organised in six layers:
   matchings);
 * :mod:`repro.superweak` -- the Section 5 machinery behind the
   Omega(log* Delta) weak 2-coloring lower bound (Lemmas 1-4, Theorem 4);
+* :mod:`repro.search` -- automated lower-bound search: beam search over
+  speedup steps interleaved with certified relaxations, emitting
+  machine-checkable :class:`LowerBoundCertificate` chains that re-verify
+  independently of the search;
 * :mod:`repro.sim` -- the port-numbering/LOCAL simulation substrate:
   graphs, views, executors, verifiers, t-independence, and Theorem 1 run on
   real graph classes;
@@ -43,11 +47,13 @@ The classic function surface (``speedup``, ``iterate_speedup``,
 ``run_round_elimination``) remains available as compatibility shims over a
 process-wide default engine, and the whole API is scriptable from the shell
 via ``python -m repro`` (subcommands ``parse``, ``speedup``, ``run``,
-``catalog``).
+``catalog``, ``search``).
 """
 
 from repro.core import (
+    CertificateStep,
     EliminationResult,
+    LowerBoundCertificate,
     Problem,
     ProblemFamily,
     SequenceStep,
@@ -81,15 +87,19 @@ from repro.problems import (
     superweak,
     weak_coloring_pointer,
 )
+from repro.search import SearchResult, search_lower_bound
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "CertificateStep",
     "EliminationResult",
     "Engine",
     "EngineConfig",
+    "LowerBoundCertificate",
     "Problem",
     "ProblemFamily",
+    "SearchResult",
     "SequenceStep",
     "are_isomorphic",
     "canonical_hash",
@@ -108,6 +118,7 @@ __all__ = [
     "parse_problem",
     "perfect_matching",
     "run_round_elimination",
+    "search_lower_bound",
     "set_default_engine",
     "sinkless_coloring",
     "sinkless_orientation",

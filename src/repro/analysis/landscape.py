@@ -3,7 +3,10 @@
 Runs one speedup step (and the 0-round tests, and fixed-point detection)
 across every problem in the catalog, producing the summary table a
 practitioner would consult first: how the derived descriptions grow, which
-problems are trivial, which hit fixed points.  This exercises the engine far
+problems are trivial, which hit fixed points.  With ``search_steps > 0``
+each row additionally runs the automated lower-bound search
+(:mod:`repro.search`) and reports the bound it could certify -- a
+discovered-bounds column for the landscape.  This exercises the engine far
 beyond the paper's own examples (the paper's Section 6 anticipates exactly
 this use: "we expect many other problems to be solved by this technique").
 """
@@ -14,13 +17,19 @@ from dataclasses import dataclass
 
 from repro.core.isomorphism import are_isomorphic
 from repro.core.problem import Problem
-from repro.core.speedup import EngineLimitError, speedup
+from repro.core.speedup import EngineLimitError
 from repro.core.zero_round import zero_round_no_input, zero_round_with_orientations
 
 
 @dataclass(frozen=True)
 class LandscapeRow:
-    """One catalog problem's one-step round-elimination profile."""
+    """One catalog problem's one-step round-elimination profile.
+
+    ``search_bound`` / ``search_unbounded`` are filled only when the survey
+    ran the lower-bound search (``search_steps > 0``): the number of rounds
+    the discovered certificate proves unsolvable, and whether the search
+    found a pumpable fixed point (the Omega(log n) outcome).
+    """
 
     name: str
     delta: int
@@ -32,6 +41,8 @@ class LandscapeRow:
     derived_zero_round_oriented: bool | None
     fixed_point: bool | None
     blew_up: bool
+    search_bound: int | None = None
+    search_unbounded: bool | None = None
 
     def as_tuple(self) -> tuple:
         return (
@@ -45,15 +56,35 @@ class LandscapeRow:
             self.derived_zero_round_oriented,
             self.fixed_point,
             self.blew_up,
+            self.search_bound,
+            self.search_unbounded,
         )
 
 
-def survey_problem(problem: Problem) -> LandscapeRow:
-    """One-step profile of a single problem."""
+def _run_search(problem: Problem, engine, search_steps: int) -> tuple[int | None, bool]:
+    result = engine.search_lower_bound(problem, max_steps=search_steps)
+    if result.certificate is None:
+        # Trivial (0-round solvable): no lower bound exists to discover.
+        return None, False
+    return result.certificate.claimed_bound, result.unbounded
+
+
+def survey_problem(
+    problem: Problem, *, engine=None, search_steps: int = 0
+) -> LandscapeRow:
+    """One-step profile of a single problem (plus an optional bound search)."""
+    if engine is None:
+        from repro.engine import get_default_engine
+
+        engine = get_default_engine()
     zero_plain = zero_round_no_input(problem) is not None
     zero_oriented = zero_round_with_orientations(problem) is not None
+    search_bound: int | None = None
+    search_unbounded: bool | None = None
+    if search_steps > 0:
+        search_bound, search_unbounded = _run_search(problem, engine, search_steps)
     try:
-        derived = speedup(problem).full
+        derived = engine.speedup(problem).full
     except EngineLimitError:
         return LandscapeRow(
             name=problem.name,
@@ -66,6 +97,8 @@ def survey_problem(problem: Problem) -> LandscapeRow:
             derived_zero_round_oriented=None,
             fixed_point=None,
             blew_up=True,
+            search_bound=search_bound,
+            search_unbounded=search_unbounded,
         )
     return LandscapeRow(
         name=problem.name,
@@ -78,10 +111,18 @@ def survey_problem(problem: Problem) -> LandscapeRow:
         derived_zero_round_oriented=zero_round_with_orientations(derived) is not None,
         fixed_point=are_isomorphic(derived.compressed(), problem.compressed()),
         blew_up=False,
+        search_bound=search_bound,
+        search_unbounded=search_unbounded,
     )
 
 
-def survey_catalog(delta: int = 3, names: list[str] | None = None) -> list[LandscapeRow]:
+def survey_catalog(
+    delta: int = 3,
+    names: list[str] | None = None,
+    *,
+    engine=None,
+    search_steps: int = 0,
+) -> list[LandscapeRow]:
     """Profile every cataloged family instantiable at ``delta``."""
     from repro.problems.catalog import catalog
 
@@ -91,8 +132,18 @@ def survey_catalog(delta: int = 3, names: list[str] | None = None) -> list[Lands
             continue
         if family.min_delta > delta:
             continue
-        rows.append(survey_problem(family(delta)))
+        rows.append(
+            survey_problem(family(delta), engine=engine, search_steps=search_steps)
+        )
     return rows
+
+
+def _render_search_cell(row: LandscapeRow) -> str:
+    if row.search_unbounded:
+        return "Omega(log n)"
+    if row.search_bound is None:
+        return "-"
+    return f">{row.search_bound} rounds"
 
 
 def landscape_markdown(rows: list[LandscapeRow]) -> str:
@@ -109,6 +160,7 @@ def landscape_markdown(rows: list[LandscapeRow]) -> str:
         "|h'_1|",
         "derived 0-round (orient)",
         "fixed point",
+        "discovered bound",
     ]
     body = []
     for row in rows:
@@ -123,6 +175,7 @@ def landscape_markdown(rows: list[LandscapeRow]) -> str:
                 "-" if row.blew_up else row.derived_node_configs,
                 "-" if row.blew_up else ("yes" if row.derived_zero_round_oriented else "no"),
                 "-" if row.blew_up else ("yes" if row.fixed_point else "no"),
+                _render_search_cell(row),
             ]
         )
     return render_table(headers, body)

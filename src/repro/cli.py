@@ -16,6 +16,11 @@ format of the core dataclasses):
     ``examples/round_eliminator_repl.py``.
 ``catalog``
     List the built-in problem families, or instantiate one at a degree.
+``search``
+    Automatically search for a lower-bound certificate: beam search over
+    speedup steps interleaved with certified relaxations, emitting a
+    machine-checkable :class:`repro.core.certificate.LowerBoundCertificate`
+    that is re-verified from scratch before the command reports success.
 
 Examples::
 
@@ -23,6 +28,8 @@ Examples::
     python -m repro run problem.txt --max-steps 5 --json
     python -m repro speedup problem.txt --steps 2
     python -m repro catalog --name sinkless-coloring --delta 3
+    python -m repro search sinkless_orientation        # fixed point, auto
+    python -m repro search problem.txt --max-steps 4 --json
 """
 
 from __future__ import annotations
@@ -32,11 +39,13 @@ import json
 import sys
 from collections.abc import Sequence
 
+import os
+
 from repro.core.format import format_problem, parse_problem
 from repro.core.problem import Problem, ProblemError
 from repro.core.sequence import EliminationResult
 from repro.engine import Engine, EngineConfig, EngineLimitError
-from repro.problems.catalog import catalog, get_problem
+from repro.problems.catalog import catalog, get_problem, resolve_problem_spec
 
 DEMO_PROBLEM = """
 problem mis delta=3
@@ -188,6 +197,50 @@ def cmd_catalog(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_search(args: argparse.Namespace) -> int:
+    # The spec is a file, "-" for stdin, or a catalog family name (with
+    # underscores tolerated); files win when both readings are possible.
+    if args.spec == "-" or os.path.exists(args.spec):
+        problem, _ = _read_problem(args.spec)
+    else:
+        try:
+            problem = resolve_problem_spec(args.spec, args.delta)
+        except (KeyError, ValueError) as exc:
+            message = exc.args[0] if exc.args else exc
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+    engine = _engine_from_args(args)
+    result = engine.search_lower_bound(
+        problem,
+        max_steps=args.max_steps,
+        beam_width=args.beam_width,
+        max_moves=args.max_moves,
+        budget=args.budget,
+    )
+    check = None
+    if result.certificate is not None:
+        # Never report a certificate the independent checker rejects.
+        check = result.certificate.verify()
+    if args.json:
+        payload = result.to_dict()
+        payload["verified"] = None if check is None else check.valid
+        if check is not None and check.failures:
+            payload["verification_failures"] = list(check.failures)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(result.summary())
+        if result.certificate is not None:
+            print()
+            print(result.certificate.describe())
+            assert check is not None
+            print(f"independently re-verified: {'ok' if check.valid else 'FAILED'}")
+            for failure in check.failures:
+                print(f"  {failure}", file=sys.stderr)
+    if check is None:
+        return 1
+    return 0 if check.valid else 2
+
+
 # -- parser ------------------------------------------------------------------
 
 
@@ -248,6 +301,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_catalog.add_argument("--delta", type=int, help="degree to instantiate at")
     p_catalog.add_argument("--json", action="store_true", help="emit JSON output")
     p_catalog.set_defaults(func=cmd_catalog)
+
+    p_search = sub.add_parser(
+        "search", help="automatically search for a lower-bound certificate"
+    )
+    p_search.add_argument(
+        "spec",
+        help="problem file ('-' for stdin) or catalog family name "
+        "(underscores accepted, e.g. sinkless_orientation)",
+    )
+    p_search.add_argument(
+        "--delta", type=int, default=3, help="degree for catalog names (default 3)"
+    )
+    p_search.add_argument(
+        "--max-steps", type=int, default=5, help="maximum speedup depth (default 5)"
+    )
+    p_search.add_argument(
+        "--beam-width", type=int, help="chain states kept per depth (default 4)"
+    )
+    p_search.add_argument(
+        "--max-moves", type=int, help="relaxation moves per derived problem (default 24)"
+    )
+    p_search.add_argument(
+        "--budget", type=int, help="maximum speedup derivations (default 256)"
+    )
+    # Searches meet blow-ups constantly; default to tight fail-fast guards so
+    # a hopeless state dies in milliseconds instead of minutes.
+    p_search.add_argument(
+        "--max-labels",
+        type=int,
+        default=20_000,
+        help="derived-label size guard (default 20000)",
+    )
+    p_search.add_argument(
+        "--max-configs",
+        type=int,
+        default=500_000,
+        help="candidate-configuration size guard (default 500000)",
+    )
+    p_search.add_argument("--cache-dir", help="persistent JSON cache directory")
+    p_search.add_argument("--json", action="store_true", help="emit JSON output")
+    p_search.set_defaults(func=cmd_search)
 
     return parser
 

@@ -15,6 +15,16 @@ This package is the reproduction of the paper's core contribution
 """
 
 from repro.core.canonical import CanonicalForm, canonical_form, canonical_hash
+from repro.core.certificate import (
+    RELAXATION,
+    SPEEDUP,
+    TERMINAL_FIXED_POINT,
+    TERMINAL_UNSOLVABLE,
+    CertificateCheck,
+    CertificateError,
+    CertificateStep,
+    LowerBoundCertificate,
+)
 from repro.core.diagram import Diagram, compute_diagram, merge_equivalent_labels, replaceable
 from repro.core.family import ProblemFamily
 from repro.core.format import format_problem, parse_problem
@@ -56,7 +66,14 @@ from repro.core.zero_round import (
 )
 
 __all__ = [
+    "RELAXATION",
+    "SPEEDUP",
+    "TERMINAL_FIXED_POINT",
+    "TERMINAL_UNSOLVABLE",
     "CanonicalForm",
+    "CertificateCheck",
+    "CertificateError",
+    "CertificateStep",
     "Compatibility",
     "Diagram",
     "EdgeConfig",
@@ -64,6 +81,7 @@ __all__ = [
     "EngineLimitError",
     "HalfStepResult",
     "Label",
+    "LowerBoundCertificate",
     "NodeConfig",
     "Problem",
     "ProblemError",

@@ -1,0 +1,357 @@
+"""Machine-checkable lower-bound certificates: speedup/relaxation chains.
+
+A round-elimination lower bound (the Section 2.1 workflow, automated by the
+paper's speedup theorem) is a *chain*: starting from ``Pi``, each step is
+either
+
+* a **speedup** step ``Q -> Q_1`` (justified by Theorem 1/2 and re-derivable
+  from scratch), recorded as the full provenance-carrying
+  :class:`~repro.core.speedup.SpeedupResult`, or
+* a **relaxation** step ``Q -> Q'`` (``Q'`` provably no harder), recorded as
+  the :class:`~repro.core.relaxation.RelaxationCertificate` label map that
+  certifies it.
+
+Two terminal events turn a chain into a proof:
+
+* ``zero-round-unsolvable`` -- after ``t`` speedup steps the final problem is
+  not 0-round solvable, so ``Pi`` is not solvable in ``t`` rounds on the
+  matching girth-restricted, t-independent class;
+* ``fixed-point`` -- the final problem is isomorphic to an earlier chain
+  problem with at least one speedup step in between and no 0-round solvable
+  problem anywhere in the chain, so the chain can be pumped: ``Pi`` is not
+  solvable in ``t`` rounds for *any* ``t`` for which the required class
+  exists -- the Omega(log n) bound on bounded-degree graphs (Section 4.4).
+
+:meth:`LowerBoundCertificate.verify` re-checks every step from scratch --
+speedups are re-derived with the uncached
+:func:`~repro.core.speedup.compute_speedup`, relaxation maps re-validated,
+terminal conditions re-decided -- so a certificate deserialized from JSON is
+a self-contained, independently auditable proof object (the format the
+Bastide-Fraigniaud extension of round elimination argues for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.isomorphism import find_isomorphism
+from repro.core.problem import Problem, ProblemError
+from repro.core.relaxation import RelaxationCertificate, is_relaxation_map
+from repro.core.speedup import (
+    MAX_CANDIDATE_CONFIGS,
+    MAX_DERIVED_LABELS,
+    EngineLimitError,
+    SpeedupResult,
+    compute_speedup,
+)
+from repro.core.zero_round import is_zero_round_solvable
+
+SPEEDUP = "speedup"
+RELAXATION = "relaxation"
+
+TERMINAL_UNSOLVABLE = "zero-round-unsolvable"
+TERMINAL_FIXED_POINT = "fixed-point"
+
+
+class CertificateError(ValueError):
+    """Raised when a certificate (or its payload) is malformed."""
+
+
+@dataclass(frozen=True)
+class CertificateStep:
+    """One chain step: the resulting problem plus its justification.
+
+    Exactly one of ``speedup`` / ``relaxation`` is set, matching ``kind``.
+    For speedup steps ``problem`` is the derived ``SpeedupResult.full``; for
+    relaxation steps it is the relaxation target (the certificate's label map
+    alone does not pin the target problem down, so it is stored explicitly).
+    """
+
+    kind: str
+    problem: Problem
+    speedup: SpeedupResult | None = None
+    relaxation: RelaxationCertificate | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind == SPEEDUP:
+            if self.speedup is None or self.relaxation is not None:
+                raise CertificateError("speedup step must carry exactly a SpeedupResult")
+            if self.speedup.full != self.problem:
+                raise CertificateError(
+                    "speedup step problem does not match the derived result"
+                )
+        elif self.kind == RELAXATION:
+            if self.relaxation is None or self.speedup is not None:
+                raise CertificateError(
+                    "relaxation step must carry exactly a RelaxationCertificate"
+                )
+        else:
+            raise CertificateError(f"unknown step kind {self.kind!r}")
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (inverse of :meth:`from_dict`)."""
+        if self.kind == SPEEDUP:
+            assert self.speedup is not None
+            return {"kind": SPEEDUP, "speedup": self.speedup.to_dict()}
+        assert self.relaxation is not None
+        return {
+            "kind": RELAXATION,
+            "problem": self.problem.to_dict(),
+            "relaxation": self.relaxation.to_dict(),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "CertificateStep":
+        try:
+            kind = data["kind"]
+            if kind == SPEEDUP:
+                result = SpeedupResult.from_dict(data["speedup"])
+                return CertificateStep(kind=SPEEDUP, problem=result.full, speedup=result)
+            if kind == RELAXATION:
+                return CertificateStep(
+                    kind=RELAXATION,
+                    problem=Problem.from_dict(data["problem"]),
+                    relaxation=RelaxationCertificate.from_dict(data["relaxation"]),
+                )
+            raise CertificateError(f"unknown step kind {kind!r}")
+        except CertificateError:
+            raise
+        except (KeyError, TypeError, AttributeError, ProblemError, ValueError) as exc:
+            raise CertificateError(f"malformed certificate step: {exc!r}") from exc
+
+
+@dataclass(frozen=True)
+class CertificateCheck:
+    """The verdict of re-verifying a certificate from scratch."""
+
+    valid: bool
+    failures: tuple[str, ...]
+    bound: int
+    unbounded: bool = False
+
+
+@dataclass(frozen=True)
+class LowerBoundCertificate:
+    """A full chain from ``initial`` to a terminal proving a lower bound.
+
+    ``steps[i]`` transforms chain position ``i`` into position ``i + 1``
+    (position 0 is ``initial``).  ``terminal`` names the claimed ending:
+    :data:`TERMINAL_UNSOLVABLE` (the final problem is not 0-round solvable;
+    the bound is the number of speedup steps) or :data:`TERMINAL_FIXED_POINT`
+    (the final problem revisits chain position ``fixed_point_of``, making the
+    chain pumpable -- the unbounded / Omega(log n) outcome).
+    ``orientations`` fixes the 0-round input setting the claim is made in
+    (Theorem 2's edge-orientation setting by default).
+    """
+
+    initial: Problem
+    steps: tuple[CertificateStep, ...] = ()
+    terminal: str = TERMINAL_UNSOLVABLE
+    fixed_point_of: int | None = None
+    orientations: bool = True
+
+    def __post_init__(self) -> None:
+        if self.terminal not in (TERMINAL_UNSOLVABLE, TERMINAL_FIXED_POINT):
+            raise CertificateError(f"unknown terminal {self.terminal!r}")
+        if self.fixed_point_of is not None and (
+            not isinstance(self.fixed_point_of, int)
+            or isinstance(self.fixed_point_of, bool)
+        ):
+            raise CertificateError(
+                f"fixed_point_of must be an integer chain position, "
+                f"not {self.fixed_point_of!r}"
+            )
+        if self.terminal == TERMINAL_FIXED_POINT and self.fixed_point_of is None:
+            raise CertificateError("fixed-point certificate needs fixed_point_of")
+
+    # -- chain accessors -----------------------------------------------------
+
+    @property
+    def chain(self) -> tuple[Problem, ...]:
+        """Every problem along the chain; ``chain[0]`` is ``initial``."""
+        return (self.initial,) + tuple(step.problem for step in self.steps)
+
+    @property
+    def final_problem(self) -> Problem:
+        return self.chain[-1]
+
+    @property
+    def speedup_steps(self) -> int:
+        return sum(1 for step in self.steps if step.kind == SPEEDUP)
+
+    @property
+    def claimed_bound(self) -> int:
+        """The chain claims ``initial`` is not solvable in this many rounds."""
+        return self.speedup_steps
+
+    @property
+    def unbounded(self) -> bool:
+        """True iff the chain claims the pumpable fixed-point outcome."""
+        return self.terminal == TERMINAL_FIXED_POINT
+
+    # -- verification --------------------------------------------------------
+
+    def verify(
+        self,
+        *,
+        max_derived_labels: int = MAX_DERIVED_LABELS,
+        max_candidate_configs: int = MAX_CANDIDATE_CONFIGS,
+    ) -> CertificateCheck:
+        """Re-check every step and the terminal claim, independent of any search.
+
+        Speedup steps are re-derived with the uncached
+        :func:`~repro.core.speedup.compute_speedup` and compared against the
+        recorded problem (exactly, falling back to isomorphism of compressed
+        forms, since a renaming-translated cache hit may carry different
+        short names than a fresh derivation).  Relaxation maps are
+        re-validated against both endpoints.  The terminal condition is
+        re-decided with the 0-round procedures and the isomorphism test.
+        """
+        failures: list[str] = []
+        current = self.initial
+        for index, step in enumerate(self.steps):
+            if step.kind == SPEEDUP:
+                assert step.speedup is not None
+                if step.speedup.original != current:
+                    failures.append(
+                        f"step {index}: speedup does not apply to the chain's "
+                        f"current problem ({step.speedup.original.name!r} vs "
+                        f"{current.name!r})"
+                    )
+                else:
+                    try:
+                        derived = compute_speedup(
+                            current,
+                            simplify=step.speedup.simplified,
+                            max_derived_labels=max_derived_labels,
+                            max_candidate_configs=max_candidate_configs,
+                        ).full
+                    except EngineLimitError as exc:
+                        failures.append(f"step {index}: could not re-derive: {exc}")
+                    else:
+                        if derived != step.problem and (
+                            find_isomorphism(
+                                derived.compressed(), step.problem.compressed()
+                            )
+                            is None
+                        ):
+                            failures.append(
+                                f"step {index}: re-derived speedup result does not "
+                                f"match the certified problem"
+                            )
+            else:
+                assert step.relaxation is not None
+                if not is_relaxation_map(current, step.problem, step.relaxation.mapping):
+                    failures.append(
+                        f"step {index}: label map does not certify "
+                        f"{step.problem.name!r} as a relaxation of {current.name!r}"
+                    )
+            current = step.problem
+
+        failures.extend(self._check_terminal())
+        valid = not failures
+        return CertificateCheck(
+            valid=valid,
+            failures=tuple(failures),
+            bound=self.claimed_bound if valid else 0,
+            unbounded=valid and self.unbounded,
+        )
+
+    def _check_terminal(self) -> list[str]:
+        failures: list[str] = []
+        chain = self.chain
+        if self.terminal == TERMINAL_UNSOLVABLE:
+            if is_zero_round_solvable(chain[-1], orientations=self.orientations):
+                failures.append(
+                    "final problem is 0-round solvable; chain proves nothing"
+                )
+            return failures
+        j = self.fixed_point_of
+        if j is None or not 0 <= j < len(chain) - 1:
+            failures.append(f"fixed_point_of={j!r} is not an earlier chain position")
+            return failures
+        if find_isomorphism(chain[-1].compressed(), chain[j].compressed()) is None:
+            failures.append(
+                f"final problem is not isomorphic to chain position {j}"
+            )
+        if not any(step.kind == SPEEDUP for step in self.steps[j:]):
+            failures.append(
+                f"no speedup step between chain position {j} and the end; "
+                "the cycle eliminates no rounds"
+            )
+        for position, problem in enumerate(chain):
+            if is_zero_round_solvable(problem, orientations=self.orientations):
+                failures.append(
+                    f"chain position {position} is 0-round solvable; "
+                    "the cycle cannot be pumped"
+                )
+        return failures
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (inverse of :meth:`from_dict`); see docs/API.md."""
+        return {
+            "version": 1,
+            "initial": self.initial.to_dict(),
+            "steps": [step.to_dict() for step in self.steps],
+            "terminal": self.terminal,
+            "fixed_point_of": self.fixed_point_of,
+            "orientations": self.orientations,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "LowerBoundCertificate":
+        """Rebuild a certificate; raises :class:`CertificateError` when malformed."""
+        try:
+            return LowerBoundCertificate(
+                initial=Problem.from_dict(data["initial"]),
+                steps=tuple(
+                    CertificateStep.from_dict(step) for step in data["steps"]
+                ),
+                terminal=data["terminal"],
+                fixed_point_of=data["fixed_point_of"],
+                orientations=bool(data["orientations"]),
+            )
+        except CertificateError:
+            raise
+        except (KeyError, TypeError, AttributeError, ProblemError, ValueError) as exc:
+            raise CertificateError(f"malformed certificate payload: {exc!r}") from exc
+
+    # -- presentation ----------------------------------------------------------
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering of the chain and its claim."""
+        setting = "edge-orientations" if self.orientations else "no-input"
+        lines = [
+            f"lower-bound certificate for {self.initial.name} ({setting} setting)"
+        ]
+        for position, problem in enumerate(self.chain):
+            if position == 0:
+                how = "initial"
+            else:
+                step = self.steps[position - 1]
+                if step.kind == SPEEDUP:
+                    how = "speedup"
+                else:
+                    assert step.relaxation is not None
+                    how = f"relax via {len(step.relaxation.mapping)}-label map"
+            lines.append(
+                f"  {position}: {problem.name} "
+                f"(labels={len(problem.labels)}, "
+                f"node={len(problem.node_constraint)}, "
+                f"edge={len(problem.edge_constraint)})  [{how}]"
+            )
+        if self.unbounded:
+            lines.append(
+                f"terminal: final problem revisits position {self.fixed_point_of} "
+                "(pumpable fixed point) => Omega(log n) on bounded-degree "
+                "high-girth classes"
+            )
+        else:
+            lines.append(
+                f"terminal: final problem not 0-round solvable => "
+                f"{self.initial.name} is not solvable in "
+                f"{self.claimed_bound} round(s)"
+            )
+        return "\n".join(lines)

@@ -45,7 +45,33 @@ from repro.utils.orders import minimal_elements
 
 
 class EngineLimitError(RuntimeError):
-    """Raised when a derivation would exceed the configured size limits."""
+    """Raised when a derivation would exceed the configured size limits.
+
+    Attributes
+    ----------
+    limit_name:
+        Which configured limit tripped: ``"max_derived_labels"`` or
+        ``"max_candidate_configs"`` (both are :class:`repro.engine.EngineConfig`
+        knobs).
+    limit:
+        The configured value of that limit.
+    observed:
+        The count the derivation hit (or predicted) when it gave up; always
+        greater than ``limit``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        limit_name: str | None = None,
+        limit: int | None = None,
+        observed: int | None = None,
+    ):
+        super().__init__(message)
+        self.limit_name = limit_name
+        self.limit = limit
+        self.observed = observed
 
 
 # Default caps keeping accidental exponential blow-ups debuggable instead of
@@ -237,9 +263,21 @@ def half_step(
         base = sorted(problem.labels)
         # The raw construction materialises all subsets AND a quadratic edge
         # relation over them; guard both.
-        if 2 ** len(base) > max_derived_labels or 4 ** len(base) > max_candidate_configs:
+        if 2 ** len(base) > max_derived_labels:
             raise EngineLimitError(
-                f"unsimplified half step over {len(base)} labels is too large"
+                f"unsimplified half step over {len(base)} labels materialises "
+                f"{2 ** len(base)} subset labels",
+                limit_name="max_derived_labels",
+                limit=max_derived_labels,
+                observed=2 ** len(base),
+            )
+        if 4 ** len(base) > max_candidate_configs:
+            raise EngineLimitError(
+                f"unsimplified half step over {len(base)} labels materialises "
+                f"a {4 ** len(base)}-pair edge relation",
+                limit_name="max_candidate_configs",
+                limit=max_candidate_configs,
+                observed=4 ** len(base),
             )
         half_sets = [
             frozenset(subset)
@@ -268,7 +306,10 @@ def half_step(
     candidate_count = _multiset_count(len(ordered_names), problem.delta)
     if candidate_count > max_candidate_configs:
         raise EngineLimitError(
-            f"half step would enumerate {candidate_count} node configurations"
+            f"half step would enumerate {candidate_count} node configurations",
+            limit_name="max_candidate_configs",
+            limit=max_candidate_configs,
+            observed=candidate_count,
         )
     node_configs = [
         config
@@ -318,13 +359,20 @@ def full_step(
             if len(collected) > max_derived_labels:
                 raise EngineLimitError(
                     f"full step over {len(half_names)} half labels produces "
-                    f"more than {max_derived_labels} filters"
+                    f"more than {max_derived_labels} filters",
+                    limit_name="max_derived_labels",
+                    limit=max_derived_labels,
+                    observed=len(collected),
                 )
         candidate_sets = sorted(collected, key=sorted)
     else:
         if 2 ** len(half_names) > max_derived_labels:
             raise EngineLimitError(
-                f"unsimplified full step over {len(half_names)} labels is too large"
+                f"unsimplified full step over {len(half_names)} labels "
+                f"materialises {2 ** len(half_names)} subset labels",
+                limit_name="max_derived_labels",
+                limit=max_derived_labels,
+                observed=2 ** len(half_names),
             )
         candidate_sets = [
             frozenset(subset)
@@ -364,7 +412,10 @@ def full_step(
     candidate_count = _multiset_count(len(candidate_sets), delta)
     if candidate_count > max_candidate_configs:
         raise EngineLimitError(
-            f"full step would enumerate {candidate_count} node configurations"
+            f"full step would enumerate {candidate_count} node configurations",
+            limit_name="max_candidate_configs",
+            limit=max_candidate_configs,
+            observed=candidate_count,
         )
 
     allowed_configs = _enumerate_universal_configs(

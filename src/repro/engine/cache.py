@@ -215,16 +215,35 @@ class SpeedupCache:
     # -- persistence ---------------------------------------------------------
 
     def _load(self, key: str) -> CacheEntry | None:
+        """Load one on-disk entry; any corruption means a plain miss.
+
+        Truncated writes, emptied files, non-JSON bytes, and
+        structurally-wrong payloads (wrong JSON types anywhere in the nested
+        result) must all behave exactly like an absent entry -- the caller
+        recomputes and ``store`` overwrites the bad file -- so the exception
+        net below is deliberately wide: ``ValueError`` covers JSON/Unicode
+        decoding and ``ProblemError``, ``TypeError``/``KeyError``/
+        ``AttributeError`` cover payloads whose shape lies (e.g. a list
+        where the meaning dict should be).
+        """
         path = self._path_for(key)
         try:
             payload = json.loads(path.read_text())
         except (OSError, ValueError):
             return None
+        if not isinstance(payload, dict):
+            return None
         try:
             result = SpeedupResult.from_dict(payload["result"])
-        except (KeyError, TypeError, ValueError):
+        except (KeyError, TypeError, ValueError, AttributeError):
             return None
-        entry = CacheEntry(canonical_form(result.original), _freeze(result))
+        form = canonical_form(result.original)
+        # A structurally valid result for the *wrong* problem (a mangled or
+        # collided file) would crash the renaming translation downstream;
+        # re-keying the stored original catches it here and degrades to a miss.
+        if self._key(form, key.startswith("simplified:")) != key:
+            return None
+        entry = CacheEntry(form, _freeze(result))
         self._insert(key, entry)
         return entry
 

@@ -50,7 +50,16 @@ class EngineConfig:
         processes; entries are loaded lazily on miss and written on store.
     max_workers:
         Worker-pool width for the batch APIs (``speedup_many`` /
-        ``run_many``).  ``None`` picks ``min(8, cpu_count)``.
+        ``run_many``) and the lower-bound search.  ``None`` picks
+        ``min(8, cpu_count)``.
+    search_beam_width:
+        How many chain states the lower-bound search
+        (:meth:`repro.engine.Engine.search_lower_bound`) keeps per depth.
+    search_max_moves:
+        Cap on relaxation moves generated per derived problem during the
+        search.
+    search_budget:
+        Cap on speedup derivations attempted by one search run.
     """
 
     simplify: bool = True
@@ -64,6 +73,9 @@ class EngineConfig:
     cache_max_weight: int | None = 5_000_000
     cache_dir: str | Path | None = None
     max_workers: int | None = None
+    search_beam_width: int = 4
+    search_max_moves: int = 24
+    search_budget: int = 256
 
     def __post_init__(self) -> None:
         if self.max_derived_labels < 1:
@@ -76,6 +88,12 @@ class EngineConfig:
             raise ValueError("cache_max_weight must be positive when given")
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be positive when given")
+        if self.search_beam_width < 1:
+            raise ValueError("search_beam_width must be positive")
+        if self.search_max_moves < 0:
+            raise ValueError("search_max_moves must be non-negative")
+        if self.search_budget < 1:
+            raise ValueError("search_budget must be positive")
 
     def replace(self, **overrides) -> "EngineConfig":
         """A copy of this configuration with the given fields changed."""

@@ -282,6 +282,37 @@ class Engine:
             current = derived
         return False
 
+    # -- automated lower-bound search ----------------------------------------
+
+    def search_lower_bound(
+        self,
+        problem: Problem,
+        max_steps: int = 8,
+        *,
+        beam_width: int | None = None,
+        max_moves: int | None = None,
+        budget: int | None = None,
+    ):
+        """Search for a lower-bound certificate (see :mod:`repro.search`).
+
+        Beam search over speedup steps interleaved with certified relaxation
+        moves, run under this engine's size guards, memo cache and worker
+        pool.  ``beam_width`` / ``max_moves`` / ``budget`` default to the
+        ``search_*`` knobs of :class:`~repro.engine.config.EngineConfig`.
+        Returns a :class:`~repro.search.driver.SearchResult` whose
+        certificate (when found) re-verifies independently of this engine.
+        """
+        from repro.search.driver import search_lower_bound
+
+        return search_lower_bound(
+            problem,
+            engine=self,
+            max_steps=max_steps,
+            beam_width=beam_width,
+            max_moves=max_moves,
+            budget=budget,
+        )
+
     def run(
         self,
         problem: Problem,

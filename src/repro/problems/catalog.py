@@ -47,3 +47,14 @@ def get_family(name: str) -> ProblemFamily:
 def get_problem(name: str, delta: int) -> Problem:
     """Instantiate a cataloged family at the given degree."""
     return get_family(name)(delta)
+
+
+def resolve_problem_spec(spec: str, delta: int) -> Problem:
+    """Resolve a CLI-style problem spec to a catalog instance.
+
+    Family names use hyphens; shell users habitually type underscores
+    (``sinkless_orientation``), so both spellings are accepted.  Raises
+    KeyError (with the available names) for unknown families and ValueError
+    when the family rejects the degree.
+    """
+    return get_problem(spec.replace("_", "-"), delta)

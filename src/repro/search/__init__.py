@@ -1,0 +1,39 @@
+"""Automated lower-bound search: beam search over speedup + relaxation chains.
+
+This package automates the paper's Section 2.1 workflow -- iterated round
+elimination *interleaved with relaxations* -- the technique the Round
+Eliminator mechanises and the automata-theoretic view of Chang-Studeny-
+Suomela systematises.  Given a problem, :func:`search_lower_bound` explores
+bounded-size relaxations of each derived problem (label-merging and
+label-dropping moves read off the strength diagram, deduplicated by
+canonical hashes and memoised through the engine cache) looking for either
+
+* a **pumpable fixed point** -- the unbounded / Omega(log n) outcome -- or
+* the longest **chain** it can certify within its budget -- a concrete
+  ``k``-round lower bound.
+
+Either way the output is a machine-checkable
+:class:`~repro.core.certificate.LowerBoundCertificate` whose ``verify()``
+re-checks every link independently of the search.
+
+Quickstart::
+
+    from repro import Engine, sinkless_orientation
+
+    result = Engine().search_lower_bound(sinkless_orientation(3))
+    assert result.certificate is not None and result.unbounded
+    assert result.certificate.verify().valid
+
+Shell surface: ``python -m repro search sinkless-orientation``.
+"""
+
+from repro.search.driver import SearchResult, SearchStats, search_lower_bound
+from repro.search.moves import RelaxationMove, generate_moves
+
+__all__ = [
+    "RelaxationMove",
+    "SearchResult",
+    "SearchStats",
+    "generate_moves",
+    "search_lower_bound",
+]

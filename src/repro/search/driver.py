@@ -1,0 +1,368 @@
+"""The beam-search driver behind ``Engine.search_lower_bound``.
+
+A search *state* is a partial certificate: the chain of problems reached so
+far (none of them 0-round solvable) together with the alternating
+speedup/relaxation steps that produced it.  Each round of the search expands
+every beam state by one speedup step (fanned out over the engine's worker
+pool and memoised through its content-addressed cache), then considers the
+derived problem itself plus every certified relaxation move of it
+(:mod:`repro.search.moves`):
+
+* a candidate isomorphic to an earlier problem *of its own chain* is a
+  pumpable fixed point -- the search stops and returns the unbounded
+  certificate immediately;
+* a candidate that is 0-round solvable is discarded (relaxing that far
+  destroys the lower bound);
+* surviving candidates are deduplicated by canonical hash and scored by
+  description size (small problems are exactly what Section 2.1's relaxation
+  technique exists to reach), and the best ``beam_width`` become the next
+  beam.
+
+The search is budgeted: at most ``budget`` speedup derivations are
+attempted, and states whose derivation trips the engine's size guards
+(:class:`~repro.core.speedup.EngineLimitError`) are dropped rather than
+pursued.  If no fixed point appears within ``max_steps`` rounds, the deepest
+surviving chain is returned as a concrete ``k``-round certificate.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.canonical import canonical_hash
+from repro.core.certificate import (
+    RELAXATION,
+    SPEEDUP,
+    TERMINAL_FIXED_POINT,
+    TERMINAL_UNSOLVABLE,
+    CertificateStep,
+    LowerBoundCertificate,
+)
+from repro.core.isomorphism import find_isomorphism
+from repro.core.problem import Problem
+from repro.core.speedup import EngineLimitError, SpeedupResult
+from repro.core.zero_round import is_zero_round_solvable
+from repro.search.moves import RelaxationMove, generate_moves
+
+KIND_TRIVIAL = "trivial"
+KIND_CHAIN = "chain"
+KIND_FIXED_POINT = "fixed-point"
+
+
+@dataclass(frozen=True)
+class SearchStats:
+    """Bookkeeping of one search run (for reports and budget tuning)."""
+
+    speedup_calls: int = 0
+    states_expanded: int = 0
+    candidates_generated: int = 0
+    duplicates_pruned: int = 0
+    zero_round_pruned: int = 0
+    limit_hits: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "speedup_calls": self.speedup_calls,
+            "states_expanded": self.states_expanded,
+            "candidates_generated": self.candidates_generated,
+            "duplicates_pruned": self.duplicates_pruned,
+            "zero_round_pruned": self.zero_round_pruned,
+            "limit_hits": self.limit_hits,
+        }
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of an automated lower-bound search.
+
+    ``kind`` is ``"fixed-point"`` (unbounded certificate found), ``"chain"``
+    (the deepest chain certificate within budget), or ``"trivial"`` (the
+    input problem is already 0-round solvable, so no lower bound exists and
+    ``certificate`` is None).
+    """
+
+    problem: Problem
+    kind: str
+    certificate: LowerBoundCertificate | None
+    stats: SearchStats
+
+    @property
+    def unbounded(self) -> bool:
+        return self.kind == KIND_FIXED_POINT
+
+    @property
+    def bound(self) -> int | None:
+        """Rounds the problem is certified unsolvable in (None when trivial)."""
+        if self.certificate is None:
+            return None
+        return self.certificate.claimed_bound
+
+    def to_dict(self) -> dict:
+        """JSON-ready form -- the payload of ``python -m repro search --json``."""
+        return {
+            "problem": self.problem.to_dict(),
+            "kind": self.kind,
+            "bound": self.bound,
+            "unbounded": self.unbounded,
+            "certificate": (
+                None if self.certificate is None else self.certificate.to_dict()
+            ),
+            "stats": self.stats.to_dict(),
+        }
+
+    def summary(self) -> str:
+        lines = [f"search over {self.problem.name}: {self.kind}"]
+        if self.kind == KIND_TRIVIAL:
+            lines.append("problem is 0-round solvable; no lower bound exists")
+        elif self.certificate is not None:
+            if self.unbounded:
+                lines.append(
+                    "pumpable fixed point: Omega(log n) on bounded-degree "
+                    "high-girth classes"
+                )
+            lines.append(
+                f"certified: not solvable in {self.certificate.claimed_bound} "
+                f"round(s) ({len(self.certificate.steps)} chain step(s))"
+            )
+        stats = self.stats
+        lines.append(
+            f"explored: {stats.speedup_calls} speedup(s), "
+            f"{stats.candidates_generated} candidate(s), "
+            f"{stats.duplicates_pruned} duplicate(s) pruned, "
+            f"{stats.zero_round_pruned} 0-round prune(s), "
+            f"{stats.limit_hits} size-limit hit(s)"
+        )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class _State:
+    """A partial certificate: current problem plus the chain that reached it."""
+
+    problem: Problem
+    steps: tuple[CertificateStep, ...]
+    chain_keys: tuple[str, ...]
+    chain_compressed: tuple[Problem, ...]
+
+    @property
+    def score(self) -> tuple:
+        return (self.problem.description_size, len(self.problem.labels))
+
+
+@dataclass(frozen=True)
+class _Expansion:
+    """What expanding one state by one speedup step produced."""
+
+    state: _State
+    result: SpeedupResult | None
+    moves: tuple[RelaxationMove, ...] = ()
+    limit_hit: bool = False
+
+
+class _Counters:
+    __slots__ = (
+        "speedup_calls",
+        "states_expanded",
+        "candidates_generated",
+        "duplicates_pruned",
+        "zero_round_pruned",
+        "limit_hits",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> SearchStats:
+        return SearchStats(**{name: getattr(self, name) for name in self.__slots__})
+
+
+def search_lower_bound(
+    problem: Problem,
+    *,
+    engine=None,
+    max_steps: int = 8,
+    beam_width: int | None = None,
+    max_moves: int | None = None,
+    budget: int | None = None,
+) -> SearchResult:
+    """Automatically search for a lower-bound certificate for ``problem``.
+
+    ``beam_width`` / ``max_moves`` / ``budget`` default to the engine's
+    ``search_beam_width`` / ``search_max_moves`` / ``search_budget``
+    configuration; the engine also supplies the derivation size guards, the
+    memo cache, the worker pool, and the 0-round input setting
+    (``orientations``).  See the module docstring for the algorithm.
+    """
+    if engine is None:
+        from repro.engine import get_default_engine
+
+        engine = get_default_engine()
+    config = engine.config
+    beam_width = config.search_beam_width if beam_width is None else beam_width
+    max_moves = config.search_max_moves if max_moves is None else max_moves
+    budget = config.search_budget if budget is None else budget
+    if max_steps < 1:
+        raise ValueError("max_steps must be positive")
+    if beam_width < 1 or max_moves < 0 or budget < 1:
+        raise ValueError("beam_width and budget must be positive, max_moves >= 0")
+    orientations = config.orientations
+
+    counters = _Counters()
+
+    if is_zero_round_solvable(problem, orientations=orientations):
+        return SearchResult(
+            problem=problem,
+            kind=KIND_TRIVIAL,
+            certificate=None,
+            stats=counters.snapshot(),
+        )
+
+    root = _State(
+        problem=problem,
+        steps=(),
+        chain_keys=(canonical_hash(problem.compressed()),),
+        chain_compressed=(problem.compressed(),),
+    )
+    beam = [root]
+    deepest = root
+
+    def expand(state: _State) -> _Expansion:
+        try:
+            result = engine.speedup(state.problem)
+        except EngineLimitError:
+            return _Expansion(state=state, result=None, limit_hit=True)
+        moves = tuple(generate_moves(result.full, max_moves=max_moves))
+        return _Expansion(state=state, result=result, moves=moves)
+
+    for _depth in range(1, max_steps + 1):
+        to_expand = beam[: max(0, budget - counters.speedup_calls)]
+        if not to_expand:
+            break
+        counters.speedup_calls += len(to_expand)
+        counters.states_expanded += len(to_expand)
+        workers = engine._resolve_workers(len(to_expand))
+        if workers > 1 and len(to_expand) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                expansions = list(pool.map(expand, to_expand))
+        else:
+            expansions = [expand(state) for state in to_expand]
+
+        candidates: list[_State] = []
+        frontier_keys: dict[str, int] = {}
+        for expansion in expansions:
+            if expansion.result is None:
+                counters.limit_hits += 1
+                continue
+            state = expansion.state
+            derived = expansion.result.full
+            derived_compressed = derived.compressed()
+            derived_key = canonical_hash(derived_compressed)
+            speedup_step = CertificateStep(
+                kind=SPEEDUP, problem=derived, speedup=expansion.result
+            )
+            options: list[tuple[Problem, RelaxationMove | None]] = [(derived, None)]
+            options.extend((move.target, move) for move in expansion.moves)
+            for target, move in options:
+                counters.candidates_generated += 1
+                # The candidate's certificate chain is the state's chain plus
+                # the derived problem (and, for move options, the relaxation
+                # target as the final position); the revisit scan covers every
+                # position strictly before the candidate's own, so the index
+                # it yields is exactly verify()'s chain position.
+                if move is None:
+                    steps = state.steps + (speedup_step,)
+                    scan_keys = state.chain_keys
+                    scan_compressed = state.chain_compressed
+                    compressed, key = derived_compressed, derived_key
+                else:
+                    steps = state.steps + (
+                        speedup_step,
+                        CertificateStep(
+                            kind=RELAXATION,
+                            problem=move.target,
+                            relaxation=move.certificate(),
+                        ),
+                    )
+                    scan_keys = state.chain_keys + (derived_key,)
+                    scan_compressed = state.chain_compressed + (derived_compressed,)
+                    compressed = target.compressed()
+                    key = canonical_hash(compressed)
+                revisit = _chain_revisit(scan_keys, scan_compressed, key, compressed)
+                if revisit is not None:
+                    certificate = LowerBoundCertificate(
+                        initial=problem,
+                        steps=steps,
+                        terminal=TERMINAL_FIXED_POINT,
+                        fixed_point_of=revisit,
+                        orientations=orientations,
+                    )
+                    return SearchResult(
+                        problem=problem,
+                        kind=KIND_FIXED_POINT,
+                        certificate=certificate,
+                        stats=counters.snapshot(),
+                    )
+                if is_zero_round_solvable(target, orientations=orientations):
+                    counters.zero_round_pruned += 1
+                    if move is None:
+                        # Relaxations of a 0-round solvable problem are all
+                        # 0-round solvable too; the whole branch is dead.
+                        counters.zero_round_pruned += len(expansion.moves)
+                        break
+                    continue
+                candidate = _State(
+                    problem=target,
+                    steps=steps,
+                    chain_keys=scan_keys + (key,),
+                    chain_compressed=scan_compressed + (compressed,),
+                )
+                earlier = frontier_keys.get(key)
+                if earlier is not None:
+                    counters.duplicates_pruned += 1
+                    if candidate.score < candidates[earlier].score:
+                        candidates[earlier] = candidate
+                    continue
+                frontier_keys[key] = len(candidates)
+                candidates.append(candidate)
+
+        if not candidates:
+            break
+        candidates.sort(key=lambda state: (state.score, state.chain_keys[-1]))
+        beam = candidates[:beam_width]
+        deepest = beam[0]
+
+    certificate = LowerBoundCertificate(
+        initial=problem,
+        steps=deepest.steps,
+        terminal=TERMINAL_UNSOLVABLE,
+        orientations=orientations,
+    )
+    return SearchResult(
+        problem=problem,
+        kind=KIND_CHAIN,
+        certificate=certificate,
+        stats=counters.snapshot(),
+    )
+
+
+def _chain_revisit(
+    chain_keys: tuple[str, ...],
+    chain_compressed: tuple[Problem, ...],
+    key: str,
+    compressed: Problem,
+) -> int | None:
+    """Earliest chain position the candidate problem revisits, if any.
+
+    Canonical hashes screen cheaply; the isomorphism test confirms (the
+    hash's symmetric-alphabet fallback is rename-sensitive, so hash
+    inequality does not disprove isomorphism -- but a missed revisit only
+    delays the fixed point, never unsoundly certifies one).
+    """
+    for position, earlier_key in enumerate(chain_keys):
+        if earlier_key != key:
+            continue
+        if find_isomorphism(compressed, chain_compressed[position]) is not None:
+            return position
+    return None

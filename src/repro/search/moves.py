@@ -1,0 +1,148 @@
+"""Relaxation move generation from a problem's diagram / Galois structure.
+
+The search relaxes derived problems with three families of certified moves,
+all expressed as label maps (so each move carries its own
+:class:`~repro.core.relaxation.RelaxationCertificate`):
+
+* **merge-equivalents** -- collapse strength-equivalent labels to one
+  representative each (:func:`repro.core.diagram.merge_equivalent_labels`);
+  a bidirectional relaxation, so it never loses hardness and is always
+  offered first;
+* **drop** -- for labels ``a <= b`` in the strength diagram (``b`` may
+  replace ``a`` everywhere), remove ``a`` and keep only the ``a``-free
+  configurations: the map ``a -> b`` certifies the restricted problem as a
+  relaxation, and because replaceability puts every mapped configuration
+  back inside the original constraints, this relaxes as little as possible;
+* **merge** -- for an arbitrary ordered pair ``(a, b)``, map ``a -> b`` and
+  take the *image* problem (the generic Round-Eliminator merge); this can
+  genuinely enlarge the constraint sets, trading hardness for a smaller
+  description.
+
+Moves are deduplicated by the canonical hash of their targets, useless
+self-moves are skipped, and the list is truncated to ``max_moves`` in the
+deterministic order above (least-relaxing first).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.core.canonical import canonical_hash
+from repro.core.diagram import compute_diagram, merge_equivalent_labels
+from repro.core.problem import Label, Problem
+from repro.core.relaxation import RelaxationCertificate, certify_relaxation
+
+MERGE_EQUIVALENTS = "merge-equivalents"
+DROP = "drop"
+MERGE = "merge"
+
+
+@dataclass(frozen=True)
+class RelaxationMove:
+    """One certified relaxation of ``source``: the target plus its label map."""
+
+    kind: str
+    source: Problem
+    target: Problem
+    mapping: dict[Label, Label]
+
+    def certificate(self) -> RelaxationCertificate:
+        """The certificate record (maps are validated by :func:`generate_moves`)."""
+        return RelaxationCertificate(
+            source_name=self.source.name,
+            target_name=self.target.name,
+            mapping=dict(self.mapping),
+        )
+
+    def describe(self) -> str:
+        collapsed = sorted(a for a, b in self.mapping.items() if a != b)
+        return f"{self.kind}[{','.join(collapsed)}] -> {self.target.name}"
+
+
+def merge_move(problem: Problem, a: Label, b: Label) -> RelaxationMove:
+    """The generic merge ``a -> b``: the image problem under the collapse."""
+    mapping = {label: (b if label == a else label) for label in problem.labels}
+    target = Problem.make(
+        name=f"{problem.name}|{a}>{b}",
+        delta=problem.delta,
+        edge_configs=[(mapping[x], mapping[y]) for x, y in problem.edge_constraint],
+        node_configs=[
+            tuple(mapping[label] for label in config)
+            for config in problem.node_constraint
+        ],
+        labels={mapping[label] for label in problem.labels},
+    )
+    return RelaxationMove(kind=MERGE, source=problem, target=target, mapping=mapping)
+
+
+def drop_move(problem: Problem, a: Label, b: Label) -> RelaxationMove:
+    """Drop the dominated label ``a`` (certified by ``a -> b`` with ``a <= b``).
+
+    The target keeps exactly the ``a``-free configurations
+    (:meth:`Problem.restricted`), which is a *subset* of the merge image --
+    the least-relaxing way to shed a label.
+    """
+    target = problem.restricted(
+        problem.labels - {a}, name=f"{problem.name}|-{a}"
+    )
+    mapping = {label: (b if label == a else label) for label in problem.labels}
+    return RelaxationMove(kind=DROP, source=problem, target=target, mapping=mapping)
+
+
+def _candidate_moves(problem: Problem) -> Iterator[RelaxationMove]:
+    """Yield moves in deterministic least-relaxing-first order (unchecked)."""
+    merged, mapping = merge_equivalent_labels(problem)
+    if len(merged.labels) < len(problem.labels):
+        yield RelaxationMove(
+            kind=MERGE_EQUIVALENTS, source=problem, target=merged, mapping=mapping
+        )
+
+    diagram = compute_diagram(problem)
+    dominated: list[tuple[Label, Label]] = []
+    for a in sorted(problem.labels):
+        for b in sorted(diagram.stronger[a]):
+            if b != a:
+                dominated.append((a, b))
+    for a, b in dominated:
+        yield drop_move(problem, a, b)
+
+    ordered = sorted(problem.labels)
+    dominated_set = set(dominated)
+    for a in ordered:
+        for b in ordered:
+            if a == b or (a, b) in dominated_set:
+                continue
+            yield merge_move(problem, a, b)
+
+
+def generate_moves(problem: Problem, max_moves: int = 24) -> list[RelaxationMove]:
+    """Certified relaxation moves of ``problem``, deduplicated and capped.
+
+    Every returned move's label map has been validated with
+    :func:`~repro.core.relaxation.certify_relaxation`; targets that are
+    degenerate (no allowed configuration left), identical to the source, or
+    duplicates of an earlier target (up to label renaming, via canonical
+    hashes) are filtered out.
+    """
+    if max_moves < 1:
+        return []
+    moves: list[RelaxationMove] = []
+    seen: set[str] = {canonical_hash(problem)}
+    for move in _candidate_moves(problem):
+        if move.target.is_empty:
+            continue
+        key = canonical_hash(move.target)
+        if key in seen:
+            continue
+        # Soundness gate: a generator bug must surface as a skipped move at
+        # worst, never as an invalid certificate in a chain.
+        try:
+            certify_relaxation(move.source, move.target, move.mapping)
+        except ValueError:
+            continue
+        seen.add(key)
+        moves.append(move)
+        if len(moves) >= max_moves:
+            break
+    return moves

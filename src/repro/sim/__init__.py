@@ -9,6 +9,8 @@ This package makes the paper's model (Section 3) executable:
 * :mod:`repro.sim.verifier` -- locally checkable output verification;
 * :mod:`repro.sim.independence` -- executable t-independence checks;
 * :mod:`repro.sim.speedup_exec` -- Theorem 1 run on real graph classes;
+* :mod:`repro.sim.reconstruct` -- decode concrete ``Pi_1`` solutions back
+  into ``Pi`` solutions (the executable (2) => (1) direction);
 * :mod:`repro.sim.algorithms` -- Cole-Vishkin, Linial, weak 2-coloring, and
   centralized reference solvers.
 """
@@ -37,6 +39,7 @@ from repro.sim.ports import (
     id_orientation,
     random_orientation,
 )
+from repro.sim.reconstruct import reconstruct_original_outputs
 from repro.sim.simulator import (
     FunctionAlgorithm,
     GatherProtocol,
@@ -98,6 +101,7 @@ __all__ = [
     "petersen",
     "random_orientation",
     "random_regular_with_girth",
+    "reconstruct_original_outputs",
     "relabel_ids_by_rank",
     "ring",
     "run_message_passing",

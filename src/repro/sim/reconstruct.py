@@ -1,0 +1,63 @@
+"""Decode a concrete ``Pi_1`` solution back into a ``Pi`` solution.
+
+The (2) => (1) direction of Theorem 1 is constructive: from any valid
+``Pi_1`` output on a graph, the existential properties of the derived
+constraints let every edge pick a *universal pair* of half-step labels
+(Property 3) and then every node pick an allowed original configuration
+from the chosen sets (Properties 4 then 2).  :mod:`repro.sim.speedup_exec`
+executes that argument for outputs produced by an actual algorithm; this
+module runs the same decoding for an *arbitrary* ``Pi_1`` assignment --
+e.g. one found by the centralized solver -- which is what the
+cross-validation tests use to check the simulation argument end-to-end:
+``solve Pi_1 -> reconstruct -> verify Pi``.
+
+The derived labels are decoded through the provenance maps carried by
+:class:`~repro.core.speedup.SpeedupResult` (``full_meaning`` /
+``half_meaning``), so this works across engine cache hits and label
+renamings.
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import Label
+from repro.core.speedup import SpeedupResult
+from repro.sim.ports import Node, Port, PortGraph
+from repro.sim.speedup_exec import _first_choice_in, _first_universal_pair
+
+Outputs = dict[tuple[Node, Port], str]
+
+
+def reconstruct_original_outputs(
+    result: SpeedupResult, pg: PortGraph, outputs: Outputs
+) -> Outputs | None:
+    """Turn a valid ``Pi_1`` assignment on ``B(G)`` into a ``Pi`` assignment.
+
+    ``outputs`` maps each ``(node, port)`` to a label of ``result.full``.
+    Returns the decoded assignment over ``result.original``'s labels, or
+    None if some existential choice fails -- which certifies that
+    ``outputs`` violated the derived constraints (the converse direction of
+    the theorem), since for constraint-satisfying inputs the choices always
+    exist.
+    """
+    problem = result.original
+    decoded: dict[tuple[Node, Port], frozenset[frozenset[Label]]] = {
+        key: result.full_label_as_original_sets(label)
+        for key, label in outputs.items()
+    }
+    # Property 3: on each edge pick the canonically first universal pair.
+    half_choice: dict[tuple[Node, Port], frozenset[Label]] = {}
+    for u, pu, v, pv in pg.edges_with_ports():
+        pair = _first_universal_pair(problem, decoded[(u, pu)], decoded[(v, pv)])
+        if pair is None:
+            return None
+        half_choice[(u, pu)], half_choice[(v, pv)] = pair
+    # Properties 4 + 2: per node pick the canonically first realizable choice.
+    reconstructed: Outputs = {}
+    for v in pg.nodes():
+        sets = [half_choice[(v, port)] for port in range(pg.degree(v))]
+        chosen = _first_choice_in(problem, sets)
+        if chosen is None:
+            return None
+        for port, label in enumerate(chosen):
+            reconstructed[(v, port)] = label
+    return reconstructed

@@ -1,14 +1,30 @@
-"""Tests for lower-bound certificates."""
+"""Tests for machine-checkable lower-bound certificates (core + analysis)."""
 
-from repro.analysis.certificates import (
-    ChainLink,
-    LinkKind,
+import json
+
+import pytest
+
+from repro.analysis.certificates import check_certificate, sinkless_certificate
+from repro.core.certificate import (
+    RELAXATION,
+    SPEEDUP,
+    TERMINAL_FIXED_POINT,
+    TERMINAL_UNSOLVABLE,
+    CertificateError,
+    CertificateStep,
     LowerBoundCertificate,
-    check_certificate,
-    sinkless_certificate,
 )
+from repro.core.relaxation import RelaxationCertificate
 from repro.core.speedup import speedup
 from repro.problems.sinkless import sinkless_coloring
+
+
+def _roundtrip(certificate: LowerBoundCertificate) -> LowerBoundCertificate:
+    payload = json.dumps(certificate.to_dict(), sort_keys=True)
+    return LowerBoundCertificate.from_dict(json.loads(payload))
+
+
+# -- the Section 4.4 certificate ----------------------------------------------
 
 
 def test_sinkless_certificate_valid():
@@ -16,38 +32,86 @@ def test_sinkless_certificate_valid():
     verdict = check_certificate(certificate)
     assert verdict.valid
     assert verdict.bound == 3
+    assert not verdict.unbounded
     assert certificate.speedup_steps == 3
 
 
-def test_certificate_counts_only_speedup_links():
+def test_certificate_counts_only_speedup_steps():
     certificate = sinkless_certificate(delta=3, rounds=2)
-    assert len(certificate.links) == 4  # speedup + relaxation, twice
+    assert len(certificate.steps) == 4  # speedup + relaxation, twice
     assert certificate.claimed_bound == 2
+
+
+def test_certificate_json_roundtrip_and_independent_verification():
+    certificate = sinkless_certificate(delta=3, rounds=2)
+    rebuilt = _roundtrip(certificate)
+    assert rebuilt == certificate
+    # The deserialized copy must verify with no help from the search/builder.
+    verdict = rebuilt.verify()
+    assert verdict.valid and verdict.bound == 2
+
+
+# -- rejection paths ----------------------------------------------------------
 
 
 def test_tampered_relaxation_is_rejected(sc3):
     derived = speedup(sc3).full
-    bad_link = ChainLink(
-        kind=LinkKind.RELAXATION,
+    collapse = {label: "0" for label in derived.labels}  # collapses everything
+    bad = CertificateStep(
+        kind=RELAXATION,
         problem=sc3,
-        mapping={label: "0" for label in derived.labels},  # collapses everything
+        relaxation=RelaxationCertificate(
+            source_name=derived.name, target_name=sc3.name, mapping=collapse
+        ),
     )
     certificate = LowerBoundCertificate(
         initial=sc3,
-        links=(ChainLink(kind=LinkKind.SPEEDUP, problem=derived), bad_link),
+        steps=(
+            CertificateStep(kind=SPEEDUP, problem=derived, speedup=speedup(sc3)),
+            bad,
+        ),
     )
-    verdict = check_certificate(certificate)
+    verdict = certificate.verify()
     assert not verdict.valid
     assert any("does not certify" in failure for failure in verdict.failures)
 
 
-def test_wrong_speedup_result_is_rejected(sc3, col3_ring):
+def test_speedup_step_must_apply_to_chain(sc3, col3_ring):
+    # A speedup of sinkless coloring cannot extend a chain sitting at
+    # 3-coloring: the step's original problem does not match.
+    result = speedup(sc3)
+    certificate = LowerBoundCertificate(
+        initial=col3_ring,
+        steps=(CertificateStep(kind=SPEEDUP, problem=result.full, speedup=result),),
+    )
+    verdict = certificate.verify()
+    assert not verdict.valid
+    assert any("does not apply" in failure for failure in verdict.failures)
+
+
+def test_tampered_speedup_result_is_rejected(sc3):
+    import dataclasses
+    from itertools import combinations_with_replacement
+
+    result = speedup(sc3)
+    # Forge a "derived" problem by allowing one extra edge configuration.
+    missing = next(
+        pair
+        for pair in combinations_with_replacement(sorted(result.full.labels), 2)
+        if pair not in result.full.edge_constraint
+    )
+    forged_full = dataclasses.replace(
+        result.full,
+        edge_constraint=frozenset(result.full.edge_constraint | {missing}),
+    )
+    forged = dataclasses.replace(result, full=forged_full)
     certificate = LowerBoundCertificate(
         initial=sc3,
-        links=(ChainLink(kind=LinkKind.SPEEDUP, problem=col3_ring),),
+        steps=(CertificateStep(kind=SPEEDUP, problem=forged_full, speedup=forged),),
     )
-    verdict = check_certificate(certificate)
+    verdict = certificate.verify()
     assert not verdict.valid
+    assert any("re-derived" in failure for failure in verdict.failures)
 
 
 def test_zero_round_final_problem_proves_nothing():
@@ -61,16 +125,138 @@ def test_zero_round_final_problem_proves_nothing():
         list(multisets_of_size(["a"], 3)),
         labels=["a"],
     )
-    certificate = LowerBoundCertificate(initial=trivial, links=())
-    verdict = check_certificate(certificate)
+    certificate = LowerBoundCertificate(initial=trivial, steps=())
+    verdict = certificate.verify()
     assert not verdict.valid
     assert any("0-round solvable" in failure for failure in verdict.failures)
 
 
-def test_missing_relaxation_map_is_rejected(sc3):
+def test_step_kind_and_payload_must_match(sc3):
+    result = speedup(sc3)
+    with pytest.raises(CertificateError):
+        CertificateStep(kind=SPEEDUP, problem=result.full)  # missing result
+    with pytest.raises(CertificateError):
+        CertificateStep(kind=SPEEDUP, problem=sc3, speedup=result)  # wrong problem
+    with pytest.raises(CertificateError):
+        CertificateStep(kind=RELAXATION, problem=sc3)  # missing map
+    with pytest.raises(CertificateError):
+        CertificateStep(kind="teleport", problem=sc3)
+
+
+# -- fixed-point certificates --------------------------------------------------
+
+
+def _fixed_point_certificate(sc3) -> LowerBoundCertificate:
+    result = speedup(sc3)
+    return LowerBoundCertificate(
+        initial=sc3,
+        steps=(CertificateStep(kind=SPEEDUP, problem=result.full, speedup=result),),
+        terminal=TERMINAL_FIXED_POINT,
+        fixed_point_of=0,
+    )
+
+
+def test_fixed_point_certificate_valid(sc3):
+    certificate = _fixed_point_certificate(sc3)
+    verdict = certificate.verify()
+    assert verdict.valid
+    assert verdict.unbounded
+    assert certificate.unbounded
+    assert "fixed point" in certificate.describe()
+
+
+def test_fixed_point_certificate_roundtrips(sc3):
+    certificate = _fixed_point_certificate(sc3)
+    rebuilt = _roundtrip(certificate)
+    assert rebuilt == certificate
+    assert rebuilt.verify().valid
+
+
+def test_fixed_point_needs_valid_position(sc3):
+    result = speedup(sc3)
+    step = CertificateStep(kind=SPEEDUP, problem=result.full, speedup=result)
+    bad = LowerBoundCertificate(
+        initial=sc3, steps=(step,), terminal=TERMINAL_FIXED_POINT, fixed_point_of=7
+    )
+    verdict = bad.verify()
+    assert not verdict.valid
+    assert any("chain position" in failure for failure in verdict.failures)
+    with pytest.raises(CertificateError):
+        LowerBoundCertificate(
+            initial=sc3, steps=(step,), terminal=TERMINAL_FIXED_POINT
+        )  # fixed_point_of missing entirely
+
+
+def test_fixed_point_needs_a_speedup_in_the_cycle(sc3):
+    # A pure-relaxation "cycle" (identity relaxation back to the start)
+    # eliminates no rounds and must be rejected.
+    identity = {label: label for label in sc3.labels}
+    step = CertificateStep(
+        kind=RELAXATION,
+        problem=sc3,
+        relaxation=RelaxationCertificate(
+            source_name=sc3.name, target_name=sc3.name, mapping=identity
+        ),
+    )
     certificate = LowerBoundCertificate(
         initial=sc3,
-        links=(ChainLink(kind=LinkKind.RELAXATION, problem=sc3, mapping=None),),
+        steps=(step,),
+        terminal=TERMINAL_FIXED_POINT,
+        fixed_point_of=0,
     )
-    verdict = check_certificate(certificate)
+    verdict = certificate.verify()
     assert not verdict.valid
+    assert any("eliminates no rounds" in failure for failure in verdict.failures)
+
+
+def test_fixed_point_not_isomorphic_is_rejected(sc3, mis_d3):
+    result = speedup(mis_d3)
+    certificate = LowerBoundCertificate(
+        initial=mis_d3,
+        steps=(CertificateStep(kind=SPEEDUP, problem=result.full, speedup=result),),
+        terminal=TERMINAL_FIXED_POINT,
+        fixed_point_of=0,
+    )
+    verdict = certificate.verify()
+    assert not verdict.valid
+    assert any("not isomorphic" in failure for failure in verdict.failures)
+
+
+# -- malformed payloads --------------------------------------------------------
+
+
+def test_from_dict_rejects_malformed_payloads(sc3):
+    good = sinkless_certificate(delta=3, rounds=1).to_dict()
+    with pytest.raises(CertificateError):
+        LowerBoundCertificate.from_dict({})
+    with pytest.raises(CertificateError):
+        LowerBoundCertificate.from_dict({**good, "terminal": "maybe"})
+    with pytest.raises(CertificateError):
+        LowerBoundCertificate.from_dict({**good, "steps": [{"kind": "speedup"}]})
+    with pytest.raises(CertificateError):
+        LowerBoundCertificate.from_dict({**good, "initial": "not-a-problem"})
+    bad_steps = json.loads(json.dumps(good))
+    bad_steps["steps"][0]["speedup"]["half_meaning"] = []
+    with pytest.raises(CertificateError):
+        LowerBoundCertificate.from_dict(bad_steps)
+
+
+def test_fixed_point_of_must_be_an_integer(sc3):
+    # A mangled payload with a string position must fail at from_dict time
+    # (CertificateError), never as a TypeError inside verify().
+    result = speedup(sc3)
+    step = CertificateStep(kind=SPEEDUP, problem=result.full, speedup=result)
+    good = LowerBoundCertificate(
+        initial=sc3, steps=(step,), terminal=TERMINAL_FIXED_POINT, fixed_point_of=0
+    ).to_dict()
+    with pytest.raises(CertificateError):
+        LowerBoundCertificate.from_dict({**good, "fixed_point_of": "0"})
+    with pytest.raises(CertificateError):
+        LowerBoundCertificate.from_dict({**good, "fixed_point_of": True})
+    with pytest.raises(CertificateError):
+        LowerBoundCertificate(
+            initial=sc3,
+            steps=(step,),
+            terminal=TERMINAL_FIXED_POINT,
+            fixed_point_of="0",
+        )

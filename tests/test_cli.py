@@ -158,6 +158,46 @@ def test_speedup_cache_dir_is_populated(sc3_file, tmp_path):
     assert list(cache_dir.glob("*.json"))
 
 
+def test_search_catalog_name_with_underscores():
+    """Acceptance: `python -m repro search sinkless_orientation` finds the
+    fixed point and its certificate re-verifies from JSON alone."""
+    from repro.core.certificate import LowerBoundCertificate
+
+    process = run_cli("search", "sinkless_orientation", "--json")
+    payload = json.loads(process.stdout)
+    assert payload["kind"] == "fixed-point"
+    assert payload["unbounded"] is True
+    assert payload["verified"] is True
+    certificate = LowerBoundCertificate.from_dict(payload["certificate"])
+    verdict = certificate.verify()
+    assert verdict.valid and verdict.unbounded
+
+
+def test_search_text_output_reports_verification():
+    process = run_cli("search", "sinkless-coloring")
+    assert "fixed-point" in process.stdout
+    assert "independently re-verified: ok" in process.stdout
+
+
+def test_search_reads_problem_file(sc3_file):
+    process = run_cli("search", str(sc3_file), "--max-steps", "3", "--json")
+    payload = json.loads(process.stdout)
+    assert payload["kind"] == "fixed-point"
+
+
+def test_search_trivial_problem_exits_one():
+    text = "problem trivial delta=2\nlabels: a\nnode:\na a\nedge:\na a\n"
+    process = run_cli("search", "-", stdin_text=text, check=False)
+    assert process.returncode == 1
+    assert "no lower bound" in process.stdout
+
+
+def test_search_unknown_family_fails_cleanly():
+    process = run_cli("search", "not_a_problem", check=False)
+    assert process.returncode == 2
+    assert "not-a-problem" in process.stderr
+
+
 def test_main_is_importable():
     from repro.cli import main
 

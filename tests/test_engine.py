@@ -41,8 +41,23 @@ def test_config_validation():
 
 def test_tight_limits_raise(sc3):
     tight = Engine(EngineConfig(max_candidate_configs=1))
-    with pytest.raises(EngineLimitError):
+    with pytest.raises(EngineLimitError) as excinfo:
         tight.speedup(sc3)
+    error = excinfo.value
+    assert error.limit_name == "max_candidate_configs"
+    assert error.limit == 1
+    assert error.observed > error.limit
+
+
+def test_derived_label_limit_reports_observed_count(mis_d3):
+    tight = Engine(EngineConfig(max_derived_labels=1))
+    with pytest.raises(EngineLimitError) as excinfo:
+        tight.speedup(mis_d3)
+    error = excinfo.value
+    assert error.limit_name == "max_derived_labels"
+    assert error.limit == 1
+    assert error.observed == 2  # the guard fires on the second filter
+    assert "filters" in str(error)
 
 
 def test_with_config_shares_cache(engine):
@@ -312,6 +327,8 @@ def test_canonical_hash_on_symmetric_alphabet():
 
 def test_engine_half_step_respects_limits(sc3):
     tight = Engine(EngineConfig(max_candidate_configs=1))
-    with pytest.raises(EngineLimitError):
+    with pytest.raises(EngineLimitError) as excinfo:
         tight.half_step(sc3)
+    assert excinfo.value.limit_name == "max_candidate_configs"
+    assert excinfo.value.observed > 1
     assert Engine().half_step(sc3).problem.labels

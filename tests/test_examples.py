@@ -26,6 +26,20 @@ def test_sinkless_lower_bound_flow():
     assert verdict.valid and verdict.bound == 2
 
 
+def test_search_lower_bound_flow():
+    import json
+
+    from repro import Engine, LowerBoundCertificate, sinkless_orientation
+
+    result = Engine().search_lower_bound(sinkless_orientation(3), max_steps=5)
+    certificate = result.certificate
+    assert result.unbounded and certificate is not None
+    rebuilt = LowerBoundCertificate.from_dict(
+        json.loads(json.dumps(certificate.to_dict()))
+    )
+    assert rebuilt.verify().valid
+
+
 def test_figure2_flow():
     graph = petersen()
     pg = PortGraph(graph)

@@ -1,0 +1,110 @@
+"""Golden-file regression tests for the CLI catalog and the landscape table.
+
+The goldens live in ``tests/goldens/``.  When an intentional change shifts
+the output (a new catalog family, a new survey column), regenerate them
+with::
+
+    PYTHONPATH=src python -m pytest tests/test_goldens.py --update-goldens
+
+then review the diff like any other code change.  The ``--update-goldens``
+option is registered by the repository-root ``conftest.py``; setting the
+environment variable ``REPRO_UPDATE_GOLDENS=1`` works too.
+"""
+
+import io
+import os
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+# Cheap families only: the full catalog at delta 3 contains problems whose
+# single speedup step runs for minutes (4-coloring) -- those stay out of the
+# golden so tier-1 stays fast.
+LANDSCAPE_NAMES = [
+    "2-coloring",
+    "3-coloring",
+    "3-edge-coloring",
+    "maximal-matching",
+    "mis",
+    "perfect-matching",
+    "sinkless-coloring",
+    "sinkless-orientation",
+    "weak-2-coloring",
+]
+
+
+@pytest.fixture()
+def golden(request):
+    updating = request.config.getoption("--update-goldens") or os.environ.get(
+        "REPRO_UPDATE_GOLDENS"
+    ) == "1"
+
+    def check(name: str, actual: str) -> None:
+        path = GOLDEN_DIR / name
+        if updating:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            path.write_text(actual)
+            return
+        assert path.exists(), (
+            f"golden file {path} is missing; regenerate with "
+            f"`python -m pytest tests/test_goldens.py --update-goldens`"
+        )
+        expected = path.read_text()
+        assert actual == expected, (
+            f"output differs from {path}; if the change is intentional, "
+            f"regenerate with --update-goldens and review the diff"
+        )
+
+    return check
+
+
+def _cli_stdout(argv: list[str]) -> str:
+    from repro.cli import main
+
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(argv)
+    assert code == 0
+    return buffer.getvalue()
+
+
+def test_catalog_listing_golden(golden):
+    golden("catalog.txt", _cli_stdout(["catalog"]))
+
+
+def test_catalog_json_golden(golden):
+    golden("catalog.json", _cli_stdout(["catalog", "--json"]))
+
+
+def test_catalog_instance_golden(golden):
+    golden(
+        "catalog_sinkless_orientation_d3.txt",
+        _cli_stdout(["catalog", "--name", "sinkless-orientation", "--delta", "3"]),
+    )
+
+
+def test_landscape_survey_golden(golden):
+    from repro.analysis.landscape import landscape_markdown, survey_catalog
+
+    rows = survey_catalog(delta=3, names=LANDSCAPE_NAMES)
+    golden("landscape_delta3.md", landscape_markdown(rows) + "\n")
+
+
+def test_landscape_survey_with_search_golden(golden):
+    """The discovered-bound column, on the two fixed-point flagships."""
+    from repro.analysis.landscape import landscape_markdown, survey_catalog
+    from repro.engine import Engine, EngineConfig
+
+    engine = Engine(
+        EngineConfig(max_derived_labels=2_000, max_candidate_configs=50_000)
+    )
+    rows = survey_catalog(
+        delta=3,
+        names=["sinkless-coloring", "sinkless-orientation", "perfect-matching"],
+        engine=engine,
+        search_steps=3,
+    )
+    golden("landscape_search_delta3.md", landscape_markdown(rows) + "\n")

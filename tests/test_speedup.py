@@ -129,10 +129,14 @@ def test_unsimplified_half_has_all_subsets(sc3):
 
 def test_engine_limit_guard():
     big = coloring(6, 2)
-    with pytest.raises(EngineLimitError):
-        # 12 labels -> 2^12 = 4096 half labels is fine, but the raw full step
-        # over 2^4095 subsets must refuse.
+    with pytest.raises(EngineLimitError) as excinfo:
+        # 6 labels -> 62 raw half labels is fine, but the raw full step over
+        # 2^62 subsets must refuse.
         full_step(half_step(big, simplify=False), simplify=False)
+    error = excinfo.value
+    assert error.limit_name == "max_derived_labels"
+    assert error.observed == 2**62
+    assert error.observed > error.limit
 
 
 def test_derived_problem_is_compressed(sc3):
