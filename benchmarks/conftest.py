@@ -4,4 +4,9 @@ Each bench runs an experiment driver once per measurement round (the heavy
 derivations use ``pedantic`` with a single round) and stashes the
 reproduction verdict in ``benchmark.extra_info`` so the benchmark report
 doubles as the experiment log recorded in EXPERIMENTS.md.
+
+Machine-readable perf tracking lives in ``run_speedup_bench.py`` (not a
+pytest bench): it writes ``BENCH_speedup.json`` with per-problem cold/warm
+kernel timings and kernel-vs-legacy ratios, and CI uploads the quick-mode
+report as an artifact on every run.
 """

@@ -1,0 +1,172 @@
+"""Machine-readable speedup benchmarks: writes ``BENCH_speedup.json``.
+
+Times one full ``speedup()`` derivation per catalog problem -- cold (uncached
+kernel), warm (engine cache hit) and, where feasible, the frozen pre-kernel
+reference path (``repro.core._legacy``) -- and emits a JSON report so the
+performance trajectory is tracked across PRs (CI uploads the file as a
+build artifact; nothing gates on it).
+
+Usage::
+
+    python benchmarks/run_speedup_bench.py [--quick] [--output BENCH_speedup.json]
+
+``--quick`` restricts the run to the cases cheap enough for a CI smoke job
+(everything except the formerly intractable derivations, which take seconds
+to minutes even on the kernel).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.core import _legacy
+from repro.core.speedup import EngineLimitError
+from repro.engine import Engine
+from repro.problems.catalog import get_problem
+
+# (name, delta, quick, run_legacy): `quick` keeps the case in --quick runs;
+# `run_legacy` times the pre-kernel reference for a speedup ratio (off for
+# derivations the legacy path cannot finish in reasonable time).
+CASES: list[tuple[str, int, bool, bool]] = [
+    ("sinkless-coloring", 5, True, True),
+    ("3-coloring", 3, True, True),
+    ("mis", 3, True, True),
+    ("maximal-matching", 3, True, True),
+    ("weak-2-coloring", 4, True, True),
+    ("superweak-2-coloring", 3, True, True),
+    # The largest catalog derivation the legacy path completes: the headline
+    # kernel-vs-legacy ratio (acceptance: >= 3x).
+    ("4-coloring", 2, True, True),
+    # Formerly intractable under the string path (days of wall clock inside
+    # the size guards); the kernel completes them in seconds.
+    ("weak-3-coloring", 2, False, False),
+    ("superweak-3-coloring", 2, False, False),
+    # Still guard-refused -- on both paths identically, by design: the grid
+    # bound caps the (enormous) problem the step would materialise.
+    ("5-coloring", 2, False, True),
+]
+
+
+def _time_call(fn) -> tuple[float, str, object]:
+    start = time.perf_counter()
+    try:
+        result = fn()
+        return time.perf_counter() - start, "ok", result
+    except EngineLimitError as error:
+        return time.perf_counter() - start, f"limit:{error.limit_name}", None
+
+
+def bench_case(
+    name: str, delta: int, run_legacy: bool, warm_rounds: int = 3
+) -> dict:
+    """Cold/warm/legacy timings for one catalog ``speedup()`` call."""
+    problem = get_problem(name, delta)
+    engine = Engine()
+    cold_s, status, result = _time_call(lambda: engine.speedup(problem))
+
+    record: dict = {
+        "problem": name,
+        "delta": delta,
+        "status": status,
+        "cold_s": round(cold_s, 6),
+    }
+    if result is not None:
+        record["derived_labels"] = len(result.full.labels)
+        record["derived_node_configs"] = len(result.full.node_constraint)
+        warm = float("inf")
+        for _ in range(warm_rounds):  # best-of to shed timer noise
+            start = time.perf_counter()
+            engine.speedup(problem)
+            warm = min(warm, time.perf_counter() - start)
+        record["warm_s"] = round(warm, 6)
+        record["warm_speedup"] = round(cold_s / max(warm, 1e-9), 1)
+
+    if run_legacy:
+        legacy_s, legacy_status, _ = _time_call(
+            lambda: _legacy.compute_speedup(problem)
+        )
+        record["legacy_s"] = round(legacy_s, 6)
+        record["legacy_status"] = legacy_status
+        if status == "ok" and legacy_status == "ok":
+            record["kernel_speedup"] = round(legacy_s / max(cold_s, 1e-9), 1)
+    return record
+
+
+def run_bench(
+    cases: list[tuple[str, int, bool, bool]] | None = None,
+    quick: bool = False,
+    warm_rounds: int = 3,
+) -> dict:
+    """Run the suite and return the JSON-ready report."""
+    selected = [
+        case for case in (cases if cases is not None else CASES)
+        if not quick or case[2]
+    ]
+    results = [
+        bench_case(name, delta, run_legacy, warm_rounds=warm_rounds)
+        for name, delta, _, run_legacy in selected
+    ]
+    ratios = [r["kernel_speedup"] for r in results if "kernel_speedup" in r]
+    legacy_done = [r for r in results if r.get("legacy_status") == "ok"]
+    report = {
+        "benchmark": "speedup",
+        "quick": quick,
+        "python": platform.python_version(),
+        "unix_time": int(time.time()),
+        "results": results,
+    }
+    if legacy_done:
+        # The headline number: kernel vs legacy on the largest (slowest
+        # legacy) catalog derivation both paths complete.
+        largest = max(legacy_done, key=lambda r: r["legacy_s"])
+        report["largest_case"] = {
+            "problem": largest["problem"],
+            "delta": largest["delta"],
+            "legacy_s": largest["legacy_s"],
+            "cold_s": largest["cold_s"],
+            "kernel_speedup": largest.get("kernel_speedup"),
+        }
+    if ratios:
+        report["min_kernel_speedup"] = min(ratios)
+        report["max_kernel_speedup"] = max(ratios)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke subset")
+    parser.add_argument(
+        "--output", default="BENCH_speedup.json", help="report destination"
+    )
+    parser.add_argument("--warm-rounds", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    report = run_bench(quick=args.quick, warm_rounds=args.warm_rounds)
+    Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    for record in report["results"]:
+        line = f"{record['problem']:>22s} d={record['delta']}  {record['status']:>6s}  cold={record['cold_s']:.4f}s"
+        if "warm_s" in record:
+            line += f"  warm={record['warm_s']:.6f}s"
+        if "legacy_s" in record:
+            line += f"  legacy={record['legacy_s']:.4f}s ({record.get('legacy_status')})"
+        if "kernel_speedup" in record:
+            line += f"  kernel x{record['kernel_speedup']}"
+        print(line)
+    if "largest_case" in report:
+        largest = report["largest_case"]
+        print(
+            f"largest legacy-completing case: {largest['problem']} d={largest['delta']} "
+            f"-> kernel x{largest['kernel_speedup']}"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

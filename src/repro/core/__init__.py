@@ -4,6 +4,8 @@ This package is the reproduction of the paper's core contribution
 (Theorems 1 and 2 and the Section 2.1 workflow):
 
 * :mod:`repro.core.problem` -- locally checkable problems at fixed degree;
+* :mod:`repro.core.alphabet` -- the bitmask kernel: interned alphabets,
+  label sets as integer masks, the engine's derivation hot paths;
 * :mod:`repro.core.family` -- degree-indexed families (the paper's f, g, h);
 * :mod:`repro.core.format` -- textual syntax (Round-Eliminator compatible);
 * :mod:`repro.core.galois` -- the compatibility Galois connection;
@@ -14,6 +16,7 @@ This package is the reproduction of the paper's core contribution
 * :mod:`repro.core.sequence` -- the iterated pipeline with lower-bound output.
 """
 
+from repro.core.alphabet import Alphabet, InternedProblem, intern, short_names
 from repro.core.canonical import CanonicalForm, canonical_form, canonical_hash
 from repro.core.certificate import (
     RELAXATION,
@@ -70,6 +73,7 @@ __all__ = [
     "SPEEDUP",
     "TERMINAL_FIXED_POINT",
     "TERMINAL_UNSOLVABLE",
+    "Alphabet",
     "CanonicalForm",
     "CertificateCheck",
     "CertificateError",
@@ -80,6 +84,7 @@ __all__ = [
     "EliminationResult",
     "EngineLimitError",
     "HalfStepResult",
+    "InternedProblem",
     "Label",
     "LowerBoundCertificate",
     "NodeConfig",
@@ -102,6 +107,7 @@ __all__ = [
     "format_problem",
     "full_step",
     "half_step",
+    "intern",
     "is_harder_restriction",
     "is_relaxation_map",
     "is_zero_round_solvable",
@@ -112,6 +118,7 @@ __all__ = [
     "replaceable",
     "run_round_elimination",
     "set_label_name",
+    "short_names",
     "speedup",
     "zero_round_no_input",
     "zero_round_with_orientations",

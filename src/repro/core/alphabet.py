@@ -1,0 +1,298 @@
+"""Interned label alphabets: the bitmask kernel behind every hot path.
+
+Every derivation in this library ultimately manipulates *sets of labels* and
+*multisets of labels* -- half-step labels are subsets of the alphabet, the
+Galois connection intersects them, the full step orders them by inclusion,
+0-round search unions them, and canonical hashing refines partitions of them.
+Representing those sets as ``frozenset[str]`` makes each elementary operation
+(a subset test, an intersection, a hash) allocate and walk hash tables of
+strings.
+
+This module interns a problem's alphabet into *bit positions* so that a label
+set becomes a plain Python ``int`` (a bitmask) and every hot operation
+becomes one machine-word-ish integer instruction:
+
+=====================  ==========================
+frozenset operation    bitmask equivalent
+=====================  ==========================
+``a <= b``             ``a & ~b == 0``
+``a & b``              ``a & b``
+``a | b``              ``a | b``
+``len(a)``             ``a.bit_count()``
+``hash(a)``            ``hash(int)`` (trivial)
+sorted canonical form  the integer itself
+=====================  ==========================
+
+The :class:`Alphabet` owns the int<->name mapping, so the string API of
+:class:`~repro.core.problem.Problem` remains the only public surface; masks
+never leak into wire formats or result dataclasses.  :func:`intern` attaches
+a cached :class:`InternedProblem` view (index-tuple configurations, adjacency
+masks, per-configuration position masks) to each problem, so repeated
+derivations over the same problem pay the interning cost once.
+
+Bit positions follow the *sorted order of the label names*.  This invariant
+is load-bearing: a tuple of indices in non-decreasing order converts to a
+canonically sorted name tuple, and lexicographic comparison of index tuples
+equals lexicographic comparison of sorted name lists, which is how the kernel
+reproduces the legacy string path's deterministic orderings bit for bit (see
+``core/_legacy.py`` and the differential tests).
+"""
+
+from __future__ import annotations
+
+import string
+from collections.abc import Collection, Iterable, Iterator, Sequence
+
+from repro.core.problem import Label, Problem
+
+__all__ = [
+    "Alphabet",
+    "InternedProblem",
+    "intern",
+    "iter_bits",
+    "mask_matching_exists",
+    "set_label_name",
+    "short_names",
+]
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in increasing order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class Alphabet:
+    """An immutable interning of label names into bit positions.
+
+    ``names[i]`` is the label at bit ``i``; bits are assigned in sorted name
+    order (see the module docstring for why that order matters).
+    """
+
+    __slots__ = ("names", "index", "size", "full_mask")
+
+    def __init__(self, labels: Iterable[Label]):
+        self.names: tuple[Label, ...] = tuple(sorted(labels))
+        self.index: dict[Label, int] = {name: i for i, name in enumerate(self.names)}
+        self.size: int = len(self.names)
+        self.full_mask: int = (1 << self.size) - 1
+
+    def bit(self, label: Label) -> int:
+        """The single-bit mask of one label."""
+        return 1 << self.index[label]
+
+    def mask(self, labels: Iterable[Label]) -> int:
+        """The bitmask of a set of labels."""
+        index = self.index
+        result = 0
+        for label in labels:
+            result |= 1 << index[label]
+        return result
+
+    def indices(self, mask: int) -> tuple[int, ...]:
+        """The sorted bit positions of ``mask``."""
+        return tuple(iter_bits(mask))
+
+    def members(self, mask: int) -> tuple[Label, ...]:
+        """The labels of ``mask`` in sorted name order."""
+        names = self.names
+        return tuple(names[i] for i in iter_bits(mask))
+
+    def label_set(self, mask: int) -> frozenset[Label]:
+        """The labels of ``mask`` as a frozenset (the legacy representation)."""
+        return frozenset(self.members(mask))
+
+    def config(self, indices: Sequence[int]) -> tuple[Label, ...]:
+        """Convert a non-decreasing index tuple to a canonical name tuple."""
+        names = self.names
+        return tuple(names[i] for i in indices)
+
+    def __len__(self) -> int:  # pragma: no cover - convenience
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Alphabet({self.size} labels)"
+
+
+class InternedProblem:
+    """The bitmask view of one :class:`~repro.core.problem.Problem`.
+
+    Attributes
+    ----------
+    alphabet:
+        The label<->bit mapping.
+    adjacency:
+        ``adjacency[i]`` is the mask of labels ``j`` with ``{i, j}`` in the
+        edge constraint -- the singleton polar of label ``i``, and the
+        building block of every compatibility / Galois computation.
+    edge_pairs:
+        The edge constraint as ``(i, j)`` index pairs with ``i <= j``.
+    node_configs:
+        The node constraint as sorted index tuples, in sorted order (which
+        coincides with the legacy sorted-name-tuple order).
+    node_config_set:
+        The same tuples as a set, for O(1) membership tests.
+    config_supports:
+        Per configuration, the mask of labels occurring in it.
+    config_position_masks:
+        Per configuration, a dict ``label index -> mask of positions`` (bits
+        over ``range(delta)``) where that label sits -- the adjacency the
+        set-of-labels realizability matching runs on.
+    """
+
+    __slots__ = (
+        "problem",
+        "alphabet",
+        "adjacency",
+        "edge_pairs",
+        "node_configs",
+        "node_config_set",
+        "config_supports",
+        "config_position_masks",
+    )
+
+    def __init__(self, problem: Problem):
+        self.problem = problem
+        alphabet = Alphabet(problem.labels)
+        self.alphabet = alphabet
+        index = alphabet.index
+
+        adjacency = [0] * alphabet.size
+        edge_pairs = set()
+        for a, b in problem.edge_constraint:
+            ia, ib = index[a], index[b]
+            adjacency[ia] |= 1 << ib
+            adjacency[ib] |= 1 << ia
+            edge_pairs.add((ia, ib) if ia <= ib else (ib, ia))
+        self.adjacency: tuple[int, ...] = tuple(adjacency)
+        self.edge_pairs: frozenset[tuple[int, int]] = frozenset(edge_pairs)
+
+        configs = sorted(
+            tuple(index[label] for label in config)
+            for config in problem.node_constraint
+        )
+        self.node_configs: tuple[tuple[int, ...], ...] = tuple(configs)
+        self.node_config_set: frozenset[tuple[int, ...]] = frozenset(configs)
+
+        supports = []
+        position_masks = []
+        for config in configs:
+            support = 0
+            positions: dict[int, int] = {}
+            for position, label_index in enumerate(config):
+                support |= 1 << label_index
+                positions[label_index] = positions.get(label_index, 0) | (1 << position)
+            supports.append(support)
+            position_masks.append(positions)
+        self.config_supports: tuple[int, ...] = tuple(supports)
+        self.config_position_masks: tuple[dict[int, int], ...] = tuple(position_masks)
+
+    def mask(self, labels: Iterable[Label]) -> int:
+        return self.alphabet.mask(labels)
+
+
+def intern(problem: Problem) -> InternedProblem:
+    """The cached bitmask view of ``problem`` (built once per instance).
+
+    The view is stored in the problem's ``__dict__`` (problems are frozen
+    dataclasses, but like ``functools.cached_property`` -- which
+    :class:`Problem` already uses -- this bypasses the frozen ``__setattr__``
+    without mutating any dataclass field).
+    """
+    cached = problem.__dict__.get("_interned")
+    if cached is None:
+        cached = InternedProblem(problem)
+        problem.__dict__["_interned"] = cached
+    return cached
+
+
+def mask_matching_exists(position_masks: Sequence[int]) -> bool:
+    """True iff every slot can claim a *distinct* position from its mask.
+
+    ``position_masks[s]`` is the bitmask of positions slot ``s`` may take.
+    Kuhn's augmenting-path algorithm over bitmask adjacency; instances are
+    tiny (at most ``delta`` slots), so the recursion is shallow.
+    """
+    owner: dict[int, int] = {}
+
+    def augment(slot: int, visited: list[int]) -> bool:
+        available = position_masks[slot] & ~visited[0]
+        while available:
+            low = available & -available
+            available ^= low
+            visited[0] |= low
+            position = low.bit_length() - 1
+            holder = owner.get(position)
+            if holder is None or augment(holder, visited):
+                owner[position] = slot
+                return True
+        return False
+
+    for slot, mask in enumerate(position_masks):
+        if not mask:
+            return False
+        if not augment(slot, [0]):
+            return False
+    return True
+
+
+# -- derived-label naming ----------------------------------------------------
+#
+# The naming helpers live with the kernel because the Alphabet owns the
+# int<->name mapping: every derived label name is produced from a mask via
+# these two functions, and the engine cache's renaming translation
+# (repro.engine.cache) must produce byte-identical names.
+
+_ESCAPED = ("\\", "{", "}", ",")
+
+
+def _escape_member(name: Label) -> Label:
+    """Escape a member name so ``set_label_name`` is injective on sets.
+
+    Ordinary labels pass through untouched (so existing derivations keep
+    their exact names); only members containing one of ``\\ { } ,`` -- which
+    would make distinct sets alias (e.g. ``{"a,b"}`` vs ``{"a", "b"}``) --
+    get backslash-escaped.
+    """
+    if not any(ch in name for ch in _ESCAPED):
+        return name
+    for ch in _ESCAPED:
+        name = name.replace(ch, "\\" + ch)
+    return name
+
+
+def set_label_name(members: Iterable[Label]) -> Label:
+    """Canonical display name for a set-valued label: ``{a,b,c}``.
+
+    Members sort by their raw names; members containing braces, commas or
+    backslashes are escaped so that distinct sets always get distinct names
+    (two distinct escaped member sequences can never join to the same
+    string, because escaped members contain no unescaped comma).
+    """
+    return "{" + ",".join(_escape_member(m) for m in sorted(members)) + "}"
+
+
+def short_names(count: int, avoid: Collection[Label] = ()) -> list[Label]:
+    """Deterministic short label names: A..Z then L26, L27, ...
+
+    Names in ``avoid`` are skipped (the candidate stream keeps advancing, so
+    the result stays deterministic): the full step passes the input problem's
+    own alphabet here so a derived label can never collide with -- and
+    silently shadow -- a pre-existing user label like ``A`` or ``L26``.
+    """
+    avoid_set = set(avoid)
+    letters = string.ascii_uppercase
+    names: list[Label] = []
+    candidate_index = 0
+    while len(names) < count:
+        if candidate_index < len(letters):
+            candidate = letters[candidate_index]
+        else:
+            candidate = f"L{candidate_index}"
+        candidate_index += 1
+        if candidate in avoid_set:
+            continue
+        names.append(candidate)
+    return names

@@ -25,6 +25,14 @@ The canonical form is computed in two stages:
    (> ``PERMUTATION_BUDGET`` orderings), we fall back to an *exact* encoding
    keyed on the actual label names: still a sound cache key (only
    structurally identical problems collide), just blind to renamings.
+
+Both stages run over the interned index view (:mod:`repro.core.alphabet`):
+refinement walks precomputed per-label incidence lists instead of rescanning
+every constraint per label per round, and the tie-breaking encoder permutes
+integer arrays.  Signatures and encodings contain only class ids, counts and
+indices -- never label names -- so the computed keys are byte-identical to
+the legacy string path's (asserted by the differential tests): existing
+on-disk caches stay valid.
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ from hashlib import sha256
 from itertools import chain, permutations, product
 from math import factorial
 
+from repro.core.alphabet import intern
 from repro.core.problem import Label, Problem
 
 # Cap on the number of tie-breaking orderings tried.  8! covers every
@@ -62,71 +71,89 @@ class CanonicalForm:
         return {label: i for i, label in enumerate(self.ordering)}
 
 
-def _initial_colors(problem: Problem) -> dict[Label, tuple]:
-    """Counting signature per label (isomorphism-invariant seed partition)."""
-    colors: dict[Label, tuple] = {}
-    for label in problem.labels:
-        self_pairs = sum(
-            1 for pair in problem.edge_constraint if pair == (label, label)
-        )
-        other_pairs = sum(
-            1
-            for pair in problem.edge_constraint
-            if label in pair and pair[0] != pair[1]
-        )
-        node_profile = Counter(
-            config.count(label)
-            for config in problem.node_constraint
-            if label in config
-        )
-        colors[label] = (self_pairs, other_pairs, tuple(sorted(node_profile.items())))
+class _Incidence:
+    """Per-label incidence lists over the interned index view."""
+
+    __slots__ = ("size", "edge_partners", "node_occurrences", "edge_pairs", "node_configs")
+
+    def __init__(self, problem: Problem):
+        interned = intern(problem)
+        size = interned.alphabet.size
+        self.size = size
+        self.edge_pairs = sorted(interned.edge_pairs)
+        self.node_configs = interned.node_configs
+        # edge_partners[i]: the partner index of each edge pair containing i
+        # (one entry per pair; a self-loop (i, i) contributes i once).
+        edge_partners: list[list[int]] = [[] for _ in range(size)]
+        for a, b in self.edge_pairs:
+            edge_partners[a].append(b)
+            if a != b:
+                edge_partners[b].append(a)
+        self.edge_partners = edge_partners
+        # node_occurrences[i]: (config index, multiplicity of i in it) pairs.
+        node_occurrences: list[list[tuple[int, int]]] = [[] for _ in range(size)]
+        for config_index, config in enumerate(self.node_configs):
+            for label_index, count in Counter(config).items():
+                node_occurrences[label_index].append((config_index, count))
+        self.node_occurrences = node_occurrences
+
+
+def _initial_colors(incidence: _Incidence) -> list[tuple]:
+    """Counting signature per label index (isomorphism-invariant seed)."""
+    colors = []
+    for i in range(incidence.size):
+        partners = incidence.edge_partners[i]
+        self_pairs = sum(1 for partner in partners if partner == i)
+        other_pairs = len(partners) - self_pairs
+        node_profile = Counter(count for _, count in incidence.node_occurrences[i])
+        colors.append((self_pairs, other_pairs, tuple(sorted(node_profile.items()))))
     return colors
 
 
-def _refine(problem: Problem) -> dict[Label, int]:
-    """Iterated signature refinement; returns a class id per label.
+def _refine(incidence: _Incidence) -> list[int]:
+    """Iterated signature refinement; returns a class id per label index.
 
     Class ids are assigned by sorted signature order, which is deterministic
     and isomorphism-invariant (signatures only mention other class ids and
     counts, never label names).
     """
-    seed = _initial_colors(problem)
-    ranked = {sig: rank for rank, sig in enumerate(sorted(set(seed.values())))}
-    color = {label: ranked[seed[label]] for label in problem.labels}
+    seed = _initial_colors(incidence)
+    ranked = {sig: rank for rank, sig in enumerate(sorted(set(seed)))}
+    color = [ranked[sig] for sig in seed]
 
     while True:
-        signatures: dict[Label, tuple] = {}
-        for label in problem.labels:
-            edge_profile = sorted(
-                color[pair[1] if pair[0] == label else pair[0]]
-                for pair in problem.edge_constraint
-                if label in pair
-            )
+        # One colored profile per configuration, shared by all its labels.
+        config_profiles = [
+            tuple(sorted(color[x] for x in config))
+            for config in incidence.node_configs
+        ]
+        signatures = []
+        for i in range(incidence.size):
+            edge_profile = sorted(color[partner] for partner in incidence.edge_partners[i])
             node_profile = sorted(
-                (config.count(label), tuple(sorted(color[x] for x in config)))
-                for config in problem.node_constraint
-                if label in config
+                (count, config_profiles[config_index])
+                for config_index, count in incidence.node_occurrences[i]
             )
-            signatures[label] = (
-                color[label],
-                tuple(edge_profile),
-                tuple(node_profile),
-            )
-        ranked = {sig: rank for rank, sig in enumerate(sorted(set(signatures.values())))}
-        refined = {label: ranked[signatures[label]] for label in problem.labels}
-        if len(set(refined.values())) == len(set(color.values())):
+            signatures.append((color[i], tuple(edge_profile), tuple(node_profile)))
+        ranked = {sig: rank for rank, sig in enumerate(sorted(set(signatures)))}
+        refined = [ranked[sig] for sig in signatures]
+        if len(set(refined)) == len(set(color)):
             return refined
         color = refined
 
 
-def _encode(problem: Problem, ordering: tuple[Label, ...]) -> tuple:
-    """Constraint encoding under a label-to-index assignment."""
-    index = {label: i for i, label in enumerate(ordering)}
+def _encode_positions(incidence: _Incidence, position: list[int]) -> tuple:
+    """Constraint encoding under an old-index -> position assignment."""
     edges = sorted(
-        (index[a], index[b]) if index[a] <= index[b] else (index[b], index[a])
-        for a, b in problem.edge_constraint
+        (position[a], position[b])
+        if position[a] <= position[b]
+        else (position[b], position[a])
+        for a, b in incidence.edge_pairs
     )
-    nodes = sorted(tuple(sorted(index[x] for x in config)) for config in problem.node_constraint)
+    nodes = sorted(
+        tuple(sorted(position[x] for x in config))
+        for config in incidence.node_configs
+    )
     return (tuple(edges), tuple(nodes))
 
 
@@ -140,10 +167,14 @@ def canonical_form(problem: Problem) -> CanonicalForm:
     The cosmetic ``name`` field is deliberately excluded: two copies of the
     same structure under different display names are the same content.
     """
-    classes = _refine(problem)
-    groups: list[list[Label]] = [
-        sorted(label for label in problem.labels if classes[label] == cid)
-        for cid in sorted(set(classes.values()))
+    interned = intern(problem)
+    names = interned.alphabet.names
+    incidence = _Incidence(problem)
+    classes = _refine(incidence)
+    class_ids = sorted(set(classes))
+    # Indices ascend in name order, so per-class index groups are name-sorted.
+    groups: list[list[int]] = [
+        [i for i in range(incidence.size) if classes[i] == cid] for cid in class_ids
     ]
 
     orderings = 1
@@ -152,21 +183,28 @@ def canonical_form(problem: Problem) -> CanonicalForm:
     # Budget also the total encoding work, not just the ordering count.
     work = orderings * (len(problem.edge_constraint) + len(problem.node_constraint) + 1)
     if orderings > PERMUTATION_BUDGET or work > 4_000_000:
-        ordering = tuple(sorted(problem.labels))
-        parts = ("exact", problem.delta, ordering, _encode(problem, ordering))
+        ordering = names
+        identity = list(range(incidence.size))
+        parts = ("exact", problem.delta, ordering, _encode_positions(incidence, identity))
         return CanonicalForm(key="exact:" + _digest(parts), ordering=ordering)
 
     best_encoding: tuple | None = None
-    best_ordering: tuple[Label, ...] | None = None
+    best_order: tuple[int, ...] | None = None
+    position = [0] * incidence.size
     for combo in product(*(permutations(group) for group in groups)):
-        ordering = tuple(chain.from_iterable(combo))
-        encoding = _encode(problem, ordering)
+        order = tuple(chain.from_iterable(combo))
+        for rank, old_index in enumerate(order):
+            position[old_index] = rank
+        encoding = _encode_positions(incidence, position)
         if best_encoding is None or encoding < best_encoding:
             best_encoding = encoding
-            best_ordering = ordering
-    assert best_ordering is not None and best_encoding is not None
+            best_order = order
+    assert best_order is not None and best_encoding is not None
     parts = ("canon", problem.delta, len(problem.labels), best_encoding)
-    return CanonicalForm(key="canon:" + _digest(parts), ordering=best_ordering)
+    return CanonicalForm(
+        key="canon:" + _digest(parts),
+        ordering=tuple(names[i] for i in best_order),
+    )
 
 
 def canonical_hash(problem: Problem) -> str:

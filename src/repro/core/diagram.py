@@ -15,13 +15,45 @@ step, set-labels compare by inclusion of their meanings, which is exactly
 the order :mod:`repro.core.speedup` exploits.  This module computes the
 diagram of an arbitrary problem directly from its constraints and offers the
 resulting normalisations.
+
+The computation runs on the bitmask kernel (:mod:`repro.core.alphabet`): the
+edge-side replaceability condition is one adjacency-mask subset test
+(``adj(weak) <= adj(strong)``), and the node side swaps indices inside
+interned configuration tuples with set-membership lookups.  The public
+:class:`Diagram` keeps the string surface.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.problem import Label, Problem, edge_config, node_config
+from repro.core.alphabet import InternedProblem, intern
+from repro.core.problem import Label, Problem
+
+
+def _node_replaceable(interned: InternedProblem, weak: int, strong: int) -> bool:
+    """Node side of replaceability: swap one ``weak`` for ``strong`` everywhere."""
+    config_set = interned.node_config_set
+    for config in interned.node_configs:
+        if weak not in config:
+            continue
+        swapped = list(config)
+        swapped.remove(weak)
+        swapped.append(strong)
+        swapped.sort()
+        if tuple(swapped) not in config_set:
+            return False
+    return True
+
+
+def _replaceable_indices(interned: InternedProblem, weak: int, strong: int) -> bool:
+    # Edge side: every partner of `weak` must also be a partner of `strong`
+    # (the self-pair {weak, weak} asks for {strong, weak}, which the
+    # adjacency-mask subset test covers).
+    adjacency = interned.adjacency
+    if adjacency[weak] & ~adjacency[strong]:
+        return False
+    return _node_replaceable(interned, weak, strong)
 
 
 def replaceable(problem: Problem, weak: Label, strong: Label) -> bool:
@@ -31,21 +63,9 @@ def replaceable(problem: Problem, weak: Label, strong: Label) -> bool:
     the configuration with one ``weak`` swapped for ``strong`` must be
     allowed; likewise for node configurations.
     """
-    for pair in problem.edge_constraint:
-        if weak not in pair:
-            continue
-        other = pair[1] if pair[0] == weak else pair[0]
-        if edge_config(strong, other) not in problem.edge_constraint:
-            return False
-    for config in problem.node_constraint:
-        if weak not in config:
-            continue
-        swapped = list(config)
-        swapped.remove(weak)
-        swapped.append(strong)
-        if node_config(swapped) not in problem.node_constraint:
-            return False
-    return True
+    interned = intern(problem)
+    index = interned.alphabet.index
+    return _replaceable_indices(interned, index[weak], index[strong])
 
 
 @dataclass(frozen=True)
@@ -104,25 +124,32 @@ class Diagram:
 
 def compute_diagram(problem: Problem) -> Diagram:
     """Compute the strength preorder by exhaustive replaceability checks."""
-    stronger = {
-        weak: frozenset(
-            strong
-            for strong in problem.labels
-            if strong == weak or replaceable(problem, weak, strong)
+    interned = intern(problem)
+    names = interned.alphabet.names
+    size = interned.alphabet.size
+    stronger: dict[Label, frozenset[Label]] = {}
+    for weak in range(size):
+        stronger[names[weak]] = frozenset(
+            names[strong]
+            for strong in range(size)
+            if strong == weak or _replaceable_indices(interned, weak, strong)
         )
-        for weak in problem.labels
-    }
     return Diagram(problem=problem, stronger=stronger)
 
 
-def merge_equivalent_labels(problem: Problem) -> tuple[Problem, dict[Label, Label]]:
+def merge_equivalent_labels(
+    problem: Problem, diagram: Diagram | None = None
+) -> tuple[Problem, dict[Label, Label]]:
     """Collapse strength-equivalent labels to one representative each.
 
     Returns the merged problem and the label map applied.  The map is a
     relaxation certificate in both directions, so the merged problem has
-    exactly the same round complexity.
+    exactly the same round complexity.  Pass an already-computed ``diagram``
+    of ``problem`` to avoid recomputing it (the move generator shares one
+    diagram across all move families).
     """
-    diagram = compute_diagram(problem)
+    if diagram is None:
+        diagram = compute_diagram(problem)
     mapping: dict[Label, Label] = {}
     for cls in diagram.equivalence_classes():
         representative = min(cls)

@@ -14,13 +14,20 @@ set paired with its polar.
 Closed sets are intersections of the polars of singletons, so they can be
 enumerated by closing ``{comp({y})} U {full set}`` under pairwise
 intersection, without touching the exponential subset lattice.
+
+Since PR 3 the computation runs on the bitmask kernel
+(:mod:`repro.core.alphabet`): label sets are interned into Python ints, the
+polar of a singleton is one precomputed adjacency mask, and ``comp`` of any
+set is a fold of ``&`` over those masks.  The ``*_mask`` methods expose that
+integer surface to the other hot paths (speedup, zero-round, diagram); the
+frozenset methods remain the public string-level API and simply translate at
+the boundary.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-
-from repro.core.problem import Label, Problem, edge_config
+from repro.core.alphabet import Alphabet, intern
+from repro.core.problem import Label, Problem
 
 
 class Compatibility:
@@ -28,47 +35,53 @@ class Compatibility:
 
     def __init__(self, problem: Problem):
         self._problem = problem
-        self._labels = frozenset(problem.labels)
-        # Precompute singleton polars once; everything else is intersections.
-        self._singleton_polar: dict[Label, frozenset[Label]] = {
-            y: frozenset(
-                z for z in self._labels if edge_config(y, z) in problem.edge_constraint
-            )
-            for y in self._labels
-        }
+        interned = intern(problem)
+        self._alphabet: Alphabet = interned.alphabet
+        self._adjacency = interned.adjacency
+        self._full_mask = interned.alphabet.full_mask
+        self._polar_cache: dict[int, int] = {}
 
     @property
     def problem(self) -> Problem:
         return self._problem
 
-    def polar(self, subset: frozenset[Label]) -> frozenset[Label]:
-        """Return ``comp(subset)``: labels compatible with *every* element."""
-        result = self._labels
-        for y in subset:
-            result = result & self._singleton_polar[y]
-            if not result:
-                break
+    @property
+    def alphabet(self) -> Alphabet:
+        """The label<->bit interning this instance computes over."""
+        return self._alphabet
+
+    # -- mask surface (the kernel API) ---------------------------------------
+
+    def polar_mask(self, mask: int) -> int:
+        """``comp`` on bitmasks: labels compatible with *every* bit of ``mask``."""
+        cached = self._polar_cache.get(mask)
+        if cached is not None:
+            return cached
+        result = self._full_mask
+        adjacency = self._adjacency
+        remaining = mask
+        while remaining and result:
+            low = remaining & -remaining
+            result &= adjacency[low.bit_length() - 1]
+            remaining ^= low
+        self._polar_cache[mask] = result
         return result
 
-    def closure(self, subset: frozenset[Label]) -> frozenset[Label]:
-        """Return the Galois closure ``comp(comp(subset))``."""
-        return self.polar(self.polar(subset))
+    def closure_mask(self, mask: int) -> int:
+        """The Galois closure ``comp(comp(mask))`` on bitmasks."""
+        return self.polar_mask(self.polar_mask(mask))
 
-    def is_closed(self, subset: frozenset[Label]) -> bool:
-        """Return True iff ``subset`` equals its own closure."""
-        return self.closure(subset) == subset
-
-    def closed_sets(self) -> frozenset[frozenset[Label]]:
-        """Enumerate all Galois-closed sets.
+    def closed_masks(self) -> frozenset[int]:
+        """All Galois-closed sets, as bitmasks.
 
         Every closed set is ``comp(X)`` for some ``X`` and
         ``comp(X) = intersection of comp({x}) over x in X``, so the closed
         sets are exactly the intersection-closure of the singleton polars
         together with ``comp(empty) = all labels``.
         """
-        generators = set(self._singleton_polar.values())
-        generators.add(self._labels)
-        closed: set[frozenset[Label]] = set(generators)
+        generators = set(self._adjacency)
+        generators.add(self._full_mask)
+        closed: set[int] = set(generators)
         frontier = list(generators)
         while frontier:
             current = frontier.pop()
@@ -79,6 +92,34 @@ class Compatibility:
                     frontier.append(candidate)
         return frozenset(closed)
 
+    def usable_closed_masks(self) -> frozenset[int]:
+        """Closed masks usable as half-step labels (self and polar non-empty)."""
+        return frozenset(
+            candidate
+            for candidate in self.closed_masks()
+            if candidate and self.polar_mask(candidate)
+        )
+
+    # -- frozenset surface (the public string-level API) ---------------------
+
+    def polar(self, subset: frozenset[Label]) -> frozenset[Label]:
+        """Return ``comp(subset)``: labels compatible with *every* element."""
+        return self._alphabet.label_set(self.polar_mask(self._alphabet.mask(subset)))
+
+    def closure(self, subset: frozenset[Label]) -> frozenset[Label]:
+        """Return the Galois closure ``comp(comp(subset))``."""
+        return self._alphabet.label_set(self.closure_mask(self._alphabet.mask(subset)))
+
+    def is_closed(self, subset: frozenset[Label]) -> bool:
+        """Return True iff ``subset`` equals its own closure."""
+        mask = self._alphabet.mask(subset)
+        return self.closure_mask(mask) == mask
+
+    def closed_sets(self) -> frozenset[frozenset[Label]]:
+        """Enumerate all Galois-closed sets (see :meth:`closed_masks`)."""
+        label_set = self._alphabet.label_set
+        return frozenset(label_set(mask) for mask in self.closed_masks())
+
     def usable_closed_sets(self) -> frozenset[frozenset[Label]]:
         """Closed sets usable as half-step labels.
 
@@ -87,8 +128,5 @@ class Compatibility:
         part of a correct solution (``h_{1/2}`` requires a choice from every
         set), so both must be non-empty.
         """
-        return frozenset(
-            candidate
-            for candidate in self.closed_sets()
-            if candidate and self.polar(candidate)
-        )
+        label_set = self._alphabet.label_set
+        return frozenset(label_set(mask) for mask in self.usable_closed_masks())

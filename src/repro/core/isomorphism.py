@@ -7,30 +7,46 @@ half-step of sinkless coloring is sinkless orientation, Section 4.4, or that
 behind the Omega(log n) bound) requires isomorphism testing.  Label counts in
 this library stay small, so a signature-pruned backtracking search is exact
 and fast.
+
+The search runs over the interned index view (:mod:`repro.core.alphabet`):
+candidates are index arrays, partial-consistency checks walk precomputed
+per-label incidence lists (only the constraints touching the newly assigned
+label, instead of rescanning everything), and configuration membership tests
+are set lookups on index tuples.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 
-from repro.core.problem import Label, Problem, edge_config, node_config
+from repro.core.alphabet import InternedProblem, intern
+from repro.core.problem import Label, Problem
 
 
-def _label_signature(problem: Problem, label: Label) -> tuple:
-    """An isomorphism-invariant fingerprint of a label.
+def _index_signatures(interned: InternedProblem) -> list[tuple]:
+    """Isomorphism-invariant fingerprints, one per label index.
 
     Combines how often the label appears in edge configurations (split by
     whether the partner equals the label), and the multiset of
     (multiplicity-in-configuration) counts over node configurations.
     """
-    self_pairs = sum(1 for pair in problem.edge_constraint if pair == (label, label))
-    other_pairs = sum(
-        1 for pair in problem.edge_constraint if label in pair and pair[0] != pair[1]
-    )
-    node_profile = Counter(
-        config.count(label) for config in problem.node_constraint if label in config
-    )
-    return (self_pairs, other_pairs, tuple(sorted(node_profile.items())))
+    size = interned.alphabet.size
+    self_pairs = [0] * size
+    other_pairs = [0] * size
+    node_profiles: list[Counter] = [Counter() for _ in range(size)]
+    for a, b in interned.edge_pairs:
+        if a == b:
+            self_pairs[a] += 1
+        else:
+            other_pairs[a] += 1
+            other_pairs[b] += 1
+    for config in interned.node_configs:
+        for label_index, count in Counter(config).items():
+            node_profiles[label_index][count] += 1
+    return [
+        (self_pairs[i], other_pairs[i], tuple(sorted(node_profiles[i].items())))
+        for i in range(size)
+    ]
 
 
 def find_isomorphism(first: Problem, second: Problem) -> dict[Label, Label] | None:
@@ -51,70 +67,97 @@ def find_isomorphism(first: Problem, second: Problem) -> dict[Label, Label] | No
     if len(first.node_constraint) != len(second.node_constraint):
         return None
 
-    first_sig = {label: _label_signature(first, label) for label in first.labels}
-    second_sig = {label: _label_signature(second, label) for label in second.labels}
-    if sorted(first_sig.values()) != sorted(second_sig.values()):
+    left = intern(first)
+    right = intern(second)
+    left_sigs = _index_signatures(left)
+    right_sigs = _index_signatures(right)
+    if sorted(left_sigs) != sorted(right_sigs):
         return None
 
-    candidates = {
-        label: sorted(
-            other for other in second.labels if second_sig[other] == first_sig[label]
-        )
-        for label in first.labels
-    }
-    # Assign most-constrained labels first.
-    order = sorted(first.labels, key=lambda lbl: (len(candidates[lbl]), lbl))
-    mapping: dict[Label, Label] = {}
-    used: set[Label] = set()
+    size = left.alphabet.size
+    candidates = [
+        [j for j in range(size) if right_sigs[j] == left_sigs[i]] for i in range(size)
+    ]
+    # Assign most-constrained labels first (candidate indices ascend in name
+    # order, so ties break by name exactly as in the string path).
+    order = sorted(range(size), key=lambda i: (len(candidates[i]), left.alphabet.names[i]))
 
-    def consistent_so_far(new_label: Label) -> bool:
-        """Check constraints among already-mapped labels involving ``new_label``."""
-        for pair in first.edge_constraint:
-            if new_label in pair and all(lbl in mapping for lbl in pair):
-                image = edge_config(mapping[pair[0]], mapping[pair[1]])
-                if image not in second.edge_constraint:
-                    return False
-        for config in first.node_constraint:
-            if new_label in config and all(lbl in mapping for lbl in config):
-                image = node_config(mapping[lbl] for lbl in config)
-                if image not in second.node_constraint:
-                    return False
+    # Incidence of `first`, used to check only the constraints touching the
+    # newly assigned label.
+    edges_of: list[list[tuple[int, int]]] = [[] for _ in range(size)]
+    for a, b in left.edge_pairs:
+        edges_of[a].append((a, b))
+        if a != b:
+            edges_of[b].append((a, b))
+    configs_of: list[list[tuple[int, ...]]] = [[] for _ in range(size)]
+    for config in left.node_configs:
+        for label_index in set(config):
+            configs_of[label_index].append(config)
+
+    unassigned = -1
+    mapping = [unassigned] * size
+    used = [False] * size
+    right_edges = right.edge_pairs
+    right_configs = right.node_config_set
+
+    def consistent_so_far(new_index: int) -> bool:
+        """Check constraints among already-mapped labels involving ``new_index``."""
+        for a, b in edges_of[new_index]:
+            ia, ib = mapping[a], mapping[b]
+            if ia == unassigned or ib == unassigned:
+                continue
+            if ((ia, ib) if ia <= ib else (ib, ia)) not in right_edges:
+                return False
+        for config in configs_of[new_index]:
+            image = []
+            complete = True
+            for label_index in config:
+                target = mapping[label_index]
+                if target == unassigned:
+                    complete = False
+                    break
+                image.append(target)
+            if complete and tuple(sorted(image)) not in right_configs:
+                return False
         return True
 
-    def backtrack(index: int) -> bool:
-        if index == len(order):
-            return _is_exact_mapping(first, second, mapping)
-        label = order[index]
-        for candidate in candidates[label]:
-            if candidate in used:
+    def backtrack(position: int) -> bool:
+        if position == size:
+            return _is_exact_mapping(left, right, mapping)
+        i = order[position]
+        for candidate in candidates[i]:
+            if used[candidate]:
                 continue
-            mapping[label] = candidate
-            used.add(candidate)
-            if consistent_so_far(label) and backtrack(index + 1):
+            mapping[i] = candidate
+            used[candidate] = True
+            if consistent_so_far(i) and backtrack(position + 1):
                 return True
-            del mapping[label]
-            used.discard(candidate)
+            mapping[i] = unassigned
+            used[candidate] = False
         return False
 
     if backtrack(0):
-        return dict(mapping)
+        left_names = left.alphabet.names
+        right_names = right.alphabet.names
+        return {left_names[i]: right_names[mapping[i]] for i in range(size)}
     return None
 
 
 def _is_exact_mapping(
-    first: Problem, second: Problem, mapping: dict[Label, Label]
+    left: InternedProblem, right: InternedProblem, mapping: list[int]
 ) -> bool:
     """Verify the mapping sends constraints of ``first`` exactly onto ``second``'s."""
-    mapped_edges = {
-        edge_config(mapping[a], mapping[b]) for a, b in first.edge_constraint
-    }
-    if mapped_edges != second.edge_constraint:
+    mapped_edges = set()
+    for a, b in left.edge_pairs:
+        ia, ib = mapping[a], mapping[b]
+        mapped_edges.add((ia, ib) if ia <= ib else (ib, ia))
+    if mapped_edges != right.edge_pairs:
         return False
     mapped_nodes = {
-        node_config(mapping[lbl] for lbl in config)
-        for config in first.node_constraint
+        tuple(sorted(mapping[label_index] for label_index in config))
+        for config in left.node_configs
     }
-    return mapped_nodes == second.node_constraint
+    return mapped_nodes == right.node_config_set
 
 
 def are_isomorphic(first: Problem, second: Problem) -> bool:

@@ -13,6 +13,12 @@ post-composing the map; hence ``Q`` is a relaxation of ``P``.
 The same machinery run in the opposite direction certifies the *hardening*
 used for upper bounds (Section 4.5): restricting the derived problem's labels
 yields a problem at least as hard whose solutions still solve the original.
+
+Both the map checker and the map search run on the interned index view
+(:mod:`repro.core.alphabet`): label maps become index arrays, configuration
+images are sorted index tuples checked against the target's interned
+constraint sets, and the backtracking search validates only the constraints
+completed by each new assignment instead of rescanning everything.
 """
 
 from __future__ import annotations
@@ -20,7 +26,8 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass
 
-from repro.core.problem import Label, Problem, edge_config, node_config
+from repro.core.alphabet import intern
+from repro.core.problem import Label, Problem
 
 
 @dataclass(frozen=True)
@@ -54,6 +61,9 @@ class RelaxationCertificate:
         )
 
 
+_UNMAPPED = -1
+
+
 def is_relaxation_map(
     source: Problem, target: Problem, mapping: Mapping[Label, Label]
 ) -> bool:
@@ -61,7 +71,8 @@ def is_relaxation_map(
 
     Every usable label of ``source`` must be mapped; every allowed edge and
     node configuration of ``source`` must map into the corresponding allowed
-    set of ``target``.
+    set of ``target``.  Configurations mentioning unmapped (hence unusable)
+    labels never occur in a correct solution and are skipped.
     """
     if source.delta != target.delta:
         return False
@@ -69,15 +80,33 @@ def is_relaxation_map(
         return False
     if not set(mapping.values()) <= target.labels:
         return False
-    for pair in source.edge_constraint:
-        if not set(pair) <= set(mapping):
+
+    left = intern(source)
+    right = intern(target)
+    target_index = right.alphabet.index
+    image = [
+        target_index[mapping[name]] if name in mapping else _UNMAPPED
+        for name in left.alphabet.names
+    ]
+
+    right_edges = right.edge_pairs
+    for a, b in left.edge_pairs:
+        ia, ib = image[a], image[b]
+        if ia == _UNMAPPED or ib == _UNMAPPED:
             continue  # configurations over unusable labels never occur
-        if edge_config(mapping[pair[0]], mapping[pair[1]]) not in target.edge_constraint:
+        if ((ia, ib) if ia <= ib else (ib, ia)) not in right_edges:
             return False
-    for config in source.node_constraint:
-        if not set(config) <= set(mapping):
-            continue
-        if node_config(mapping[lbl] for lbl in config) not in target.node_constraint:
+    right_configs = right.node_config_set
+    for config in left.node_configs:
+        mapped = []
+        complete = True
+        for label_index in config:
+            target_label = image[label_index]
+            if target_label == _UNMAPPED:
+                complete = False
+                break
+            mapped.append(target_label)
+        if complete and tuple(sorted(mapped)) not in right_configs:
             return False
     return True
 
@@ -101,49 +130,71 @@ def find_relaxation_map(
     """Search for a certifying label map, or return None.
 
     Backtracking over assignments of the usable labels of ``source`` (most
-    used in constraints first), checking partial configurations eagerly.
-    Non-injective maps are allowed -- collapsing labels is the typical way a
-    relaxation simplifies a problem.
+    used in constraints first, ties by name), checking each constraint as
+    soon as its last label is assigned.  Non-injective maps are allowed --
+    collapsing labels is the typical way a relaxation simplifies a problem.
     """
     if source.delta != target.delta:
         return None
-    source_labels = sorted(
-        source.usable_labels,
-        key=lambda lbl: -sum(config.count(lbl) for config in source.node_constraint),
-    )
-    target_labels = sorted(target.labels)
-    mapping: dict[Label, Label] = {}
 
-    def partial_ok() -> bool:
-        for pair in source.edge_constraint:
-            if all(lbl in mapping for lbl in pair):
-                if (
-                    edge_config(mapping[pair[0]], mapping[pair[1]])
-                    not in target.edge_constraint
-                ):
-                    return False
-        for config in source.node_constraint:
-            if all(lbl in mapping for lbl in config):
-                if (
-                    node_config(mapping[lbl] for lbl in config)
-                    not in target.node_constraint
-                ):
-                    return False
+    left = intern(source)
+    right = intern(target)
+    source_names = left.alphabet.names
+    source_index = left.alphabet.index
+    usable = [source_index[name] for name in sorted(source.usable_labels)]
+    node_use = [0] * left.alphabet.size
+    for config in left.node_configs:
+        for label_index in config:
+            node_use[label_index] += 1
+    # Stable sort over the name-ordered list: ties break by name.
+    usable.sort(key=lambda i: -node_use[i])
+
+    # position_of[i]: when (in assignment order) source index i gets bound.
+    position_of = {label_index: k for k, label_index in enumerate(usable)}
+    # Constraints become checkable exactly when their last label is bound.
+    edge_checks: list[list[tuple[int, int]]] = [[] for _ in usable]
+    node_checks: list[list[tuple[int, ...]]] = [[] for _ in usable]
+    for a, b in left.edge_pairs:
+        if a in position_of and b in position_of:
+            edge_checks[max(position_of[a], position_of[b])].append((a, b))
+    for config in left.node_configs:
+        positions = [position_of.get(label_index) for label_index in set(config)]
+        if all(p is not None for p in positions):
+            node_checks[max(positions)].append(config)
+
+    right_edges = right.edge_pairs
+    right_configs = right.node_config_set
+    target_count = right.alphabet.size
+    image = [_UNMAPPED] * left.alphabet.size
+
+    def consistent(position: int) -> bool:
+        for a, b in edge_checks[position]:
+            ia, ib = image[a], image[b]
+            if ((ia, ib) if ia <= ib else (ib, ia)) not in right_edges:
+                return False
+        for config in node_checks[position]:
+            mapped = tuple(sorted(image[label_index] for label_index in config))
+            if mapped not in right_configs:
+                return False
         return True
 
-    def backtrack(index: int) -> bool:
-        if index == len(source_labels):
+    def backtrack(position: int) -> bool:
+        if position == len(usable):
             return True
-        label = source_labels[index]
-        for candidate in target_labels:
-            mapping[label] = candidate
-            if partial_ok() and backtrack(index + 1):
+        label_index = usable[position]
+        for candidate in range(target_count):
+            image[label_index] = candidate
+            if consistent(position) and backtrack(position + 1):
                 return True
-            del mapping[label]
+        image[label_index] = _UNMAPPED
         return False
 
     if backtrack(0):
-        return dict(mapping)
+        right_names = right.alphabet.names
+        return {
+            source_names[label_index]: right_names[image[label_index]]
+            for label_index in usable
+        }
     return None
 
 

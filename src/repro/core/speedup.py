@@ -20,9 +20,23 @@ universal (Property 4), maximised under Property 6.  Because the half-step
 node constraint is monotone in the subset order on half-labels, every
 maximal node configuration of ``Pi_1`` uses only *upward-closed* sets
 (filters) of the half-label poset, and the universal check only needs each
-filter's minimal elements.  Filters are enumerated as antichains
-(:mod:`repro.utils.orders`), which keeps the derived description small --
-the same representation trick the Round Eliminator uses.
+filter's minimal elements -- the same representation trick the Round
+Eliminator uses.
+
+Since PR 3 the whole derivation runs on the bitmask kernel
+(:mod:`repro.core.alphabet`): label sets are interned Python ints, subset
+tests are single ``&``/``~`` expressions, the filter poset is a pair of
+``up``/``down`` mask tables, realizability matchings run on per-configuration
+position masks, and candidate node configurations are *searched* -- a pruned
+DFS for the half step, and prefix-plus-maximal-completion for the simplified
+full step -- rather than exhaustively enumerated.  The size guards keep the
+string path's a-priori semantics (the grid bound doubles as a guard on the
+size of the problem the step would materialise), so the kernel is equivalent
+to the legacy path *including* its ``EngineLimitError`` behavior; within the
+guards it is orders of magnitude faster.  The string surface -- problems,
+meanings, derived label names -- is unchanged; ``core/_legacy.py`` preserves
+the original frozenset path and the differential tests assert exact result
+equality.
 
 Both the simplified (Theorem 2) and the literal unsimplified (Theorem 1)
 derivations are provided; the latter blows up quickly and is intended for
@@ -31,17 +45,34 @@ the small instances used by the executable Theorem 1 experiments.
 
 from __future__ import annotations
 
-import string
-from collections.abc import Iterable, Sequence
+from collections.abc import Sequence
 from dataclasses import dataclass
-from itertools import chain, combinations, product
+from itertools import product
 
+from repro.core.alphabet import (
+    Alphabet,
+    intern,
+    mask_matching_exists,
+    set_label_name,
+    short_names,
+)
 from repro.core.galois import Compatibility
-from repro.core.problem import Label, NodeConfig, Problem, edge_config, node_config
-from repro.utils.matching import maximum_bipartite_matching, perfect_matching_exists
-from repro.utils.multiset import multisets_of_size
-from repro.utils.orders import filters as poset_filters
-from repro.utils.orders import minimal_elements
+from repro.core.problem import Label, Problem, edge_config, node_config
+
+__all__ = [
+    "EngineLimitError",
+    "HalfStepResult",
+    "SpeedupResult",
+    "MAX_DERIVED_LABELS",
+    "MAX_CANDIDATE_CONFIGS",
+    "set_label_name",
+    "short_names",
+    "half_step",
+    "full_step",
+    "compute_speedup",
+    "speedup",
+    "iterate_speedup",
+]
 
 
 class EngineLimitError(RuntimeError):
@@ -75,25 +106,17 @@ class EngineLimitError(RuntimeError):
 
 
 # Default caps keeping accidental exponential blow-ups debuggable instead of
-# hanging the interpreter.  The unsimplified path hits these first.  They are
-# the defaults of :class:`repro.engine.EngineConfig`; the derivation functions
-# below accept per-call overrides so an :class:`repro.engine.Engine` can be
-# configured without touching module state.
+# hanging the interpreter.  They are the defaults of
+# :class:`repro.engine.EngineConfig`; the derivation functions below accept
+# per-call overrides so an :class:`repro.engine.Engine` can be configured
+# without touching module state.  In kernel terms: ``max_derived_labels``
+# bounds the interned derived-label masks materialised (filters of the
+# half-label poset; raw subset masks on the Theorem 1 path), and
+# ``max_candidate_configs`` bounds the candidate-configuration grid
+# ``C(candidates + delta - 1, delta)`` a step may imply -- checked a priori,
+# because it also caps the derived problem the step would have to build.
 MAX_DERIVED_LABELS = 100_000
 MAX_CANDIDATE_CONFIGS = 8_000_000
-
-
-def set_label_name(members: Iterable[Label]) -> Label:
-    """Canonical display name for a set-valued label: ``{a,b,c}``."""
-    return "{" + ",".join(sorted(members)) + "}"
-
-
-def short_names(count: int) -> list[Label]:
-    """Deterministic short label names: A..Z then L26, L27, ..."""
-    letters = list(string.ascii_uppercase)
-    if count <= len(letters):
-        return letters[:count]
-    return letters + [f"L{i}" for i in range(len(letters), count)]
 
 
 @dataclass(frozen=True)
@@ -194,49 +217,60 @@ class SpeedupResult:
         )
 
 
-class _HalfMembership:
+class _MaskMembership:
     """Memoised membership test for the existential constraint ``h_{1/2}``.
 
-    A tuple of label *sets* ``(Y_1, ..., Y_j)`` (``j <= delta``) is
+    A tuple of label-set *masks* ``(Y_1, ..., Y_j)`` (``j <= delta``) is
     *extendable* iff some allowed configuration ``C`` of the original problem
     can assign a distinct position of ``C`` to every slot, with slot ``i``
     receiving a label from ``Y_i``; for ``j == delta`` this is exactly
-    membership in ``h_{1/2}`` (Property 2).  Each test is a bipartite
-    matching per candidate configuration.
+    membership in ``h_{1/2}`` (Property 2).  Each test reduces to a tiny
+    bipartite matching over per-configuration position masks; results are
+    memoised under the (numerically sorted, hence canonical) mask tuple.
     """
 
     def __init__(self, problem: Problem):
-        self._configs = sorted(problem.node_constraint)
+        interned = intern(problem)
         self._delta = problem.delta
-        self._cache: dict[tuple[frozenset[Label], ...], bool] = {}
+        self._supports = interned.config_supports
+        self._position_masks = interned.config_position_masks
+        self._cache: dict[tuple[int, ...], bool] = {}
 
-    def extendable(self, slots: Sequence[frozenset[Label]]) -> bool:
-        key = tuple(sorted(slots, key=sorted))
+    def extendable(self, slots: Sequence[int]) -> bool:
+        key = tuple(sorted(slots))
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        result = any(self._partial_realizable(key, config) for config in self._configs)
+        result = self._any_realizable(key)
         self._cache[key] = result
         return result
 
-    def allows(self, slots: Sequence[frozenset[Label]]) -> bool:
+    def allows(self, slots: Sequence[int]) -> bool:
         """Full membership: requires exactly ``delta`` slots."""
         if len(slots) != self._delta:
             return False
         return self.extendable(slots)
 
-    @staticmethod
-    def _partial_realizable(
-        slots: tuple[frozenset[Label], ...], config: NodeConfig
-    ) -> bool:
-        adjacency = {
-            index: [
-                position for position, label in enumerate(config) if label in slot
-            ]
-            for index, slot in enumerate(slots)
-        }
-        matching = maximum_bipartite_matching(adjacency)
-        return len(matching) == len(slots)
+    def _any_realizable(self, slots: tuple[int, ...]) -> bool:
+        position_masks = self._position_masks
+        for config_index, support in enumerate(self._supports):
+            positions = position_masks[config_index]
+            slot_positions = []
+            realizable = True
+            for slot in slots:
+                overlap = slot & support
+                if not overlap:
+                    realizable = False
+                    break
+                allowed = 0
+                while overlap:
+                    low = overlap & -overlap
+                    allowed |= positions[low.bit_length() - 1]
+                    overlap ^= low
+                slot_positions.append(allowed)
+            if realizable and mask_matching_exists(slot_positions):
+                return True
+        return False
 
 
 def half_step(
@@ -256,53 +290,58 @@ def half_step(
     compatible pair.  (The empty set is omitted: the existential node
     constraint can never use it, so it is unusable by definition.)
     """
+    interned = intern(problem)
+    alphabet = interned.alphabet
     comp = Compatibility(problem)
     if simplify:
-        half_sets = sorted(comp.usable_closed_sets(), key=sorted)
+        half_masks = sorted(comp.usable_closed_masks(), key=alphabet.indices)
     else:
-        base = sorted(problem.labels)
+        base_size = alphabet.size
         # The raw construction materialises all subsets AND a quadratic edge
         # relation over them; guard both.
-        if 2 ** len(base) > max_derived_labels:
+        if 2**base_size > max_derived_labels:
             raise EngineLimitError(
-                f"unsimplified half step over {len(base)} labels materialises "
-                f"{2 ** len(base)} subset labels",
+                f"unsimplified half step over {base_size} labels materialises "
+                f"{2 ** base_size} subset labels",
                 limit_name="max_derived_labels",
                 limit=max_derived_labels,
-                observed=2 ** len(base),
+                observed=2**base_size,
             )
-        if 4 ** len(base) > max_candidate_configs:
+        if 4**base_size > max_candidate_configs:
             raise EngineLimitError(
-                f"unsimplified half step over {len(base)} labels materialises "
-                f"a {4 ** len(base)}-pair edge relation",
+                f"unsimplified half step over {base_size} labels materialises "
+                f"a {4 ** base_size}-pair edge relation",
                 limit_name="max_candidate_configs",
                 limit=max_candidate_configs,
-                observed=4 ** len(base),
+                observed=4**base_size,
             )
-        half_sets = [
-            frozenset(subset)
-            for size in range(1, len(base) + 1)
-            for subset in combinations(base, size)
-        ]
+        half_masks = list(range(1, alphabet.full_mask + 1))
 
-    names = {subset: set_label_name(subset) for subset in half_sets}
-    meaning = {name: subset for subset, name in names.items()}
+    name_of_mask = {mask: set_label_name(alphabet.members(mask)) for mask in half_masks}
+    meaning = {name: alphabet.label_set(mask) for mask, name in name_of_mask.items()}
+    meaning_mask = {name: mask for mask, name in name_of_mask.items()}
 
     if simplify:
         edge_configs = {
-            edge_config(names[subset], set_label_name(comp.polar(subset)))
-            for subset in half_sets
+            edge_config(
+                name_of_mask[mask],
+                set_label_name(alphabet.members(comp.polar_mask(mask))),
+            )
+            for mask in half_masks
         }
     else:
         edge_configs = set()
-        for first in half_sets:
-            polar_of_first = comp.polar(first)
-            for second in half_sets:
-                if second <= polar_of_first:
-                    edge_configs.add(edge_config(names[first], names[second]))
+        for first in half_masks:
+            polar_of_first = comp.polar_mask(first)
+            for second in half_masks:
+                if second & ~polar_of_first == 0:
+                    edge_configs.add(
+                        edge_config(name_of_mask[first], name_of_mask[second])
+                    )
 
-    membership = _HalfMembership(problem)
+    membership = _MaskMembership(problem)
     ordered_names = sorted(meaning)
+    slot_masks = [meaning_mask[name] for name in ordered_names]
     candidate_count = _multiset_count(len(ordered_names), problem.delta)
     if candidate_count > max_candidate_configs:
         raise EngineLimitError(
@@ -311,11 +350,9 @@ def half_step(
             limit=max_candidate_configs,
             observed=candidate_count,
         )
-    node_configs = [
-        config
-        for config in multisets_of_size(ordered_names, problem.delta)
-        if membership.allows([meaning[name] for name in config])
-    ]
+    node_configs = _search_existential_configs(
+        ordered_names, slot_masks, problem.delta, membership
+    )
 
     derived = Problem(
         name=f"{problem.name}|half" + ("" if simplify else "|raw"),
@@ -346,70 +383,83 @@ def full_step(
     """
     half_problem = half.problem
     meaning = half.meaning
-    membership = _HalfMembership(half.original)
+    original_alphabet = intern(half.original).alphabet
+    membership = _MaskMembership(half.original)
 
-    def leq(a: Label, b: Label) -> bool:
-        return meaning[a] <= meaning[b]
+    # Intern the half alphabet: half labels get their own bit positions, and
+    # each gets its meaning as a mask over the *original* alphabet.
+    half_alphabet = Alphabet(half_problem.labels)
+    half_count = half_alphabet.size
+    meaning_masks = [
+        original_alphabet.mask(meaning[name]) for name in half_alphabet.names
+    ]
 
-    half_names = sorted(half_problem.labels)
+    # The subset order on meanings, as mask tables over the half alphabet:
+    # up[i] = labels j with meaning(i) <= meaning(j), down[i] the converse.
+    up = [0] * half_count
+    down = [0] * half_count
+    for i in range(half_count):
+        mi = meaning_masks[i]
+        for j in range(half_count):
+            if mi & ~meaning_masks[j] == 0:
+                up[i] |= 1 << j
+                down[j] |= 1 << i
+    comparable = [up[i] | down[i] for i in range(half_count)]
+
     if simplify:
-        collected: list[frozenset[Label]] = []
-        for candidate in poset_filters(half_names, leq):
-            collected.append(candidate)
-            if len(collected) > max_derived_labels:
-                raise EngineLimitError(
-                    f"full step over {len(half_names)} half labels produces "
-                    f"more than {max_derived_labels} filters",
-                    limit_name="max_derived_labels",
-                    limit=max_derived_labels,
-                    observed=len(collected),
-                )
-        candidate_sets = sorted(collected, key=sorted)
+        candidate_masks = _enumerate_filters(
+            half_count, up, comparable, max_derived_labels
+        )
     else:
-        if 2 ** len(half_names) > max_derived_labels:
+        if 2**half_count > max_derived_labels:
             raise EngineLimitError(
-                f"unsimplified full step over {len(half_names)} labels "
-                f"materialises {2 ** len(half_names)} subset labels",
+                f"unsimplified full step over {half_count} labels "
+                f"materialises {2 ** half_count} subset labels",
                 limit_name="max_derived_labels",
                 limit=max_derived_labels,
-                observed=2 ** len(half_names),
+                observed=2**half_count,
             )
-        candidate_sets = [
-            frozenset(subset)
-            for size in range(1, len(half_names) + 1)
-            for subset in combinations(half_names, size)
-        ]
+        candidate_masks = list(range(1, (1 << half_count)))
+    candidate_masks.sort(key=half_alphabet.indices)
 
     # The universal node check (Property 4) only needs the minimal elements of
     # each candidate set: h_{1/2} is monotone under the half-label order.
     mins = {
-        candidate: tuple(sorted(minimal_elements(candidate, leq)))
-        for candidate in candidate_sets
+        candidate: tuple(
+            i
+            for i in half_alphabet.indices(candidate)
+            if down[i] & candidate == 1 << i
+        )
+        for candidate in candidate_masks
     }
 
-    universal_cache: dict[tuple[frozenset[Label], ...], bool] = {}
+    universal_cache: dict[tuple[int, ...], bool] = {}
 
-    def universal(config_sets: tuple[frozenset[Label], ...]) -> bool:
-        key = tuple(sorted(config_sets, key=sorted))
+    def universal(config_masks: tuple[int, ...]) -> bool:
+        key = tuple(sorted(config_masks))
         cached = universal_cache.get(key)
         if cached is not None:
             return cached
         result = all(
-            membership.allows([meaning[name] for name in choice])
+            membership.allows([meaning_masks[i] for i in choice])
             for choice in product(*(mins[candidate] for candidate in key))
         )
         universal_cache[key] = result
         return result
 
-    def extendable(config_sets: tuple[frozenset[Label], ...]) -> bool:
+    def extendable(config_masks: tuple[int, ...]) -> bool:
         """Prune: every min-choice of a partial configuration must extend."""
         return all(
-            membership.extendable([meaning[name] for name in choice])
-            for choice in product(*(mins[candidate] for candidate in config_sets))
+            membership.extendable([meaning_masks[i] for i in choice])
+            for choice in product(*(mins[candidate] for candidate in config_masks))
         )
 
     delta = half_problem.delta
-    candidate_count = _multiset_count(len(candidate_sets), delta)
+    # The a-priori grid bound doubles as a materialisation guard: it also
+    # caps the size of the derived problem the step would have to build
+    # (|labels| <= candidates, |h'| <= grid), which is what keeps diverging
+    # pipelines failing fast instead of assembling multi-gigabyte problems.
+    candidate_count = _multiset_count(len(candidate_masks), delta)
     if candidate_count > max_candidate_configs:
         raise EngineLimitError(
             f"full step would enumerate {candidate_count} node configurations",
@@ -418,34 +468,72 @@ def full_step(
             observed=candidate_count,
         )
 
-    allowed_configs = _enumerate_universal_configs(
-        candidate_sets, delta, universal, extendable
-    )
     if simplify:
+        # Only the *maximal* universal configurations survive Property 6, and
+        # each one is the completion of its own (delta-1)-prefix: the last
+        # component is forced to be the up-closure of the jointly-allowed
+        # half labels.  Enumerating prefixes plus completions drops a whole
+        # exponent from the search compared to walking every delta-tuple.
+        allowed_configs = _complete_maximal_configs(
+            candidate_masks,
+            delta,
+            mins,
+            meaning_masks,
+            membership,
+            up,
+            half_count,
+            extendable,
+            half_alphabet.indices,
+        )
         allowed_configs = _discard_dominated(allowed_configs)
+    else:
+        allowed_configs = _enumerate_universal_configs(
+            candidate_masks, delta, universal, extendable
+        )
 
     # Edge constraint (Property 3, existential).  Simplified: {W, X} allowed
     # iff some Y in W has its polar partner in X.  Unsimplified: some pair
-    # (Y, Z) with Z a subset of comp(Y).
+    # (Y, Z) with Z a subset of comp(Y).  Both collapse to one precomputed
+    # "partner bits" mask per candidate: the pair is allowed iff the partner
+    # bits of one side intersect the other side.
     comp = Compatibility(half.original)
-    polar_name = {
-        name: set_label_name(comp.polar(meaning[name])) for name in half_names
+    mask_to_bit = {mask: 1 << i for i, mask in enumerate(meaning_masks)}
+    partner_bits = [0] * half_count
+    for i in range(half_count):
+        polar = comp.polar_mask(meaning_masks[i])
+        if simplify:
+            # The polar partner participates only if it is itself a half label.
+            partner_bits[i] = mask_to_bit.get(polar, 0)
+        else:
+            bits = 0
+            for j in range(half_count):
+                if meaning_masks[j] & ~polar == 0:
+                    bits |= 1 << j
+            partner_bits[i] = bits
+
+    used_masks = sorted(
+        {candidate for config in allowed_configs for candidate in config},
+        key=half_alphabet.indices,
+    )
+    set_names = {
+        candidate: set_label_name(half_alphabet.members(candidate))
+        for candidate in used_masks
     }
-    used_sets = sorted({s for config in allowed_configs for s in config}, key=sorted)
-    set_names = {candidate: set_label_name(candidate) for candidate in used_sets}
+    partner_union = {}
+    for candidate in used_masks:
+        bits = 0
+        remaining = candidate
+        while remaining:
+            low = remaining & -remaining
+            bits |= partner_bits[low.bit_length() - 1]
+            remaining ^= low
+        partner_union[candidate] = bits
 
     edge_configs = set()
-    for first in used_sets:
-        for second in used_sets:
-            if simplify:
-                allowed = any(polar_name[y] in second for y in first)
-            else:
-                allowed = any(
-                    meaning[z] <= comp.polar(meaning[y])
-                    for y in first
-                    for z in second
-                )
-            if allowed:
+    for first in used_masks:
+        first_partners = partner_union[first]
+        for second in used_masks:
+            if first_partners & second:
                 edge_configs.add(edge_config(set_names[first], set_names[second]))
 
     structured = Problem(
@@ -454,17 +542,21 @@ def full_step(
         labels=frozenset(set_names.values()),
         edge_constraint=frozenset(edge_configs),
         node_constraint=frozenset(
-            node_config(set_names[s] for s in config) for config in allowed_configs
+            node_config(set_names[candidate] for candidate in config)
+            for config in allowed_configs
         ),
     ).compressed()
 
-    # Rename to short atomic labels for iteration; keep provenance.
+    # Rename to short atomic labels for iteration; keep provenance.  The
+    # fresh names avoid the original problem's own labels so a derived label
+    # can never shadow a pre-existing user label (e.g. an input that already
+    # uses ``A``).
     ordered = sorted(structured.labels)
-    rename = dict(zip(ordered, short_names(len(ordered))))
+    rename = dict(zip(ordered, short_names(len(ordered), avoid=half.original.labels)))
     renamed = structured.renamed(rename, name=f"{half.original.name}+1")
-    name_of_set = {v: k for k, v in set_names.items()}
+    mask_of_name = {name: candidate for candidate, name in set_names.items()}
     full_meaning = {
-        rename[structured_name]: frozenset(name_of_set[structured_name])
+        rename[structured_name]: half_alphabet.label_set(mask_of_name[structured_name])
         for structured_name in ordered
     }
     return SpeedupResult(
@@ -542,53 +634,229 @@ def _multiset_count(universe: int, size: int) -> int:
     return comb(universe + size - 1, size)
 
 
+def _search_existential_configs(
+    ordered_names: list[Label],
+    slot_masks: list[int],
+    delta: int,
+    membership: _MaskMembership,
+) -> list[tuple[Label, ...]]:
+    """DFS for the half step's node constraint with extendability pruning.
+
+    Enumerates non-decreasing name tuples (canonical multisets) but prunes
+    any prefix whose slot masks already fail the extendability test, so the
+    work tracks the viable part of the space instead of the full
+    ``C(n + delta - 1, delta)`` grid the string path walked.  At depth
+    ``delta`` extendability *is* membership, so no re-check is needed at the
+    leaves.
+    """
+    results: list[tuple[Label, ...]] = []
+    count = len(ordered_names)
+    chosen_masks: list[int] = []
+    chosen_names: list[Label] = []
+
+    def extend(start: int) -> None:
+        if len(chosen_names) == delta:
+            results.append(tuple(chosen_names))
+            return
+        for index in range(start, count):
+            chosen_masks.append(slot_masks[index])
+            if membership.extendable(chosen_masks):
+                chosen_names.append(ordered_names[index])
+                extend(index)
+                chosen_names.pop()
+            chosen_masks.pop()
+
+    extend(0)
+    return results
+
+
+def _enumerate_filters(
+    count: int,
+    up: list[int],
+    comparable: list[int],
+    max_derived_labels: int,
+) -> list[int]:
+    """Enumerate the non-empty filters (up-sets) of the half-label poset.
+
+    Filters are in bijection with non-empty antichains (their minimal
+    elements); the DFS walks antichains as bitmasks, accumulating each
+    filter as the union of the ``up`` masks of its antichain.  Iterative so
+    deep chain posets cannot overflow the recursion limit.
+    """
+    collected: list[int] = []
+    stack: list[tuple[int, int, int]] = [(0, 0, 0)]
+    while stack:
+        index, antichain, filter_mask = stack.pop()
+        if index == count:
+            if antichain:
+                collected.append(filter_mask)
+                if len(collected) > max_derived_labels:
+                    raise EngineLimitError(
+                        f"full step over {count} half labels produces "
+                        f"more than {max_derived_labels} filters",
+                        limit_name="max_derived_labels",
+                        limit=max_derived_labels,
+                        observed=len(collected),
+                    )
+            continue
+        if not comparable[index] & antichain:
+            stack.append((index + 1, antichain | (1 << index), filter_mask | up[index]))
+        stack.append((index + 1, antichain, filter_mask))
+    return collected
+
+
 def _enumerate_universal_configs(
-    candidates: Sequence[frozenset[Label]],
+    candidates: Sequence[int],
     delta: int,
     universal,
     extendable,
-) -> list[tuple[frozenset[Label], ...]]:
-    """DFS over non-decreasing candidate indices with extendability pruning."""
-    results: list[tuple[frozenset[Label], ...]] = []
+) -> list[tuple[int, ...]]:
+    """DFS over non-decreasing candidate indices with extendability pruning.
 
-    def extend(start: int, chosen: list[frozenset[Label]]) -> None:
+    Used by the unsimplified (literal Theorem 1) path, which needs *every*
+    universal configuration, not just the maximal ones.
+    """
+    results: list[tuple[int, ...]] = []
+    chosen: list[int] = []
+
+    def extend(start: int) -> None:
         if len(chosen) == delta:
             config = tuple(chosen)
             if universal(config):
-                results.append(tuple(sorted(config, key=sorted)))
+                results.append(config)
             return
         for index in range(start, len(candidates)):
             chosen.append(candidates[index])
             if extendable(tuple(chosen)):
-                extend(index, chosen)
+                extend(index)
             chosen.pop()
 
-    extend(0, [])
-    # Deduplicate (sorting may collapse distinct orders of equal multisets).
-    unique = sorted(set(results), key=lambda cfg: [sorted(s) for s in cfg])
-    return unique
+    extend(0)
+    # Deduplicate; candidates are pre-sorted, so each config tuple is already
+    # canonical (non-decreasing in the candidate order).
+    return sorted(set(results))
 
 
-def _discard_dominated(
-    configs: list[tuple[frozenset[Label], ...]],
-) -> list[tuple[frozenset[Label], ...]]:
+def _complete_maximal_configs(
+    candidates: Sequence[int],
+    delta: int,
+    mins: dict[int, tuple[int, ...]],
+    meaning_masks: list[int],
+    membership: _MaskMembership,
+    up: list[int],
+    half_count: int,
+    extendable,
+    sort_key,
+) -> list[tuple[int, ...]]:
+    """Universal configurations via prefix completion (simplified path only).
+
+    For a fixed (delta-1)-prefix ``(F_1, ..., F_{d-1})`` the last component
+    ``G`` of a universal configuration must satisfy ``mins(G) <= U`` where
+    ``U`` is the set of half labels ``z`` with every min-choice of the prefix
+    plus ``z`` allowed -- so the unique *maximal* completion is the
+    up-closure of ``U``.  A maximal universal configuration equals the
+    completion of the prefix obtained by deleting any one of its components
+    (the completion dominates it componentwise, and maximality forces
+    equality), so enumerating all extendable prefixes and completing each
+    yields a superset of the maximal configurations consisting of universal
+    configurations only; the domination filter then returns exactly the
+    maximal set -- the same result the exhaustive delta-tuple walk produces,
+    at a whole exponent less work.
+    """
+    results: set[tuple[int, ...]] = set()
+    prefix: list[int] = []
+    all_labels = (1 << half_count) - 1
+
+    def complete() -> None:
+        """Compute U for the current prefix and record its completion."""
+        allowed = all_labels
+        for choice in product(*(mins[candidate] for candidate in prefix)):
+            base = [meaning_masks[i] for i in choice]
+            still_allowed = 0
+            remaining = allowed
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                if membership.allows(base + [meaning_masks[low.bit_length() - 1]]):
+                    still_allowed |= low
+            allowed = still_allowed
+            if not allowed:
+                return
+        completion = 0
+        remaining = allowed
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            completion |= up[low.bit_length() - 1]
+        results.add(tuple(sorted([*prefix, completion], key=sort_key)))
+
+    def extend(start: int) -> None:
+        if len(prefix) == delta - 1:
+            complete()
+            return
+        for index in range(start, len(candidates)):
+            prefix.append(candidates[index])
+            if extendable(tuple(prefix)):
+                extend(index)
+            prefix.pop()
+
+    extend(0)
+    return sorted(results)
+
+
+def _discard_dominated(configs: list[tuple[int, ...]]) -> list[tuple[int, ...]]:
     """Keep only configurations maximal under componentwise set containment.
 
     ``A`` dominates ``B`` iff some bijection pairs every component of ``B``
-    with a distinct superset component of ``A`` -- a perfect-matching test.
-    Mutual domination implies equality, so the survivors are an antichain.
+    with a distinct superset component of ``A`` -- a perfect-matching test
+    over position masks.  Mutual domination implies equality, so the
+    survivors are an antichain.
+
+    A strict dominator always has strictly more total bits (a componentwise
+    bijection onto supersets with equal totals forces equality), and
+    domination is transitive, so processing configurations in decreasing
+    total-popcount order and testing only against the already-kept maximal
+    ones is exact while skipping almost all of the quadratic pair grid.
     """
 
-    def dominates(a: tuple[frozenset[Label], ...], b: tuple[frozenset[Label], ...]) -> bool:
-        adjacency = {
-            index: [j for j, big in enumerate(a) if small <= big]
-            for index, small in enumerate(b)
-        }
-        return perfect_matching_exists(adjacency)
+    def dominates(big: tuple[int, ...], small: tuple[int, ...]) -> bool:
+        position_masks = []
+        for component in small:
+            allowed = 0
+            for position, candidate in enumerate(big):
+                if component & ~candidate == 0:
+                    allowed |= 1 << position
+            if not allowed:
+                return False
+            position_masks.append(allowed)
+        return mask_matching_exists(position_masks)
 
-    kept: list[tuple[frozenset[Label], ...]] = []
+    annotated = []
     for config in configs:
-        if any(other != config and dominates(other, config) for other in configs):
-            continue
-        kept.append(config)
-    return kept
+        union = 0
+        for component in config:
+            union |= component
+        popcounts = tuple(
+            sorted((component.bit_count() for component in config), reverse=True)
+        )
+        annotated.append((sum(popcounts), popcounts, union, config))
+    annotated.sort(key=lambda entry: -entry[0])
+
+    kept: list[tuple[int, tuple[int, ...], int, tuple[int, ...]]] = []
+    survivors: list[tuple[int, ...]] = []
+    for total, popcounts, union, config in annotated:
+        dominated = False
+        for kept_total, kept_pops, kept_union, kept_config in kept:
+            if kept_total == total:
+                continue  # equal totals cannot strictly dominate
+            if union & ~kept_union:
+                continue
+            if any(p > kp for p, kp in zip(popcounts, kept_pops)):
+                continue
+            if dominates(kept_config, config):
+                dominated = True
+                break
+        if not dominated:
+            kept.append((total, popcounts, union, config))
+            survivors.append(config)
+    return survivors

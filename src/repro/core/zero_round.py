@@ -23,13 +23,23 @@ inputs.  Two input settings matter for the paper:
   the other, and both the endpoints' in-degrees are arbitrary.  Solvability
   means: splits ``(I_s, O_s)`` can be chosen so that every out-label from any
   chosen split is edge-compatible with every in-label from any chosen split.
+
+Both procedures run on the bitmask kernel (:mod:`repro.core.alphabet`):
+split signatures and the DFS unions are label masks, and the all-pairs
+edge-compatibility conditions collapse to polar-mask subset tests (a set of
+out-labels is compatible with a set of in-labels iff the in-mask is a subset
+of the AND of the out-labels' adjacency masks).  Witnesses still carry the
+original name tuples, and the search visits splits in the same deterministic
+order as the legacy string path, so the witness found is identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.problem import Label, NodeConfig, Problem, edge_config
+from repro.core.alphabet import InternedProblem, intern
+from repro.core.galois import Compatibility
+from repro.core.problem import NodeConfig, Problem
 from repro.utils.multiset import multiset_difference, submultisets_of_size
 
 
@@ -87,37 +97,49 @@ def zero_round_no_input(problem: Problem) -> ZeroRoundWitness | None:
 
     Returns a witness configuration or None.  The condition is the classical
     round-elimination triviality test: some ``C`` in ``h`` with
-    ``{x, y} in g`` for all ``x, y`` drawn from ``C``'s support.
+    ``{x, y} in g`` for all ``x, y`` drawn from ``C``'s support -- on masks,
+    the support must be a subset of its own polar.
     """
-    for config in sorted(problem.node_constraint):
-        support = sorted(set(config))
-        if all(
-            problem.allows_edge(x, y)
-            for i, x in enumerate(support)
-            for y in support[i:]
-        ):
+    interned = intern(problem)
+    comp = Compatibility(problem)
+    for index, config in enumerate(interned.node_configs):
+        support = interned.config_supports[index]
+        if support & ~comp.polar_mask(support) == 0:
             return ZeroRoundWitness(
                 problem_name=problem.name,
                 setting="no-input",
-                splits={-1: ((), config)},
+                splits={-1: ((), interned.alphabet.config(config))},
             )
     return None
 
 
-def _orientation_splits(problem: Problem, in_degree: int) -> list[tuple[NodeConfig, NodeConfig]]:
+def _orientation_splits(
+    interned: InternedProblem, in_degree: int
+) -> list[tuple[tuple[int, ...], tuple[int, ...], int, int]]:
     """Distinct split *signatures*: one representative per (in-set, out-set).
 
     The compatibility search only depends on which label sets face each
     other, not on multiplicities, so splits are deduplicated by the pair of
-    *support sets* -- a large reduction on derived problems with many
-    configurations.
+    *support masks* -- a large reduction on derived problems with many
+    configurations.  Entries are ``(in_config, out_config, in_mask,
+    out_mask)`` with the configurations as index tuples; iteration order
+    matches the legacy string path (configs in sorted order, sub-multisets in
+    combination order), so the chosen representatives -- and ultimately the
+    witness -- are identical.
     """
-    by_signature: dict[tuple[frozenset[Label], frozenset[Label]], tuple[NodeConfig, NodeConfig]] = {}
-    for config in sorted(problem.node_constraint):
+    by_signature: dict[tuple[int, int], tuple[tuple[int, ...], tuple[int, ...], int, int]] = {}
+    for config in interned.node_configs:
         for in_part in submultisets_of_size(config, in_degree):
             out_part = multiset_difference(config, in_part)
-            signature = (frozenset(in_part), frozenset(out_part))
-            by_signature.setdefault(signature, (in_part, out_part))
+            in_mask = 0
+            for label in in_part:
+                in_mask |= 1 << label
+            out_mask = 0
+            for label in out_part:
+                out_mask |= 1 << label
+            by_signature.setdefault(
+                (in_mask, out_mask), (in_part, out_part, in_mask, out_mask)
+            )
     return sorted(by_signature.values())
 
 
@@ -125,58 +147,65 @@ def zero_round_with_orientations(problem: Problem) -> ZeroRoundWitness | None:
     """0-round solvability given input edge orientations on a regular class.
 
     Performs a depth-first search over the choice of one split per in-degree,
-    maintaining the union of chosen in-labels and out-labels, pruning as soon
-    as some out-label would face some in-label not allowed by ``g``, and
-    memoising failed ``(level, in-union, out-union)`` states.
+    maintaining the union masks of chosen in-labels and out-labels plus their
+    running polar masks, pruning as soon as some out-label would face some
+    in-label not allowed by ``g``, and memoising failed
+    ``(level, in-union, out-union)`` states.
     """
+    interned = intern(problem)
+    comp = Compatibility(problem)
     delta = problem.delta
-    per_degree = [_orientation_splits(problem, s) for s in range(delta + 1)]
+    per_degree = [_orientation_splits(interned, s) for s in range(delta + 1)]
     if any(not options for options in per_degree):
         return None
     # Search the most-constrained levels first (fewest options).
     level_order = sorted(range(delta + 1), key=lambda s: len(per_degree[s]))
 
-    chosen: dict[int, tuple[NodeConfig, NodeConfig]] = {}
-    failed: set[tuple[int, frozenset[Label], frozenset[Label]]] = set()
+    chosen: dict[int, tuple[tuple[int, ...], tuple[int, ...]]] = {}
+    failed: set[tuple[int, int, int]] = set()
 
-    def pair_ok(out_label: Label, in_label: Label) -> bool:
-        return edge_config(out_label, in_label) in problem.edge_constraint
-
-    def search(index: int, in_union: frozenset[Label], out_union: frozenset[Label]) -> bool:
+    def search(index: int, in_union: int, out_union: int, in_allowed: int) -> bool:
+        # in_allowed = polar(out_union): the labels every chosen out-label
+        # accepts across an edge.  (The converse direction needs no separate
+        # mask: "new out-labels accept all in-labels" is the same all-pairs
+        # condition as "all in-labels lie in polar(new out-labels)".)
         if index == len(level_order):
             return True
         state = (index, in_union, out_union)
         if state in failed:
             return False
         s = level_order[index]
-        for in_part, out_part in per_degree[s]:
-            new_in_labels = frozenset(in_part) - in_union
-            new_out_labels = frozenset(out_part) - out_union
-            # Only the freshly added labels need checking against the unions.
-            if not all(
-                pair_ok(o, i)
-                for o in new_out_labels
-                for i in in_union | new_in_labels
-            ):
+        for in_part, out_part, in_mask, out_mask in per_degree[s]:
+            new_in = in_mask & ~in_union
+            new_out = out_mask & ~out_union
+            # Fresh out-labels must accept every in-label old and new ...
+            new_out_polar = comp.polar_mask(new_out)
+            if (in_union | new_in) & ~new_out_polar:
                 continue
-            if not all(
-                pair_ok(o, i)
-                for o in out_union
-                for i in new_in_labels
-            ):
+            # ... and fresh in-labels must be accepted by every old out-label.
+            if new_in & ~in_allowed:
                 continue
             chosen[s] = (in_part, out_part)
-            if search(index + 1, in_union | new_in_labels, out_union | new_out_labels):
+            if search(
+                index + 1,
+                in_union | new_in,
+                out_union | new_out,
+                in_allowed & new_out_polar,
+            ):
                 return True
             del chosen[s]
         failed.add(state)
         return False
 
-    if search(0, frozenset(), frozenset()):
+    if search(0, 0, 0, interned.alphabet.full_mask):
+        to_names = interned.alphabet.config
         return ZeroRoundWitness(
             problem_name=problem.name,
             setting="edge-orientations",
-            splits=dict(chosen),
+            splits={
+                s: (to_names(in_part), to_names(out_part))
+                for s, (in_part, out_part) in chosen.items()
+            },
         )
     return None
 

@@ -14,6 +14,14 @@ The cache is thread-safe (the batch APIs share it across a worker pool) and
 optionally persistent: with a ``directory``, every stored entry is written as
 one JSON file named by the key's digest, and misses consult the directory
 before recomputing, so warm starts survive process boundaries.
+
+Keys are computed by the bitmask kernel's canonical-form pass
+(:mod:`repro.core.canonical` over :mod:`repro.core.alphabet`), which is
+byte-compatible with the pre-kernel string path -- existing on-disk caches
+stay valid.  Hit translation renames set-valued labels with the kernel's
+collision-safe :func:`~repro.core.alphabet.set_label_name`, the same naming
+a fresh derivation would use, so translated and freshly derived results
+agree even for problems whose user labels contain braces or commas.
 """
 
 from __future__ import annotations
@@ -26,9 +34,10 @@ from collections import OrderedDict
 from pathlib import Path
 from types import MappingProxyType
 
+from repro.core.alphabet import set_label_name
 from repro.core.canonical import CanonicalForm, canonical_form
 from repro.core.problem import Problem
-from repro.core.speedup import SpeedupResult, set_label_name
+from repro.core.speedup import SpeedupResult
 
 
 class CacheEntry:

@@ -33,7 +33,18 @@ class EngineConfig:
         Stop a pipeline as soon as a 0-round solvable problem appears.
     max_derived_labels / max_candidate_configs:
         Size guards of the derivation (previously the hard-coded
-        ``MAX_DERIVED_LABELS`` / ``MAX_CANDIDATE_CONFIGS`` constants).
+        ``MAX_DERIVED_LABELS`` / ``MAX_CANDIDATE_CONFIGS`` constants),
+        stated in bitmask-kernel terms: ``max_derived_labels`` bounds the
+        interned derived-label masks materialised (filters of the half-label
+        poset in the simplified path, raw subset masks in the Theorem 1
+        path), and ``max_candidate_configs`` bounds the a-priori
+        candidate-configuration grid ``C(candidates + delta - 1, delta)`` of
+        a step -- which also caps the derived problem the step would have to
+        build, so diverging pipelines fail fast instead of assembling
+        multi-gigabyte descriptions.  Within the guards the kernel's pruned
+        prefix search does orders of magnitude less work than the old
+        exhaustive walk (superweak-3 / weak-3 coloring at delta=2 went from
+        days of wall clock to seconds under the same defaults).
     cache:
         Memoise speedup derivations in a content-addressed cache keyed on the
         canonical problem hash (:mod:`repro.core.canonical`), so repeated --

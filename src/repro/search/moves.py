@@ -91,14 +91,19 @@ def drop_move(problem: Problem, a: Label, b: Label) -> RelaxationMove:
 
 
 def _candidate_moves(problem: Problem) -> Iterator[RelaxationMove]:
-    """Yield moves in deterministic least-relaxing-first order (unchecked)."""
-    merged, mapping = merge_equivalent_labels(problem)
+    """Yield moves in deterministic least-relaxing-first order (unchecked).
+
+    One diagram computation feeds every move family: the equivalence merge
+    reuses it instead of recomputing the full replaceability grid (the
+    kernel makes each grid cheap, but the search calls this per beam state,
+    so halving the count still shows up in profiles).
+    """
+    diagram = compute_diagram(problem)
+    merged, mapping = merge_equivalent_labels(problem, diagram=diagram)
     if len(merged.labels) < len(problem.labels):
         yield RelaxationMove(
             kind=MERGE_EQUIVALENTS, source=problem, target=merged, mapping=mapping
         )
-
-    diagram = compute_diagram(problem)
     dominated: list[tuple[Label, Label]] = []
     for a in sorted(problem.labels):
         for b in sorted(diagram.stronger[a]):

@@ -1,0 +1,51 @@
+"""The speedup benchmark runner produces a well-formed machine-readable report."""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from run_speedup_bench import bench_case, main, run_bench  # noqa: E402
+
+TINY_CASES = [
+    ("sinkless-coloring", 3, True, True),
+    ("mis", 3, True, True),
+]
+
+
+def test_run_bench_report_shape():
+    report = run_bench(cases=TINY_CASES, warm_rounds=1)
+    assert report["benchmark"] == "speedup"
+    assert len(report["results"]) == 2
+    for record in report["results"]:
+        assert record["status"] == "ok"
+        assert record["cold_s"] >= 0
+        assert record["warm_s"] >= 0
+        assert record["legacy_status"] == "ok"
+        assert record["kernel_speedup"] > 0
+        assert record["derived_labels"] > 0
+    largest = report["largest_case"]
+    assert largest["problem"] in {"sinkless-coloring", "mis"}
+
+
+def test_bench_case_records_limits():
+    # 6-coloring trips max_derived_labels: the record must say so, not crash.
+    record = bench_case("6-coloring", 2, run_legacy=False)
+    assert record["status"] == "limit:max_derived_labels"
+    assert "warm_s" not in record
+
+
+def test_main_writes_json(tmp_path, monkeypatch, capsys):
+    import run_speedup_bench
+
+    monkeypatch.setattr(run_speedup_bench, "CASES", TINY_CASES)
+    output = tmp_path / "BENCH_speedup.json"
+    assert main(["--quick", "--output", str(output), "--warm-rounds", "1"]) == 0
+    payload = json.loads(output.read_text())
+    assert payload["quick"] is True
+    assert [r["problem"] for r in payload["results"]] == [
+        "sinkless-coloring",
+        "mis",
+    ]
+    assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,161 @@
+"""Differential tests: the bitmask kernel against the frozen string path.
+
+``repro.core._legacy`` preserves the pre-kernel ``frozenset[str]``
+implementations verbatim.  These tests run both sides over the full catalog
+and hundreds of seeded random problems and assert *exact* equality of the
+results -- not just isomorphism: the kernel is required to reproduce the
+legacy derivations bit for bit (same derived label names, same meanings,
+same witnesses, same canonical keys), so caches, goldens and downstream
+consumers cannot tell the difference.
+
+The random problems use clean label names on purpose: for labels containing
+braces or commas the two paths *should* differ (the legacy naming aliases
+distinct sets -- the collision bug the kernel's escaping fixes; see
+``test_alphabet.py`` and ``test_speedup.py`` for those regressions).
+"""
+
+import random
+
+import pytest
+
+from repro.core import _legacy
+from repro.core.canonical import canonical_form, canonical_hash
+from repro.core.problem import Problem
+from repro.core.speedup import EngineLimitError, compute_speedup
+from repro.core.zero_round import (
+    is_zero_round_solvable,
+    zero_round_no_input,
+    zero_round_with_orientations,
+)
+from repro.problems.catalog import catalog
+from repro.utils.multiset import multisets_of_size
+
+# Catalog instances whose legacy derivation is too slow for tier-1; they run
+# in the slow suite instead (and 5/6-coloring exceed even that).
+HEAVY = {"4-coloring", "5-coloring", "6-coloring", "superweak-3-coloring", "weak-3-coloring"}
+
+SEED_COUNT = 200
+
+
+def random_problem(seed: int) -> Problem:
+    """A small random problem; biased so the legacy path stays fast."""
+    rng = random.Random(seed)
+    delta = rng.choice([1, 2, 2, 3])
+    k = rng.randint(2, 3 if delta == 3 else 4)
+    labels = [f"x{i}" for i in range(k)]
+    pairs = list(multisets_of_size(labels, 2))
+    nodes = list(multisets_of_size(labels, delta))
+    edge = [p for p in pairs if rng.random() < 0.6] or [rng.choice(pairs)]
+    node = [c for c in nodes if rng.random() < 0.5] or [rng.choice(nodes)]
+    return Problem.make(f"rnd{seed}", delta, edge, node, labels=labels)
+
+
+def assert_differential(problem: Problem) -> None:
+    """Kernel == legacy on every rewired decision procedure.
+
+    Equivalence covers the failure mode too: when the legacy path trips a
+    size guard, the kernel must trip the same guard with the same observed
+    count (the guards keep their a-priori semantics by design).
+    """
+    try:
+        legacy_result = _legacy.compute_speedup(problem)
+    except EngineLimitError as legacy_error:
+        with pytest.raises(EngineLimitError) as kernel_error:
+            compute_speedup(problem)
+        assert kernel_error.value.limit_name == legacy_error.limit_name
+        assert kernel_error.value.observed == legacy_error.observed
+    else:
+        assert compute_speedup(problem) == legacy_result
+    assert zero_round_no_input(problem) == _legacy.zero_round_no_input(problem)
+    assert zero_round_with_orientations(problem) == _legacy.zero_round_with_orientations(
+        problem
+    )
+    assert is_zero_round_solvable(problem) == _legacy.is_zero_round_solvable(problem)
+    legacy_form = _legacy.canonical_form(problem)
+    form = canonical_form(problem)
+    assert form.key == legacy_form.key
+    assert form.ordering == legacy_form.ordering
+    assert canonical_hash(problem) == _legacy.canonical_hash(problem)
+
+
+# -- seeded random problems --------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(SEED_COUNT))
+def test_kernel_matches_legacy_on_random_problem(seed):
+    problem = random_problem(seed)
+    assert_differential(problem)
+    # Derived problems exercise larger alphabets and set-valued names.
+    derived = compute_speedup(problem).full
+    assert canonical_hash(derived) == _legacy.canonical_hash(derived)
+
+
+def test_random_problems_are_diverse():
+    """The generator actually covers different deltas and alphabet sizes."""
+    problems = [random_problem(seed) for seed in range(SEED_COUNT)]
+    assert {p.delta for p in problems} == {1, 2, 3}
+    assert len({(p.delta, len(p.labels)) for p in problems}) >= 6
+
+
+# -- catalog -----------------------------------------------------------------
+
+
+def _catalog_instances(include_heavy: bool):
+    for name, family in sorted(catalog().items()):
+        if (name in HEAVY) is not include_heavy:
+            continue
+        for delta in (2, 3):
+            try:
+                yield name, family(delta)
+            except ValueError:
+                continue  # family rejects this degree
+
+
+@pytest.mark.parametrize(
+    "name,problem",
+    [pytest.param(name, problem, id=f"{name}-d{problem.delta}")
+     for name, problem in _catalog_instances(include_heavy=False)],
+)
+def test_kernel_matches_legacy_on_catalog(name, problem):
+    assert_differential(problem)
+
+
+@pytest.mark.slow
+def test_kernel_matches_legacy_on_heavy_catalog():
+    """4-coloring at delta=2: ~10s legacy, milliseconds on the kernel.
+
+    (superweak-3 / weak-3 are beyond the legacy path entirely -- days of
+    wall clock inside the guards; 5/6-coloring trip the guards identically
+    on both paths -- see ``test_speedup.py``.)
+    """
+    problem = catalog()["4-coloring"](2)
+    assert_differential(problem)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(SEED_COUNT, SEED_COUNT + 40))
+def test_kernel_matches_legacy_on_larger_random_problems(seed):
+    """Denser random problems (delta up to 3, five labels) -- slow for legacy.
+
+    Tighter guards keep the legacy walk bounded; guard trips must agree
+    between the paths exactly (same limit, same observed count).
+    """
+    rng = random.Random(seed)
+    delta = rng.randint(2, 3)
+    k = rng.randint(3, 5 if delta == 2 else 4)
+    labels = [f"x{i}" for i in range(k)]
+    pairs = list(multisets_of_size(labels, 2))
+    nodes = list(multisets_of_size(labels, delta))
+    edge = [p for p in pairs if rng.random() < 0.55] or [rng.choice(pairs)]
+    node = [c for c in nodes if rng.random() < 0.45] or [rng.choice(nodes)]
+    problem = Problem.make(f"big{seed}", delta, edge, node, labels=labels)
+    limits = {"max_derived_labels": 20_000, "max_candidate_configs": 100_000}
+    try:
+        legacy_result = _legacy.compute_speedup(problem, **limits)
+    except EngineLimitError as legacy_error:
+        with pytest.raises(EngineLimitError) as kernel_error:
+            compute_speedup(problem, **limits)
+        assert kernel_error.value.limit_name == legacy_error.limit_name
+        assert kernel_error.value.observed == legacy_error.observed
+    else:
+        assert compute_speedup(problem, **limits) == legacy_result

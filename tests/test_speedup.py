@@ -139,6 +139,117 @@ def test_engine_limit_guard():
     assert error.observed > error.limit
 
 
+# -- bitmask kernel: naming collision guards -----------------------------------
+
+
+def comma_label_problem():
+    """Closed sets {a, b} and {"a,b"} force a legacy set-name collision."""
+    from repro.core.problem import Problem
+    from repro.utils.multiset import multisets_of_size
+
+    labels = ["a", "b", "a,b"]
+    return Problem.make(
+        "comma",
+        1,
+        edge_configs=[("a", "a,b"), ("b", "a,b")],
+        node_configs=list(multisets_of_size(labels, 1)),
+        labels=labels,
+    )
+
+
+def test_half_step_keeps_colliding_set_names_distinct():
+    """Regression: a user label containing a comma must not alias a set.
+
+    The problem's usable closed sets are {a, b} and {"a,b"}; the legacy
+    naming renders both as "{a,b}", silently collapsing the half alphabet to
+    one label.  The kernel escapes the comma, keeping both meanings.
+    """
+    problem = comma_label_problem()
+    half = half_step(problem)
+    assert len(half.meaning) == 2
+    assert frozenset({"a", "b"}) in half.meaning.values()
+    assert frozenset({"a,b"}) in half.meaning.values()
+
+    from repro.core import _legacy
+
+    legacy_half = _legacy.half_step(problem)
+    assert len(legacy_half.meaning) == 1  # the collision being fixed
+
+
+def test_speedup_equivariant_under_nasty_renaming():
+    """Deriving under comma/brace labels matches the clean-label derivation."""
+    problem = comma_label_problem()
+    clean = problem.renamed({"a": "a", "b": "b", "a,b": "c"}, name="clean")
+    nasty_result = speedup(problem).full.compressed()
+    clean_result = speedup(clean).full.compressed()
+    assert are_isomorphic(nasty_result, clean_result)
+
+
+def test_derived_short_names_avoid_original_labels():
+    """Fresh derived labels never shadow the input problem's own alphabet.
+
+    Uses the uncached derivation: a content-addressed cache hit may translate
+    a stored twin and keep that derivation's (arbitrary but consistent)
+    short names.
+    """
+    from repro.core.speedup import compute_speedup
+
+    sc = sinkless_coloring(3)
+    renamed = sc.renamed({"0": "A", "1": "B"}, name="sc-AB")
+    result = compute_speedup(renamed)
+    assert result.full.labels.isdisjoint({"A", "B"})
+    assert are_isomorphic(result.full.compressed(), speedup(sc).full.compressed())
+
+
+# -- bitmask kernel: formerly out-of-reach derivations -------------------------
+
+
+def test_kernel_unlocks_weak3_coloring():
+    """weak-3-coloring at delta=2 completes in seconds under default guards.
+
+    This is ROADMAP open item (a): the derivation sits *inside* the size
+    guards (grid of 477k candidates < 8M), but the pre-kernel string path
+    needed an exhaustive frozenset walk of that grid plus a quadratic
+    domination filter -- days of wall clock.  The kernel's prefix completion
+    finishes it in a few seconds.
+    """
+    from repro.problems.weak_coloring import weak_coloring_pointer
+
+    result = speedup(weak_coloring_pointer(3, 2))
+    assert len(result.full.labels) == 976
+    assert len(result.full.node_constraint) == 488
+
+
+@pytest.mark.slow
+def test_kernel_unlocks_superweak3_coloring():
+    """superweak-3-coloring at delta=2: the other formerly intractable case."""
+    from repro.problems.superweak import superweak
+
+    result = speedup(superweak(3, 2))
+    assert len(result.full.labels) == 976
+    assert len(result.full.node_constraint) == 488
+
+
+def test_kernel_keeps_legacy_guard_behavior_on_5_coloring():
+    """5-coloring at delta=2 still trips the a-priori grid guard, fast.
+
+    The grid bound doubles as a materialisation guard (the derived problem
+    would have ~7.6k labels and tens of millions of edge configurations);
+    both paths must refuse it identically and in milliseconds.
+    """
+    from repro.core import _legacy
+    from repro.core.speedup import compute_speedup
+    from repro.problems.coloring import coloring as coloring_problem
+
+    five = coloring_problem(5, 2)
+    with pytest.raises(EngineLimitError) as kernel_info:
+        compute_speedup(five)
+    with pytest.raises(EngineLimitError) as legacy_info:
+        _legacy.compute_speedup(five)
+    assert kernel_info.value.limit_name == legacy_info.value.limit_name
+    assert kernel_info.value.observed == legacy_info.value.observed == 28_716_831
+
+
 def test_derived_problem_is_compressed(sc3):
     derived = speedup(sc3).full
     assert derived.compressed().labels == derived.labels
