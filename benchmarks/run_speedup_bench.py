@@ -6,9 +6,14 @@ reference path (``repro.core._legacy``) -- and emits a JSON report so the
 performance trajectory is tracked across PRs (CI uploads the file as a
 build artifact; nothing gates on it).
 
+With ``--search`` the report additionally times whole
+``search_lower_bound`` runs (the mask-native move generation and the
+0-round memo are exactly what those exercise) and embeds the frozen PR-3
+baseline rows for the before/after comparison.
+
 Usage::
 
-    python benchmarks/run_speedup_bench.py [--quick] [--output BENCH_speedup.json]
+    python benchmarks/run_speedup_bench.py [--quick] [--search] [--output BENCH_speedup.json]
 
 ``--quick`` restricts the run to the cases cheap enough for a CI smoke job
 (everything except the formerly intractable derivations, which take seconds
@@ -26,7 +31,7 @@ from pathlib import Path
 
 from repro.core import _legacy
 from repro.core.speedup import EngineLimitError
-from repro.engine import Engine
+from repro.engine import Engine, EngineConfig
 from repro.problems.catalog import get_problem
 
 # (name, delta, quick, run_legacy): `quick` keeps the case in --quick runs;
@@ -49,6 +54,30 @@ CASES: list[tuple[str, int, bool, bool]] = [
     # Still guard-refused -- on both paths identically, by design: the grid
     # bound caps the (enormous) problem the step would materialise.
     ("5-coloring", 2, False, True),
+]
+
+# Lower-bound search cases: (name, delta, max_steps, quick).  The weak-3 run
+# is the ISSUE-5 acceptance case: 976-label Pi_1, where move generation and
+# 0-round re-checks used to dominate.
+SEARCH_CASES: list[tuple[str, int, int, bool]] = [
+    ("sinkless-orientation", 3, 4, True),
+    ("mis", 3, 2, True),
+    ("weak-3-coloring", 2, 2, False),
+]
+
+# Frozen baseline, measured once on the PR-3 tree (commit 22095a5) with the
+# same engine guards (max_derived_labels=20k, max_candidate_configs=500k):
+# before the mask-native move generator and the 0-round memo, the weak-3
+# search died in string-surface move generation (no result within the
+# 600-second cap).  Kept verbatim so every report carries the before/after
+# comparison the ISSUE-5 acceptance asks for.
+SEARCH_BASELINE_PR3: list[dict] = [
+    {"problem": "sinkless-orientation", "delta": 3, "max_steps": 4,
+     "search_s": 0.004, "kind": "fixed-point", "bound": 2, "verified": True},
+    {"problem": "mis", "delta": 3, "max_steps": 2,
+     "search_s": 0.177, "kind": "chain", "bound": 2, "verified": True},
+    {"problem": "weak-3-coloring", "delta": 2, "max_steps": 2,
+     "search_s": 600.0, "kind": "timeout", "bound": None, "verified": False},
 ]
 
 
@@ -97,10 +126,50 @@ def bench_case(
     return record
 
 
+def bench_search_case(name: str, delta: int, max_steps: int) -> dict:
+    """Time one full lower-bound search run plus its independent re-verify."""
+    problem = get_problem(name, delta)
+    engine = Engine(
+        EngineConfig(max_derived_labels=20_000, max_candidate_configs=500_000)
+    )
+    start = time.perf_counter()
+    result = engine.search_lower_bound(problem, max_steps=max_steps)
+    search_s = time.perf_counter() - start
+    record = {
+        "problem": name,
+        "delta": delta,
+        "max_steps": max_steps,
+        "search_s": round(search_s, 6),
+        "kind": result.kind,
+        "bound": result.bound,
+        "stats": result.stats.to_dict(),
+    }
+    if result.certificate is not None:
+        start = time.perf_counter()
+        record["verified"] = result.certificate.verify().valid
+        record["verify_s"] = round(time.perf_counter() - start, 6)
+    return record
+
+
+def run_search_bench(
+    cases: list[tuple[str, int, int, bool]] | None = None, quick: bool = False
+) -> list[dict]:
+    """Run the search suite; returns the rows for the report."""
+    selected = [
+        case for case in (cases if cases is not None else SEARCH_CASES)
+        if not quick or case[3]
+    ]
+    return [
+        bench_search_case(name, delta, max_steps)
+        for name, delta, max_steps, _ in selected
+    ]
+
+
 def run_bench(
     cases: list[tuple[str, int, bool, bool]] | None = None,
     quick: bool = False,
     warm_rounds: int = 3,
+    search: bool = False,
 ) -> dict:
     """Run the suite and return the JSON-ready report."""
     selected = [
@@ -134,6 +203,17 @@ def run_bench(
     if ratios:
         report["min_kernel_speedup"] = min(ratios)
         report["max_kernel_speedup"] = max(ratios)
+    if search:
+        report["search_results"] = run_search_bench(quick=quick)
+        report["search_baseline_pr3"] = [
+            row for row in SEARCH_BASELINE_PR3
+            if not quick
+            or any(
+                row["problem"] == name and row["delta"] == delta
+                for name, delta, _, is_quick in SEARCH_CASES
+                if is_quick
+            )
+        ]
     return report
 
 
@@ -141,12 +221,19 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="CI smoke subset")
     parser.add_argument(
+        "--search",
+        action="store_true",
+        help="also time search_lower_bound runs (before/after vs the PR-3 baseline)",
+    )
+    parser.add_argument(
         "--output", default="BENCH_speedup.json", help="report destination"
     )
     parser.add_argument("--warm-rounds", type=int, default=3)
     args = parser.parse_args(argv)
 
-    report = run_bench(quick=args.quick, warm_rounds=args.warm_rounds)
+    report = run_bench(
+        quick=args.quick, warm_rounds=args.warm_rounds, search=args.search
+    )
     Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
     for record in report["results"]:
@@ -163,6 +250,13 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"largest legacy-completing case: {largest['problem']} d={largest['delta']} "
             f"-> kernel x{largest['kernel_speedup']}"
+        )
+    for record in report.get("search_results", ()):
+        print(
+            f"search {record['problem']:>18s} d={record['delta']} "
+            f"steps<={record['max_steps']}  {record['kind']:>11s}  "
+            f"bound={record['bound']}  search={record['search_s']:.3f}s  "
+            f"verified={record.get('verified')}"
         )
     print(f"wrote {args.output}")
     return 0

@@ -21,6 +21,11 @@ format of the core dataclasses):
     speedup steps interleaved with certified relaxations, emitting a
     machine-checkable :class:`repro.core.certificate.LowerBoundCertificate`
     that is re-verified from scratch before the command reports success.
+``moves``
+    List the certified relaxation moves of a problem (merge-equivalents /
+    drop / merge / addarrow, generated mask-natively) and, with
+    ``--harden``, the Section 4.5 hardening restrictions for upper-bound
+    chasing.
 
 Examples::
 
@@ -30,6 +35,7 @@ Examples::
     python -m repro catalog --name sinkless-coloring --delta 3
     python -m repro search sinkless_orientation        # fixed point, auto
     python -m repro search problem.txt --max-steps 4 --json
+    python -m repro moves mis --harden --json
 """
 
 from __future__ import annotations
@@ -98,8 +104,22 @@ def _engine_from_args(args: argparse.Namespace) -> Engine:
         max_candidate_configs=getattr(args, "max_configs", None)
         or EngineConfig().max_candidate_configs,
         cache_dir=getattr(args, "cache_dir", None),
+        zero_round_memo=not getattr(args, "no_zero_memo", False),
     )
     return Engine(config)
+
+
+def _read_problem_spec(args: argparse.Namespace) -> Problem | None:
+    """Resolve a file / stdin / catalog-name spec; None (after stderr) on error."""
+    if args.spec == "-" or os.path.exists(args.spec):
+        problem, _ = _read_problem(args.spec)
+        return problem
+    try:
+        return resolve_problem_spec(args.spec, args.delta)
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return None
 
 
 # -- subcommands -------------------------------------------------------------
@@ -197,18 +217,46 @@ def cmd_catalog(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_moves(args: argparse.Namespace) -> int:
+    from repro.search.moves import generate_hardenings, generate_moves
+
+    problem = _read_problem_spec(args)
+    if problem is None:
+        return 2
+    moves = generate_moves(problem, max_moves=args.max_moves)
+    if args.harden:
+        moves = moves + generate_hardenings(problem, max_moves=args.max_moves)
+    if args.json:
+        payload = {
+            "problem": problem.to_dict(),
+            "moves": [
+                {
+                    "kind": move.kind,
+                    "target": move.target.to_dict(),
+                    "certificate": move.certificate().to_dict(),
+                }
+                for move in moves
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"{len(moves)} certified move(s) of {problem.name}:")
+    for move in moves:
+        target = move.target
+        print(
+            f"  {move.describe()}  "
+            f"(labels={len(target.labels)}, node={len(target.node_constraint)}, "
+            f"edge={len(target.edge_constraint)})"
+        )
+    return 0
+
+
 def cmd_search(args: argparse.Namespace) -> int:
     # The spec is a file, "-" for stdin, or a catalog family name (with
     # underscores tolerated); files win when both readings are possible.
-    if args.spec == "-" or os.path.exists(args.spec):
-        problem, _ = _read_problem(args.spec)
-    else:
-        try:
-            problem = resolve_problem_spec(args.spec, args.delta)
-        except (KeyError, ValueError) as exc:
-            message = exc.args[0] if exc.args else exc
-            print(f"error: {message}", file=sys.stderr)
-            return 2
+    problem = _read_problem_spec(args)
+    if problem is None:
+        return 2
     engine = _engine_from_args(args)
     result = engine.search_lower_bound(
         problem,
@@ -340,8 +388,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="candidate-configuration size guard (default 500000)",
     )
     p_search.add_argument("--cache-dir", help="persistent JSON cache directory")
+    p_search.add_argument(
+        "--no-zero-memo",
+        action="store_true",
+        help="disable the cross-branch 0-round verdict memo",
+    )
     p_search.add_argument("--json", action="store_true", help="emit JSON output")
     p_search.set_defaults(func=cmd_search)
+
+    p_moves = sub.add_parser(
+        "moves", help="list certified relaxation / hardening moves of a problem"
+    )
+    p_moves.add_argument(
+        "spec",
+        help="problem file ('-' for stdin) or catalog family name "
+        "(underscores accepted)",
+    )
+    p_moves.add_argument(
+        "--delta", type=int, default=3, help="degree for catalog names (default 3)"
+    )
+    p_moves.add_argument(
+        "--max-moves",
+        type=int,
+        default=24,
+        help="total cap across all relaxation move families, and separately "
+        "for the hardening list (default 24)",
+    )
+    p_moves.add_argument(
+        "--harden",
+        action="store_true",
+        help="also list Section 4.5 hardening restrictions (upper-bound direction)",
+    )
+    p_moves.add_argument("--json", action="store_true", help="emit JSON output")
+    p_moves.set_defaults(func=cmd_moves)
 
     return parser
 

@@ -151,6 +151,8 @@ class InternedProblem:
         "node_config_set",
         "config_supports",
         "config_position_masks",
+        "_label_configs",
+        "_stronger_masks",
     )
 
     def __init__(self, problem: Problem):
@@ -188,6 +190,28 @@ class InternedProblem:
             position_masks.append(positions)
         self.config_supports: tuple[int, ...] = tuple(supports)
         self.config_position_masks: tuple[dict[int, int], ...] = tuple(position_masks)
+        self._label_configs: tuple[tuple[int, ...], ...] | None = None
+        # Strength-diagram cache slot, owned by repro.core.diagram: the move
+        # generator and the search driver share one diagram per problem
+        # instance instead of recomputing the quadratic replaceability grid
+        # per move (see compute_stronger_masks).
+        self._stronger_masks: tuple[int, ...] | None = None
+
+    def configs_with_label(self, label_index: int) -> tuple[int, ...]:
+        """Indices into ``node_configs`` of the configurations using a label.
+
+        The inverted index is built lazily on first use (diagram computation
+        and mask-level move generation scan per-label configuration lists;
+        plain derivations never need it) and cached for the problem's
+        lifetime.
+        """
+        if self._label_configs is None:
+            per_label: list[list[int]] = [[] for _ in range(self.alphabet.size)]
+            for config_index, support in enumerate(self.config_supports):
+                for label in iter_bits(support):
+                    per_label[label].append(config_index)
+            self._label_configs = tuple(tuple(rows) for rows in per_label)
+        return self._label_configs[label_index]
 
     def mask(self, labels: Iterable[Label]) -> int:
         return self.alphabet.mask(labels)

@@ -34,9 +34,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.alphabet import set_label_name
 from repro.core.isomorphism import find_isomorphism
 from repro.core.problem import Problem, ProblemError
-from repro.core.relaxation import RelaxationCertificate, is_relaxation_map
+from repro.core.relaxation import RELAXES, RelaxationCertificate, is_relaxation_map
 from repro.core.speedup import (
     MAX_CANDIDATE_CONFIGS,
     MAX_DERIVED_LABELS,
@@ -120,6 +121,67 @@ class CertificateStep:
             raise CertificateError(f"malformed certificate step: {exc!r}") from exc
 
 
+def _structured_form(result: SpeedupResult) -> Problem:
+    """The derived problem with its set-valued names restored from the meanings.
+
+    Every result this library produces -- fresh derivations and
+    renaming-translated cache hits alike -- satisfies ``full ==
+    structured.renamed(short names)`` with the structured labels being the
+    canonical set names of the ``full_meaning`` entries.  Rebuilding the
+    structured form therefore erases the one degree of freedom two honest
+    derivations of the same problem can differ in (the arbitrary short
+    names), while pinning everything else: tampering with ``full``, with
+    ``full_meaning``, or with their correspondence changes the rebuilt form.
+    Raises ``ProblemError`` when the recorded meanings cannot even rename the
+    problem (non-injective or incomplete -- already proof of tampering).
+    """
+    rename = {
+        label: set_label_name(result.full_meaning[label])
+        for label in result.full.labels
+    }
+    return result.full.renamed(rename, name="structured")
+
+
+def _check_speedup_provenance(
+    index: int, recorded: SpeedupResult, fresh: SpeedupResult
+) -> list[str]:
+    """Compare a recorded speedup step against the fresh re-derivation.
+
+    The half step and its meanings must match *exactly* (the derivation is
+    deterministic and cache translation reproduces the very same names); the
+    full problem may differ only in its arbitrary short label names, which
+    the structured-form comparison quotients out.  Everything else --
+    constraints, meanings, and the pairing between them -- is pinned, so a
+    certificate cannot smuggle in a forged derivation or forged provenance.
+    """
+    failures: list[str] = []
+    if recorded.half != fresh.half or dict(recorded.half_meaning) != dict(
+        fresh.half_meaning
+    ):
+        failures.append(
+            f"step {index}: recorded half step does not match the re-derived one"
+        )
+    if set(recorded.full_meaning) != set(recorded.full.labels):
+        failures.append(
+            f"step {index}: full_meaning keys do not cover the derived labels"
+        )
+        return failures
+    try:
+        recorded_structured = _structured_form(recorded)
+    except ProblemError:
+        failures.append(
+            f"step {index}: recorded full_meaning does not consistently "
+            f"name the derived problem"
+        )
+        return failures
+    if recorded_structured != _structured_form(fresh):
+        failures.append(
+            f"step {index}: re-derived speedup result does not match the "
+            f"certified problem"
+        )
+    return failures
+
+
 @dataclass(frozen=True)
 class CertificateCheck:
     """The verdict of re-verifying a certificate from scratch."""
@@ -201,11 +263,15 @@ class LowerBoundCertificate:
 
         Speedup steps are re-derived with the uncached
         :func:`~repro.core.speedup.compute_speedup` and compared against the
-        recorded problem (exactly, falling back to isomorphism of compressed
-        forms, since a renaming-translated cache hit may carry different
-        short names than a fresh derivation).  Relaxation maps are
-        re-validated against both endpoints.  The terminal condition is
-        re-decided with the 0-round procedures and the isomorphism test.
+        recorded result including its provenance: the half step and both
+        meaning maps must match the re-derivation exactly, and the full
+        problem up to its arbitrary short label names (via the rebuilt
+        structured form), so forged derivations *and* forged meanings are
+        rejected.  Relaxation maps are re-validated against both endpoints,
+        must name them, and must certify in the relaxation direction (a
+        hardening certificate cannot justify a lower-bound step).  The
+        terminal condition is re-decided with the 0-round procedures and the
+        isomorphism test.
         """
         failures: list[str] = []
         current = self.initial
@@ -220,28 +286,37 @@ class LowerBoundCertificate:
                     )
                 else:
                     try:
-                        derived = compute_speedup(
+                        fresh = compute_speedup(
                             current,
                             simplify=step.speedup.simplified,
                             max_derived_labels=max_derived_labels,
                             max_candidate_configs=max_candidate_configs,
-                        ).full
+                        )
                     except EngineLimitError as exc:
                         failures.append(f"step {index}: could not re-derive: {exc}")
                     else:
-                        if derived != step.problem and (
-                            find_isomorphism(
-                                derived.compressed(), step.problem.compressed()
-                            )
-                            is None
-                        ):
-                            failures.append(
-                                f"step {index}: re-derived speedup result does not "
-                                f"match the certified problem"
-                            )
+                        failures.extend(
+                            _check_speedup_provenance(index, step.speedup, fresh)
+                        )
             else:
                 assert step.relaxation is not None
-                if not is_relaxation_map(current, step.problem, step.relaxation.mapping):
+                certificate = step.relaxation
+                if certificate.direction != RELAXES:
+                    failures.append(
+                        f"step {index}: a {certificate.direction!r} certificate "
+                        f"cannot justify a relaxation step"
+                    )
+                if (
+                    certificate.source_name != current.name
+                    or certificate.target_name != step.problem.name
+                ):
+                    failures.append(
+                        f"step {index}: certificate endpoints "
+                        f"({certificate.source_name!r} -> "
+                        f"{certificate.target_name!r}) do not name the chain's "
+                        f"problems ({current.name!r} -> {step.problem.name!r})"
+                    )
+                if not is_relaxation_map(current, step.problem, certificate.mapping):
                     failures.append(
                         f"step {index}: label map does not certify "
                         f"{step.problem.name!r} as a relaxation of {current.name!r}"

@@ -25,18 +25,49 @@ interned configuration tuples with set-membership lookups.  The public
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
-from repro.core.alphabet import InternedProblem, intern
+from repro.core.alphabet import InternedProblem, intern, iter_bits
 from repro.core.problem import Label, Problem
+
+# -- construction counter hook ------------------------------------------------
+#
+# Diagram computation is quadratic in the alphabet and shows up in search
+# profiles; the full replaceability grid is therefore computed at most once
+# per interned problem (cached on the :class:`InternedProblem` instance) and
+# shared by every consumer -- ``compute_diagram``, the move generator, and
+# the search driver.  The counter lets regression tests assert that the
+# sharing holds: ``diagram_build_count()`` is a monotone process-wide count
+# of actual grid constructions (cache hits do not count).
+
+_build_lock = threading.Lock()
+_builds = 0
+
+
+def diagram_build_count() -> int:
+    """How many times the replaceability grid has been built in this process.
+
+    A testing/profiling hook: take a snapshot before an operation and assert
+    the delta afterwards (see ``tests/test_search.py``).  Cached reuse via
+    :func:`compute_stronger_masks` / :func:`compute_diagram` on the same
+    interned problem does not increment the count.
+    """
+    return _builds
+
+
+def _count_build() -> None:
+    global _builds
+    with _build_lock:
+        _builds += 1
 
 
 def _node_replaceable(interned: InternedProblem, weak: int, strong: int) -> bool:
     """Node side of replaceability: swap one ``weak`` for ``strong`` everywhere."""
     config_set = interned.node_config_set
-    for config in interned.node_configs:
-        if weak not in config:
-            continue
+    configs = interned.node_configs
+    for config_index in interned.configs_with_label(weak):
+        config = configs[config_index]
         swapped = list(config)
         swapped.remove(weak)
         swapped.append(strong)
@@ -122,18 +153,52 @@ class Diagram:
         return pairs
 
 
-def compute_diagram(problem: Problem) -> Diagram:
-    """Compute the strength preorder by exhaustive replaceability checks."""
-    interned = intern(problem)
-    names = interned.alphabet.names
+def compute_stronger_masks(interned: InternedProblem) -> tuple[int, ...]:
+    """The strength preorder as masks: ``masks[i]`` = labels replacing ``i``.
+
+    This is the mask-native surface the move generator consumes directly
+    (``stronger`` bit ``j`` of entry ``i`` means label ``j`` may replace
+    label ``i`` everywhere; bit ``i`` itself is always set).  The grid is
+    computed once per interned problem and cached on the instance, so every
+    consumer of the same problem -- move generation across a whole search
+    branch, :func:`compute_diagram`, equivalence merging -- shares one
+    construction.
+
+    The adjacency-mask subset test screens each ordered pair before the node
+    scan touches any configuration, and the node scan only visits the
+    configurations actually containing the weak label (the interned inverted
+    index), so large antichain alphabets -- where almost every pair fails on
+    the edge side -- cost one mask operation per pair.
+    """
+    cached = interned._stronger_masks
+    if cached is not None:
+        return cached
+    _count_build()
     size = interned.alphabet.size
-    stronger: dict[Label, frozenset[Label]] = {}
+    masks = []
     for weak in range(size):
-        stronger[names[weak]] = frozenset(
-            names[strong]
-            for strong in range(size)
-            if strong == weak or _replaceable_indices(interned, weak, strong)
-        )
+        mask = 1 << weak
+        for strong in range(size):
+            if strong != weak and _replaceable_indices(interned, weak, strong):
+                mask |= 1 << strong
+        masks.append(mask)
+    interned._stronger_masks = tuple(masks)
+    return interned._stronger_masks
+
+
+def compute_diagram(problem: Problem) -> Diagram:
+    """Compute the strength preorder by exhaustive replaceability checks.
+
+    A string-surface view over :func:`compute_stronger_masks`; repeated
+    calls on the same problem instance reuse the cached mask grid.
+    """
+    interned = intern(problem)
+    masks = compute_stronger_masks(interned)
+    names = interned.alphabet.names
+    stronger: dict[Label, frozenset[Label]] = {
+        names[weak]: frozenset(names[strong] for strong in iter_bits(mask))
+        for weak, mask in enumerate(masks)
+    }
     return Diagram(problem=problem, stronger=stronger)
 
 

@@ -27,6 +27,7 @@ the boundary.
 from __future__ import annotations
 
 from repro.core.alphabet import Alphabet, intern
+from repro.core.limits import EngineLimitError
 from repro.core.problem import Label, Problem
 
 
@@ -71,17 +72,46 @@ class Compatibility:
         """The Galois closure ``comp(comp(mask))`` on bitmasks."""
         return self.polar_mask(self.polar_mask(mask))
 
-    def closed_masks(self) -> frozenset[int]:
+    def closed_masks(self, limit: int | None = None) -> frozenset[int]:
         """All Galois-closed sets, as bitmasks.
 
         Every closed set is ``comp(X)`` for some ``X`` and
         ``comp(X) = intersection of comp({x}) over x in X``, so the closed
         sets are exactly the intersection-closure of the singleton polars
         together with ``comp(empty) = all labels``.
+
+        The closure can be exponential in the alphabet; with ``limit`` the
+        enumeration aborts with :class:`~repro.core.limits.EngineLimitError`
+        as soon as more than ``limit`` *usable* closed sets (non-empty with
+        non-empty polar -- exactly the ones the half step materialises as
+        labels) have been discovered, so the limit keeps its derived-label
+        semantics: derivations whose usable count fits the limit are never
+        refused, no matter how many unusable intersections exist.  Unlike
+        the a-priori grid guards this one is incremental -- the true count
+        is unknowable without doing the work -- so ``observed`` reports the
+        count at abort, a lower bound on the total.  (The frozen legacy
+        path has no such guard; it cannot reach this regime in feasible
+        time, which is exactly why the search needs the abort.)
         """
+        def abort(count: int) -> None:
+            raise EngineLimitError(
+                f"half step enumerated more than {limit} usable "
+                f"Galois-closed sets",
+                limit_name="max_derived_labels",
+                limit=limit,
+                observed=count,
+            )
+
         generators = set(self._adjacency)
         generators.add(self._full_mask)
         closed: set[int] = set(generators)
+        usable = 0
+        if limit is not None:
+            for mask in closed:
+                if mask and self.polar_mask(mask):
+                    usable += 1
+            if usable > limit:
+                abort(usable)
         frontier = list(generators)
         while frontier:
             current = frontier.pop()
@@ -90,13 +120,21 @@ class Compatibility:
                 if candidate not in closed:
                     closed.add(candidate)
                     frontier.append(candidate)
+                    if limit is not None and candidate and self.polar_mask(candidate):
+                        usable += 1
+                        if usable > limit:
+                            abort(usable)
         return frozenset(closed)
 
-    def usable_closed_masks(self) -> frozenset[int]:
-        """Closed masks usable as half-step labels (self and polar non-empty)."""
+    def usable_closed_masks(self, limit: int | None = None) -> frozenset[int]:
+        """Closed masks usable as half-step labels (self and polar non-empty).
+
+        ``limit`` bounds the underlying closed-set enumeration (see
+        :meth:`closed_masks`).
+        """
         return frozenset(
             candidate
-            for candidate in self.closed_masks()
+            for candidate in self.closed_masks(limit=limit)
             if candidate and self.polar_mask(candidate)
         )
 

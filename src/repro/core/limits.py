@@ -1,0 +1,41 @@
+"""The derivation size-limit exception, in a dependency-free module.
+
+:class:`EngineLimitError` is raised wherever a derivation would exceed the
+configured size limits.  It historically lived in :mod:`repro.core.speedup`
+(which re-exports it, so existing import sites keep working); it moved here
+so that lower layers the speedup module itself depends on -- the Galois
+machinery's closed-set enumeration in :mod:`repro.core.galois` -- can raise
+it without an import cycle.
+"""
+
+from __future__ import annotations
+
+
+class EngineLimitError(RuntimeError):
+    """Raised when a derivation would exceed the configured size limits.
+
+    Attributes
+    ----------
+    limit_name:
+        Which configured limit tripped: ``"max_derived_labels"`` or
+        ``"max_candidate_configs"`` (both are :class:`repro.engine.EngineConfig`
+        knobs).
+    limit:
+        The configured value of that limit.
+    observed:
+        The count the derivation hit (or predicted) when it gave up; always
+        greater than ``limit``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        limit_name: str | None = None,
+        limit: int | None = None,
+        observed: int | None = None,
+    ):
+        super().__init__(message)
+        self.limit_name = limit_name
+        self.limit = limit
+        self.observed = observed

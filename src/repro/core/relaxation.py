@@ -23,20 +23,39 @@ completed by each new assignment instead of rescanning everything.
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Collection, Mapping, Sequence
 from dataclasses import dataclass
 
 from repro.core.alphabet import intern
 from repro.core.problem import Label, Problem
 
+# The two certified directions: a *relaxation* target is provably no harder
+# than its source (the lower-bound chain step); a *hardening* target is
+# provably at least as hard (the Section 4.5 upper-bound maneuver).
+RELAXES = "relaxation"
+HARDENS = "hardening"
+
 
 @dataclass(frozen=True)
 class RelaxationCertificate:
-    """A verified witness that ``target`` is a relaxation of ``source``."""
+    """A verified witness relating ``target`` to ``source`` by a label map.
+
+    ``direction`` is :data:`RELAXES` (the map sends every allowed source
+    configuration into an allowed target configuration, so ``target`` is no
+    harder) or :data:`HARDENS` (the map is the inclusion of a restriction,
+    so ``target`` is at least as hard and its solutions solve ``source``
+    verbatim).  Lower-bound chains only accept :data:`RELAXES` steps;
+    hardenings serve the upper-bound direction.
+    """
 
     source_name: str
     target_name: str
     mapping: dict[Label, Label]
+    direction: str = RELAXES
+
+    def __post_init__(self) -> None:
+        if self.direction not in (RELAXES, HARDENS):
+            raise ValueError(f"unknown certificate direction {self.direction!r}")
 
     def to_dict(self) -> dict:
         """JSON-ready form (inverse of :meth:`from_dict`)."""
@@ -44,6 +63,7 @@ class RelaxationCertificate:
             "source_name": self.source_name,
             "target_name": self.target_name,
             "mapping": dict(sorted(self.mapping.items())),
+            "direction": self.direction,
         }
 
     @staticmethod
@@ -52,16 +72,57 @@ class RelaxationCertificate:
             source_name=data["source_name"],
             target_name=data["target_name"],
             mapping=dict(data["mapping"]),
+            # Pre-direction payloads (schema version 1) are all relaxations.
+            direction=data.get("direction", RELAXES),
         )
 
     def describe(self) -> str:
         pairs = ", ".join(f"{a}->{b}" for a, b in sorted(self.mapping.items()))
+        verb = "relaxes" if self.direction == RELAXES else "hardens"
         return (
-            f"{self.target_name} relaxes {self.source_name} via {{{pairs}}}"
+            f"{self.target_name} {verb} {self.source_name} via {{{pairs}}}"
         )
 
 
 _UNMAPPED = -1
+
+
+def check_index_image(
+    image: Sequence[int],
+    source_edge_pairs: Collection[tuple[int, int]],
+    source_node_configs: Collection[tuple[int, ...]],
+    target_edge_pairs: Collection[tuple[int, int]],
+    target_node_configs: Collection[tuple[int, ...]],
+) -> bool:
+    """The mask-level core of the relaxation check: image validity on indices.
+
+    ``image[i]`` is the target index of source label ``i`` (``_UNMAPPED``
+    for unmapped labels).  Every source edge pair and node configuration
+    fully inside the mapped labels must land inside the target's interned
+    constraint sets; configurations touching an unmapped (hence unusable)
+    label never occur in a correct solution and are skipped.  This is the
+    path the mask-native move generator certifies candidates on before any
+    string surface exists; :func:`is_relaxation_map` wraps it for the
+    public string API.
+    """
+    for a, b in source_edge_pairs:
+        ia, ib = image[a], image[b]
+        if ia == _UNMAPPED or ib == _UNMAPPED:
+            continue
+        if ((ia, ib) if ia <= ib else (ib, ia)) not in target_edge_pairs:
+            return False
+    for config in source_node_configs:
+        mapped = []
+        complete = True
+        for label_index in config:
+            target_label = image[label_index]
+            if target_label == _UNMAPPED:
+                complete = False
+                break
+            mapped.append(target_label)
+        if complete and tuple(sorted(mapped)) not in target_node_configs:
+            return False
+    return True
 
 
 def is_relaxation_map(
@@ -69,14 +130,17 @@ def is_relaxation_map(
 ) -> bool:
     """Check that ``mapping`` certifies ``target`` as a relaxation of ``source``.
 
-    Every usable label of ``source`` must be mapped; every allowed edge and
-    node configuration of ``source`` must map into the corresponding allowed
-    set of ``target``.  Configurations mentioning unmapped (hence unusable)
-    labels never occur in a correct solution and are skipped.
+    Every usable label of ``source`` must be mapped -- and nothing else: a
+    map mentioning labels outside ``source``'s alphabet is rejected outright
+    (no honest producer emits one, and certificate verification must not
+    accept padded maps).  Every allowed edge and node configuration of
+    ``source`` must map into the corresponding allowed set of ``target``.
+    Configurations mentioning unmapped (hence unusable) labels never occur
+    in a correct solution and are skipped.
     """
     if source.delta != target.delta:
         return False
-    if not source.usable_labels <= set(mapping):
+    if not source.usable_labels <= set(mapping) <= source.labels:
         return False
     if not set(mapping.values()) <= target.labels:
         return False
@@ -88,27 +152,13 @@ def is_relaxation_map(
         target_index[mapping[name]] if name in mapping else _UNMAPPED
         for name in left.alphabet.names
     ]
-
-    right_edges = right.edge_pairs
-    for a, b in left.edge_pairs:
-        ia, ib = image[a], image[b]
-        if ia == _UNMAPPED or ib == _UNMAPPED:
-            continue  # configurations over unusable labels never occur
-        if ((ia, ib) if ia <= ib else (ib, ia)) not in right_edges:
-            return False
-    right_configs = right.node_config_set
-    for config in left.node_configs:
-        mapped = []
-        complete = True
-        for label_index in config:
-            target_label = image[label_index]
-            if target_label == _UNMAPPED:
-                complete = False
-                break
-            mapped.append(target_label)
-        if complete and tuple(sorted(mapped)) not in right_configs:
-            return False
-    return True
+    return check_index_image(
+        image,
+        left.edge_pairs,
+        left.node_configs,
+        right.edge_pairs,
+        right.node_config_set,
+    )
 
 
 def certify_relaxation(
@@ -212,4 +262,24 @@ def is_harder_restriction(source: Problem, restricted: Problem) -> bool:
         and restricted.labels <= source.labels
         and restricted.edge_constraint <= source.edge_constraint
         and restricted.node_constraint <= source.node_constraint
+    )
+
+
+def certify_hardening(source: Problem, restricted: Problem) -> RelaxationCertificate:
+    """Validate the Section 4.5 restriction and wrap it in a certificate.
+
+    The certificate's map is the inclusion (identity on the kept labels) and
+    its ``direction`` is :data:`HARDENS`: the target is at least as hard as
+    the source, and any solution of it solves the source verbatim.  Raises
+    ``ValueError`` when ``restricted`` does not embed in ``source``.
+    """
+    if not is_harder_restriction(source, restricted):
+        raise ValueError(
+            f"{restricted.name} is not a constraint restriction of {source.name}"
+        )
+    return RelaxationCertificate(
+        source_name=source.name,
+        target_name=restricted.name,
+        mapping={label: label for label in restricted.labels},
+        direction=HARDENS,
     )

@@ -57,6 +57,10 @@ from repro.core.alphabet import (
     short_names,
 )
 from repro.core.galois import Compatibility
+
+# Re-exported from its dependency-free home (repro.core.limits) so the
+# Galois layer can raise it too; this module remains the public import site.
+from repro.core.limits import EngineLimitError
 from repro.core.problem import Label, Problem, edge_config, node_config
 
 __all__ = [
@@ -73,36 +77,6 @@ __all__ = [
     "speedup",
     "iterate_speedup",
 ]
-
-
-class EngineLimitError(RuntimeError):
-    """Raised when a derivation would exceed the configured size limits.
-
-    Attributes
-    ----------
-    limit_name:
-        Which configured limit tripped: ``"max_derived_labels"`` or
-        ``"max_candidate_configs"`` (both are :class:`repro.engine.EngineConfig`
-        knobs).
-    limit:
-        The configured value of that limit.
-    observed:
-        The count the derivation hit (or predicted) when it gave up; always
-        greater than ``limit``.
-    """
-
-    def __init__(
-        self,
-        message: str,
-        *,
-        limit_name: str | None = None,
-        limit: int | None = None,
-        observed: int | None = None,
-    ):
-        super().__init__(message)
-        self.limit_name = limit_name
-        self.limit = limit
-        self.observed = observed
 
 
 # Default caps keeping accidental exponential blow-ups debuggable instead of
@@ -294,7 +268,14 @@ def half_step(
     alphabet = interned.alphabet
     comp = Compatibility(problem)
     if simplify:
-        half_masks = sorted(comp.usable_closed_masks(), key=alphabet.indices)
+        # The closed-set enumeration is the one derivation phase whose size
+        # is unknowable a priori; the limit aborts it incrementally (search
+        # states with thousand-label alphabets would otherwise hang here
+        # instead of failing fast).
+        half_masks = sorted(
+            comp.usable_closed_masks(limit=max_derived_labels),
+            key=alphabet.indices,
+        )
     else:
         base_size = alphabet.size
         # The raw construction materialises all subsets AND a quadratic edge

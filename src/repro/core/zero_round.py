@@ -35,11 +35,15 @@ order as the legacy string path, so the witness found is identical.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 
-from repro.core.alphabet import InternedProblem, intern
+from repro.core.alphabet import InternedProblem, intern, iter_bits
 from repro.core.galois import Compatibility
 from repro.core.problem import NodeConfig, Problem
+from repro.utils.jsonio import atomic_write_json, load_json
 from repro.utils.multiset import multiset_difference, submultisets_of_size
 
 
@@ -210,13 +214,226 @@ def zero_round_with_orientations(problem: Problem) -> ZeroRoundWitness | None:
     return None
 
 
+def _orientations_solvable_delta2(problem: Problem) -> bool:
+    """Boolean-only fast path for the orientation setting at ``delta == 2``.
+
+    With two ports there are exactly three in-degree levels, so a 0-round
+    algorithm is one out-configuration ``C0`` (in-degree 0), one
+    in-configuration ``C2`` (in-degree 2), and one ordered split ``(x, y)``
+    of some configuration (in-degree 1, ``x`` in / ``y`` out), subject to
+    the all-pairs condition ``IN x OUT subset of g`` for ``IN =
+    supp(C2) | {x}``, ``OUT = supp(C0) | {y}``.  That condition factors
+    completely through polar masks:
+
+    * ``supp(C2) <= polar(supp(C0))``  (the pair screen);
+    * ``supp(C2) <= adj(y)`` and ``x in adj(y)``  (everything faces ``y``);
+    * ``x in polar(supp(C0))``  (``x`` faces all of ``C0``) -- unless ``y``
+      itself lies in ``supp(C0)``, in which case ``adj(y)`` constraints are
+      already part of ``polar(supp(C0))`` and the split check collapses to
+      ``x in polar(supp(C0))`` alone.
+
+    The scan over splits depends on the pair only through ``(supp(C2),
+    polar(supp(C0)))``, which repeats massively (derived problems share
+    polars), so it is memoised on that key: the whole decision is a few
+    hundred thousand mask operations where the general DFS spends a minute
+    on 1000-label problems.  The general DFS remains the witness-producing
+    path and the reference the differential suite compares against.
+    """
+    interned = intern(problem)
+    configs = interned.node_configs
+    if not configs or not interned.edge_pairs:
+        return False
+    comp = Compatibility(problem)
+    adjacency = interned.adjacency
+    supports = sorted(set(interned.config_supports))
+    polar = {support: comp.polar_mask(support) for support in supports}
+
+    # Ordered split options for in-degree 1: out label y -> mask of in labels
+    # x with {x, y} an allowed configuration; x must additionally face y.
+    options_by_out: dict[int, int] = {}
+    for a, b in configs:
+        options_by_out[b] = options_by_out.get(b, 0) | (1 << a)
+        options_by_out[a] = options_by_out.get(a, 0) | (1 << b)
+    facing = {y: mask & adjacency[y] for y, mask in options_by_out.items()}
+    # Out labels whose adjacency accepts a whole in-support, per support.
+    accepts = {
+        support: [y for y in sorted(facing) if support & ~adjacency[y] == 0]
+        for support in supports
+    }
+
+    split_memo: dict[tuple[int, int], bool] = {}
+    for out_support in supports:
+        p0 = polar[out_support]
+        for in_support in supports:
+            if in_support & ~p0:
+                continue
+            # y already among C0's labels: adj(y) is folded into p0, so any
+            # split partner x in p0 works.
+            found = False
+            for y in iter_bits(out_support):
+                if options_by_out.get(y, 0) & p0:
+                    found = True
+                    break
+            if not found:
+                key = (in_support, p0)
+                cached = split_memo.get(key)
+                if cached is None:
+                    cached = any(facing[y] & p0 for y in accepts[in_support])
+                    split_memo[key] = cached
+                found = cached
+            if found:
+                return True
+    return False
+
+
 def is_zero_round_solvable(problem: Problem, orientations: bool = True) -> bool:
     """Convenience wrapper returning a bare boolean.
 
     With ``orientations=True`` (the setting of Theorem 2 and all the paper's
     lower bounds) the orientation-input procedure is used; note a problem
-    solvable with no input is a fortiori solvable with orientations.
+    solvable with no input is a fortiori solvable with orientations.  At
+    ``delta == 2`` the boolean is decided by the closed-form fast path
+    (:func:`_orientations_solvable_delta2`); witnesses always come from the
+    general DFS.
     """
     if orientations:
+        if problem.delta == 2:
+            return _orientations_solvable_delta2(problem)
         return zero_round_with_orientations(problem) is not None
     return zero_round_no_input(problem) is not None
+
+
+# -- cross-branch memoisation --------------------------------------------------
+
+
+class ZeroRoundMemo:
+    """A cross-branch memo table of 0-round solvability verdicts.
+
+    The lower-bound search re-decides 0-round solvability for every
+    candidate of every beam state, and different branches constantly reach
+    the same derived problems up to label renaming; on 1000-label derived
+    problems the orientation-split DFS dominates search profiles.  This
+    table memoises the bare verdict, keyed on the *canonical problem hash*
+    (:func:`repro.core.canonical.canonical_hash`) plus the input setting, so
+    renamed twins hit and the verdict is shared across branches, searches,
+    and -- through the engine, which owns one instance next to its speedup
+    cache -- worker threads.
+
+    The memo is thread-safe and bounded (LRU over ``maxsize`` entries;
+    verdicts are single booleans, so no weight accounting is needed).  With
+    a ``directory`` every stored verdict is also written as one tiny JSON
+    file named by the key, and in-memory misses consult the directory before
+    recomputing -- the same persistence contract as the speedup cache:
+    corrupt, truncated, or type-mangled entries behave exactly like absent
+    ones and get overwritten by the recomputation's store.
+    """
+
+    def __init__(self, maxsize: int = 4096, directory: str | Path | None = None):
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self._lock = threading.Lock()
+        self._memory: OrderedDict[str, bool] = OrderedDict()
+        self._maxsize = maxsize
+        self._directory = Path(directory) if directory is not None else None
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_from_hash(problem_hash: str, orientations: bool) -> str:
+        """Compose the memo key from an already-computed canonical hash."""
+        return ("orientations:" if orientations else "no-input:") + problem_hash
+
+    @staticmethod
+    def key_for(problem: Problem, orientations: bool) -> str:
+        """The memo key: input setting plus canonical problem hash."""
+        from repro.core.canonical import canonical_hash
+
+        return ZeroRoundMemo.key_from_hash(canonical_hash(problem), orientations)
+
+    def _path_for(self, key: str) -> Path:
+        assert self._directory is not None
+        return self._directory / (key.replace(":", "_") + ".json")
+
+    def lookup(self, key: str) -> bool | None:
+        """The stored verdict, or None on a miss (counted)."""
+        with self._lock:
+            verdict = self._memory.get(key)
+            if verdict is not None:
+                self._memory.move_to_end(key)
+                self.hits += 1
+                return verdict
+        if self._directory is not None:
+            verdict = self._load(key)
+            if verdict is not None:
+                with self._lock:
+                    self.hits += 1
+                return verdict
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def _remember(self, key: str, solvable: bool) -> None:
+        """Insert into the LRU table (newest position), evicting beyond bounds."""
+        with self._lock:
+            self._memory.pop(key, None)
+            self._memory[key] = solvable
+            while len(self._memory) > self._maxsize:
+                self._memory.popitem(last=False)
+
+    def store(self, key: str, solvable: bool) -> None:
+        self._remember(key, bool(solvable))
+        if self._directory is not None:
+            atomic_write_json(
+                self._path_for(key),
+                {"version": 1, "key": key, "solvable": bool(solvable)},
+            )
+
+    def check(
+        self, problem: Problem, orientations: bool = True, *, key: str | None = None
+    ) -> bool:
+        """Memoised :func:`is_zero_round_solvable`.
+
+        Callers that already hold the canonical hash (the search driver
+        dedups candidates by it) pass the composed ``key`` to skip the
+        hashing; it must equal ``key_for(problem, orientations)``.
+        """
+        if key is None:
+            key = self.key_for(problem, orientations)
+        verdict = self.lookup(key)
+        if verdict is None:
+            verdict = is_zero_round_solvable(problem, orientations=orientations)
+            self.store(key, verdict)
+        return verdict
+
+    def _load(self, key: str) -> bool | None:
+        """Load one on-disk verdict; any corruption means a plain miss.
+
+        The payload must be a dict whose ``solvable`` is a genuine bool and
+        whose recorded ``key`` matches the requested one (a mangled or
+        collided file must degrade to a miss, never to a wrong verdict for
+        the requesting problem).
+        """
+        payload = load_json(self._path_for(key))
+        if not isinstance(payload, dict):
+            return None
+        solvable = payload.get("solvable")
+        if not isinstance(solvable, bool) or payload.get("key") != key:
+            return None
+        self._remember(key, solvable)
+        return solvable
+
+    def clear(self) -> None:
+        with self._lock:
+            self._memory.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._memory),
+            }

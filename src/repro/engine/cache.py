@@ -27,8 +27,6 @@ agree even for problems whose user labels contain braces or commas.
 from __future__ import annotations
 
 import dataclasses
-import json
-import os
 import threading
 from collections import OrderedDict
 from pathlib import Path
@@ -38,6 +36,7 @@ from repro.core.alphabet import set_label_name
 from repro.core.canonical import CanonicalForm, canonical_form
 from repro.core.problem import Problem
 from repro.core.speedup import SpeedupResult
+from repro.utils.jsonio import atomic_write_json, load_json
 
 
 class CacheEntry:
@@ -235,11 +234,7 @@ class SpeedupCache:
         ``AttributeError`` cover payloads whose shape lies (e.g. a list
         where the meaning dict should be).
         """
-        path = self._path_for(key)
-        try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
-            return None
+        payload = load_json(self._path_for(key))
         if not isinstance(payload, dict):
             return None
         try:
@@ -257,15 +252,9 @@ class SpeedupCache:
         return entry
 
     def _dump(self, key: str, result: SpeedupResult) -> None:
-        path = self._path_for(key)
-        payload = {"version": 1, "key": key, "result": result.to_dict()}
-        tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
-        try:
-            tmp.write_text(json.dumps(payload, sort_keys=True))
-            tmp.replace(path)
-        except OSError:
-            # A read-only or full cache directory must never fail a derivation.
-            try:
-                tmp.unlink(missing_ok=True)
-            except OSError:
-                pass
+        # A read-only or full cache directory must never fail a derivation:
+        # atomic_write_json is best-effort by contract.
+        atomic_write_json(
+            self._path_for(key),
+            {"version": 1, "key": key, "result": result.to_dict()},
+        )

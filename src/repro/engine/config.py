@@ -59,6 +59,16 @@ class EngineConfig:
     cache_dir:
         Optional directory for a persistent JSON cache shared across
         processes; entries are loaded lazily on miss and written on store.
+        Also the parent of the 0-round memo's ``zero_round/`` subdirectory
+        when the memo is enabled.
+    zero_round_memo:
+        Memoise 0-round solvability verdicts in a cross-branch table keyed
+        on canonical problem hashes (:class:`repro.core.zero_round.
+        ZeroRoundMemo`) -- the search re-decides 0-round solvability for
+        every candidate of every branch, and renamed twins are ubiquitous.
+    zero_round_memo_size:
+        Maximum number of memoised verdicts (LRU eviction; entries are
+        single booleans, so no weight bound is needed).
     max_workers:
         Worker-pool width for the batch APIs (``speedup_many`` /
         ``run_many``) and the lower-bound search.  ``None`` picks
@@ -83,6 +93,8 @@ class EngineConfig:
     cache_size: int = 512
     cache_max_weight: int | None = 5_000_000
     cache_dir: str | Path | None = None
+    zero_round_memo: bool = True
+    zero_round_memo_size: int = 4096
     max_workers: int | None = None
     search_beam_width: int = 4
     search_max_moves: int = 24
@@ -97,6 +109,8 @@ class EngineConfig:
             raise ValueError("cache_size must be positive")
         if self.cache_max_weight is not None and self.cache_max_weight < 1:
             raise ValueError("cache_max_weight must be positive when given")
+        if self.zero_round_memo_size < 1:
+            raise ValueError("zero_round_memo_size must be positive")
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be positive when given")
         if self.search_beam_width < 1:

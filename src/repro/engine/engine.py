@@ -24,6 +24,7 @@ from __future__ import annotations
 import threading
 from collections.abc import Callable, Generator, Sequence
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 
 from repro.core.isomorphism import find_isomorphism
 from repro.core.problem import Problem
@@ -36,7 +37,9 @@ from repro.core.speedup import (
 )
 from repro.core.speedup import half_step as _half_step
 from repro.core.zero_round import (
+    ZeroRoundMemo,
     ZeroRoundWitness,
+    is_zero_round_solvable,
     zero_round_no_input,
     zero_round_with_orientations,
 )
@@ -57,7 +60,13 @@ class Engine:
     without losing warm state.
     """
 
-    def __init__(self, config: EngineConfig | None = None, *, cache: SpeedupCache | None = None):
+    def __init__(
+        self,
+        config: EngineConfig | None = None,
+        *,
+        cache: SpeedupCache | None = None,
+        zero_round_memo: ZeroRoundMemo | None = None,
+    ):
         self._config = config if config is not None else EngineConfig()
         if cache is not None:
             self._cache = cache
@@ -67,6 +76,19 @@ class Engine:
                 directory=self._config.cache_dir,
                 max_weight=self._config.cache_max_weight,
             )
+        if zero_round_memo is not None:
+            self._zero_round_memo: ZeroRoundMemo | None = zero_round_memo
+        elif self._config.zero_round_memo:
+            memo_dir = (
+                None
+                if self._config.cache_dir is None
+                else Path(self._config.cache_dir) / "zero_round"
+            )
+            self._zero_round_memo = ZeroRoundMemo(
+                maxsize=self._config.zero_round_memo_size, directory=memo_dir
+            )
+        else:
+            self._zero_round_memo = None
 
     # -- configuration -------------------------------------------------------
 
@@ -78,23 +100,41 @@ class Engine:
     def cache(self) -> SpeedupCache:
         return self._cache
 
-    def with_config(self, **overrides) -> "Engine":
-        """A re-configured engine; shares this engine's cache when possible.
+    @property
+    def zero_round_memo(self) -> ZeroRoundMemo | None:
+        return self._zero_round_memo
 
-        Overriding ``cache_size``, ``cache_dir``, or ``cache_max_weight``
-        allocates a fresh cache (the old one keeps serving engines already
-        holding it).
+    def with_config(self, **overrides) -> "Engine":
+        """A re-configured engine; shares this engine's caches when possible.
+
+        Overriding ``cache_size``, ``cache_dir``, ``cache_max_weight``, or
+        the ``zero_round_memo*`` knobs allocates fresh caches (the old ones
+        keep serving engines already holding them).
         """
         config = self._config.replace(**overrides)
-        if overrides.keys() & {"cache_size", "cache_dir", "cache_max_weight"}:
+        if overrides.keys() & {
+            "cache_size",
+            "cache_dir",
+            "cache_max_weight",
+            "zero_round_memo",
+            "zero_round_memo_size",
+        }:
             return Engine(config)
-        return Engine(config, cache=self._cache)
+        return Engine(config, cache=self._cache, zero_round_memo=self._zero_round_memo)
 
     def cache_stats(self) -> dict[str, int]:
         return self._cache.stats()
 
+    def zero_round_stats(self) -> dict[str, int]:
+        """Hit/miss/entry counts of the 0-round memo (all zero when disabled)."""
+        if self._zero_round_memo is None:
+            return {"hits": 0, "misses": 0, "entries": 0}
+        return self._zero_round_memo.stats()
+
     def clear_cache(self) -> None:
         self._cache.clear()
+        if self._zero_round_memo is not None:
+            self._zero_round_memo.clear()
 
     # -- single derivations --------------------------------------------------
 
@@ -197,7 +237,25 @@ class Engine:
 
     # -- pipelines -----------------------------------------------------------
 
+    def zero_round_solvable(self, problem: Problem, *, key: str | None = None) -> bool:
+        """0-round solvability in the engine's input setting, memoised.
+
+        Verdicts are shared through the engine's :class:`ZeroRoundMemo`
+        (canonical-hash keyed, so renamed twins hit) across calls, search
+        branches, and worker threads; ``key`` lets callers that already
+        computed the memo key skip the canonical hashing.  Falls back to the
+        uncached decision procedures when the memo is disabled.
+        """
+        orientations = self._config.orientations
+        if self._zero_round_memo is None:
+            return is_zero_round_solvable(problem, orientations=orientations)
+        return self._zero_round_memo.check(problem, orientations, key=key)
+
     def _witness_for(self, problem: Problem) -> ZeroRoundWitness | None:
+        # Deliberately unmemoised: a pipeline sees each problem once, so the
+        # canonical hashing the memo keys on would cost more than the witness
+        # search it skips.  The memo earns its keep in the search driver,
+        # where branches revisit renamed twins constantly.
         if self._config.orientations:
             return zero_round_with_orientations(problem)
         return zero_round_no_input(problem)

@@ -4,9 +4,11 @@ This package automates the paper's Section 2.1 workflow -- iterated round
 elimination *interleaved with relaxations* -- the technique the Round
 Eliminator mechanises and the automata-theoretic view of Chang-Studeny-
 Suomela systematises.  Given a problem, :func:`search_lower_bound` explores
-bounded-size relaxations of each derived problem (label-merging and
-label-dropping moves read off the strength diagram, deduplicated by
-canonical hashes and memoised through the engine cache) looking for either
+bounded-size relaxations of each derived problem (merge / drop / addarrow
+moves generated and applied on the interned bitmask view, with the strength
+diagram computed once per derived problem, deduplicated by canonical hashes,
+and 0-round checks memoised cross-branch through the engine) looking for
+either
 
 * a **pumpable fixed point** -- the unbounded / Omega(log n) outcome -- or
 * the longest **chain** it can certify within its budget -- a concrete
@@ -28,12 +30,19 @@ Shell surface: ``python -m repro search sinkless-orientation``.
 """
 
 from repro.search.driver import SearchResult, SearchStats, search_lower_bound
-from repro.search.moves import RelaxationMove, generate_moves
+from repro.search.moves import (
+    RELAXATION_KINDS,
+    RelaxationMove,
+    generate_hardenings,
+    generate_moves,
+)
 
 __all__ = [
+    "RELAXATION_KINDS",
     "RelaxationMove",
     "SearchResult",
     "SearchStats",
+    "generate_hardenings",
     "generate_moves",
     "search_lower_bound",
 ]

@@ -12,7 +12,10 @@ derived problem itself plus every certified relaxation move of it
   pumpable fixed point -- the search stops and returns the unbounded
   certificate immediately;
 * a candidate that is 0-round solvable is discarded (relaxing that far
-  destroys the lower bound);
+  destroys the lower bound); the verdicts are memoised cross-branch through
+  the engine's :class:`~repro.core.zero_round.ZeroRoundMemo`, keyed on the
+  canonical hashes the dedup already computes, so renamed twins reached by
+  different branches decide once;
 * surviving candidates are deduplicated by canonical hash and scored by
   description size (small problems are exactly what Section 2.1's relaxation
   technique exists to reach), and the best ``beam_width`` become the next
@@ -42,12 +45,19 @@ from repro.core.certificate import (
 from repro.core.isomorphism import find_isomorphism
 from repro.core.problem import Problem
 from repro.core.speedup import EngineLimitError, SpeedupResult
-from repro.core.zero_round import is_zero_round_solvable
+from repro.core.zero_round import ZeroRoundMemo, is_zero_round_solvable
 from repro.search.moves import RelaxationMove, generate_moves
 
 KIND_TRIVIAL = "trivial"
 KIND_CHAIN = "chain"
 KIND_FIXED_POINT = "fixed-point"
+
+# Above this description size, every surviving move still costs a compressed
+# canonical hash plus a 0-round decision downstream in this driver; on huge
+# derived problems those dominate the wall clock, and the beam keeps only
+# ``beam_width`` states anyway, so the per-state move budget shrinks to just
+# past the beam width instead of the configured cap.
+_LARGE_STATE_SIZE = 100_000
 
 
 @dataclass(frozen=True)
@@ -60,6 +70,8 @@ class SearchStats:
     duplicates_pruned: int = 0
     zero_round_pruned: int = 0
     limit_hits: int = 0
+    zero_round_checks: int = 0
+    zero_round_memo_hits: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -69,6 +81,8 @@ class SearchStats:
             "duplicates_pruned": self.duplicates_pruned,
             "zero_round_pruned": self.zero_round_pruned,
             "limit_hits": self.limit_hits,
+            "zero_round_checks": self.zero_round_checks,
+            "zero_round_memo_hits": self.zero_round_memo_hits,
         }
 
 
@@ -168,6 +182,8 @@ class _Counters:
         "duplicates_pruned",
         "zero_round_pruned",
         "limit_hits",
+        "zero_round_checks",
+        "zero_round_memo_hits",
     )
 
     def __init__(self) -> None:
@@ -210,20 +226,49 @@ def search_lower_bound(
     orientations = config.orientations
 
     counters = _Counters()
+    memo = engine.zero_round_memo
 
-    if is_zero_round_solvable(problem, orientations=orientations):
+    def zero_round(candidate: Problem, problem_hash: str) -> bool:
+        """Memoised 0-round check, with hits counted locally.
+
+        The memo is shared engine-wide, so its global hit counter would
+        attribute concurrent workloads to this search; looking it up here
+        keeps the stats exact.  ``problem_hash`` is the candidate's already
+        computed canonical hash (the dedup needs it anyway).
+        """
+        counters.zero_round_checks += 1
+        if memo is None:
+            return engine.zero_round_solvable(candidate)
+        key = ZeroRoundMemo.key_from_hash(problem_hash, orientations)
+        verdict = memo.lookup(key)
+        if verdict is not None:
+            counters.zero_round_memo_hits += 1
+            return verdict
+        verdict = is_zero_round_solvable(candidate, orientations=orientations)
+        memo.store(key, verdict)
+        return verdict
+
+    def finish_stats() -> SearchStats:
+        return counters.snapshot()
+
+    # The root is checked and memoised on its compressed form like every
+    # other candidate (0-round solvability is compression-invariant), and
+    # its canonical hash doubles as the chain's first dedup key.
+    root_compressed = problem.compressed()
+    root_key = canonical_hash(root_compressed)
+    if zero_round(root_compressed, root_key):
         return SearchResult(
             problem=problem,
             kind=KIND_TRIVIAL,
             certificate=None,
-            stats=counters.snapshot(),
+            stats=finish_stats(),
         )
 
     root = _State(
         problem=problem,
         steps=(),
-        chain_keys=(canonical_hash(problem.compressed()),),
-        chain_compressed=(problem.compressed(),),
+        chain_keys=(root_key,),
+        chain_compressed=(root_compressed,),
     )
     beam = [root]
     deepest = root
@@ -233,7 +278,10 @@ def search_lower_bound(
             result = engine.speedup(state.problem)
         except EngineLimitError:
             return _Expansion(state=state, result=None, limit_hit=True)
-        moves = tuple(generate_moves(result.full, max_moves=max_moves))
+        moves_cap = max_moves
+        if result.full.description_size > _LARGE_STATE_SIZE:
+            moves_cap = min(max_moves, beam_width + 1)
+        moves = tuple(generate_moves(result.full, max_moves=moves_cap))
         return _Expansion(state=state, result=result, moves=moves)
 
     for _depth in range(1, max_steps + 1):
@@ -302,9 +350,13 @@ def search_lower_bound(
                         problem=problem,
                         kind=KIND_FIXED_POINT,
                         certificate=certificate,
-                        stats=counters.snapshot(),
+                        stats=finish_stats(),
                     )
-                if is_zero_round_solvable(target, orientations=orientations):
+                # 0-round solvability is invariant under compression (every
+                # witness uses only usable labels), so the check runs on the
+                # compressed form whose canonical hash is already in hand --
+                # exactly the memo key shared across branches.
+                if zero_round(compressed, key):
                     counters.zero_round_pruned += 1
                     if move is None:
                         # Relaxations of a 0-round solvable problem are all
@@ -343,7 +395,7 @@ def search_lower_bound(
         problem=problem,
         kind=KIND_CHAIN,
         certificate=certificate,
-        stats=counters.snapshot(),
+        stats=finish_stats(),
     )
 
 

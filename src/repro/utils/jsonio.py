@@ -1,0 +1,47 @@
+"""Robust JSON file I/O shared by the persistent caches.
+
+The engine's on-disk caches (speedup derivations, 0-round verdicts) share a
+directory across processes; a crashed writer, a full disk, or a concurrent
+truncation can leave an entry in any broken state.  These helpers implement
+the two halves of the required contract:
+
+* :func:`load_json` treats *every* unreadable or non-JSON file as an absent
+  entry (returns ``None``) -- callers recompute and overwrite;
+* :func:`atomic_write_json` writes via a unique temp file and ``rename`` so
+  readers never observe a half-written entry, and swallows ``OSError`` so a
+  read-only or full cache directory never fails the computation being
+  cached.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+
+
+def load_json(path: Path) -> object | None:
+    """Parse one JSON file; any I/O or decode failure reads as ``None``.
+
+    ``ValueError`` covers both JSON and Unicode decoding; the caller is
+    responsible for validating the payload's *shape* (a parse that succeeds
+    can still be a lie).
+    """
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def atomic_write_json(path: Path, payload: object) -> None:
+    """Atomically replace ``path`` with the serialized payload, best effort."""
+    tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+    try:
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        tmp.replace(path)
+    except OSError:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass

@@ -6,7 +6,12 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
 
-from run_speedup_bench import bench_case, main, run_bench  # noqa: E402
+from run_speedup_bench import (  # noqa: E402
+    bench_case,
+    main,
+    run_bench,
+    run_search_bench,
+)
 
 TINY_CASES = [
     ("sinkless-coloring", 3, True, True),
@@ -34,6 +39,33 @@ def test_bench_case_records_limits():
     record = bench_case("6-coloring", 2, run_legacy=False)
     assert record["status"] == "limit:max_derived_labels"
     assert "warm_s" not in record
+
+
+def test_run_search_bench_rows():
+    rows = run_search_bench(cases=[("sinkless-orientation", 3, 4, True)])
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["kind"] == "fixed-point"
+    assert row["bound"] == 2
+    assert row["verified"] is True
+    assert row["search_s"] >= 0 and row["verify_s"] >= 0
+    assert row["stats"]["speedup_calls"] >= 2
+
+
+def test_report_embeds_search_baseline(monkeypatch):
+    import run_speedup_bench
+
+    monkeypatch.setattr(
+        run_speedup_bench,
+        "SEARCH_CASES",
+        [("sinkless-orientation", 3, 4, True)],
+    )
+    report = run_bench(cases=TINY_CASES, warm_rounds=1, quick=True, search=True)
+    assert len(report["search_results"]) == 1
+    # The quick report carries only the baseline rows of the quick cases.
+    baseline = report["search_baseline_pr3"]
+    assert [row["problem"] for row in baseline] == ["sinkless-orientation"]
+    assert baseline[0]["verified"] is True
 
 
 def test_main_writes_json(tmp_path, monkeypatch, capsys):

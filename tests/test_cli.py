@@ -198,6 +198,50 @@ def test_search_unknown_family_fails_cleanly():
     assert "not-a-problem" in process.stderr
 
 
+def test_search_accepts_no_zero_memo_flag():
+    process = run_cli("search", "sinkless-coloring", "--no-zero-memo")
+    assert "independently re-verified: ok" in process.stdout
+
+
+def test_moves_text_output_lists_certified_moves():
+    process = run_cli("moves", "mis")
+    assert "certified move(s) of mis[d=3]" in process.stdout
+    assert "merge[" in process.stdout
+
+
+def test_moves_harden_json_payload():
+    from repro.core.problem import Problem
+    from repro.core.relaxation import (
+        HARDENS,
+        is_harder_restriction,
+        is_relaxation_map,
+    )
+
+    # b strictly dominates a, so both a drop move and hardening restrictions
+    # exist.
+    text = "problem dominated delta=2\nlabels: a b\nnode:\na b\nb b\nedge:\na b\nb b\n"
+    process = run_cli("moves", "-", "--harden", "--json", stdin_text=text)
+    payload = json.loads(process.stdout)
+    source = Problem.from_dict(payload["problem"])
+    assert payload["moves"]
+    directions = set()
+    for move in payload["moves"]:
+        target = Problem.from_dict(move["target"])
+        certificate = move["certificate"]
+        directions.add(certificate["direction"])
+        if certificate["direction"] == HARDENS:
+            assert move["kind"] == "harden"
+            assert is_harder_restriction(source, target)
+        else:
+            assert is_relaxation_map(source, target, certificate["mapping"])
+    assert directions == {"relaxation", HARDENS}
+
+
+def test_moves_unknown_family_fails_cleanly():
+    process = run_cli("moves", "not_a_problem", check=False)
+    assert process.returncode == 2
+
+
 def test_main_is_importable():
     from repro.cli import main
 

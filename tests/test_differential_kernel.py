@@ -20,7 +20,14 @@ import pytest
 
 from repro.core import _legacy
 from repro.core.canonical import canonical_form, canonical_hash
+from repro.core.diagram import merge_equivalent_labels
 from repro.core.problem import Problem
+from repro.core.relaxation import (
+    HARDENS,
+    RELAXES,
+    is_harder_restriction,
+    is_relaxation_map,
+)
 from repro.core.speedup import EngineLimitError, compute_speedup
 from repro.core.zero_round import (
     is_zero_round_solvable,
@@ -28,6 +35,15 @@ from repro.core.zero_round import (
     zero_round_with_orientations,
 )
 from repro.problems.catalog import catalog
+from repro.search.moves import (
+    ADDARROW,
+    DROP,
+    HARDEN,
+    MERGE,
+    MERGE_EQUIVALENTS,
+    generate_hardenings,
+    generate_moves,
+)
 from repro.utils.multiset import multisets_of_size
 
 # Catalog instances whose legacy derivation is too slow for tier-1; they run
@@ -95,6 +111,109 @@ def test_random_problems_are_diverse():
     problems = [random_problem(seed) for seed in range(SEED_COUNT)]
     assert {p.delta for p in problems} == {1, 2, 3}
     assert len({(p.delta, len(p.labels)) for p in problems}) >= 6
+
+
+# -- mask-native move generation vs the string path ---------------------------
+#
+# The move generator applies relaxations on the interned bitmask view and
+# materialises only the survivors.  These reference implementations apply the
+# same moves with plain string rewrites (the pre-mask-native semantics); for
+# every generated move, the mask-level application must reproduce the string
+# rewrite *exactly* -- same name, same alphabet, same constraints, same map.
+
+
+def string_merge(problem: Problem, a: str, b: str) -> Problem:
+    mapping = {label: (b if label == a else label) for label in problem.labels}
+    return Problem.make(
+        name=f"{problem.name}|{a}>{b}",
+        delta=problem.delta,
+        edge_configs=[(mapping[x], mapping[y]) for x, y in problem.edge_constraint],
+        node_configs=[
+            tuple(mapping[label] for label in config)
+            for config in problem.node_constraint
+        ],
+        labels={mapping[label] for label in problem.labels},
+    )
+
+
+def string_drop(problem: Problem, a: str) -> Problem:
+    return problem.restricted(problem.labels - {a}, name=f"{problem.name}|-{a}")
+
+
+def string_addarrow(problem: Problem, a: str, b: str) -> Problem:
+    edges = set(problem.edge_constraint)
+    for pair in problem.edge_constraint:
+        if a in pair:
+            x, y = pair
+            edges.add(tuple(sorted((b if x == a else x, b if y == a else y))))
+            if x == a and y == a:
+                edges.add(tuple(sorted((a, b))))
+    nodes = set(problem.node_constraint)
+    for config in problem.node_constraint:
+        remaining = list(config)
+        while a in remaining:
+            remaining.remove(a)
+            remaining.append(b)
+            nodes.add(tuple(sorted(remaining)))
+    return Problem.make(
+        name=f"{problem.name}|{a}~>{b}",
+        delta=problem.delta,
+        edge_configs=edges,
+        node_configs=nodes,
+        labels=problem.labels,
+    )
+
+
+def _collapsed_pair(move) -> tuple[str, str]:
+    ((a, b),) = [(x, y) for x, y in move.mapping.items() if x != y]
+    return a, b
+
+
+def assert_moves_match_string_path(problem: Problem) -> None:
+    moves = generate_moves(problem, max_moves=256)
+    for move in moves:
+        assert move.source is problem
+        assert is_relaxation_map(problem, move.target, move.mapping)
+        certificate = move.certificate()
+        assert certificate.direction == RELAXES
+        assert certificate.source_name == problem.name
+        assert certificate.target_name == move.target.name
+        if move.kind == MERGE_EQUIVALENTS:
+            expected, expected_mapping = merge_equivalent_labels(problem)
+            assert move.mapping == expected_mapping
+        elif move.kind == DROP:
+            a, b = _collapsed_pair(move)
+            expected = string_drop(problem, a)
+        elif move.kind == MERGE:
+            a, b = _collapsed_pair(move)
+            expected = string_merge(problem, a, b)
+        elif move.kind == ADDARROW:
+            assert move.mapping == {label: label for label in problem.labels}
+            a, b = move.detail.split("~>")
+            expected = string_addarrow(problem, a, b)
+        else:  # pragma: no cover - new kinds must be added to this test
+            raise AssertionError(f"unknown move kind {move.kind!r}")
+        assert move.target == expected, move.describe()
+
+    for move in generate_hardenings(problem, max_moves=64):
+        assert move.kind == HARDEN
+        assert is_harder_restriction(problem, move.target)
+        assert move.certificate().direction == HARDENS
+        expected = problem.restricted(move.target.labels, name=move.target.name)
+        assert move.target == expected, move.describe()
+
+
+@pytest.mark.parametrize("seed", range(SEED_COUNT))
+def test_mask_moves_match_string_path_on_random_problem(seed):
+    assert_moves_match_string_path(random_problem(seed))
+
+
+def test_mask_moves_match_string_path_on_derived_problems():
+    """Derived problems have the set-valued names and rich diagrams the
+    search actually relaxes; a sample keeps the tier-1 cost bounded."""
+    for seed in range(0, SEED_COUNT, 25):
+        derived = compute_speedup(random_problem(seed)).full
+        assert_moves_match_string_path(derived)
 
 
 # -- catalog -----------------------------------------------------------------

@@ -56,7 +56,24 @@ def test_derived_label_limit_reports_observed_count(mis_d3):
     error = excinfo.value
     assert error.limit_name == "max_derived_labels"
     assert error.limit == 1
-    assert error.observed == 2  # the guard fires on the second filter
+    # The earliest derived-label guard is now the incremental closed-set
+    # abort in the half step; only *usable* closed sets count against the
+    # limit (mis has 3 usable sets among its initial generators).
+    assert error.observed == 3
+    assert "usable Galois-closed" in str(error)
+
+
+def test_filter_enumeration_guard_still_fires(mis_d3):
+    # With the usable closed-set count inside the limit (mis has 4), the
+    # full step's filter enumeration guard keeps its legacy trip point and
+    # observed count.
+    tight = Engine(EngineConfig(max_derived_labels=4))
+    with pytest.raises(EngineLimitError) as excinfo:
+        tight.speedup(mis_d3)
+    error = excinfo.value
+    assert error.limit_name == "max_derived_labels"
+    assert error.limit == 4
+    assert error.observed == 5  # the guard fires on the fifth filter
     assert "filters" in str(error)
 
 

@@ -3,6 +3,10 @@
 import pytest
 
 from repro.core.relaxation import (
+    HARDENS,
+    RELAXES,
+    RelaxationCertificate,
+    certify_hardening,
     certify_relaxation,
     find_relaxation_map,
     is_harder_restriction,
@@ -81,3 +85,46 @@ def test_relaxation_ignores_unusable_labels():
     target = Problem.make("q", 2, [("x", "x")], [("x", "x")], labels=["x"])
     # z is unusable (no node config); mapping only a suffices.
     assert is_relaxation_map(source, target, {"a": "x"})
+
+
+def test_relaxation_map_rejects_spurious_keys(sc3):
+    """Padded maps fail: no honest producer maps labels outside the source."""
+    identity = {label: label for label in sc3.labels}
+    assert is_relaxation_map(sc3, sc3, identity)
+    assert not is_relaxation_map(sc3, sc3, {**identity, "ghost": "0"})
+
+
+# -- direction-tagged certificates (schema v2) ---------------------------------
+
+
+def test_certificate_direction_defaults_and_roundtrips(sc3):
+    identity = {label: label for label in sc3.labels}
+    certificate = certify_relaxation(sc3, sc3, identity)
+    assert certificate.direction == RELAXES
+    payload = certificate.to_dict()
+    assert payload["direction"] == RELAXES
+    assert RelaxationCertificate.from_dict(payload) == certificate
+    # Pre-direction payloads (schema version 1) read back as relaxations.
+    legacy_payload = {k: v for k, v in payload.items() if k != "direction"}
+    assert RelaxationCertificate.from_dict(legacy_payload) == certificate
+
+
+def test_certificate_rejects_unknown_direction(sc3):
+    with pytest.raises(ValueError):
+        RelaxationCertificate(
+            source_name="a", target_name="b", mapping={}, direction="sideways"
+        )
+
+
+def test_certify_hardening(col4_ring):
+    restricted = col4_ring.restricted({"c1", "c2", "c3"}, name="col3")
+    certificate = certify_hardening(col4_ring, restricted)
+    assert certificate.direction == HARDENS
+    assert certificate.source_name == col4_ring.name
+    assert certificate.target_name == "col3"
+    assert certificate.mapping == {label: label for label in restricted.labels}
+    assert "hardens" in certificate.describe()
+    payload = certificate.to_dict()
+    assert RelaxationCertificate.from_dict(payload) == certificate
+    with pytest.raises(ValueError):
+        certify_hardening(restricted, col4_ring)  # wrong way around

@@ -67,6 +67,101 @@ def test_generate_moves_zero_cap():
     assert generate_moves(get_problem("mis", 3), max_moves=0) == []
 
 
+def test_addarrow_moves_are_identity_certified_supersets(engine, mis_d3):
+    from repro.search.moves import ADDARROW
+
+    derived = engine.speedup(mis_d3).full
+    arrows = [
+        m for m in generate_moves(derived, max_moves=64) if m.kind == ADDARROW
+    ]
+    assert arrows
+    for move in arrows:
+        assert move.mapping == {label: label for label in derived.labels}
+        assert move.target.labels == derived.labels
+        assert move.target.edge_constraint >= derived.edge_constraint
+        assert move.target.node_constraint >= derived.node_constraint
+        assert move.target.description_size > derived.description_size
+
+
+def test_addarrow_then_drop_equals_merge():
+    """The RE identity: addarrow(a,b) followed by drop(a) is the generic merge."""
+    from repro.core.problem import Problem
+    from repro.search.moves import ADDARROW, DROP, MERGE
+
+    problem = Problem.make(
+        "pair", 2, edge_configs=[("a", "b")], node_configs=[("a", "a"), ("b", "b")]
+    )
+    moves = generate_moves(problem, max_moves=64)
+    arrow = next(m for m in moves if m.kind == ADDARROW and m.detail == "a~>b")
+    merge = next(m for m in moves if m.kind == MERGE and m.mapping["a"] == "b")
+    drops = [m for m in generate_moves(arrow.target, max_moves=64) if m.kind == DROP]
+    composite = next(m for m in drops if "a" not in m.target.labels).target
+    assert composite.labels == merge.target.labels
+    assert composite.edge_constraint == merge.target.edge_constraint
+    assert composite.node_constraint == merge.target.node_constraint
+
+
+def test_hardenings_are_restrictions_and_never_relaxation_moves(engine, mis_d3):
+    from repro.core.relaxation import HARDENS, is_harder_restriction
+    from repro.search.moves import HARDEN, generate_hardenings
+
+    derived = engine.speedup(mis_d3).full
+    hardenings = generate_hardenings(derived, max_moves=8)
+    relaxations = generate_moves(derived, max_moves=64)
+    assert all(m.kind != HARDEN for m in relaxations)
+    for move in hardenings:
+        assert is_harder_restriction(derived, move.target)
+        certificate = move.certificate()
+        assert certificate.direction == HARDENS
+        # A hardening certificate must never pass as a lower-bound step.
+        from repro.core.certificate import RELAXATION, CertificateStep, LowerBoundCertificate
+
+        chain = LowerBoundCertificate(
+            initial=derived,
+            steps=(
+                CertificateStep(
+                    kind=RELAXATION, problem=move.target, relaxation=certificate
+                ),
+            ),
+        )
+        check = chain.verify()
+        assert not check.valid
+        assert any("cannot justify" in failure for failure in check.failures)
+
+
+# -- diagram sharing (regression: one replaceability grid per problem) ----------
+
+
+def test_move_generation_builds_one_diagram():
+    from repro.core.diagram import compute_diagram, diagram_build_count
+    from repro.search.moves import generate_hardenings
+
+    # A fresh instance: the grid cache lives on the interned problem, so a
+    # shared fixture could arrive pre-warmed.
+    problem = get_problem("mis", 3)
+    before = diagram_build_count()
+    moves = generate_moves(problem, max_moves=64)
+    assert moves
+    generate_hardenings(problem, max_moves=8)
+    compute_diagram(problem)  # consumers beyond the generator share it too
+    assert diagram_build_count() - before == 1
+
+
+def test_search_builds_at_most_one_diagram_per_expansion(mis_d3):
+    from repro.core.diagram import diagram_build_count
+
+    engine = Engine(
+        EngineConfig(max_derived_labels=5_000, max_candidate_configs=100_000)
+    )
+    before = diagram_build_count()
+    result = engine.search_lower_bound(
+        mis_d3, max_steps=2, beam_width=2, max_moves=6, budget=16
+    )
+    builds = diagram_build_count() - before
+    successful_expansions = result.stats.speedup_calls - result.stats.limit_hits
+    assert builds <= successful_expansions
+
+
 # -- fixed-point discovery -----------------------------------------------------
 
 
@@ -273,6 +368,37 @@ def test_fixed_point_after_relaxation_uses_chain_positions(monkeypatch, so3):
 
 
 # -- search stress (separate CI job) ------------------------------------------
+
+
+@pytest.mark.slow
+def test_weak3_search_expands_two_levels_within_budget():
+    """The ISSUE-5 acceptance case: weak-3[d=2] (976-label Pi_1).
+
+    Before the mask-native move generator, the closed-set enumeration abort,
+    and the delta-2 0-round fast path, this search died in string-surface
+    move generation (no result within 600s).  Now it must expand two search
+    levels (the root at depth 1, its surviving relaxations at depth 2) and
+    return an independently verified certificate within the 5-minute CI
+    budget.
+    """
+    import time
+
+    engine = Engine(
+        EngineConfig(max_derived_labels=20_000, max_candidate_configs=500_000)
+    )
+    problem = get_problem("weak-3-coloring", 2)
+    start = time.monotonic()
+    result = engine.search_lower_bound(problem, max_steps=2)
+    elapsed = time.monotonic() - start
+    assert elapsed < 300
+    # Depth 1 expands exactly the root, so any further expansion proves the
+    # search entered level 2 with surviving candidates.
+    assert result.stats.states_expanded >= 2
+    assert result.kind == KIND_CHAIN
+    certificate = result.certificate
+    assert certificate is not None
+    assert certificate.claimed_bound >= 1
+    assert certificate.verify().valid
 
 
 @pytest.mark.slow

@@ -104,3 +104,46 @@ def test_witness_describe(sc3):
     witness = zero_round_no_input(trivial_problem(2))
     text = witness.describe()
     assert "0-round witness" in text
+
+
+# -- the delta-2 boolean fast path vs the reference DFS ------------------------
+#
+# `is_zero_round_solvable` decides delta == 2 with the closed-form
+# `_orientations_solvable_delta2`; certificate verification trusts that
+# boolean, so its equivalence to the witness-producing DFS is pinned by
+# brute force over dense random instances (every edge/node density mix, 1-5
+# labels) -- the fast seeds here in tier-1, thousands more in the slow
+# suite.
+
+
+def _random_delta2_problem(trial: int) -> Problem:
+    import random
+
+    rng = random.Random(trial)
+    k = rng.randint(1, 5)
+    labels = [f"x{i}" for i in range(k)]
+    pairs = list(multisets_of_size(labels, 2))
+    density = [0.2, 0.4, 0.6, 0.8]
+    edge = [p for p in pairs if rng.random() < rng.choice(density)]
+    node = [c for c in pairs if rng.random() < rng.choice(density)]
+    return Problem.make(f"t{trial}", 2, edge, node, labels=labels)
+
+
+def _assert_fast_path_matches_dfs(trial: int) -> None:
+    from repro.core.zero_round import _orientations_solvable_delta2
+
+    problem = _random_delta2_problem(trial)
+    fast = _orientations_solvable_delta2(problem)
+    reference = zero_round_with_orientations(problem) is not None
+    assert fast == reference, problem.describe()
+
+
+def test_delta2_fast_path_matches_dfs_quick():
+    for trial in range(500):
+        _assert_fast_path_matches_dfs(trial)
+
+
+@pytest.mark.slow
+def test_delta2_fast_path_matches_dfs_brute_force():
+    for trial in range(500, 4000):
+        _assert_fast_path_matches_dfs(trial)
