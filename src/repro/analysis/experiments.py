@@ -9,6 +9,7 @@ DESIGN.md Section 5 for the experiment index.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Iterator
 from itertools import combinations, product
 from math import comb
 
@@ -169,7 +170,9 @@ def run_color_reduction(k: int, sample_size: int = 64) -> ColorReductionResult:
         k_prime = expected  # by construction: one free bit per pair
     ground = frozenset(range(1, k + 1))
 
-    def complementary_pair_exists(first, second) -> bool:
+    def complementary_pair_exists(
+        first: frozenset[frozenset[int]], second: frozenset[frozenset[int]]
+    ) -> bool:
         return any(ground - y in second for y in first)
 
     pairwise = all(
@@ -658,7 +661,7 @@ def run_independence(n: int = 5, t: int = 1, num_colors: int = 3) -> Independenc
 
     graph = ring_graph(n)
 
-    def id_instances():
+    def id_instances() -> Iterator[tuple[PortGraph, InputLabeling]]:
         pool = range(1, n + 2)
         for chosen in iter_permutations(pool, n):
             ids = {v: chosen[v] for v in range(n)}

@@ -14,6 +14,10 @@ this use: "we expect many other problems to be solved by this technique").
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.engine.engine import Engine
 
 from repro.core.isomorphism import are_isomorphic
 from repro.core.problem import Problem
@@ -61,7 +65,9 @@ class LandscapeRow:
         )
 
 
-def _run_search(problem: Problem, engine, search_steps: int) -> tuple[int | None, bool]:
+def _run_search(
+    problem: Problem, engine: "Engine", search_steps: int
+) -> tuple[int | None, bool]:
     result = engine.search_lower_bound(problem, max_steps=search_steps)
     if result.certificate is None:
         # Trivial (0-round solvable): no lower bound exists to discover.
@@ -70,7 +76,7 @@ def _run_search(problem: Problem, engine, search_steps: int) -> tuple[int | None
 
 
 def survey_problem(
-    problem: Problem, *, engine=None, search_steps: int = 0
+    problem: Problem, *, engine: "Engine | None" = None, search_steps: int = 0
 ) -> LandscapeRow:
     """One-step profile of a single problem (plus an optional bound search)."""
     if engine is None:
@@ -120,7 +126,7 @@ def survey_catalog(
     delta: int = 3,
     names: list[str] | None = None,
     *,
-    engine=None,
+    engine: "Engine | None" = None,
     search_steps: int = 0,
 ) -> list[LandscapeRow]:
     """Profile every cataloged family instantiable at ``delta``."""

@@ -42,12 +42,39 @@ from __future__ import annotations
 
 import string
 from collections.abc import Collection, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Literal
 
 from repro.core.problem import Label, Problem
 
+if TYPE_CHECKING:
+    from typing import NewType
+
+    #: A set of labels as an integer bitset over this alphabet's positions.
+    LabelMask = NewType("LabelMask", int)
+    #: A single bit *position* (0-based index into ``Alphabet.names``).
+    LabelIndex = NewType("LabelIndex", int)
+    #: The canonical problem hash (``repro.core.canonical.canonical_hash``).
+    CanonicalHash = NewType("CanonicalHash", str)
+else:
+    # Runtime aliases: masks/indices ARE ints and hashes ARE strs; the
+    # distinct types exist only for the type checker, so the hot loops pay
+    # nothing (``LabelMask(x)`` degrades to the identity ``int(x)``).
+    LabelMask = int
+    LabelIndex = int
+    CanonicalHash = str
+
+#: PR 5's certificate direction tags as a closed type: a certificate step
+#: either relaxes (target no harder) or hardens (target no easier).  The
+#: runtime constants live in :mod:`repro.core.relaxation`.
+Direction = Literal["relaxation", "hardening"]
+
 __all__ = [
     "Alphabet",
+    "CanonicalHash",
+    "Direction",
     "InternedProblem",
+    "LabelIndex",
+    "LabelMask",
     "intern",
     "iter_bits",
     "mask_matching_exists",
@@ -56,12 +83,13 @@ __all__ = [
 ]
 
 
-def iter_bits(mask: int) -> Iterator[int]:
+def iter_bits(mask: LabelMask | int) -> Iterator[LabelIndex]:
     """Yield the set bit positions of ``mask`` in increasing order."""
-    while mask:
-        low = mask & -mask
-        yield low.bit_length() - 1
-        mask ^= low
+    remaining = int(mask)
+    while remaining:
+        low = remaining & -remaining
+        yield LabelIndex(low.bit_length() - 1)
+        remaining ^= low
 
 
 class Alphabet:
@@ -75,36 +103,38 @@ class Alphabet:
 
     def __init__(self, labels: Iterable[Label]):
         self.names: tuple[Label, ...] = tuple(sorted(labels))
-        self.index: dict[Label, int] = {name: i for i, name in enumerate(self.names)}
+        self.index: dict[Label, LabelIndex] = {
+            name: LabelIndex(i) for i, name in enumerate(self.names)
+        }
         self.size: int = len(self.names)
-        self.full_mask: int = (1 << self.size) - 1
+        self.full_mask: LabelMask = LabelMask((1 << self.size) - 1)
 
-    def bit(self, label: Label) -> int:
+    def bit(self, label: Label) -> LabelMask:
         """The single-bit mask of one label."""
-        return 1 << self.index[label]
+        return LabelMask(1 << self.index[label])
 
-    def mask(self, labels: Iterable[Label]) -> int:
+    def mask(self, labels: Iterable[Label]) -> LabelMask:
         """The bitmask of a set of labels."""
         index = self.index
         result = 0
         for label in labels:
             result |= 1 << index[label]
-        return result
+        return LabelMask(result)
 
-    def indices(self, mask: int) -> tuple[int, ...]:
+    def indices(self, mask: LabelMask) -> tuple[LabelIndex, ...]:
         """The sorted bit positions of ``mask``."""
         return tuple(iter_bits(mask))
 
-    def members(self, mask: int) -> tuple[Label, ...]:
+    def members(self, mask: LabelMask) -> tuple[Label, ...]:
         """The labels of ``mask`` in sorted name order."""
         names = self.names
         return tuple(names[i] for i in iter_bits(mask))
 
-    def label_set(self, mask: int) -> frozenset[Label]:
+    def label_set(self, mask: LabelMask) -> frozenset[Label]:
         """The labels of ``mask`` as a frozenset (the legacy representation)."""
         return frozenset(self.members(mask))
 
-    def config(self, indices: Sequence[int]) -> tuple[Label, ...]:
+    def config(self, indices: Sequence[LabelIndex]) -> tuple[Label, ...]:
         """Convert a non-decreasing index tuple to a canonical name tuple."""
         names = self.names
         return tuple(names[i] for i in indices)
@@ -168,36 +198,44 @@ class InternedProblem:
             adjacency[ia] |= 1 << ib
             adjacency[ib] |= 1 << ia
             edge_pairs.add((ia, ib) if ia <= ib else (ib, ia))
-        self.adjacency: tuple[int, ...] = tuple(adjacency)
-        self.edge_pairs: frozenset[tuple[int, int]] = frozenset(edge_pairs)
+        self.adjacency: tuple[LabelMask, ...] = tuple(
+            LabelMask(mask) for mask in adjacency
+        )
+        self.edge_pairs: frozenset[tuple[LabelIndex, LabelIndex]] = frozenset(
+            edge_pairs
+        )
 
         configs = sorted(
             tuple(index[label] for label in config)
             for config in problem.node_constraint
         )
-        self.node_configs: tuple[tuple[int, ...], ...] = tuple(configs)
-        self.node_config_set: frozenset[tuple[int, ...]] = frozenset(configs)
+        self.node_configs: tuple[tuple[LabelIndex, ...], ...] = tuple(configs)
+        self.node_config_set: frozenset[tuple[LabelIndex, ...]] = frozenset(configs)
 
         supports = []
         position_masks = []
         for config in configs:
             support = 0
-            positions: dict[int, int] = {}
+            positions: dict[LabelIndex, int] = {}
             for position, label_index in enumerate(config):
                 support |= 1 << label_index
                 positions[label_index] = positions.get(label_index, 0) | (1 << position)
             supports.append(support)
             position_masks.append(positions)
-        self.config_supports: tuple[int, ...] = tuple(supports)
-        self.config_position_masks: tuple[dict[int, int], ...] = tuple(position_masks)
+        self.config_supports: tuple[LabelMask, ...] = tuple(
+            LabelMask(mask) for mask in supports
+        )
+        self.config_position_masks: tuple[dict[LabelIndex, int], ...] = tuple(
+            position_masks
+        )
         self._label_configs: tuple[tuple[int, ...], ...] | None = None
         # Strength-diagram cache slot, owned by repro.core.diagram: the move
         # generator and the search driver share one diagram per problem
         # instance instead of recomputing the quadratic replaceability grid
         # per move (see compute_stronger_masks).
-        self._stronger_masks: tuple[int, ...] | None = None
+        self._stronger_masks: tuple[LabelMask, ...] | None = None
 
-    def configs_with_label(self, label_index: int) -> tuple[int, ...]:
+    def configs_with_label(self, label_index: LabelIndex) -> tuple[int, ...]:
         """Indices into ``node_configs`` of the configurations using a label.
 
         The inverted index is built lazily on first use (diagram computation
@@ -213,7 +251,7 @@ class InternedProblem:
             self._label_configs = tuple(tuple(rows) for rows in per_label)
         return self._label_configs[label_index]
 
-    def mask(self, labels: Iterable[Label]) -> int:
+    def mask(self, labels: Iterable[Label]) -> LabelMask:
         return self.alphabet.mask(labels)
 
 

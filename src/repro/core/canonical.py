@@ -43,7 +43,7 @@ from hashlib import sha256
 from itertools import chain, permutations, product
 from math import factorial
 
-from repro.core.alphabet import intern
+from repro.core.alphabet import CanonicalHash, intern
 from repro.core.problem import Label, Problem
 
 # Cap on the number of tie-breaking orderings tried.  8! covers every
@@ -63,7 +63,7 @@ class CanonicalForm:
     requesting problem's label space.
     """
 
-    key: str
+    key: CanonicalHash
     ordering: tuple[Label, ...]
 
     @property
@@ -98,9 +98,11 @@ class _Incidence:
         self.node_occurrences = node_occurrences
 
 
-def _initial_colors(incidence: _Incidence) -> list[tuple]:
+def _initial_colors(
+    incidence: _Incidence,
+) -> list[tuple[int, int, tuple[tuple[int, int], ...]]]:
     """Counting signature per label index (isomorphism-invariant seed)."""
-    colors = []
+    colors: list[tuple[int, int, tuple[tuple[int, int], ...]]] = []
     for i in range(incidence.size):
         partners = incidence.edge_partners[i]
         self_pairs = sum(1 for partner in partners if partner == i)
@@ -142,7 +144,9 @@ def _refine(incidence: _Incidence) -> list[int]:
         color = refined
 
 
-def _encode_positions(incidence: _Incidence, position: list[int]) -> tuple:
+def _encode_positions(
+    incidence: _Incidence, position: list[int]
+) -> tuple[tuple[tuple[int, int], ...], tuple[tuple[int, ...], ...]]:
     """Constraint encoding under an old-index -> position assignment."""
     edges = sorted(
         (position[a], position[b])
@@ -157,7 +161,7 @@ def _encode_positions(incidence: _Incidence, position: list[int]) -> tuple:
     return (tuple(edges), tuple(nodes))
 
 
-def _digest(parts: tuple) -> str:
+def _digest(parts: tuple[object, ...]) -> str:
     return sha256(repr(parts).encode()).hexdigest()
 
 
@@ -186,9 +190,13 @@ def canonical_form(problem: Problem) -> CanonicalForm:
         ordering = names
         identity = list(range(incidence.size))
         parts = ("exact", problem.delta, ordering, _encode_positions(incidence, identity))
-        return CanonicalForm(key="exact:" + _digest(parts), ordering=ordering)
+        return CanonicalForm(
+            key=CanonicalHash("exact:" + _digest(parts)), ordering=ordering
+        )
 
-    best_encoding: tuple | None = None
+    best_encoding: (
+        tuple[tuple[tuple[int, int], ...], tuple[tuple[int, ...], ...]] | None
+    ) = None
     best_order: tuple[int, ...] | None = None
     position = [0] * incidence.size
     for combo in product(*(permutations(group) for group in groups)):
@@ -202,11 +210,11 @@ def canonical_form(problem: Problem) -> CanonicalForm:
     assert best_order is not None and best_encoding is not None
     parts = ("canon", problem.delta, len(problem.labels), best_encoding)
     return CanonicalForm(
-        key="canon:" + _digest(parts),
+        key=CanonicalHash("canon:" + _digest(parts)),
         ordering=tuple(names[i] for i in best_order),
     )
 
 
-def canonical_hash(problem: Problem) -> str:
+def canonical_hash(problem: Problem) -> CanonicalHash:
     """The content-addressed cache key alone (see :func:`canonical_form`)."""
     return canonical_form(problem).key

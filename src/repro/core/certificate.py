@@ -32,6 +32,9 @@ Bastide-Fraigniaud extension of round elimination argues for).
 
 from __future__ import annotations
 
+from collections.abc import Mapping
+from typing import Any
+
 from dataclasses import dataclass
 
 from repro.core.alphabet import set_label_name
@@ -89,7 +92,7 @@ class CertificateStep:
         else:
             raise CertificateError(f"unknown step kind {self.kind!r}")
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """JSON-ready form (inverse of :meth:`from_dict`)."""
         if self.kind == SPEEDUP:
             assert self.speedup is not None
@@ -102,7 +105,7 @@ class CertificateStep:
         }
 
     @staticmethod
-    def from_dict(data: dict) -> "CertificateStep":
+    def from_dict(data: Mapping[str, Any]) -> "CertificateStep":
         try:
             kind = data["kind"]
             if kind == SPEEDUP:
@@ -364,7 +367,7 @@ class LowerBoundCertificate:
 
     # -- serialization --------------------------------------------------------
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """JSON-ready form (inverse of :meth:`from_dict`); see docs/API.md."""
         return {
             "version": 1,
@@ -376,7 +379,7 @@ class LowerBoundCertificate:
         }
 
     @staticmethod
-    def from_dict(data: dict) -> "LowerBoundCertificate":
+    def from_dict(data: Mapping[str, Any]) -> "LowerBoundCertificate":
         """Rebuild a certificate; raises :class:`CertificateError` when malformed."""
         try:
             return LowerBoundCertificate(

@@ -26,7 +26,7 @@ the boundary.
 
 from __future__ import annotations
 
-from repro.core.alphabet import Alphabet, intern
+from repro.core.alphabet import Alphabet, LabelMask, intern
 from repro.core.limits import EngineLimitError
 from repro.core.problem import Label, Problem
 
@@ -40,7 +40,7 @@ class Compatibility:
         self._alphabet: Alphabet = interned.alphabet
         self._adjacency = interned.adjacency
         self._full_mask = interned.alphabet.full_mask
-        self._polar_cache: dict[int, int] = {}
+        self._polar_cache: dict[LabelMask, LabelMask] = {}
 
     @property
     def problem(self) -> Problem:
@@ -53,26 +53,27 @@ class Compatibility:
 
     # -- mask surface (the kernel API) ---------------------------------------
 
-    def polar_mask(self, mask: int) -> int:
+    def polar_mask(self, mask: LabelMask) -> LabelMask:
         """``comp`` on bitmasks: labels compatible with *every* bit of ``mask``."""
         cached = self._polar_cache.get(mask)
         if cached is not None:
             return cached
-        result = self._full_mask
+        result = int(self._full_mask)
         adjacency = self._adjacency
-        remaining = mask
+        remaining = int(mask)
         while remaining and result:
             low = remaining & -remaining
             result &= adjacency[low.bit_length() - 1]
             remaining ^= low
-        self._polar_cache[mask] = result
-        return result
+        polar = LabelMask(result)
+        self._polar_cache[mask] = polar
+        return polar
 
-    def closure_mask(self, mask: int) -> int:
+    def closure_mask(self, mask: LabelMask) -> LabelMask:
         """The Galois closure ``comp(comp(mask))`` on bitmasks."""
         return self.polar_mask(self.polar_mask(mask))
 
-    def closed_masks(self, limit: int | None = None) -> frozenset[int]:
+    def closed_masks(self, limit: int | None = None) -> frozenset[LabelMask]:
         """All Galois-closed sets, as bitmasks.
 
         Every closed set is ``comp(X)`` for some ``X`` and
@@ -102,9 +103,9 @@ class Compatibility:
                 observed=count,
             )
 
-        generators = set(self._adjacency)
+        generators: set[LabelMask] = set(self._adjacency)
         generators.add(self._full_mask)
-        closed: set[int] = set(generators)
+        closed: set[LabelMask] = set(generators)
         usable = 0
         if limit is not None:
             for mask in closed:
@@ -116,7 +117,7 @@ class Compatibility:
         while frontier:
             current = frontier.pop()
             for generator in generators:
-                candidate = current & generator
+                candidate = LabelMask(current & generator)
                 if candidate not in closed:
                     closed.add(candidate)
                     frontier.append(candidate)
@@ -126,7 +127,7 @@ class Compatibility:
                             abort(usable)
         return frozenset(closed)
 
-    def usable_closed_masks(self, limit: int | None = None) -> frozenset[int]:
+    def usable_closed_masks(self, limit: int | None = None) -> frozenset[LabelMask]:
         """Closed masks usable as half-step labels (self and polar non-empty).
 
         ``limit`` bounds the underlying closed-set enumeration (see

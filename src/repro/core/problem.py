@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
+from typing import Any
 from functools import cached_property
 
 from repro.utils.multiset import multiset
@@ -236,7 +237,7 @@ class Problem:
 
     # -- serialization --------------------------------------------------------
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """A JSON-ready description of the problem (inverse of :meth:`from_dict`).
 
         This is the wire format used by the engine's on-disk cache and the
@@ -252,7 +253,7 @@ class Problem:
         }
 
     @staticmethod
-    def from_dict(data: Mapping) -> "Problem":
+    def from_dict(data: Mapping[str, Any]) -> "Problem":
         """Rebuild a problem from :meth:`to_dict` output.
 
         Raises :class:`ProblemError` on missing keys or malformed payloads.
@@ -279,6 +280,25 @@ class Problem:
             raise
         except (TypeError, ValueError) as exc:
             raise ProblemError(f"malformed problem payload: {exc}") from exc
+
+    # -- pickling -------------------------------------------------------------
+
+    def __getstate__(self) -> dict[str, object]:
+        """Pickle only the declared fields.
+
+        ``__dict__`` accumulates derived state -- ``cached_property`` values
+        and the interned bitmask view attached by
+        :func:`repro.core.alphabet.intern` -- that can dwarf the description
+        itself on large derived problems.  Process-pool transfers (ROADMAP
+        item (a)) must ship the five fields and let the receiver re-derive.
+        """
+        from dataclasses import fields
+
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
 
     # -- presentation ---------------------------------------------------------
 

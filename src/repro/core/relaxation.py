@@ -25,15 +25,18 @@ from __future__ import annotations
 
 from collections.abc import Collection, Mapping, Sequence
 from dataclasses import dataclass
+from typing import Any
 
-from repro.core.alphabet import intern
+from repro.core.alphabet import Direction, intern
 from repro.core.problem import Label, Problem
 
 # The two certified directions: a *relaxation* target is provably no harder
 # than its source (the lower-bound chain step); a *hardening* target is
-# provably at least as hard (the Section 4.5 upper-bound maneuver).
-RELAXES = "relaxation"
-HARDENS = "hardening"
+# provably at least as hard (the Section 4.5 upper-bound maneuver).  Typed
+# as the closed :data:`repro.core.alphabet.Direction` literal so a stray
+# direction string is a type error, not just a runtime ValueError.
+RELAXES: Direction = "relaxation"
+HARDENS: Direction = "hardening"
 
 
 @dataclass(frozen=True)
@@ -51,13 +54,13 @@ class RelaxationCertificate:
     source_name: str
     target_name: str
     mapping: dict[Label, Label]
-    direction: str = RELAXES
+    direction: Direction = RELAXES
 
     def __post_init__(self) -> None:
         if self.direction not in (RELAXES, HARDENS):
             raise ValueError(f"unknown certificate direction {self.direction!r}")
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """JSON-ready form (inverse of :meth:`from_dict`)."""
         return {
             "source_name": self.source_name,
@@ -67,7 +70,7 @@ class RelaxationCertificate:
         }
 
     @staticmethod
-    def from_dict(data: dict) -> "RelaxationCertificate":
+    def from_dict(data: Mapping[str, Any]) -> "RelaxationCertificate":
         return RelaxationCertificate(
             source_name=data["source_name"],
             target_name=data["target_name"],

@@ -17,7 +17,8 @@ apply the speedup repeatedly, optionally interleaving *relaxation* steps
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Mapping
+from typing import Any
 from dataclasses import dataclass, field
 
 from repro.core.problem import Problem
@@ -44,7 +45,7 @@ class SequenceStep:
     def zero_round_solvable(self) -> bool:
         return self.zero_round_witness is not None
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """JSON-ready form (inverse of :meth:`from_dict`)."""
         return {
             "index": self.index,
@@ -59,7 +60,7 @@ class SequenceStep:
         }
 
     @staticmethod
-    def from_dict(data: dict) -> "SequenceStep":
+    def from_dict(data: Mapping[str, Any]) -> "SequenceStep":
         relaxation = data.get("relaxation")
         witness = data.get("zero_round_witness")
         return SequenceStep(
@@ -89,7 +90,7 @@ class EliminationResult:
     steps: list[SequenceStep] = field(default_factory=list)
     stopped_by_limit: bool = False
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """JSON-ready form (inverse of :meth:`from_dict`) -- the wire format
         emitted by ``python -m repro run --json``."""
         return {
@@ -98,7 +99,7 @@ class EliminationResult:
         }
 
     @staticmethod
-    def from_dict(data: dict) -> "EliminationResult":
+    def from_dict(data: Mapping[str, Any]) -> "EliminationResult":
         return EliminationResult(
             steps=[SequenceStep.from_dict(step) for step in data["steps"]],
             stopped_by_limit=data["stopped_by_limit"],

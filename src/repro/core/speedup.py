@@ -45,9 +45,10 @@ the small instances used by the executable Theorem 1 experiments.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
 from itertools import product
+from typing import Any
 
 from repro.core.alphabet import (
     Alphabet,
@@ -107,7 +108,7 @@ class HalfStepResult:
         comp = Compatibility(self.original)
         return set_label_name(comp.polar(self.meaning[label]))
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """JSON-ready form (inverse of :meth:`from_dict`)."""
         return {
             "original": self.original.to_dict(),
@@ -117,7 +118,7 @@ class HalfStepResult:
         }
 
     @staticmethod
-    def from_dict(data: dict) -> "HalfStepResult":
+    def from_dict(data: Mapping[str, Any]) -> "HalfStepResult":
         return HalfStepResult(
             original=Problem.from_dict(data["original"]),
             problem=Problem.from_dict(data["problem"]),
@@ -152,7 +153,28 @@ class SpeedupResult:
             for half_name in self.full_meaning[label]
         )
 
-    def to_dict(self) -> dict:
+    def __reduce__(self) -> tuple[object, ...]:
+        """Pickle via plain dict meanings.
+
+        Cache hits carry ``MappingProxyType`` meaning views (the cache's
+        poisoning guard), which cannot cross a pickle boundary; a process
+        pool shipping results would crash on exactly the cached ones.  The
+        unpickled copy holds plain dicts -- it lives in another process, so
+        read-only views would guard nothing there anyway.
+        """
+        return (
+            SpeedupResult,
+            (
+                self.original,
+                self.half,
+                dict(self.half_meaning),
+                self.full,
+                dict(self.full_meaning),
+                self.simplified,
+            ),
+        )
+
+    def to_dict(self) -> dict[str, object]:
         """JSON-ready form (inverse of :meth:`from_dict`).
 
         This is the payload stored by the engine's on-disk cache and emitted
@@ -174,7 +196,7 @@ class SpeedupResult:
         }
 
     @staticmethod
-    def from_dict(data: dict) -> "SpeedupResult":
+    def from_dict(data: Mapping[str, Any]) -> "SpeedupResult":
         return SpeedupResult(
             original=Problem.from_dict(data["original"]),
             half=Problem.from_dict(data["half"]),
@@ -689,8 +711,8 @@ def _enumerate_filters(
 def _enumerate_universal_configs(
     candidates: Sequence[int],
     delta: int,
-    universal,
-    extendable,
+    universal: Callable[[tuple[int, ...]], bool],
+    extendable: Callable[[tuple[int, ...]], bool],
 ) -> list[tuple[int, ...]]:
     """DFS over non-decreasing candidate indices with extendability pruning.
 
@@ -726,8 +748,8 @@ def _complete_maximal_configs(
     membership: _MaskMembership,
     up: list[int],
     half_count: int,
-    extendable,
-    sort_key,
+    extendable: Callable[[tuple[int, ...]], bool],
+    sort_key: Callable[[int], object],
 ) -> list[tuple[int, ...]]:
     """Universal configurations via prefix completion (simplified path only).
 

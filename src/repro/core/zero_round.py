@@ -35,6 +35,9 @@ order as the legacy string path, so the witness found is identical.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
+from typing import Any
+
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -60,7 +63,7 @@ class ZeroRoundWitness:
     setting: str
     splits: dict[int, tuple[NodeConfig, NodeConfig]]
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """JSON-ready form; split keys become strings, configurations lists."""
         return {
             "problem_name": self.problem_name,
@@ -72,7 +75,7 @@ class ZeroRoundWitness:
         }
 
     @staticmethod
-    def from_dict(data: dict) -> "ZeroRoundWitness":
+    def from_dict(data: Mapping[str, Any]) -> "ZeroRoundWitness":
         return ZeroRoundWitness(
             problem_name=data["problem_name"],
             setting=data["setting"],

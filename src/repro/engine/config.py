@@ -120,6 +120,6 @@ class EngineConfig:
         if self.search_budget < 1:
             raise ValueError("search_budget must be positive")
 
-    def replace(self, **overrides) -> "EngineConfig":
+    def replace(self, **overrides: object) -> "EngineConfig":
         """A copy of this configuration with the given fields changed."""
         return dataclasses.replace(self, **overrides)

@@ -25,6 +25,11 @@ import threading
 from collections.abc import Callable, Generator, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.core.sequence import EliminationResult, Relaxer, SequenceStep
+    from repro.search.driver import SearchResult
 
 from repro.core.isomorphism import find_isomorphism
 from repro.core.problem import Problem
@@ -48,7 +53,7 @@ from repro.engine.config import EngineConfig
 
 # Callback invoked with each freshly produced SequenceStep (progress hook for
 # long pipelines: logging, UI updates, early metrics).
-ProgressCallback = Callable[["object"], None]
+ProgressCallback = Callable[["SequenceStep"], None]
 
 
 class Engine:
@@ -104,7 +109,7 @@ class Engine:
     def zero_round_memo(self) -> ZeroRoundMemo | None:
         return self._zero_round_memo
 
-    def with_config(self, **overrides) -> "Engine":
+    def with_config(self, **overrides: Any) -> "Engine":
         """A re-configured engine; shares this engine's caches when possible.
 
         Overriding ``cache_size``, ``cache_dir``, ``cache_max_weight``, or
@@ -219,8 +224,8 @@ class Engine:
         self,
         problems: Sequence[Problem],
         max_steps: int,
-        relaxer=None,
-    ) -> list:
+        relaxer: Relaxer | None = None,
+    ) -> list[EliminationResult]:
         """Run the elimination pipeline for each problem over a worker pool.
 
         Returns :class:`~repro.core.sequence.EliminationResult` objects in
@@ -264,9 +269,9 @@ class Engine:
         self,
         problem: Problem,
         max_steps: int,
-        relaxer=None,
+        relaxer: Relaxer | None = None,
         progress: ProgressCallback | None = None,
-    ) -> Generator:
+    ) -> Generator[SequenceStep, None, bool]:
         """Stream the iterated speedup pipeline as it is computed.
 
         Yields :class:`~repro.core.sequence.SequenceStep` objects lazily --
@@ -285,12 +290,12 @@ class Engine:
 
         cfg = self._config
 
-        def emit(step):
+        def emit(step: SequenceStep) -> SequenceStep:
             if progress is not None:
                 progress(step)
             return step
 
-        steps: list = []
+        steps: list[SequenceStep] = []
         compressed: list[Problem] = []
         current = problem
         first = SequenceStep(
@@ -350,7 +355,7 @@ class Engine:
         beam_width: int | None = None,
         max_moves: int | None = None,
         budget: int | None = None,
-    ):
+    ) -> SearchResult:
         """Search for a lower-bound certificate (see :mod:`repro.search`).
 
         Beam search over speedup steps interleaved with certified relaxation
@@ -375,16 +380,16 @@ class Engine:
         self,
         problem: Problem,
         max_steps: int,
-        relaxer=None,
+        relaxer: Relaxer | None = None,
         progress: ProgressCallback | None = None,
-    ):
+    ) -> EliminationResult:
         """Run the pipeline to completion, collecting an EliminationResult."""
         from repro.core.sequence import EliminationResult
 
         generator = self.iter_elimination(
             problem, max_steps, relaxer=relaxer, progress=progress
         )
-        steps = []
+        steps: list[SequenceStep] = []
         stopped_by_limit = False
         while True:
             try:

@@ -32,6 +32,10 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.engine.engine import Engine
 
 from repro.core.canonical import canonical_hash
 from repro.core.certificate import (
@@ -73,7 +77,7 @@ class SearchStats:
     zero_round_checks: int = 0
     zero_round_memo_hits: int = 0
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {
             "speedup_calls": self.speedup_calls,
             "states_expanded": self.states_expanded,
@@ -112,7 +116,7 @@ class SearchResult:
             return None
         return self.certificate.claimed_bound
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """JSON-ready form -- the payload of ``python -m repro search --json``."""
         return {
             "problem": self.problem.to_dict(),
@@ -160,7 +164,7 @@ class _State:
     chain_compressed: tuple[Problem, ...]
 
     @property
-    def score(self) -> tuple:
+    def score(self) -> tuple[int, int]:
         return (self.problem.description_size, len(self.problem.labels))
 
 
@@ -197,7 +201,7 @@ class _Counters:
 def search_lower_bound(
     problem: Problem,
     *,
-    engine=None,
+    engine: Engine | None = None,
     max_steps: int = 8,
     beam_width: int | None = None,
     max_moves: int | None = None,

@@ -145,9 +145,20 @@ class _MaskTarget:
         "detail",
     )
 
+    # Scratch container: the candidate builders assemble masks and index
+    # tuples with plain-int arithmetic, so the fields stay `int` here; the
+    # typed LabelMask/LabelIndex surface begins at the Alphabet API that
+    # _materialize converts through.
     def __init__(
-        self, kind, name, label_mask, edge_pairs, node_configs, image, detail=""
-    ):
+        self,
+        kind: str,
+        name: str,
+        label_mask: int,
+        edge_pairs: frozenset[tuple[int, int]],
+        node_configs: tuple[tuple[int, ...], ...],
+        image: list[int],
+        detail: str = "",
+    ) -> None:
         self.kind = kind
         self.name = name
         self.label_mask = label_mask
@@ -156,14 +167,14 @@ class _MaskTarget:
         self.image = image
         self.detail = detail
 
-    def signature(self) -> tuple:
+    def signature(self) -> tuple[object, ...]:
         return (self.label_mask, self.edge_pairs, self.node_configs)
 
     def is_empty(self) -> bool:
         return not self.edge_pairs or not self.node_configs
 
 
-def _source_signature(interned: InternedProblem) -> tuple:
+def _source_signature(interned: InternedProblem) -> tuple[object, ...]:
     return (
         interned.alphabet.full_mask,
         interned.edge_pairs,
@@ -385,18 +396,16 @@ def _materialize(
     """Build the string-surface problem and label map for a surviving candidate."""
     alphabet = interned.alphabet
     names = alphabet.names
-    built = Problem(
+    # Bit positions follow sorted name order, so index-sorted pairs and
+    # tuples convert directly to canonical name configurations; Problem.make
+    # re-canonicalises them (a no-op here) so materialisation cannot bypass
+    # the validated construction path.
+    built = Problem.make(
         name=target.name,
         delta=problem.delta,
-        labels=frozenset(names[i] for i in iter_bits(target.label_mask)),
-        # Bit positions follow sorted name order, so index-sorted pairs and
-        # tuples convert directly to canonical name configurations.
-        edge_constraint=frozenset(
-            (names[a], names[b]) for a, b in target.edge_pairs
-        ),
-        node_constraint=frozenset(
-            alphabet.config(config) for config in target.node_configs
-        ),
+        edge_configs=((names[a], names[b]) for a, b in target.edge_pairs),
+        node_configs=(alphabet.config(config) for config in target.node_configs),
+        labels=(names[i] for i in iter_bits(target.label_mask)),
     )
     if target.kind == HARDEN:
         mapping = {names[i]: names[i] for i in iter_bits(target.label_mask)}

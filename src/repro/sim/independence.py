@@ -105,7 +105,9 @@ def check_t_independence(instances: Iterable[Instance], t: int) -> IndependenceR
     )
 
 
-def _branch_extension(pg: PortGraph, inputs: InputLabeling, v, port: int, t: int):
+def _branch_extension(
+    pg: PortGraph, inputs: InputLabeling, v: int, port: int, t: int
+) -> tuple[int, int, object]:
     """The information added along one port when a (t-1)-view grows to t."""
     u = pg.neighbor(v, port)
     back = pg.port_toward(u, v)

@@ -1,0 +1,87 @@
+"""The typed-kernel contract, as far as it is testable at runtime.
+
+mypy is a CI-installed tool (see requirements-dev.txt); when it is absent
+locally the mypy-driving tests skip, but the runtime half of the contract
+-- the NewTypes degrade to plain builtins with zero overhead, the PEP 561
+marker ships, the swap fixture demonstrates a *silent* wrong answer --
+always runs.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core.alphabet import Alphabet, CanonicalHash, LabelIndex, LabelMask
+
+REPO = Path(__file__).resolve().parent.parent
+SWAP_FIXTURE = REPO / "tools" / "relint" / "fixtures" / "typing" / "mask_for_index_swap.py"
+
+MYPY = shutil.which("mypy")
+needs_mypy = pytest.mark.skipif(MYPY is None, reason="mypy not installed (CI-only tool)")
+
+
+def _run_mypy(*args: str) -> subprocess.CompletedProcess[str]:
+    return subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", str(REPO / "mypy.ini"), *args],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+
+
+@needs_mypy
+def test_kernel_packages_pass_strict() -> None:
+    result = _run_mypy()
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+@needs_mypy
+def test_mask_for_index_swap_fails_type_check() -> None:
+    """The gate is only meaningful if confusion is actually rejected."""
+    result = _run_mypy(str(SWAP_FIXTURE))
+    assert result.returncode != 0, (
+        "the deliberate LabelMask/LabelIndex swap fixture type-checked "
+        "cleanly -- the NewTypes are no longer load-bearing:\n" + result.stdout
+    )
+    assert "mask_for_index_swap.py" in result.stdout
+
+
+# -------------------------------------------------------- runtime half --
+
+
+def test_py_typed_marker_ships() -> None:
+    assert (Path(repro.__file__).parent / "py.typed").is_file()
+
+
+def test_newtypes_degrade_to_builtins_at_runtime() -> None:
+    """Outside TYPE_CHECKING the aliases are the builtins themselves, so
+    the hot mask loops pay nothing for the annotations."""
+    assert LabelMask is int
+    assert LabelIndex is int
+    assert CanonicalHash is str
+
+
+def test_swap_fixture_is_a_silent_runtime_bug() -> None:
+    """The failure mode the NewTypes guard against: mixing up a label's
+    bit pattern with its position decodes the WRONG label without raising,
+    which is why only the type checker can catch it."""
+    alphabet = Alphabet(["A", "B", "C"])
+    mask_of_a = alphabet.bit("A")  # 0b001 == 1
+    assert alphabet.config([mask_of_a]) == ("B",)  # silently wrong label
+    index_of_c = alphabet.index["C"]  # position 2
+    assert alphabet.members(index_of_c) == ("B",)  # 0b010 decodes to B
+    # The fixture module itself must import and run without raising.
+    result = subprocess.run(
+        [sys.executable, str(SWAP_FIXTURE)],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, result.stderr

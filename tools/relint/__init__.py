@@ -1,0 +1,37 @@
+"""relint: the repo's domain-specific static checker.
+
+Off-the-shelf linters know Python; they do not know that this codebase's
+soundness rests on a handful of *domain* invariants -- masks are not
+indices, proofs must serialize byte-identically, certificates are immutable
+once built, caches shared across a worker pool mutate only under their
+lock.  ``relint`` encodes those invariants as pluggable AST rules and gates
+them in CI next to the type checker and the differential suite.
+
+Usage::
+
+    python -m tools.relint src tests
+    python -m tools.relint --list-rules
+    python -m tools.relint --select silent-swallow,raw-problem src
+
+Exit codes: 0 clean, 1 violations found, 2 usage/internal error.
+
+Suppression: append ``# relint: allow[rule-id]`` (or ``allow[*]``) to the
+flagged line when a finding is a documented false positive; the comment is
+itself grep-able, so suppressions stay auditable.  A file-level
+``# relint: skip-file`` opt-out exists for generated code.  Fixture files
+under ``tools/relint/fixtures`` may carry a ``# relint: path=...`` header
+that makes path-scoped rules treat them as living at that virtual location.
+"""
+
+from tools.relint.engine import FileContext, Rule, Violation, lint_paths, lint_source
+from tools.relint.rules import ALL_RULES, rule_by_id
+
+__all__ = [
+    "ALL_RULES",
+    "FileContext",
+    "Rule",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "rule_by_id",
+]

@@ -1,0 +1,7 @@
+"""``python -m tools.relint`` entry point."""
+
+import sys
+
+from tools.relint.cli import main
+
+sys.exit(main())

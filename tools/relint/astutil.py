@@ -1,0 +1,85 @@
+"""Small AST helpers shared by the rule packs."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The bare callee name: ``foo(...)`` -> ``foo``, ``a.b.foo(...)`` -> ``foo``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Render ``a.b.c`` chains; None for anything fancier."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return f"{base}.{node.attr}" if base is not None else None
+    return None
+
+
+def identifier_tokens(node: ast.expr) -> Iterator[str]:
+    """Every Name id and Attribute attr reachable in the expression."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr
+
+
+def is_self_attribute(node: ast.expr, attr: str | None = None) -> bool:
+    """``self.<attr>`` (any attribute when ``attr`` is None)."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )
+
+
+def functions(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def assigned_attribute_targets(
+    stmt: ast.stmt,
+) -> Iterator[ast.Attribute]:
+    """Attribute nodes written to by an Assign/AugAssign/AnnAssign/Delete."""
+    if isinstance(stmt, ast.Assign):
+        targets: list[ast.expr] = list(stmt.targets)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    elif isinstance(stmt, ast.Delete):
+        targets = list(stmt.targets)
+    else:
+        return
+    for target in targets:
+        for node in _flatten_targets(target):
+            if isinstance(node, ast.Attribute):
+                yield node
+            elif isinstance(node, ast.Subscript) and isinstance(
+                node.value, ast.Attribute
+            ):
+                # ``self._memory[key] = ...`` mutates the container held by
+                # the attribute; report against the attribute node.
+                yield node.value
+
+
+def _flatten_targets(target: ast.expr) -> Iterator[ast.expr]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _flatten_targets(element)
+    elif isinstance(target, ast.Starred):
+        yield from _flatten_targets(target.value)
+    else:
+        yield target

@@ -1,0 +1,94 @@
+"""Command-line front end: argument parsing, rule filtering, exit codes."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from tools.relint.engine import Rule, lint_paths
+from tools.relint.rules import ALL_RULES
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_ERROR = 2
+
+
+def _split_ids(values: list[str]) -> list[str]:
+    out: list[str] = []
+    for value in values:
+        out.extend(token for token in value.split(",") if token)
+    return out
+
+
+def select_rules(
+    select: Sequence[str] = (), ignore: Sequence[str] = ()
+) -> tuple[Rule, ...]:
+    known = {rule.id for rule in ALL_RULES}
+    for token in [*select, *ignore]:
+        if token not in known:
+            raise ValueError(f"unknown rule id: {token!r}")
+    rules = ALL_RULES
+    if select:
+        rules = tuple(rule for rule in rules if rule.id in set(select))
+    if ignore:
+        rules = tuple(rule for rule in rules if rule.id not in set(ignore))
+    return rules
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.relint",
+        description="domain-specific static checks for the repro kernel",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULE[,RULE...]",
+        help="run only these rule ids",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RULE[,RULE...]",
+        help="skip these rule ids",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print rule ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id:28s} {rule.description}")
+        return EXIT_CLEAN
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given", file=sys.stderr)
+        return EXIT_ERROR
+
+    try:
+        rules = select_rules(_split_ids(args.select), _split_ids(args.ignore))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    try:
+        violations = lint_paths(args.paths, rules)
+    except FileNotFoundError as exc:
+        print(f"error: no such path: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    except SyntaxError as exc:
+        print(f"error: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}", file=sys.stderr)
+        return EXIT_ERROR
+
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"relint: {len(violations)} violation(s)", file=sys.stderr)
+        return EXIT_VIOLATIONS
+    return EXIT_CLEAN

@@ -1,0 +1,185 @@
+"""The rule-agnostic half of relint: parsing, scoping, suppression, running.
+
+A :class:`Rule` sees one :class:`FileContext` (parsed AST + source lines +
+the file's *virtual path*) and yields :class:`Violation`\\ s.  Everything a
+rule needs to decide "does this invariant apply here" hangs off the
+context, so rules stay pure functions of one file and the whole run is
+trivially parallel/deterministic: files are linted in sorted order and
+violations are reported in (path, line, col, rule) order.
+
+Virtual paths exist so the fixture suite can exercise path-scoped rules:
+a fixture under ``tools/relint/fixtures`` declares
+``# relint: path=src/repro/engine/example.py`` in its first lines and is
+then scoped exactly as if it lived there.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Iterable, Iterator, Sequence
+
+_DIRECTIVE = re.compile(r"#\s*relint:\s*(.+?)\s*$")
+_ALLOW = re.compile(r"allow\[([a-z*][a-z0-9*-]*)\]")
+_PATH = re.compile(r"path=(\S+)")
+_SKIP_FILE = "skip-file"
+
+#: Directories never traversed when expanding a directory argument.  Explicit
+#: file arguments bypass this (so fixtures can be linted on purpose).
+SKIP_DIR_NAMES = {"__pycache__", ".git", ".mypy_cache", ".pytest_cache", "fixtures"}
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: where, which rule, and a human-readable why."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may consult about one file."""
+
+    path: str  # path as given on the command line (used in reports)
+    virtual_path: str  # posix path used for rule scoping
+    tree: ast.Module
+    lines: Sequence[str]
+
+    _repro_parts: tuple[str, ...] | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        parts = PurePosixPath(self.virtual_path).parts
+        if "repro" in parts:
+            i = parts.index("repro")
+            self._repro_parts = parts[i + 1 :]
+
+    @property
+    def repro_parts(self) -> tuple[str, ...] | None:
+        """Path components below the ``repro`` package, or None outside it."""
+        return self._repro_parts
+
+    @property
+    def module_file(self) -> str:
+        return PurePosixPath(self.virtual_path).name
+
+    def in_packages(self, packages: Iterable[str]) -> bool:
+        """True when the file sits under ``repro/<pkg>/`` for any listed pkg."""
+        parts = self.repro_parts
+        return parts is not None and len(parts) >= 1 and parts[0] in set(packages)
+
+    def violation(self, rule: str, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``description`` and implement check.
+
+    ``id`` is the stable kebab-case token used by ``--select``/``--ignore``
+    and in ``allow[...]`` suppressions.
+    """
+
+    id: str = ""
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:  # pragma: no cover
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Rule {self.id}>"
+
+
+def _directives(lines: Sequence[str]) -> Iterator[tuple[int, str]]:
+    for lineno, line in enumerate(lines, start=1):
+        match = _DIRECTIVE.search(line)
+        if match:
+            yield lineno, match.group(1)
+
+
+def _virtual_path(path: str, lines: Sequence[str]) -> str:
+    for lineno, text in _directives(lines[:10]):
+        override = _PATH.search(text)
+        if override:
+            return PurePosixPath(override.group(1)).as_posix()
+    return PurePosixPath(Path(path).as_posix()).as_posix()
+
+
+def _allowed_rules(lines: Sequence[str], lineno: int) -> set[str]:
+    """Rule ids suppressed on ``lineno`` via an ``allow[...]`` comment."""
+    if not 1 <= lineno <= len(lines):
+        return set()
+    match = _DIRECTIVE.search(lines[lineno - 1])
+    if not match:
+        return set()
+    return set(_ALLOW.findall(match.group(1)))
+
+
+def _skip_file(lines: Sequence[str]) -> bool:
+    return any(_SKIP_FILE in text for _, text in _directives(lines[:10]))
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Sequence[Rule],
+    *,
+    virtual_path: str | None = None,
+) -> list[Violation]:
+    """Lint one source string; raises SyntaxError on unparsable input."""
+    lines = source.splitlines()
+    if _skip_file(lines):
+        return []
+    tree = ast.parse(source, filename=path)
+    ctx = FileContext(
+        path=path,
+        virtual_path=virtual_path or _virtual_path(path, lines),
+        tree=tree,
+        lines=lines,
+    )
+    found: list[Violation] = []
+    for rule in rules:
+        for violation in rule.check(ctx):
+            allowed = _allowed_rules(lines, violation.line)
+            if "*" in allowed or violation.rule in allowed:
+                continue
+            found.append(violation)
+    return sorted(found)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand arguments into .py files; explicit files are never filtered."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            yield path
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if any(part in SKIP_DIR_NAMES for part in candidate.parts):
+                    continue
+                yield candidate
+        else:
+            raise FileNotFoundError(str(path))
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rules: Sequence[Rule],
+) -> list[Violation]:
+    found: list[Violation] = []
+    for path in iter_python_files(paths):
+        found.extend(lint_source(path.read_text(), str(path), rules))
+    return sorted(found)

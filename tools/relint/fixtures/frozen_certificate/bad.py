@@ -1,0 +1,9 @@
+# relint: path=src/repro/search/example.py
+"""Patching certificates after construction: 3 hits."""
+
+
+def doctor(result, cert, better_bound):
+    result.certificate.claimed_bound = better_bound  # violation: direct write
+    object.__setattr__(cert, "steps", ())  # violation: frozen bypass
+    setattr(cert, "claimed_bound", better_bound)  # violation: setattr
+    return cert

@@ -1,0 +1,11 @@
+# relint: path=src/repro/search/example.py
+"""Reading certificates and mutating non-certificate state: clean."""
+
+from dataclasses import replace
+
+
+def report(result, cache):
+    bound = result.certificate.claimed_bound  # reads are fine
+    cache.last_bound = bound  # not certificate-valued
+    # The blessed way to "change" a frozen certificate is a new object.
+    return replace(result, limit_hit=True), bound

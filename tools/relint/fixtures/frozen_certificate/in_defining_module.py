@@ -1,0 +1,7 @@
+# relint: path=src/repro/core/certificate.py
+"""The defining module may use the frozen-dataclass escape hatch: clean."""
+
+
+def _attach(cert, verified):
+    object.__setattr__(cert, "verified", verified)
+    return cert

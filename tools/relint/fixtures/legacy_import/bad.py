@@ -1,0 +1,13 @@
+# relint: path=src/repro/engine/example.py
+"""Hot-path module reaching back into the frozen string kernel: 3 hits."""
+
+import repro.core._legacy  # noqa: F401  (violation: plain import)
+from repro.core._legacy import derive_legacy  # noqa: F401  (violation)
+
+from repro.core import problem
+
+
+def slow_path(p: problem.Problem) -> object:
+    import repro.core as core
+
+    return core._legacy.derive_legacy(p)  # violation: attribute access

@@ -1,0 +1,10 @@
+# relint: path=src/repro/engine/example.py
+"""Hot-path module on the supported kernel surface: clean."""
+
+from repro.core.alphabet import intern, iter_bits
+from repro.core.problem import Problem
+
+
+def fast_path(p: Problem) -> list[int]:
+    interned = intern(p)
+    return [int(i) for i in iter_bits(interned.alphabet.full_mask)]

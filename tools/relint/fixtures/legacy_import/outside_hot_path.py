@@ -1,0 +1,4 @@
+# relint: path=tests/test_differential_example.py
+"""The differential tests legitimately import the legacy kernel: clean."""
+
+from repro.core import _legacy  # noqa: F401  (allowed outside core/engine/search)

@@ -1,0 +1,17 @@
+# relint: path=src/repro/search/example.py
+"""Raw constructor calls in search code: 2 hits."""
+
+from repro.core import problem
+from repro.core.problem import Problem
+
+
+def build(name, delta, edges, nodes, labels):
+    direct = Problem(  # violation: bypasses canonicalization
+        name=name,
+        delta=delta,
+        edge_constraint=edges,
+        node_constraint=nodes,
+        labels=labels,
+    )
+    qualified = problem.Problem(name, delta, edges, nodes, labels)  # violation
+    return direct, qualified

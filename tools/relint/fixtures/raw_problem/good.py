@@ -1,0 +1,15 @@
+# relint: path=src/repro/search/example.py
+"""Classmethod construction in search code: clean."""
+
+from repro.core.problem import Problem
+
+
+def build(name, delta, edges, nodes, labels, payload):
+    made = Problem.make(
+        name=name,
+        delta=delta,
+        edge_configs=edges,
+        node_configs=nodes,
+        labels=labels,
+    )
+    return made, Problem.from_dict(payload)

@@ -1,0 +1,14 @@
+# relint: path=src/repro/core/speedup.py
+"""core/ may call the raw constructor (it owns the invariant): clean."""
+
+from repro.core.problem import Problem
+
+
+def rebuild(name, delta, edges, nodes, labels):
+    return Problem(
+        name=name,
+        delta=delta,
+        edge_constraint=edges,
+        node_constraint=nodes,
+        labels=labels,
+    )

@@ -1,0 +1,17 @@
+"""Narrow or non-silent handlers: clean."""
+
+
+def lookup(cache, key, log):
+    try:
+        return cache[key]
+    except KeyError:  # narrow type names the tolerated failure
+        pass
+    try:
+        return cache.load(key)
+    except OSError:  # best-effort IO, explicitly tolerated
+        pass
+    try:
+        return cache.compute(key)
+    except Exception as exc:  # broad but audited: recorded, then re-raised
+        log.warning("compute failed: %s", exc)
+        raise

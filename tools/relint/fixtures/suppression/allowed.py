@@ -1,0 +1,10 @@
+# relint: path=src/repro/search/example.py
+"""Inline suppressions: every would-be violation is explicitly allowed."""
+
+from repro.core.problem import Problem
+
+
+def build(name, delta, edges, nodes, labels, cert):
+    p = Problem(name, delta, edges, nodes, labels)  # relint: allow[raw-problem]
+    object.__setattr__(cert, "note", "audited")  # relint: allow[*]
+    return p

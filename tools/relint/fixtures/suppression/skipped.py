@@ -1,0 +1,9 @@
+# relint: skip-file
+# relint: path=src/repro/search/example.py
+"""Whole-file opt-out: nothing below is checked."""
+
+from repro.core.problem import Problem
+
+
+def build(name, delta, edges, nodes, labels):
+    return Problem(name, delta, edges, nodes, labels)

@@ -1,0 +1,38 @@
+"""Deliberate mask-for-index confusion -- this file MUST fail mypy.
+
+The CI ``static-analysis`` job runs mypy over this fixture and asserts a
+NONZERO exit: if the check ever passes, the ``LabelMask`` / ``LabelIndex``
+NewTypes in :mod:`repro.core.alphabet` have stopped being load-bearing
+(e.g. someone aliased them to ``int`` under TYPE_CHECKING too, or a blanket
+``Any`` crept into the Alphabet API) and the typed-kernel contract is gone.
+
+Every statement below is a real bug class the NewTypes exist to catch:
+masks are *sets of labels* encoded as bit patterns, indices are *positions*,
+and mixing them silently produces wrong problems, not crashes.
+
+At runtime the NewTypes degrade to plain ``int``, so this module would
+import and "work" -- which is exactly why the type checker has to be the
+thing that rejects it.
+"""
+
+from repro.core.alphabet import Alphabet, LabelIndex, LabelMask, iter_bits
+
+alphabet = Alphabet(["A", "B", "C"])
+
+# A mask is not an index: "A"'s bit is 0b001 == 1, which *is* a valid
+# position -- of label "B".  config() silently decodes the wrong label.
+mask: LabelMask = alphabet.bit("A")
+bad_members = alphabet.config([mask])  # E: LabelMask is not a LabelIndex
+
+# An index is not a mask: label 2's index (2) is a different label set than
+# its bit (0b100 == 4); `members` on a raw index decodes the wrong labels.
+index: LabelIndex = alphabet.index["C"]
+bad_labels = alphabet.members(index)  # E: LabelIndex is not a LabelMask
+
+# Bit arithmetic on indices type-checks only through an explicit LabelMask
+# construction -- a bare shift result is a plain int, not a mask.
+bad_mask: LabelMask = 1 << index  # E: int is not a LabelMask
+
+# iter_bits yields indices (positions), not masks.
+for bit_index in iter_bits(mask):
+    remask: LabelMask = bit_index  # E: LabelIndex is not a LabelMask

@@ -1,0 +1,21 @@
+"""Lock-owning class writing shared state outside the lock: 3 hits."""
+
+import threading
+
+
+class Memo:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._table = {}
+        self.hits = 0
+
+    def store(self, key, value):
+        self._table[key] = value  # violation: subscript write, no lock
+        self.hits += 1  # violation: augmented write, no lock
+
+    def clear_if(self, flag):
+        if flag:
+            with self._lock:
+                self._table = {}
+        else:
+            self._table = {}  # violation: else branch escapes the lock

@@ -1,0 +1,34 @@
+"""Lock discipline held (and classes without locks are unconstrained): clean."""
+
+import threading
+
+
+class Memo:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._table = {}
+        self.hits = 0
+
+    def store(self, key, value):
+        with self._lock:
+            self._table[key] = value
+            self.hits += 1
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._table)
+
+    def __getstate__(self):
+        # Pickling hooks are exempt: they run single-threaded by contract.
+        state = dict(self.__dict__)
+        del state["_lock"]
+        self.last_pickled = True
+        return state
+
+
+class PlainCounter:
+    def __init__(self):
+        self.count = 0
+
+    def bump(self):
+        self.count += 1  # no lock in the class: rule does not apply

@@ -1,0 +1,22 @@
+# relint: path=src/repro/core/example.py
+"""Unordered iteration feeding serialized output: 3 hits."""
+
+import json
+
+
+class Record:
+    def __init__(self, meta, labels):
+        self.meta = meta
+        self.labels = labels
+
+    def to_dict(self):
+        return {
+            "meta": {k: v for k, v in self.meta.items()},  # violation: .items()
+            "labels": [x for x in set(self.labels)],  # violation: set() result
+        }
+
+
+def dump_tags(path, tags):
+    payload = [t for t in {"a", "b", *tags}]  # violation: set display
+    with open(path, "w") as fh:
+        json.dump(payload, fh)

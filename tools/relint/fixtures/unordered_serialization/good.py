@@ -1,0 +1,25 @@
+# relint: path=src/repro/core/example.py
+"""Sorted-wrapped serialization, and unordered iteration off the wire: clean."""
+
+import json
+
+
+class Record:
+    def __init__(self, meta, labels):
+        self.meta = meta
+        self.labels = labels
+
+    def to_dict(self):
+        return {
+            "meta": {k: v for k, v in sorted(self.meta.items())},
+            "labels": sorted(set(self.labels)),
+        }
+
+    def cardinality(self):
+        # Not a serialization context: unordered iteration is fine here.
+        return sum(1 for _ in self.meta.items())
+
+
+def dump_tags(path, tags):
+    with open(path, "w") as fh:
+        json.dump(sorted({"a", "b", *tags}), fh)

@@ -1,0 +1,13 @@
+# relint: path=benchmarks/report.py
+"""Outside the repro package the rule does not apply: clean."""
+
+import json
+
+
+def to_dict(meta):
+    return {k: v for k, v in meta.items()}
+
+
+def dump(path, meta):
+    with open(path, "w") as fh:
+        json.dump(to_dict(meta), fh)

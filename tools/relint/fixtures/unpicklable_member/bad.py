@@ -1,0 +1,18 @@
+"""Designated-picklable classes holding unpicklable members: 4 hits."""
+
+import threading
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    bound: int
+    stream: Iterator[int]  # violation: iterator field annotation
+
+
+class InternedProblem:
+    def __init__(self, problem):
+        self._lock = threading.Lock()  # violation: lock factory
+        self._view = (x for x in problem.labels)  # violation: generator expr
+        self.decode = lambda mask: mask  # violation: lambda member

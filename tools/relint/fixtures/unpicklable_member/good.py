@@ -1,0 +1,28 @@
+"""Picklable classes done right, and opt-outs honoured: clean."""
+
+import threading
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    bound: int
+    stream: tuple[int, ...]  # materialised, not an iterator
+
+
+class SpeedupResult:
+    """Custom pickling takes over responsibility: the rule stands down."""
+
+    def __init__(self, payload):
+        self._frozen = payload
+        self._lock = threading.Lock()  # allowed: __reduce__ drops it
+
+    def __reduce__(self):
+        return (SpeedupResult, (dict(self._frozen),))
+
+
+class ScratchState:
+    """Not in the designated-picklable set: unconstrained."""
+
+    def __init__(self):
+        self.thunk = lambda: 0

@@ -1,0 +1,103 @@
+"""Lock-owning classes mutate their shared state only under the lock.
+
+The engine's caches and memos are shared across a worker pool; every
+``self.<attr>`` write outside ``__init__`` in a class that creates a
+``threading.Lock``/``RLock`` in its initialiser must sit inside a
+``with self.<lock>:`` block.  Reads are not flagged (the caches tolerate
+stale reads by design); writes are where lost updates and torn LRU state
+come from.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.relint import config
+from tools.relint.astutil import assigned_attribute_targets, call_name, is_self_attribute
+from tools.relint.engine import FileContext, Rule, Violation
+
+_EXEMPT_METHODS = {"__init__", "__post_init__", "__getstate__", "__setstate__", "__reduce__"}
+
+
+def _lock_attributes(cls: ast.ClassDef) -> set[str]:
+    """Attributes assigned ``threading.Lock()``/``RLock()`` in __init__."""
+    locks: set[str] = set()
+    for func in cls.body:
+        if not isinstance(func, ast.FunctionDef) or func.name != "__init__":
+            continue
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not (
+                isinstance(node.value, ast.Call)
+                and call_name(node.value) in config.LOCK_FACTORIES
+            ):
+                continue
+            for target in node.targets:
+                if is_self_attribute(target):
+                    locks.add(target.attr)  # type: ignore[attr-defined]
+    return locks
+
+
+class UnlockedMutationRule(Rule):
+    id = "unlocked-mutation"
+    description = (
+        "classes owning a threading lock must write self attributes only "
+        "inside 'with self.<lock>:' (outside __init__)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                locks = _lock_attributes(node)
+                if locks:
+                    yield from self._check_class(ctx, node, locks)
+
+    def _check_class(
+        self, ctx: FileContext, cls: ast.ClassDef, locks: set[str]
+    ) -> Iterator[Violation]:
+        for func in cls.body:
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if func.name in _EXEMPT_METHODS:
+                continue
+            yield from self._check_body(ctx, func.body, locks, locked=False, method=func.name)
+
+    def _check_body(
+        self,
+        ctx: FileContext,
+        body: list[ast.stmt],
+        locks: set[str],
+        locked: bool,
+        method: str,
+    ) -> Iterator[Violation]:
+        for stmt in body:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                holds = locked or any(
+                    is_self_attribute(item.context_expr)
+                    and item.context_expr.attr in locks  # type: ignore[union-attr]
+                    for item in stmt.items
+                )
+                yield from self._check_body(ctx, stmt.body, locks, holds, method)
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested defs run at call time; out of scope
+            if not locked:
+                for target in assigned_attribute_targets(stmt):
+                    if is_self_attribute(target) and target.attr not in locks:
+                        yield ctx.violation(
+                            self.id,
+                            stmt,
+                            f"write to self.{target.attr} in '{method}' outside "
+                            f"'with self.{sorted(locks)[0]}:'",
+                        )
+            # Recurse into compound statements, preserving lock state.
+            for attr in ("body", "orelse", "finalbody"):
+                nested = getattr(stmt, attr, None)
+                if isinstance(nested, list) and nested and isinstance(nested[0], ast.stmt):
+                    yield from self._check_body(ctx, nested, locks, locked, method)
+            handlers = getattr(stmt, "handlers", None)
+            if handlers:
+                for handler in handlers:
+                    yield from self._check_body(ctx, handler.body, locks, locked, method)

@@ -1,0 +1,43 @@
+"""No raw ``Problem(...)`` construction outside the core kernel.
+
+``Problem.__post_init__`` validates shape, but only ``Problem.make`` (and
+``from_dict``, which routes through it) canonicalises user input -- sorting
+edge configs, deduplicating node configs, normalising names.  ``search``
+and ``engine`` code calling the bare constructor must therefore hand it
+*already canonical* tuples, an invariant one refactor away from silently
+breaking canonical-hash dedup.  Route through the classmethods instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.relint import config
+from tools.relint.engine import FileContext, Rule, Violation
+
+
+class RawProblemRule(Rule):
+    id = "raw-problem"
+    description = (
+        "search/ and engine/ must build problems via Problem.make or "
+        "Problem.from_dict, never the raw constructor"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_packages(config.RAW_PROBLEM_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            raw = (isinstance(func, ast.Name) and func.id == "Problem") or (
+                isinstance(func, ast.Attribute) and func.attr == "Problem"
+            )
+            if raw:
+                yield ctx.violation(
+                    self.id,
+                    node,
+                    "raw Problem(...) construction bypasses canonicalization; "
+                    "use Problem.make(...)",
+                )

@@ -1,0 +1,81 @@
+"""Serialized output must never depend on hash iteration order.
+
+Canonical hashes, certificate JSON, and golden files are byte-compared
+across runs and machines (and, by the determinism test, across
+``PYTHONHASHSEED`` values).  Any function that feeds those sinks --
+``to_dict``-style methods and anything calling ``json.dump(s)`` or
+``atomic_write_json`` -- must only iterate dict views and sets through
+``sorted(...)``.  Dict *insertion* order is deterministic in isolation but
+is exactly the thing refactors silently reorder, and set order is seeded.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.relint import config
+from tools.relint.astutil import call_name, functions
+from tools.relint.engine import FileContext, Rule, Violation
+
+_VIEW_METHODS = {"items", "keys", "values"}
+_SET_BUILDERS = {"set", "frozenset"}
+
+
+def _is_serialization_context(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    if func.name in config.SERIALIZATION_FUNCTIONS:
+        return True
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) and call_name(node) in config.SERIALIZATION_SINKS:
+            return True
+    return False
+
+
+def _unsorted_unordered_iter(node: ast.expr) -> str | None:
+    """Describe the unordered iterable, or None when it is fine."""
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name == "sorted":
+            return None
+        if name in _VIEW_METHODS and isinstance(node.func, ast.Attribute):
+            return f".{name}() view"
+        if name in _SET_BUILDERS and isinstance(node.func, ast.Name):
+            return f"{name}() result"
+        # enumerate/zip/reversed wrap their first argument's order.
+        if name in {"enumerate", "zip", "reversed", "tuple", "list"} and node.args:
+            return _unsorted_unordered_iter(node.args[0])
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set display"
+    return None
+
+
+class UnorderedSerializationRule(Rule):
+    id = "unordered-serialization"
+    description = (
+        "functions feeding serialized output (to_dict / json.dump(s) / "
+        "atomic_write_json) must wrap dict-view and set iteration in sorted()"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.repro_parts is None:
+            return
+        for func in functions(ctx.tree):
+            if not _is_serialization_context(func):
+                continue
+            for node in ast.walk(func):
+                iters: list[ast.expr] = []
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    iters.append(node.iter)
+                elif isinstance(
+                    node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+                ):
+                    iters.extend(gen.iter for gen in node.generators)
+                for it in iters:
+                    reason = _unsorted_unordered_iter(it)
+                    if reason is not None:
+                        yield ctx.violation(
+                            self.id,
+                            it,
+                            f"iteration over unordered {reason} inside "
+                            f"serialization context '{func.name}'; wrap in sorted()",
+                        )

@@ -1,0 +1,67 @@
+"""No silent broad exception swallows.
+
+Cache and memo code has a documented contract: a failure either re-raises
+or *degrades to a recorded miss* -- never vanishes.  A handler catching
+``Exception``/``BaseException`` (or a bare ``except``) whose body is only
+``pass``/``...``/``continue`` destroys that audit trail and, worse, eats
+``EngineLimitError`` and assertion failures wholesale.  Narrow, typed
+catches with trivial bodies (e.g. best-effort ``except OSError: pass``
+cleanup in :mod:`repro.utils.jsonio`) remain legal: the type names the
+failure being tolerated.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.relint.engine import FileContext, Rule, Violation
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _broad_catch(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for node in types:
+        name = node.id if isinstance(node, ast.Name) else (
+            node.attr if isinstance(node, ast.Attribute) else None
+        )
+        if name in _BROAD:
+            return True
+    return False
+
+
+def _trivial_body(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or ``...``
+        return False
+    return True
+
+
+class SilentSwallowRule(Rule):
+    id = "silent-swallow"
+    description = (
+        "broad except (bare / Exception / BaseException) with a pass-only "
+        "body silently swallows failures; record a miss, narrow the type, "
+        "or re-raise"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.ExceptHandler)
+                and _broad_catch(node)
+                and _trivial_body(node.body)
+            ):
+                yield ctx.violation(
+                    self.id,
+                    node,
+                    "broad exception handler swallows the failure silently",
+                )

@@ -1,0 +1,65 @@
+"""Certificates are immutable proof objects outside their defining modules.
+
+A :class:`LowerBoundCertificate` that can be patched after construction is
+not a proof; ``verify()`` would be checking whatever the patcher left
+behind.  The dataclasses are ``frozen=True``, but ``object.__setattr__``
+(and attribute writes on non-frozen wrappers holding certificates) walk
+straight through that.  Outside ``core/certificate.py`` and
+``core/relaxation.py`` any attribute write whose target expression smells
+certificate-valued is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.relint import config
+from tools.relint.astutil import (
+    assigned_attribute_targets,
+    dotted_name,
+    identifier_tokens,
+)
+from tools.relint.engine import FileContext, Rule, Violation
+
+
+def _certificate_valued(node: ast.expr) -> bool:
+    return any(
+        any(token in ident.lower() for token in config.CERTIFICATE_TOKENS)
+        for ident in identifier_tokens(node)
+    )
+
+
+class FrozenCertificateRule(Rule):
+    id = "frozen-certificate"
+    description = (
+        "certificate objects must not be mutated after construction outside "
+        "core/certificate.py and core/relaxation.py"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if (
+            ctx.in_packages(("core",))
+            and ctx.module_file in config.CERTIFICATE_MODULES
+        ):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.stmt):
+                for target in assigned_attribute_targets(node):
+                    if _certificate_valued(target):
+                        yield ctx.violation(
+                            self.id,
+                            node,
+                            "attribute write into a certificate-valued object",
+                        )
+            if (
+                isinstance(node, ast.Call)
+                and dotted_name(node.func) in {"object.__setattr__", "setattr"}
+                and node.args
+                and _certificate_valued(node.args[0])
+            ):
+                yield ctx.violation(
+                    self.id,
+                    node,
+                    "setattr on a certificate bypasses its frozen dataclass",
+                )

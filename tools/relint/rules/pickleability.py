@@ -1,0 +1,113 @@
+"""Process-pool readiness: designated classes stay cheaply picklable.
+
+ROADMAP item (a) sends interned problems and search states across a
+process-pool boundary; a lambda, generator, lock, file handle, or
+``MappingProxyType`` smuggled into one of those classes turns the future
+backend swap into a runtime crash.  For every class named in
+``config.PICKLABLE_CLASSES`` this rule flags:
+
+* ``self.<attr> = <lambda | generator expression | unpicklable factory>``
+  in any method;
+* dataclass field annotations typed as ``Generator``/``Iterator``/
+  ``Callable``/lock types;
+* class-level defaults that are lambdas.
+
+A class that defines ``__reduce__``/``__getstate__`` opts out: custom
+pickling takes over responsibility (and the runtime pickle round-trip
+tests hold it to that).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.relint import config
+from tools.relint.astutil import call_name, identifier_tokens, is_self_attribute
+from tools.relint.engine import FileContext, Rule, Violation
+
+_BAD_ANNOTATION_TOKENS = {
+    "Generator",
+    "Iterator",
+    "AsyncGenerator",
+    "Lock",
+    "RLock",
+    "Condition",
+    "MappingProxyType",
+}
+
+
+def _custom_pickling(cls: ast.ClassDef) -> bool:
+    return any(
+        isinstance(node, ast.FunctionDef)
+        and node.name in {"__reduce__", "__reduce_ex__", "__getstate__"}
+        for node in cls.body
+    )
+
+
+def _unpicklable_value(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Lambda):
+        return "lambda"
+    if isinstance(node, ast.GeneratorExp):
+        return "generator expression"
+    if isinstance(node, ast.Call) and call_name(node) in config.UNPICKLABLE_FACTORIES:
+        return f"{call_name(node)}()"
+    return None
+
+
+class UnpicklableMemberRule(Rule):
+    id = "unpicklable-member"
+    description = (
+        "classes designated picklable (InternedProblem, search states, "
+        "results) must not hold lambdas, generators, locks, open files, or "
+        "mapping proxies"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.ClassDef)
+                and node.name in config.PICKLABLE_CLASSES
+                and not _custom_pickling(node)
+            ):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef) -> Iterator[Violation]:
+        for stmt in cls.body:
+            # Dataclass fields: annotation tokens and lambda defaults.
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                bad = sorted(
+                    set(identifier_tokens(stmt.annotation)) & _BAD_ANNOTATION_TOKENS
+                )
+                if bad:
+                    yield ctx.violation(
+                        self.id,
+                        stmt,
+                        f"field '{stmt.target.id}' of picklable class "
+                        f"'{cls.name}' annotated with unpicklable type "
+                        f"{'/'.join(bad)}",
+                    )
+                if stmt.value is not None:
+                    reason = _unpicklable_value(stmt.value)
+                    if reason:
+                        yield ctx.violation(
+                            self.id,
+                            stmt,
+                            f"field '{stmt.target.id}' of picklable class "
+                            f"'{cls.name}' defaults to {reason}",
+                        )
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for node in ast.walk(stmt):
+                    if not isinstance(node, ast.Assign):
+                        continue
+                    reason = _unpicklable_value(node.value)
+                    if reason is None:
+                        continue
+                    for target in node.targets:
+                        if is_self_attribute(target):
+                            yield ctx.violation(
+                                self.id,
+                                node,
+                                f"picklable class '{cls.name}' stores {reason} "
+                                f"in self.{target.attr}",  # type: ignore[attr-defined]
+                            )
