@@ -11,9 +11,17 @@ With ``--search`` the report additionally times whole
 0-round memo are exactly what those exercise) and embeds the frozen PR-3
 baseline rows for the before/after comparison.
 
+With ``--backend NAME`` (repeatable) the report additionally times the
+batch API (``speedup_many``) over a CPU-heavy catalog batch on each named
+execution backend, emitting the per-batch Amdahl instrumentation
+(``serial_fraction`` and its components: canonical hashing, cache-lock
+wait, coalesce wait, result merge) from ``Engine.last_batch_stats()``.
+
 Usage::
 
-    python benchmarks/run_speedup_bench.py [--quick] [--search] [--output BENCH_speedup.json]
+    python benchmarks/run_speedup_bench.py [--quick] [--search]
+        [--backend serial --backend thread --backend process]
+        [--workers N] [--output BENCH_speedup.json]
 
 ``--quick`` restricts the run to the cases cheap enough for a CI smoke job
 (everything except the formerly intractable derivations, which take seconds
@@ -31,7 +39,7 @@ from pathlib import Path
 
 from repro.core import _legacy
 from repro.core.speedup import EngineLimitError
-from repro.engine import Engine, EngineConfig
+from repro.engine import EXECUTOR_NAMES, Engine, EngineConfig
 from repro.problems.catalog import get_problem
 
 # (name, delta, quick, run_legacy): `quick` keeps the case in --quick runs;
@@ -71,6 +79,25 @@ SEARCH_CASES: list[tuple[str, int, int, bool]] = [
 # search died in string-surface move generation (no result within the
 # 600-second cap).  Kept verbatim so every report carries the before/after
 # comparison the ISSUE-5 acceptance asks for.
+# Backend batch cases: (name, delta, quick).  Every row is a genuinely
+# CPU-heavy derivation (no trivial sub-millisecond cases) so the batch
+# measures compute scaling, not dispatch overhead; all problems are
+# canonically distinct, so a cold cache dispatches one derivation each.
+BACKEND_BATCH: list[tuple[str, int, bool]] = [
+    ("weak-2-coloring", 3, True),
+    ("weak-2-coloring", 4, True),
+    ("superweak-2-coloring", 3, True),
+    ("3-coloring", 3, True),
+    ("4-coloring", 2, True),
+    ("mis", 3, True),
+    ("maximal-matching", 3, True),
+    ("sinkless-coloring", 5, True),
+    # The two formerly intractable derivations dominate the full batch;
+    # they are what a multi-core process pool is *for*.
+    ("weak-3-coloring", 2, False),
+    ("superweak-3-coloring", 2, False),
+]
+
 SEARCH_BASELINE_PR3: list[dict] = [
     {"problem": "sinkless-orientation", "delta": 3, "max_steps": 4,
      "search_s": 0.004, "kind": "fixed-point", "bound": 2, "verified": True},
@@ -165,11 +192,61 @@ def run_search_bench(
     ]
 
 
+def bench_backend_case(
+    backend: str, workers: int | None, quick: bool = False
+) -> dict:
+    """Time one cold ``speedup_many`` batch on ``backend``.
+
+    A fresh engine per backend keeps the cache cold, so every distinct
+    problem costs one real derivation; the row carries the batch's Amdahl
+    decomposition (``serial_fraction`` = serialised canonical hashing +
+    lock wait + merge time over wall clock) straight from
+    ``Engine.last_batch_stats()``.
+    """
+    problems = [
+        get_problem(name, delta)
+        for name, delta, is_quick in BACKEND_BATCH
+        if not quick or is_quick
+    ]
+    engine = Engine(
+        EngineConfig(
+            executor=backend,
+            max_workers=workers,
+            max_derived_labels=20_000,
+            max_candidate_configs=500_000,
+        )
+    )
+    start = time.perf_counter()
+    results = engine.speedup_many(problems)
+    wall_s = time.perf_counter() - start
+    stats = engine.last_batch_stats()
+    assert stats is not None
+    record: dict = {
+        "problems": len(problems),
+        "derived_ok": sum(1 for r in results if r is not None),
+        "batch_wall_s": round(wall_s, 6),
+    }
+    for key, value in stats.to_dict().items():
+        record[key] = round(value, 6) if isinstance(value, float) else value
+    return record
+
+
+def run_backend_bench(
+    backends: list[str], workers: int | None = None, quick: bool = False
+) -> list[dict]:
+    """Run the backend batch on each requested backend; returns the rows."""
+    return [
+        bench_backend_case(backend, workers, quick=quick) for backend in backends
+    ]
+
+
 def run_bench(
     cases: list[tuple[str, int, bool, bool]] | None = None,
     quick: bool = False,
     warm_rounds: int = 3,
     search: bool = False,
+    backends: list[str] | None = None,
+    workers: int | None = None,
 ) -> dict:
     """Run the suite and return the JSON-ready report."""
     selected = [
@@ -214,6 +291,10 @@ def run_bench(
                 if is_quick
             )
         ]
+    if backends:
+        report["backend_results"] = run_backend_bench(
+            backends, workers=workers, quick=quick
+        )
     return report
 
 
@@ -226,13 +307,30 @@ def main(argv: list[str] | None = None) -> int:
         help="also time search_lower_bound runs (before/after vs the PR-3 baseline)",
     )
     parser.add_argument(
+        "--backend",
+        action="append",
+        choices=sorted(EXECUTOR_NAMES),
+        default=None,
+        help="also time the batch API on this execution backend (repeatable)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for --backend batches (default: cpu count)",
+    )
+    parser.add_argument(
         "--output", default="BENCH_speedup.json", help="report destination"
     )
     parser.add_argument("--warm-rounds", type=int, default=3)
     args = parser.parse_args(argv)
 
     report = run_bench(
-        quick=args.quick, warm_rounds=args.warm_rounds, search=args.search
+        quick=args.quick,
+        warm_rounds=args.warm_rounds,
+        search=args.search,
+        backends=args.backend,
+        workers=args.workers,
     )
     Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
@@ -257,6 +355,13 @@ def main(argv: list[str] | None = None) -> int:
             f"steps<={record['max_steps']}  {record['kind']:>11s}  "
             f"bound={record['bound']}  search={record['search_s']:.3f}s  "
             f"verified={record.get('verified')}"
+        )
+    for record in report.get("backend_results", ()):
+        print(
+            f"backend {record['backend']:>8s} workers={record['workers']}  "
+            f"batch of {record['problems']}  wall={record['wall_s']:.3f}s  "
+            f"compute={record['compute_s']:.3f}s  "
+            f"serial_fraction={record['serial_fraction']:.4f}"
         )
     print(f"wrote {args.output}")
     return 0

@@ -50,7 +50,7 @@ import os
 from repro.core.format import format_problem, parse_problem
 from repro.core.problem import Problem, ProblemError
 from repro.core.sequence import EliminationResult
-from repro.engine import Engine, EngineConfig, EngineLimitError
+from repro.engine import EXECUTOR_NAMES, Engine, EngineConfig, EngineLimitError
 from repro.problems.catalog import catalog, get_problem, resolve_problem_spec
 
 DEMO_PROBLEM = """
@@ -98,13 +98,16 @@ def _read_problem(path: str | None, *, allow_demo: bool = False) -> tuple[Proble
 
 
 def _engine_from_args(args: argparse.Namespace) -> Engine:
+    defaults = EngineConfig()
     config = EngineConfig(
         simplify=not getattr(args, "no_simplify", False),
-        max_derived_labels=getattr(args, "max_labels", None) or EngineConfig().max_derived_labels,
+        max_derived_labels=getattr(args, "max_labels", None) or defaults.max_derived_labels,
         max_candidate_configs=getattr(args, "max_configs", None)
-        or EngineConfig().max_candidate_configs,
+        or defaults.max_candidate_configs,
         cache_dir=getattr(args, "cache_dir", None),
         zero_round_memo=not getattr(args, "no_zero_memo", False),
+        executor=getattr(args, "backend", None) or defaults.executor,
+        max_workers=getattr(args, "workers", None),
     )
     return Engine(config)
 
@@ -309,6 +312,20 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--json", action="store_true", help="emit JSON output")
 
+    def add_backend(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--backend",
+            choices=EXECUTOR_NAMES,
+            help="execution backend for batch fan-out: serial, thread "
+            "(default; or set REPRO_EXECUTOR), or process (true parallelism "
+            "for CPU-heavy batches)",
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            help="worker-pool width for batch fan-out (default: min(8, cores))",
+        )
+
     p_parse = sub.add_parser("parse", help="validate and canonicalise a problem")
     add_io(p_parse, optional_file=True)
     p_parse.set_defaults(func=cmd_parse)
@@ -326,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-configs", type=int, help="candidate-configuration size guard"
     )
     p_speedup.add_argument("--cache-dir", help="persistent JSON cache directory")
+    add_backend(p_speedup)
     p_speedup.set_defaults(func=cmd_speedup)
 
     p_run = sub.add_parser("run", help="run the round-elimination pipeline")
@@ -342,6 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--progress", action="store_true", help="print per-step progress to stderr"
     )
+    add_backend(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_catalog = sub.add_parser("catalog", help="list or instantiate built-in problems")
@@ -393,6 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the cross-branch 0-round verdict memo",
     )
+    add_backend(p_search)
     p_search.add_argument("--json", action="store_true", help="emit JSON output")
     p_search.set_defaults(func=cmd_search)
 

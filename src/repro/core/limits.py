@@ -39,3 +39,14 @@ class EngineLimitError(RuntimeError):
         self.limit_name = limit_name
         self.limit = limit
         self.observed = observed
+
+    def __reduce__(self) -> tuple[object, ...]:
+        # The default exception reduce replays only ``args``, so the limit
+        # attributes would be dropped when the error crosses a process-pool
+        # boundary; carry them as state so remote failures stay inspectable.
+        state = {
+            "limit_name": self.limit_name,
+            "limit": self.limit,
+            "observed": self.observed,
+        }
+        return (self.__class__, (str(self),), state)

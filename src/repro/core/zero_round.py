@@ -46,7 +46,7 @@ from pathlib import Path
 from repro.core.alphabet import InternedProblem, intern, iter_bits
 from repro.core.galois import Compatibility
 from repro.core.problem import NodeConfig, Problem
-from repro.utils.jsonio import atomic_write_json, load_json
+from repro.utils.jsonio import atomic_write_json, load_json, sweep_stale_tmp_files
 from repro.utils.multiset import multiset_difference, submultisets_of_size
 
 
@@ -340,8 +340,12 @@ class ZeroRoundMemo:
         self._directory = Path(directory) if directory is not None else None
         if self._directory is not None:
             self._directory.mkdir(parents=True, exist_ok=True)
+            # Reclaim temp files abandoned by crashed writers; temp names
+            # never collide with entry names, so they are pure garbage here.
+            sweep_stale_tmp_files(self._directory)
         self.hits = 0
         self.misses = 0
+        self._recorded: list[tuple[str, bool]] | None = None
 
     @staticmethod
     def key_from_hash(problem_hash: str, orientations: bool) -> str:
@@ -382,6 +386,8 @@ class ZeroRoundMemo:
         with self._lock:
             self._memory.pop(key, None)
             self._memory[key] = solvable
+            if self._recorded is not None:
+                self._recorded.append((key, solvable))
             while len(self._memory) > self._maxsize:
                 self._memory.popitem(last=False)
 
@@ -392,6 +398,33 @@ class ZeroRoundMemo:
                 self._path_for(key),
                 {"version": 1, "key": key, "solvable": bool(solvable)},
             )
+
+    def merge(self, key: str, solvable: bool) -> None:
+        """Adopt a verdict decided elsewhere (a worker process).
+
+        No hit/miss accounting and no disk write: with a directory
+        configured the worker shares it and has already persisted the
+        verdict.
+        """
+        self._remember(key, bool(solvable))
+
+    def start_recording(self) -> None:
+        """Capture every subsequent insert as a mergeable delta.
+
+        Worker processes enable this so the parent can merge their verdicts
+        back (:meth:`drain_recorded` / :meth:`merge`).
+        """
+        with self._lock:
+            self._recorded = []
+
+    def drain_recorded(self) -> tuple[tuple[str, bool], ...]:
+        """Return and reset the recorded inserts (empty when not recording)."""
+        with self._lock:
+            if self._recorded is None:
+                return ()
+            drained = tuple(self._recorded)
+            self._recorded = []
+            return drained
 
     def check(
         self, problem: Problem, orientations: bool = True, *, key: str | None = None

@@ -4,9 +4,10 @@ Quickstart::
 
     from repro.engine import Engine, EngineConfig
 
-    engine = Engine(EngineConfig(max_workers=4))
+    engine = Engine(EngineConfig(executor="process", max_workers=4))
     result = engine.speedup(problem)          # content-addressed memo cache
-    results = engine.speedup_many(problems)   # batch fan-out, worker pool
+    results = engine.speedup_many(problems)   # batch fan-out, chosen backend
+    print(engine.last_batch_stats())          # measured serial fraction
     for step in engine.iter_elimination(problem, max_steps=10):
         print(step.index, step.problem.name)  # streaming pipeline
 
@@ -19,19 +20,30 @@ the cache.
 from repro.core.canonical import CanonicalForm, canonical_form, canonical_hash
 from repro.core.speedup import EngineLimitError
 from repro.engine.cache import SpeedupCache
-from repro.engine.config import EngineConfig
+from repro.engine.config import EXECUTOR_NAMES, EngineConfig
 from repro.engine.engine import (
     Engine,
     get_default_engine,
     set_default_engine,
 )
+from repro.engine.executor import (
+    BatchStats,
+    ExpandTask,
+    RunTask,
+    SpeedupTask,
+)
 
 __all__ = [
+    "BatchStats",
     "CanonicalForm",
+    "EXECUTOR_NAMES",
     "Engine",
     "EngineConfig",
     "EngineLimitError",
+    "ExpandTask",
+    "RunTask",
     "SpeedupCache",
+    "SpeedupTask",
     "canonical_form",
     "canonical_hash",
     "get_default_engine",

@@ -13,7 +13,19 @@ alphabet, which are kept as stored).
 The cache is thread-safe (the batch APIs share it across a worker pool) and
 optionally persistent: with a ``directory``, every stored entry is written as
 one JSON file named by the key's digest, and misses consult the directory
-before recomputing, so warm starts survive process boundaries.
+before recomputing, so warm starts survive process boundaries.  Opening a
+persistent cache sweeps temp files abandoned by crashed writers
+(:func:`repro.utils.jsonio.sweep_stale_tmp_files`); temp names never collide
+with entry names, so leaked temps are never loadable as entries.
+
+Concurrent misses on one canonical key are *single-flighted*: the first
+caller of :meth:`SpeedupCache.acquire` becomes the key's leader and
+derives; every other caller blocks on the key's in-flight latch and, once
+the leader stores, retries the lookup and receives the stored result
+translated into its own label space.  Without this, two threads missing on
+renamed twins both ran the full derivation -- the thundering herd that made
+``speedup_many`` nondeterministic about *which* twin's derivation got
+cached.
 
 Keys are computed by the bitmask kernel's canonical-form pass
 (:mod:`repro.core.canonical` over :mod:`repro.core.alphabet`), which is
@@ -22,12 +34,21 @@ stay valid.  Hit translation renames set-valued labels with the kernel's
 collision-safe :func:`~repro.core.alphabet.set_label_name`, the same naming
 a fresh derivation would use, so translated and freshly derived results
 agree even for problems whose user labels contain braces or commas.
+
+For the Amdahl accounting the process-pool backend needs
+(:mod:`repro.engine.executor`), the cache meters its serial components:
+time spent canonicalising requests, waiting for the cache lock, and waiting
+on in-flight latches (:meth:`SpeedupCache.concurrency_stats`).  Worker
+processes run with :meth:`start_recording` enabled so every store is
+captured as a ``(key, form, result)`` delta the parent merges back with
+:meth:`merge`.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import threading
+import time
 from collections import OrderedDict
 from pathlib import Path
 from types import MappingProxyType
@@ -36,7 +57,7 @@ from repro.core.alphabet import set_label_name
 from repro.core.canonical import CanonicalForm, canonical_form
 from repro.core.problem import Problem
 from repro.core.speedup import SpeedupResult
-from repro.utils.jsonio import atomic_write_json, load_json
+from repro.utils.jsonio import atomic_write_json, load_json, sweep_stale_tmp_files
 
 
 class CacheEntry:
@@ -119,6 +140,9 @@ class SpeedupCache:
     ``lookup`` returns ``(result, form, key)`` -- the translated result on a
     hit, else ``None`` plus the canonical form and key to pass back to
     ``store`` after computing (so canonicalisation runs once per call).
+    ``acquire`` is the single-flight variant the engine's hot path uses: a
+    ``None`` result makes the caller the key's leader, obliged to call
+    ``store`` (on success) or ``abandon`` (on failure) so waiters wake.
     """
 
     def __init__(
@@ -135,8 +159,18 @@ class SpeedupCache:
         self._directory = Path(directory) if directory is not None else None
         if self._directory is not None:
             self._directory.mkdir(parents=True, exist_ok=True)
+            # Reclaim temp files a crashed writer left behind; live writes
+            # (young files of running pids) are never touched, and temp
+            # names can never be loaded as entries.
+            sweep_stale_tmp_files(self._directory)
         self.hits = 0
         self.misses = 0
+        self.coalesced = 0
+        self._inflight: dict[str, threading.Event] = {}
+        self._recorded: list[tuple[str, CanonicalForm, SpeedupResult]] | None = None
+        self._canonical_s = 0.0
+        self._lock_wait_s = 0.0
+        self._coalesce_wait_s = 0.0
 
     def _insert(self, key: str, entry: CacheEntry) -> None:
         """Insert under the lock, evicting LRU entries beyond the bounds.
@@ -153,6 +187,8 @@ class SpeedupCache:
                 self._total_weight -= old.weight
             self._memory[key] = entry
             self._total_weight += entry.weight
+            if self._recorded is not None:
+                self._recorded.append((key, entry.form, entry.result))
             while len(self._memory) > 1 and (
                 len(self._memory) > self._maxsize
                 or (
@@ -176,34 +212,150 @@ class SpeedupCache:
 
     # -- public API ----------------------------------------------------------
 
-    def lookup(
+    def _canonicalize(self, problem: Problem, simplify: bool) -> tuple[CanonicalForm, str]:
+        """Compute the canonical form and key, metering the serial cost."""
+        start = time.perf_counter()
+        form = canonical_form(problem)
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self._canonical_s += elapsed
+        return form, self._key(form, simplify)
+
+    def probe(
         self, problem: Problem, simplify: bool
     ) -> tuple[SpeedupResult | None, CanonicalForm, str]:
-        form = canonical_form(problem)
-        key = self._key(form, simplify)
-        with self._lock:
-            entry = self._memory.get(key)
-            if entry is not None:
-                self._memory.move_to_end(key)
-        if entry is None and self._directory is not None:
-            entry = self._load(key)
+        """Like ``lookup`` but without miss accounting (hits still count).
+
+        Batch dispatchers resolve misses through a worker pool themselves
+        and account them via :meth:`note_dispatched_miss` /
+        :meth:`note_coalesced`, so a probe that misses must not inflate the
+        miss counter a sequential run would report.
+        """
+        form, key = self._canonicalize(problem, simplify)
+        entry = self._entry_for(key)
         if entry is None:
-            with self._lock:
-                self.misses += 1
             return None, form, key
         with self._lock:
             self.hits += 1
         return _translate(entry, problem, form, simplify), form, key
 
+    def _entry_for(self, key: str) -> CacheEntry | None:
+        """The live entry for ``key`` from memory or disk, without stats."""
+        start = time.perf_counter()
+        with self._lock:
+            self._lock_wait_s += time.perf_counter() - start
+            entry = self._memory.get(key)
+            if entry is not None:
+                self._memory.move_to_end(key)
+        if entry is None and self._directory is not None:
+            entry = self._load(key)
+        return entry
+
+    def lookup(
+        self, problem: Problem, simplify: bool
+    ) -> tuple[SpeedupResult | None, CanonicalForm, str]:
+        result, form, key = self.probe(problem, simplify)
+        if result is None:
+            with self._lock:
+                self.misses += 1
+        return result, form, key
+
+    def acquire(
+        self, problem: Problem, simplify: bool
+    ) -> tuple[SpeedupResult | None, CanonicalForm, str]:
+        """Single-flight lookup: miss means *this caller derives*.
+
+        On a hit, behaves like :meth:`lookup`.  On a miss with no derivation
+        of the key in flight, registers the caller as the key's leader
+        (counted as the one true miss) and returns ``None`` -- the caller
+        MUST then call :meth:`store` on success or :meth:`abandon` on
+        failure.  If another caller is already deriving the key, blocks on
+        the in-flight latch (counted as ``coalesced``), then retries: the
+        usual outcome is a translated hit on the leader's stored result; if
+        the leader abandoned, the waiter inherits leadership.
+        """
+        form, key = self._canonicalize(problem, simplify)
+        while True:
+            entry = self._entry_for(key)
+            wait_on: threading.Event | None = None
+            start = time.perf_counter()
+            with self._lock:
+                self._lock_wait_s += time.perf_counter() - start
+                if entry is not None:
+                    self.hits += 1
+                else:
+                    flight = self._inflight.get(key)
+                    if flight is None:
+                        self._inflight[key] = threading.Event()
+                        self.misses += 1
+                        return None, form, key
+                    wait_on = flight
+                    self.coalesced += 1
+            if wait_on is None:
+                assert entry is not None
+                return _translate(entry, problem, form, simplify), form, key
+            start = time.perf_counter()
+            wait_on.wait()
+            waited = time.perf_counter() - start
+            with self._lock:
+                self._coalesce_wait_s += waited
+
+    def _release(self, key: str) -> None:
+        """Wake every waiter on ``key``'s in-flight latch, if any."""
+        with self._lock:
+            flight = self._inflight.pop(key, None)
+        if flight is not None:
+            flight.set()
+
+    def abandon(self, key: str) -> None:
+        """Give up leadership of ``key`` (the derivation failed).
+
+        Waiters wake, find neither an entry nor a flight, and take over as
+        leaders -- for the deterministic failures the engine raises
+        (:class:`~repro.core.limits.EngineLimitError`), each then fails the
+        same way, which is exactly the sequential behaviour.
+        """
+        self._release(key)
+
     def store(
         self, key: str, form: CanonicalForm, result: SpeedupResult
     ) -> SpeedupResult:
-        """Store a freshly computed result; returns the frozen shared copy."""
+        """Store a freshly computed result; returns the frozen shared copy.
+
+        Also releases the key's in-flight latch when the caller held one
+        (``store`` doubles as the leader's success path), so waiters
+        coalesced on :meth:`acquire` wake into a hit.
+        """
         frozen = _freeze(result)
         self._insert(key, CacheEntry(form, frozen))
+        self._release(key)
         if self._directory is not None:
             self._dump(key, result)
         return frozen
+
+    def merge(self, key: str, form: CanonicalForm, result: SpeedupResult) -> SpeedupResult:
+        """Adopt an entry computed elsewhere (a worker process).
+
+        No hit/miss accounting and no disk write: when a cache directory is
+        configured the worker shares it and has already persisted the entry.
+        Returns the frozen shared copy now serving hits.  Releases any
+        in-flight latch on the key, so thread-side waiters coalesce onto
+        merged process results too.
+        """
+        frozen = _freeze(result)
+        self._insert(key, CacheEntry(form, frozen))
+        self._release(key)
+        return frozen
+
+    def note_dispatched_miss(self) -> None:
+        """Count a miss resolved by dispatching to an external worker."""
+        with self._lock:
+            self.misses += 1
+
+    def note_coalesced(self) -> None:
+        """Count a request coalesced onto another's pending derivation."""
+        with self._lock:
+            self.coalesced += 1
 
     def clear(self) -> None:
         with self._lock:
@@ -211,6 +363,10 @@ class SpeedupCache:
             self._total_weight = 0
             self.hits = 0
             self.misses = 0
+            self.coalesced = 0
+            self._canonical_s = 0.0
+            self._lock_wait_s = 0.0
+            self._coalesce_wait_s = 0.0
 
     def stats(self) -> dict[str, int]:
         with self._lock:
@@ -219,6 +375,44 @@ class SpeedupCache:
                 "misses": self.misses,
                 "entries": len(self._memory),
             }
+
+    def concurrency_stats(self) -> dict[str, float]:
+        """Single-flight counters and the metered serial components.
+
+        ``coalesced`` counts requests that waited on another caller's
+        in-flight derivation; the ``*_s`` figures are cumulative seconds of
+        canonicalisation, cache-lock waiting, and latch waiting -- the
+        serial fraction the Amdahl accounting in
+        :mod:`repro.engine.executor` reports per batch.
+        """
+        with self._lock:
+            return {
+                "coalesced": float(self.coalesced),
+                "canonical_s": self._canonical_s,
+                "lock_wait_s": self._lock_wait_s,
+                "coalesce_wait_s": self._coalesce_wait_s,
+            }
+
+    # -- worker-delta recording ----------------------------------------------
+
+    def start_recording(self) -> None:
+        """Capture every subsequent insert as a mergeable delta.
+
+        Worker processes enable this so the parent can merge their stores
+        back (:meth:`drain_recorded` / :meth:`merge`); disk loads recorded
+        along the way merge harmlessly (idempotent inserts).
+        """
+        with self._lock:
+            self._recorded = []
+
+    def drain_recorded(self) -> tuple[tuple[str, CanonicalForm, SpeedupResult], ...]:
+        """Return and reset the recorded inserts (empty when not recording)."""
+        with self._lock:
+            if self._recorded is None:
+                return ()
+            drained = tuple(self._recorded)
+            self._recorded = []
+            return drained
 
     # -- persistence ---------------------------------------------------------
 

@@ -10,10 +10,24 @@ configured once and reused across calls, batches, and worker threads.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.speedup import MAX_CANDIDATE_CONFIGS, MAX_DERIVED_LABELS
+
+#: Execution backends the batch APIs accept (see :mod:`repro.engine.executor`).
+EXECUTOR_NAMES: tuple[str, ...] = ("serial", "thread", "process")
+
+
+def _default_executor() -> str:
+    """The default backend: ``REPRO_EXECUTOR`` when set, else ``thread``.
+
+    The environment hook exists so whole test matrices (CI runs every
+    backend over the engine suites) and deployments can switch backends
+    without threading a flag through every construction site.
+    """
+    return os.environ.get("REPRO_EXECUTOR", "thread")
 
 
 @dataclass(frozen=True)
@@ -73,6 +87,16 @@ class EngineConfig:
         Worker-pool width for the batch APIs (``speedup_many`` /
         ``run_many``) and the lower-bound search.  ``None`` picks
         ``min(8, cpu_count)``.
+    executor:
+        Execution backend the batch APIs fan out over
+        (:mod:`repro.engine.executor`): ``"serial"`` (in-order, no pool),
+        ``"thread"`` (shared-memory thread pool -- cheap, but the
+        derivations are CPU-bound pure Python, so the GIL serialises them),
+        or ``"process"`` (a ``ProcessPoolExecutor`` that ships problem
+        pickles to workers and merges the returned results into this
+        engine's content-addressed cache and 0-round memo -- true
+        parallelism for CPU-heavy batches).  The default honors the
+        ``REPRO_EXECUTOR`` environment variable, else ``"thread"``.
     search_beam_width:
         How many chain states the lower-bound search
         (:meth:`repro.engine.Engine.search_lower_bound`) keeps per depth.
@@ -96,6 +120,7 @@ class EngineConfig:
     zero_round_memo: bool = True
     zero_round_memo_size: int = 4096
     max_workers: int | None = None
+    executor: str = field(default_factory=_default_executor)
     search_beam_width: int = 4
     search_max_moves: int = 24
     search_budget: int = 256
@@ -113,6 +138,10 @@ class EngineConfig:
             raise ValueError("zero_round_memo_size must be positive")
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be positive when given")
+        if self.executor not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_NAMES}, got {self.executor!r}"
+            )
         if self.search_beam_width < 1:
             raise ValueError("search_beam_width must be positive")
         if self.search_max_moves < 0:

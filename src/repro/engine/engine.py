@@ -8,8 +8,10 @@ owns
   mode, pipeline policy, cache policy),
 * a :class:`~repro.engine.cache.SpeedupCache` (content-addressed memoisation
   keyed on canonical problem hashes, optionally persisted as JSON),
-* batch fan-out over a ``concurrent.futures`` worker pool
-  (:meth:`Engine.speedup_many`, :meth:`Engine.run_many`),
+* batch fan-out over a pluggable execution backend -- serial loop, thread
+  pool, or process pool (:mod:`repro.engine.executor`) -- behind
+  :meth:`Engine.speedup_many`, :meth:`Engine.run_many`, and
+  :meth:`Engine.execute_batch`,
 * a lazy, streaming round-elimination pipeline
   (:meth:`Engine.iter_elimination`) that the classic
   ``run_round_elimination`` is a thin wrapper over.
@@ -23,7 +25,6 @@ from __future__ import annotations
 
 import threading
 from collections.abc import Callable, Generator, Sequence
-from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
@@ -50,6 +51,13 @@ from repro.core.zero_round import (
 )
 from repro.engine.cache import SpeedupCache
 from repro.engine.config import EngineConfig
+from repro.engine.executor import (
+    BatchStats,
+    Task,
+    run_batch,
+    run_task_batch,
+    speedup_batch,
+)
 
 # Callback invoked with each freshly produced SequenceStep (progress hook for
 # long pipelines: logging, UI updates, early metrics).
@@ -94,6 +102,8 @@ class Engine:
             )
         else:
             self._zero_round_memo = None
+        self._batch_lock = threading.Lock()
+        self._last_batch_stats: BatchStats | None = None
 
     # -- configuration -------------------------------------------------------
 
@@ -112,20 +122,31 @@ class Engine:
     def with_config(self, **overrides: Any) -> "Engine":
         """A re-configured engine; shares this engine's caches when possible.
 
-        Overriding ``cache_size``, ``cache_dir``, ``cache_max_weight``, or
-        the ``zero_round_memo*`` knobs allocates fresh caches (the old ones
-        keep serving engines already holding them).
+        Each cache is rebuilt only when a knob *governing that cache*
+        actually changes value: the speedup cache on ``cache_size`` /
+        ``cache_dir`` / ``cache_max_weight``, the 0-round memo on
+        ``zero_round_memo`` / ``zero_round_memo_size`` / ``cache_dir`` (the
+        memo's directory nests under the cache directory).  Everything else
+        -- including restating a knob at its current value -- shares the
+        live caches, so e.g. overriding a cache knob no longer silently
+        drops the warm 0-round memo.  Old caches keep serving engines
+        already holding them.
         """
         config = self._config.replace(**overrides)
-        if overrides.keys() & {
-            "cache_size",
-            "cache_dir",
-            "cache_max_weight",
-            "zero_round_memo",
-            "zero_round_memo_size",
-        }:
-            return Engine(config)
-        return Engine(config, cache=self._cache, zero_round_memo=self._zero_round_memo)
+        changed = {
+            name
+            for name in overrides
+            if getattr(config, name) != getattr(self._config, name)
+        }
+        share_cache = not (changed & {"cache_size", "cache_dir", "cache_max_weight"})
+        share_memo = not (
+            changed & {"zero_round_memo", "zero_round_memo_size", "cache_dir"}
+        )
+        return Engine(
+            config,
+            cache=self._cache if share_cache else None,
+            zero_round_memo=self._zero_round_memo if share_memo else None,
+        )
 
     def cache_stats(self) -> dict[str, int]:
         return self._cache.stats()
@@ -162,21 +183,36 @@ class Engine:
         """
         cfg = self._config
         use_simplify = cfg.simplify if simplify is None else simplify
-        if cfg.cache:
-            cached, form, key = self._cache.lookup(problem, use_simplify)
-            if cached is not None:
-                return cached
-        result = compute_speedup(
-            problem,
-            simplify=use_simplify,
-            max_derived_labels=cfg.max_derived_labels,
-            max_candidate_configs=cfg.max_candidate_configs,
-        )
-        if cfg.cache:
-            # store() returns the frozen shared copy (read-only meaning maps),
-            # so hits and the original call observe the same object.
-            result = self._cache.store(key, form, result)
-        return result
+        if not cfg.cache:
+            return compute_speedup(
+                problem,
+                simplify=use_simplify,
+                max_derived_labels=cfg.max_derived_labels,
+                max_candidate_configs=cfg.max_candidate_configs,
+            )
+        # Single-flight: a miss makes this call the canonical key's leader
+        # (concurrent requests for the same key -- renamed twins included --
+        # block in acquire() and get the stored result), so exactly one
+        # derivation runs per key no matter how many threads race it.
+        cached, form, key = self._cache.acquire(problem, use_simplify)
+        if cached is not None:
+            return cached
+        try:
+            result = compute_speedup(
+                problem,
+                simplify=use_simplify,
+                max_derived_labels=cfg.max_derived_labels,
+                max_candidate_configs=cfg.max_candidate_configs,
+            )
+        except BaseException:
+            # Leadership must not outlive a failed derivation: wake the
+            # waiters so one of them takes over (and fails the same way for
+            # deterministic limit errors).
+            self._cache.abandon(key)
+            raise
+        # store() returns the frozen shared copy (read-only meaning maps),
+        # so hits and the original call observe the same object.
+        return self._cache.store(key, form, result)
 
     def iterate_speedup(
         self, problem: Problem, steps: int, simplify: bool | None = None
@@ -202,23 +238,24 @@ class Engine:
     def speedup_many(
         self, problems: Sequence[Problem], simplify: bool | None = None
     ) -> list[SpeedupResult]:
-        """Derive ``Pi_1`` for each problem over a worker pool.
+        """Derive ``Pi_1`` for each problem over the configured backend.
 
         Results are returned in input order; each is a correct derivation of
-        its input, and all workers share the engine's thread-safe cache.
-        One caveat keeps this short of bit-identical to the sequential loop:
-        if two label-renamed twins miss the cache *concurrently*, each gets a
-        fresh derivation, and the derived alphabet's arbitrary short names
-        can differ from the translated-hit names a sequential run would
-        yield.  The results are still isomorphic with identical meanings;
-        compare structurally, not byte-wise, when mixing worker counts.
+        its input, and every backend ends the batch with the same warm cache
+        state.  Concurrent misses on one canonical key -- label-renamed
+        twins included -- are single-flighted: exactly one derivation runs
+        per key and the other requests receive the stored result translated
+        into their own label space, matching what a sequential loop caches.
+        (The derived alphabet's arbitrary short names may still depend on
+        *which* twin led the flight; canonical hashes and meanings never
+        do.)  Batch metering lands in :meth:`last_batch_stats`.
         """
-        problems = list(problems)
-        workers = self._resolve_workers(len(problems))
-        if workers <= 1 or len(problems) <= 1:
-            return [self.speedup(p, simplify=simplify) for p in problems]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(lambda p: self.speedup(p, simplify=simplify), problems))
+        cfg = self._config
+        use_simplify = cfg.simplify if simplify is None else simplify
+        results, stats = speedup_batch(self, list(problems), use_simplify)
+        with self._batch_lock:
+            self._last_batch_stats = stats
+        return results
 
     def run_many(
         self,
@@ -226,19 +263,40 @@ class Engine:
         max_steps: int,
         relaxer: Relaxer | None = None,
     ) -> list[EliminationResult]:
-        """Run the elimination pipeline for each problem over a worker pool.
+        """Run the elimination pipeline for each problem over the backend.
 
         Returns :class:`~repro.core.sequence.EliminationResult` objects in
-        input order, equal to the sequential runs.
+        input order, equal to the sequential runs.  Under the ``process``
+        backend ``relaxer`` must be picklable (a module-level function).
+        Batch metering lands in :meth:`last_batch_stats`.
         """
-        problems = list(problems)
-        workers = self._resolve_workers(len(problems))
-        if workers <= 1 or len(problems) <= 1:
-            return [self.run(p, max_steps, relaxer=relaxer) for p in problems]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(
-                pool.map(lambda p: self.run(p, max_steps, relaxer=relaxer), problems)
-            )
+        results, stats = run_batch(self, list(problems), max_steps, relaxer)
+        with self._batch_lock:
+            self._last_batch_stats = stats
+        return results
+
+    def execute_batch(self, tasks: Sequence[Task]) -> list[object]:
+        """Run executor tasks on the configured backend, in task order.
+
+        The generic entry point backing the search driver's beam expansion;
+        see :mod:`repro.engine.executor` for the task shapes.  Batch
+        metering lands in :meth:`last_batch_stats`.
+        """
+        values, stats = run_task_batch(self, list(tasks))
+        with self._batch_lock:
+            self._last_batch_stats = stats
+        return values
+
+    def last_batch_stats(self) -> BatchStats | None:
+        """Metering of the most recent batch call, or None before the first.
+
+        Covers :meth:`speedup_many`, :meth:`run_many`, and
+        :meth:`execute_batch` (the search driver's expansions); see
+        :class:`~repro.engine.executor.BatchStats` for the fields and the
+        measured serial fraction.
+        """
+        with self._batch_lock:
+            return self._last_batch_stats
 
     # -- pipelines -----------------------------------------------------------
 

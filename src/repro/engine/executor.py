@@ -1,0 +1,469 @@
+"""Pluggable execution backends for the engine's batch fan-out.
+
+``EngineConfig(executor=...)`` selects how ``Engine.speedup_many``,
+``Engine.run_many``, and the search driver's beam expansion distribute their
+per-item work:
+
+* ``"serial"`` -- an in-order loop, no pool.  The reference semantics every
+  other backend is differentially tested against, and the fastest choice for
+  tiny batches (pool startup costs more than the work).
+* ``"thread"`` -- a ``ThreadPoolExecutor`` sharing the engine's caches
+  in-memory.  The derivations are CPU-bound pure Python, so the GIL
+  serialises the compute; threads still win when most items resolve to
+  cache hits or coalesce onto one derivation (single-flight, see
+  :meth:`repro.engine.cache.SpeedupCache.acquire`).
+* ``"process"`` -- a ``ProcessPoolExecutor`` shipping pickled tasks to
+  worker processes, each owning a private serial :class:`~repro.engine.
+  engine.Engine` built from the parent's configuration.  Workers record
+  every speedup-cache insert and 0-round-memo verdict as deltas
+  (:meth:`~repro.engine.cache.SpeedupCache.drain_recorded`); the parent
+  merges them back so its caches end a batch as warm as a serial run's.
+  True parallelism for CPU-heavy batches, at the price of pickling and of
+  workers not seeing entries the parent learns mid-batch.
+
+The dispatch is task-shaped, not method-shaped: the three frozen task types
+(:class:`SpeedupTask`, :class:`RunTask`, :class:`ExpandTask`) are the unit
+of shipping, and :func:`execute_task` maps any of them onto any engine --
+the same function runs in the parent (serial/thread backends) and inside
+workers (process backend), which is what makes the backends differentially
+comparable.
+
+Every batch is metered (:class:`BatchStats`): wall clock, summed per-task
+compute, and the parent-side serial components -- canonical hashing, cache
+lock waits, coalesce waits, result-merge time -- whose ratio to wall clock
+is the measured Amdahl serial fraction the ``--backend`` rows of
+``benchmarks/run_speedup_bench.py`` publish.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Union
+
+from repro.core.problem import Problem
+from repro.core.speedup import SpeedupResult
+from repro.engine.config import EngineConfig
+
+if TYPE_CHECKING:
+    from multiprocessing.context import BaseContext
+
+    from repro.core.canonical import CanonicalForm
+    from repro.core.sequence import EliminationResult, Relaxer
+    from repro.engine.engine import Engine
+    from repro.search.moves import RelaxationMove
+
+
+# -- task shapes --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpeedupTask:
+    """One speedup derivation: ``problem -> SpeedupResult``."""
+
+    problem: Problem
+    simplify: bool
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """One full elimination pipeline: ``problem -> EliminationResult``.
+
+    ``relaxer`` crosses the process boundary by pickle, so under the
+    ``process`` backend it must be a module-level callable (lambdas and
+    closures raise at submission time).
+    """
+
+    problem: Problem
+    max_steps: int
+    relaxer: "Relaxer | None" = None
+
+
+@dataclass(frozen=True)
+class ExpandTask:
+    """One beam-search expansion: speedup + moves + candidate evaluation.
+
+    Executed by :func:`repro.search.driver.execute_expand_task`; the
+    payload carries everything the driver's consumption loop needs so the
+    CPU-heavy parts (derivation, move generation, compression, canonical
+    hashing, 0-round decisions) all happen backend-side.
+    """
+
+    problem: Problem
+    max_moves: int
+    beam_width: int
+
+
+Task = Union[SpeedupTask, RunTask, ExpandTask]
+
+
+@dataclass(frozen=True)
+class ExpandOption:
+    """One evaluated candidate of an expansion.
+
+    ``move`` is ``None`` for the derived problem itself, else the relaxation
+    move that produced ``compressed``.  ``solvable`` is the memoised 0-round
+    verdict; ``memo_hit`` records whether the executing engine's memo
+    already held it (the driver's local stats consume this).
+    """
+
+    move: "RelaxationMove | None"
+    compressed: Problem
+    key: str
+    solvable: bool
+    memo_hit: bool
+
+
+@dataclass(frozen=True)
+class ExpandPayload:
+    """What one :class:`ExpandTask` produced.
+
+    ``options[0]`` is always the derived problem's own option; move options
+    follow in move order, and are *absent* when the derived problem is
+    0-round solvable (its relaxations all are too -- the driver prunes the
+    whole branch, so evaluating them would be wasted work).
+    ``moves_generated`` still records how many moves existed, which the
+    driver's prune accounting needs.  ``limit_hit`` marks a derivation that
+    tripped the engine's size guards (``result`` is then ``None``).
+    """
+
+    result: SpeedupResult | None
+    limit_hit: bool
+    options: tuple[ExpandOption, ...]
+    moves_generated: int
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """A task's value plus the cache deltas a worker process accumulated."""
+
+    value: object
+    cache_entries: tuple[tuple[str, "CanonicalForm", SpeedupResult], ...]
+    memo_entries: tuple[tuple[str, bool], ...]
+    compute_s: float
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """Measured execution profile of one batch.
+
+    The ``*_s`` component fields are deltas over the batch of the owning
+    engine's cache meters (:meth:`~repro.engine.cache.SpeedupCache.
+    concurrency_stats`) plus the batch's own merge timer; under the
+    ``process`` backend they cover exactly the parent-side serial work, and
+    :attr:`serial_fraction` is their share of the batch wall clock -- the
+    Amdahl ceiling on what more workers can buy.
+    """
+
+    backend: str
+    tasks: int
+    workers: int
+    wall_s: float
+    compute_s: float
+    canonical_s: float
+    lock_wait_s: float
+    coalesce_wait_s: float
+    merge_s: float
+    coalesced: int
+    cache_hits: int
+    cache_misses: int
+    cache_entries_added: int
+    memo_entries_added: int
+
+    @property
+    def serial_fraction(self) -> float:
+        """Parent-side serial seconds over wall seconds, clamped to [0, 1]."""
+        if self.wall_s <= 0:
+            return 0.0
+        serial = self.canonical_s + self.lock_wait_s + self.merge_s
+        return max(0.0, min(1.0, serial / self.wall_s))
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "backend": self.backend,
+            "tasks": self.tasks,
+            "workers": self.workers,
+            "wall_s": self.wall_s,
+            "compute_s": self.compute_s,
+            "canonical_s": self.canonical_s,
+            "lock_wait_s": self.lock_wait_s,
+            "coalesce_wait_s": self.coalesce_wait_s,
+            "merge_s": self.merge_s,
+            "coalesced": self.coalesced,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_entries_added": self.cache_entries_added,
+            "memo_entries_added": self.memo_entries_added,
+            "serial_fraction": self.serial_fraction,
+        }
+
+
+# -- task execution (runs in the parent OR inside a worker) -------------------
+
+
+def execute_task(engine: "Engine", task: Task) -> object:
+    """Run one task on one engine; the single dispatch every backend shares."""
+    if isinstance(task, SpeedupTask):
+        return engine.speedup(task.problem, simplify=task.simplify)
+    if isinstance(task, RunTask):
+        return engine.run(task.problem, task.max_steps, relaxer=task.relaxer)
+    # Lazy import: the driver imports this module for the task types.
+    from repro.search.driver import execute_expand_task
+
+    return execute_expand_task(engine, task)
+
+
+# -- the process-pool worker side ---------------------------------------------
+
+_WORKER_ENGINE: "Engine | None" = None
+
+
+def _initialize_worker(config: EngineConfig) -> None:
+    """Build the per-process engine (called once per worker by the pool).
+
+    The worker engine is serial (a worker must never spawn its own pool)
+    and records its cache inserts and memo verdicts so
+    :func:`_execute_in_worker` can return them as mergeable deltas.
+    """
+    global _WORKER_ENGINE
+    from repro.engine.engine import Engine
+
+    engine = Engine(config)
+    engine.cache.start_recording()
+    if engine.zero_round_memo is not None:
+        engine.zero_round_memo.start_recording()
+    _WORKER_ENGINE = engine
+
+
+def _execute_in_worker(task: Task) -> TaskResult:
+    """Run one task on the worker's engine, draining the recorded deltas."""
+    engine = _WORKER_ENGINE
+    if engine is None:  # pool used without the initializer -- a bug
+        raise RuntimeError("worker engine not initialised")
+    start = time.perf_counter()
+    value = execute_task(engine, task)
+    compute_s = time.perf_counter() - start
+    memo = engine.zero_round_memo
+    return TaskResult(
+        value=value,
+        cache_entries=engine.cache.drain_recorded(),
+        memo_entries=memo.drain_recorded() if memo is not None else (),
+        compute_s=compute_s,
+    )
+
+
+def _process_context() -> "BaseContext | None":
+    """Prefer ``fork`` (cheap start, inherited imports); None = default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+
+
+def _run_process_pool(
+    engine: "Engine", tasks: list[Task], workers: int
+) -> tuple[list[object], float, float]:
+    """Execute tasks on a process pool; returns (values, compute_s, merge_s).
+
+    Worker engines are serial single-worker clones of the parent's
+    configuration (sharing any ``cache_dir``); their recorded cache/memo
+    deltas are merged into the parent's caches here, so a process batch
+    leaves the parent exactly as warm as a serial one.  A failing task
+    propagates its exception, like the serial loop.
+    """
+    worker_config = engine.config.replace(executor="serial", max_workers=1)
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_process_context(),
+        initializer=_initialize_worker,
+        initargs=(worker_config,),
+    ) as pool:
+        futures: list[Future[TaskResult]] = [
+            pool.submit(_execute_in_worker, task) for task in tasks
+        ]
+        results = [future.result() for future in futures]
+    merge_start = time.perf_counter()
+    memo = engine.zero_round_memo
+    for task_result in results:
+        for key, form, stored in task_result.cache_entries:
+            engine.cache.merge(key, form, stored)
+        if memo is not None:
+            for memo_key, solvable in task_result.memo_entries:
+                memo.merge(memo_key, solvable)
+    merge_s = time.perf_counter() - merge_start
+    values = [task_result.value for task_result in results]
+    compute_s = sum(task_result.compute_s for task_result in results)
+    return values, compute_s, merge_s
+
+
+# -- batch orchestration (runs in the parent) ---------------------------------
+
+
+def _timed_execute(engine: "Engine", task: Task) -> tuple[object, float]:
+    start = time.perf_counter()
+    value = execute_task(engine, task)
+    return value, time.perf_counter() - start
+
+
+class _BatchMeter:
+    """Snapshot-and-delta wrapper producing one :class:`BatchStats`."""
+
+    def __init__(self, engine: "Engine", backend: str, tasks: int, workers: int):
+        self._engine = engine
+        self._backend = backend
+        self._tasks = tasks
+        self._workers = workers
+        self._cache_before = engine.cache.stats()
+        self._conc_before = engine.cache.concurrency_stats()
+        self._memo_before = engine.zero_round_stats()
+        self._start = time.perf_counter()
+
+    def finish(self, compute_s: float, merge_s: float) -> BatchStats:
+        wall_s = time.perf_counter() - self._start
+        cache_after = self._engine.cache.stats()
+        conc_after = self._engine.cache.concurrency_stats()
+        memo_after = self._engine.zero_round_stats()
+        return BatchStats(
+            backend=self._backend,
+            tasks=self._tasks,
+            workers=self._workers,
+            wall_s=wall_s,
+            compute_s=compute_s,
+            canonical_s=conc_after["canonical_s"] - self._conc_before["canonical_s"],
+            lock_wait_s=conc_after["lock_wait_s"] - self._conc_before["lock_wait_s"],
+            coalesce_wait_s=(
+                conc_after["coalesce_wait_s"] - self._conc_before["coalesce_wait_s"]
+            ),
+            merge_s=merge_s,
+            coalesced=int(conc_after["coalesced"] - self._conc_before["coalesced"]),
+            cache_hits=cache_after["hits"] - self._cache_before["hits"],
+            cache_misses=cache_after["misses"] - self._cache_before["misses"],
+            cache_entries_added=cache_after["entries"] - self._cache_before["entries"],
+            memo_entries_added=memo_after["entries"] - self._memo_before["entries"],
+        )
+
+
+def run_task_batch(
+    engine: "Engine", tasks: list[Task]
+) -> tuple[list[object], BatchStats]:
+    """Execute a batch of tasks on the engine's configured backend.
+
+    Values come back in task order.  Batches of one task (or one worker)
+    run serially whatever the configured backend -- pools only ever cost
+    there.
+    """
+    backend = engine.config.executor
+    workers = engine._resolve_workers(len(tasks))
+    pooled = len(tasks) > 1 and workers > 1
+    meter = _BatchMeter(engine, backend, len(tasks), workers if pooled else 1)
+    merge_s = 0.0
+    if backend == "process" and pooled:
+        values, compute_s, merge_s = _run_process_pool(engine, tasks, workers)
+    elif backend == "thread" and pooled:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            timed = list(pool.map(lambda task: _timed_execute(engine, task), tasks))
+        values = [value for value, _ in timed]
+        compute_s = sum(elapsed for _, elapsed in timed)
+    else:
+        values = []
+        compute_s = 0.0
+        for task in tasks:
+            value, elapsed = _timed_execute(engine, task)
+            values.append(value)
+            compute_s += elapsed
+    return values, meter.finish(compute_s, merge_s)
+
+
+def speedup_batch(
+    engine: "Engine", problems: list[Problem], simplify: bool
+) -> tuple[list[SpeedupResult], BatchStats]:
+    """Batch speedup derivation with cross-backend-consistent accounting.
+
+    Serial and thread backends route through ``engine.speedup`` (whose
+    single-flight cache already coalesces concurrent twins).  The process
+    backend cannot share in-memory latches with its workers, so coalescing
+    happens here in the parent: probe every problem, dispatch exactly one
+    leader task per missed canonical key (counted as the one true miss),
+    count the other requests of that key as coalesced, and resolve them
+    after the merge as translated hits -- the same hit/miss/coalesce totals
+    a serial run of the same batch reports.
+    """
+    backend = engine.config.executor
+    workers = engine._resolve_workers(len(problems))
+    pooled = backend == "process" and len(problems) > 1 and workers > 1
+    if not (pooled and engine.config.cache):
+        # Serial/thread (and degenerate process) batches: per-item speedup
+        # through the shared cache; single-flight does the coalescing.
+        tasks: list[Task] = [SpeedupTask(problem, simplify) for problem in problems]
+        values, stats = run_task_batch(engine, tasks)
+        return [_as_speedup_result(value) for value in values], stats
+
+    meter = _BatchMeter(engine, backend, len(problems), workers)
+    cache = engine.cache
+    resolved: dict[int, SpeedupResult] = {}
+    leaders: dict[str, tuple[int, "CanonicalForm"]] = {}
+    followers: list[int] = []
+    for index, problem in enumerate(problems):
+        hit, form, key = cache.probe(problem, simplify)
+        if hit is not None:
+            resolved[index] = hit
+            continue
+        if key in leaders:
+            cache.note_coalesced()
+            followers.append(index)
+        else:
+            cache.note_dispatched_miss()
+            leaders[key] = (index, form)
+    leader_items = list(leaders.items())
+    pool_tasks: list[Task] = [
+        SpeedupTask(problems[index], simplify) for _key, (index, _form) in leader_items
+    ]
+    merge_s = 0.0
+    compute_s = 0.0
+    if pool_tasks:
+        values, compute_s, merge_s = _run_process_pool(engine, pool_tasks, workers)
+        merge_start = time.perf_counter()
+        for (key, (index, form)), value in zip(leader_items, values):
+            result = _as_speedup_result(value)
+            # Re-merge under the leader's own key: the worker recorded the
+            # entry too, but its batch may have evicted it before draining.
+            resolved[index] = cache.merge(key, form, result)
+        merge_s += time.perf_counter() - merge_start
+    for index in followers:
+        hit, _form, _key = cache.probe(problems[index], simplify)
+        if hit is None:
+            # The merged entry was evicted before this follower resolved
+            # (weight pressure from other entries); fall back to a direct
+            # derivation rather than returning nothing.
+            resolved[index] = engine.speedup(problems[index], simplify=simplify)
+        else:
+            resolved[index] = hit
+    ordered = [resolved[index] for index in range(len(problems))]
+    return ordered, meter.finish(compute_s, merge_s)
+
+
+def _as_speedup_result(value: object) -> SpeedupResult:
+    assert isinstance(value, SpeedupResult)
+    return value
+
+
+def run_batch(
+    engine: "Engine",
+    problems: list[Problem],
+    max_steps: int,
+    relaxer: "Relaxer | None",
+) -> tuple[list["EliminationResult"], BatchStats]:
+    """Batch elimination pipelines on the engine's configured backend."""
+    from repro.core.sequence import EliminationResult
+
+    tasks: list[Task] = [
+        RunTask(problem, max_steps, relaxer) for problem in problems
+    ]
+    values, stats = run_task_batch(engine, tasks)
+    results: list[EliminationResult] = []
+    for value in values:
+        assert isinstance(value, EliminationResult)
+        results.append(value)
+    return results, stats

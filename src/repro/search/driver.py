@@ -30,7 +30,6 @@ surviving chain is returned as a concrete ``k``-round certificate.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -48,8 +47,9 @@ from repro.core.certificate import (
 )
 from repro.core.isomorphism import find_isomorphism
 from repro.core.problem import Problem
-from repro.core.speedup import EngineLimitError, SpeedupResult
+from repro.core.speedup import EngineLimitError
 from repro.core.zero_round import ZeroRoundMemo, is_zero_round_solvable
+from repro.engine.executor import ExpandOption, ExpandPayload, ExpandTask, Task
 from repro.search.moves import RelaxationMove, generate_moves
 
 KIND_TRIVIAL = "trivial"
@@ -168,14 +168,71 @@ class _State:
         return (self.problem.description_size, len(self.problem.labels))
 
 
-@dataclass(frozen=True)
-class _Expansion:
-    """What expanding one state by one speedup step produced."""
+def execute_expand_task(engine: Engine, task: ExpandTask) -> ExpandPayload:
+    """Run one beam expansion: speedup, moves, candidate evaluation.
 
-    state: _State
-    result: SpeedupResult | None
-    moves: tuple[RelaxationMove, ...] = ()
-    limit_hit: bool = False
+    This is the backend-side half of the search's expansion
+    (:class:`~repro.engine.executor.ExpandTask`): it performs every
+    CPU-heavy part -- the speedup derivation, move generation, and each
+    candidate's compression, canonical hashing, and memoised 0-round
+    decision -- and returns an :class:`~repro.engine.executor.ExpandPayload`
+    the driver's consumption loop turns into beam states with exactly the
+    sequential loop's counter semantics.  Runs in the parent under the
+    serial/thread backends and inside pool workers under ``process``.
+
+    A derived problem that is itself 0-round solvable short-circuits move
+    evaluation (all its relaxations are solvable too; the driver prunes the
+    branch), mirroring the lazy sequential order.  Size-guard trips come
+    back as ``limit_hit`` payloads rather than exceptions so a process
+    worker's batch neighbours are unaffected.
+    """
+    try:
+        result = engine.speedup(task.problem)
+    except EngineLimitError:
+        return ExpandPayload(result=None, limit_hit=True, options=(), moves_generated=0)
+    moves_cap = task.max_moves
+    if result.full.description_size > _LARGE_STATE_SIZE:
+        moves_cap = min(task.max_moves, task.beam_width + 1)
+    moves = tuple(generate_moves(result.full, max_moves=moves_cap))
+    orientations = engine.config.orientations
+    memo = engine.zero_round_memo
+
+    def evaluate(target: Problem, move: RelaxationMove | None) -> ExpandOption:
+        # 0-round solvability is invariant under compression (every witness
+        # uses only usable labels), so the verdict runs on the compressed
+        # form whose canonical hash doubles as the driver's dedup key.
+        compressed = target.compressed()
+        key = canonical_hash(compressed)
+        if memo is None:
+            solvable = is_zero_round_solvable(compressed, orientations=orientations)
+            return ExpandOption(
+                move=move, compressed=compressed, key=key,
+                solvable=solvable, memo_hit=False,
+            )
+        memo_key = ZeroRoundMemo.key_from_hash(key, orientations)
+        verdict = memo.lookup(memo_key)
+        if verdict is not None:
+            return ExpandOption(
+                move=move, compressed=compressed, key=key,
+                solvable=verdict, memo_hit=True,
+            )
+        verdict = is_zero_round_solvable(compressed, orientations=orientations)
+        memo.store(memo_key, verdict)
+        return ExpandOption(
+            move=move, compressed=compressed, key=key,
+            solvable=verdict, memo_hit=False,
+        )
+
+    options = [evaluate(result.full, None)]
+    if not options[0].solvable:
+        for move in moves:
+            options.append(evaluate(move.target, move))
+    return ExpandPayload(
+        result=result,
+        limit_hit=False,
+        options=tuple(options),
+        moves_generated=len(moves),
+    )
 
 
 class _Counters:
@@ -277,47 +334,43 @@ def search_lower_bound(
     beam = [root]
     deepest = root
 
-    def expand(state: _State) -> _Expansion:
-        try:
-            result = engine.speedup(state.problem)
-        except EngineLimitError:
-            return _Expansion(state=state, result=None, limit_hit=True)
-        moves_cap = max_moves
-        if result.full.description_size > _LARGE_STATE_SIZE:
-            moves_cap = min(max_moves, beam_width + 1)
-        moves = tuple(generate_moves(result.full, max_moves=moves_cap))
-        return _Expansion(state=state, result=result, moves=moves)
-
     for _depth in range(1, max_steps + 1):
         to_expand = beam[: max(0, budget - counters.speedup_calls)]
         if not to_expand:
             break
         counters.speedup_calls += len(to_expand)
         counters.states_expanded += len(to_expand)
-        workers = engine._resolve_workers(len(to_expand))
-        if workers > 1 and len(to_expand) > 1:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                expansions = list(pool.map(expand, to_expand))
-        else:
-            expansions = [expand(state) for state in to_expand]
+        # The CPU-heavy work (derivation, moves, per-candidate hashing and
+        # 0-round decisions) runs backend-side through the engine's
+        # configured executor; this loop only consumes the evaluated
+        # payloads, so the counters and beam construction stay sequential
+        # and deterministic whatever the backend.
+        tasks: list[Task] = [
+            ExpandTask(
+                problem=state.problem, max_moves=max_moves, beam_width=beam_width
+            )
+            for state in to_expand
+        ]
+        payloads = engine.execute_batch(tasks)
 
         candidates: list[_State] = []
         frontier_keys: dict[str, int] = {}
-        for expansion in expansions:
-            if expansion.result is None:
+        for state, payload in zip(to_expand, payloads):
+            assert isinstance(payload, ExpandPayload)
+            if payload.limit_hit or payload.result is None:
                 counters.limit_hits += 1
                 continue
-            state = expansion.state
-            derived = expansion.result.full
-            derived_compressed = derived.compressed()
-            derived_key = canonical_hash(derived_compressed)
+            derived = payload.result.full
+            derived_option = payload.options[0]
+            derived_compressed = derived_option.compressed
+            derived_key = derived_option.key
             speedup_step = CertificateStep(
-                kind=SPEEDUP, problem=derived, speedup=expansion.result
+                kind=SPEEDUP, problem=derived, speedup=payload.result
             )
-            options: list[tuple[Problem, RelaxationMove | None]] = [(derived, None)]
-            options.extend((move.target, move) for move in expansion.moves)
-            for target, move in options:
+            for option in payload.options:
                 counters.candidates_generated += 1
+                move = option.move
+                compressed, key = option.compressed, option.key
                 # The candidate's certificate chain is the state's chain plus
                 # the derived problem (and, for move options, the relaxation
                 # target as the final position); the revisit scan covers every
@@ -327,7 +380,6 @@ def search_lower_bound(
                     steps = state.steps + (speedup_step,)
                     scan_keys = state.chain_keys
                     scan_compressed = state.chain_compressed
-                    compressed, key = derived_compressed, derived_key
                 else:
                     steps = state.steps + (
                         speedup_step,
@@ -339,8 +391,6 @@ def search_lower_bound(
                     )
                     scan_keys = state.chain_keys + (derived_key,)
                     scan_compressed = state.chain_compressed + (derived_compressed,)
-                    compressed = target.compressed()
-                    key = canonical_hash(compressed)
                 revisit = _chain_revisit(scan_keys, scan_compressed, key, compressed)
                 if revisit is not None:
                     certificate = LowerBoundCertificate(
@@ -356,20 +406,21 @@ def search_lower_bound(
                         certificate=certificate,
                         stats=finish_stats(),
                     )
-                # 0-round solvability is invariant under compression (every
-                # witness uses only usable labels), so the check runs on the
-                # compressed form whose canonical hash is already in hand --
-                # exactly the memo key shared across branches.
-                if zero_round(compressed, key):
+                counters.zero_round_checks += 1
+                if option.memo_hit:
+                    counters.zero_round_memo_hits += 1
+                if option.solvable:
                     counters.zero_round_pruned += 1
                     if move is None:
                         # Relaxations of a 0-round solvable problem are all
-                        # 0-round solvable too; the whole branch is dead.
-                        counters.zero_round_pruned += len(expansion.moves)
+                        # 0-round solvable too; the whole branch is dead
+                        # (the payload carried no move options -- see
+                        # execute_expand_task -- but they count as pruned).
+                        counters.zero_round_pruned += payload.moves_generated
                         break
                     continue
                 candidate = _State(
-                    problem=target,
+                    problem=derived if move is None else move.target,
                     steps=steps,
                     chain_keys=scan_keys + (key,),
                     chain_compressed=scan_compressed + (compressed,),

@@ -3,14 +3,21 @@
 The engine's on-disk caches (speedup derivations, 0-round verdicts) share a
 directory across processes; a crashed writer, a full disk, or a concurrent
 truncation can leave an entry in any broken state.  These helpers implement
-the two halves of the required contract:
+the three halves of the required contract:
 
 * :func:`load_json` treats *every* unreadable or non-JSON file as an absent
   entry (returns ``None``) -- callers recompute and overwrite;
 * :func:`atomic_write_json` writes via a unique temp file and ``rename`` so
   readers never observe a half-written entry, and swallows ``OSError`` so a
   read-only or full cache directory never fails the computation being
-  cached.
+  cached;
+* :func:`sweep_stale_tmp_files` reclaims the temp files a writer that died
+  between ``write_text`` and ``replace`` leaves behind.  The caches call it
+  on open: temp files are named ``<entry>.tmp.<pid>.<tid>``, so one whose
+  writing process no longer exists (or whose age exceeds the bound, against
+  pid reuse and writers on other hosts) is garbage by construction.  Temp
+  files never collide with the ``*.json`` names entries are loaded from, so
+  a leaked temp file can occupy disk but can never be read back as an entry.
 """
 
 from __future__ import annotations
@@ -18,7 +25,16 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from pathlib import Path
+
+#: Infix separating an entry name from the writer's pid/tid in temp names.
+TMP_MARKER = ".tmp."
+
+#: Age beyond which a temp file is considered abandoned even if a process
+#: with the recorded pid exists (pid reuse, or a writer on another host
+#: sharing the directory).  A healthy write lives for milliseconds.
+STALE_TMP_AGE_S = 3600.0
 
 
 def load_json(path: Path) -> object | None:
@@ -36,7 +52,7 @@ def load_json(path: Path) -> object | None:
 
 def atomic_write_json(path: Path, payload: object) -> None:
     """Atomically replace ``path`` with the serialized payload, best effort."""
-    tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+    tmp = path.with_suffix(f"{TMP_MARKER.rstrip('.')}.{os.getpid()}.{threading.get_ident()}")
     try:
         tmp.write_text(json.dumps(payload, sort_keys=True))
         tmp.replace(path)
@@ -45,3 +61,67 @@ def atomic_write_json(path: Path, payload: object) -> None:
             tmp.unlink(missing_ok=True)
         except OSError:
             pass
+
+
+def _writer_pid(name: str) -> int | None:
+    """The pid embedded in a temp-file name, or ``None`` if it is not one."""
+    marker = name.rfind(TMP_MARKER)
+    if marker < 0:
+        return None
+    parts = name[marker + len(TMP_MARKER):].split(".")
+    if len(parts) != 2 or not all(part.isdigit() for part in parts):
+        return None
+    return int(parts[0])
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with this pid exists (signal-0 probe)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return True  # unknown -- err on the side of keeping the file
+    return True
+
+
+def sweep_stale_tmp_files(
+    directory: Path, max_age_s: float = STALE_TMP_AGE_S
+) -> int:
+    """Delete abandoned ``atomic_write_json`` temp files in ``directory``.
+
+    A temp file is stale when its writer pid is dead, or when it is older
+    than ``max_age_s`` (covering pid reuse and writers on other machines).
+    Live writes -- young files whose pid exists -- are left alone, so a
+    concurrent store in a shared cache directory is never disturbed.
+    Returns the number of files removed; every failure is best-effort
+    tolerated (a sweep must never fail a cache open).
+    """
+    try:
+        entries = list(directory.iterdir())
+    except OSError:
+        return 0
+    removed = 0
+    now = time.time()
+    for entry in entries:
+        pid = _writer_pid(entry.name)
+        if pid is None:
+            continue
+        stale = not _pid_alive(pid)
+        if not stale:
+            try:
+                stale = now - entry.stat().st_mtime > max_age_s
+            except OSError:
+                continue  # vanished mid-sweep (another sweeper won the race)
+        if not stale:
+            continue
+        try:
+            entry.unlink(missing_ok=True)
+            removed += 1
+        except OSError:
+            continue  # read-only dir or concurrent unlink: leave it
+    return removed

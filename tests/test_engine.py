@@ -89,6 +89,44 @@ def test_with_config_new_cache_policy_allocates_fresh_cache(engine, tmp_path):
     assert other.cache is not engine.cache
 
 
+def test_with_config_cache_knob_keeps_zero_round_memo(engine):
+    # Regression: overriding a speedup-cache knob used to rebuild the engine
+    # wholesale, silently discarding the warm 0-round memo with it.
+    assert engine.zero_round_memo is not None
+    other = engine.with_config(cache_size=64)
+    assert other.cache is not engine.cache
+    assert other.zero_round_memo is engine.zero_round_memo
+
+
+def test_with_config_memo_knob_keeps_speedup_cache(engine):
+    other = engine.with_config(zero_round_memo_size=16)
+    assert other.zero_round_memo is not engine.zero_round_memo
+    assert other.cache is engine.cache
+
+
+def test_with_config_restated_knob_shares_everything(engine):
+    # An override restating the current value changes nothing, so both
+    # caches stay shared.
+    other = engine.with_config(cache_size=engine.config.cache_size)
+    assert other.cache is engine.cache
+    assert other.zero_round_memo is engine.zero_round_memo
+
+
+def test_with_config_cache_dir_rebuilds_both(engine, tmp_path):
+    # cache_dir governs both stores (the memo's directory nests under it).
+    other = engine.with_config(cache_dir=tmp_path)
+    assert other.cache is not engine.cache
+    assert other.zero_round_memo is not engine.zero_round_memo
+
+
+def test_with_config_warm_memo_survives_cache_override(engine, sc3):
+    engine.zero_round_solvable(sc3)
+    warm = engine.zero_round_stats()["entries"]
+    assert warm == 1
+    other = engine.with_config(cache_max_weight=123_456)
+    assert other.zero_round_stats()["entries"] == warm
+
+
 # -- the content-addressed cache ----------------------------------------------
 
 

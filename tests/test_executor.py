@@ -1,0 +1,351 @@
+"""Execution backends: differential equivalence, single-flight, pickling.
+
+The three backends (``serial`` / ``thread`` / ``process``) must be
+observationally equivalent: same results up to the canonical hash, same
+cache accounting, same search outcomes.  ``serial`` is the reference; the
+differential tests here hold the other two to it.  The concurrency tests
+prove the single-flight contract -- exactly one derivation per canonical
+key, no matter how many threads race renamed twins -- and the process tests
+prove real pickle round-trips through real worker processes.
+"""
+
+import os
+import pickle
+import threading
+
+import pytest
+
+from repro.core.canonical import canonical_hash
+from repro.core.speedup import EngineLimitError
+from repro.engine import Engine, EngineConfig
+from repro.engine.executor import (
+    BatchStats,
+    ExpandTask,
+    RunTask,
+    SpeedupTask,
+    execute_task,
+)
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def _engine(backend, **overrides):
+    overrides.setdefault("max_workers", 2)
+    return Engine(EngineConfig(executor=backend, **overrides))
+
+
+def _renamed(problem, prefix):
+    mapping = {label: f"{prefix}{i}" for i, label in enumerate(sorted(problem.labels))}
+    return problem.renamed(mapping, name=f"{problem.name}-{prefix}")
+
+
+# -- configuration -------------------------------------------------------------
+
+
+def test_executor_name_validated():
+    with pytest.raises(ValueError):
+        EngineConfig(executor="bogus")
+
+
+def test_executor_env_default(monkeypatch):
+    monkeypatch.setenv("REPRO_EXECUTOR", "serial")
+    assert EngineConfig().executor == "serial"
+    monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+    assert EngineConfig().executor == "thread"
+
+
+# -- differential backend equivalence -----------------------------------------
+
+
+@pytest.fixture()
+def mixed_batch(sc3, so3, mis_d3):
+    # Two distinct problems, a renamed twin, and an exact repeat: exercises
+    # miss, coalesce, and hit paths in one batch.
+    return [sc3, so3, _renamed(sc3, "z"), sc3, mis_d3]
+
+
+def test_speedup_many_backends_agree(mixed_batch):
+    reference = None
+    for backend in BACKENDS:
+        engine = _engine(backend)
+        results = engine.speedup_many(mixed_batch)
+        assert [r.original for r in results] == mixed_batch
+        hashes = [canonical_hash(r.full) for r in results]
+        stats = engine.cache_stats()
+        if reference is None:
+            reference = (hashes, stats)
+        else:
+            assert (hashes, stats) == reference, backend
+
+
+def test_speedup_many_cache_accounting_matches_serial(mixed_batch):
+    # hits/misses/entries must be what a sequential loop reports: one miss
+    # per distinct canonical key, one hit per repeat (twins included).
+    for backend in BACKENDS:
+        engine = _engine(backend)
+        engine.speedup_many(mixed_batch)
+        assert engine.cache_stats() == {"hits": 2, "misses": 3, "entries": 3}, backend
+
+
+def test_run_many_backends_agree_per_step(sc3, so3):
+    reference = None
+    for backend in BACKENDS:
+        engine = _engine(backend)
+        results = engine.run_many([sc3, so3], max_steps=2)
+        shape = [
+            [
+                (step.index, canonical_hash(step.problem), step.zero_round_solvable)
+                for step in result.steps
+            ]
+            for result in results
+        ]
+        if reference is None:
+            reference = shape
+        else:
+            assert shape == reference, backend
+
+
+def test_search_backends_agree(so3):
+    reference = None
+    for backend in BACKENDS:
+        engine = _engine(backend)
+        result = engine.search_lower_bound(so3, max_steps=3)
+        stats = result.stats.to_dict()
+        # Memo *hit* counts are timing-dependent under concurrency (two
+        # simultaneous evaluations of one fresh key both miss); every other
+        # counter -- and the certificate itself -- must match exactly.
+        stats.pop("zero_round_memo_hits")
+        outcome = (result.kind, result.bound, stats)
+        if reference is None:
+            reference = outcome
+        else:
+            assert outcome == reference, backend
+
+
+def test_batch_stats_recorded_per_backend(mixed_batch):
+    for backend in BACKENDS:
+        engine = _engine(backend)
+        assert engine.last_batch_stats() is None
+        engine.speedup_many(mixed_batch)
+        stats = engine.last_batch_stats()
+        assert isinstance(stats, BatchStats)
+        assert stats.backend == backend
+        assert stats.tasks == len(mixed_batch)
+        assert stats.wall_s > 0
+        assert 0.0 <= stats.serial_fraction <= 1.0
+        payload = stats.to_dict()
+        assert payload["cache_misses"] == 3
+        assert payload["backend"] == backend
+
+
+# -- single-flight coalescing --------------------------------------------------
+
+
+def test_sixteen_simultaneous_renamed_twins_derive_once(sc3, monkeypatch):
+    """The acceptance-criteria race: 16 threads, 16 renamed twins, 1 derivation."""
+    import repro.engine.engine as engine_module
+
+    derivations = []
+    derivation_lock = threading.Lock()
+    real_compute = engine_module.compute_speedup
+
+    def counting_compute(problem, **kwargs):
+        with derivation_lock:
+            derivations.append(problem.name)
+        return real_compute(problem, **kwargs)
+
+    monkeypatch.setattr(engine_module, "compute_speedup", counting_compute)
+
+    engine = Engine()
+    twins = [_renamed(sc3, f"t{i}x") for i in range(16)]
+    barrier = threading.Barrier(16)
+    results = [None] * 16
+    errors = []
+
+    def request(index):
+        barrier.wait()
+        try:
+            results[index] = engine.speedup(twins[index])
+        except BaseException as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [threading.Thread(target=request, args=(i,)) for i in range(16)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not errors
+    assert len(derivations) == 1  # exactly one derivation ran
+    stats = engine.cache_stats()
+    assert stats["misses"] == 1 and stats["hits"] == 15 and stats["entries"] == 1
+    conc = engine.cache.concurrency_stats()
+    assert 0 <= conc["coalesced"] <= 15
+    for twin, result in zip(twins, results):
+        # Every caller got the one stored derivation translated into its own
+        # label space.
+        assert result.original == twin
+
+
+def test_failed_leader_wakes_waiters_who_inherit(sc3, monkeypatch):
+    """abandon(): a failing derivation must not deadlock coalesced waiters."""
+    import repro.engine.engine as engine_module
+
+    calls = []
+    call_lock = threading.Lock()
+
+    def failing_compute(problem, **kwargs):
+        with call_lock:
+            calls.append(problem.name)
+        raise EngineLimitError(
+            "boom", limit_name="max_derived_labels", limit=1, observed=2
+        )
+
+    monkeypatch.setattr(engine_module, "compute_speedup", failing_compute)
+
+    engine = Engine()
+    barrier = threading.Barrier(4)
+    outcomes = []
+    outcome_lock = threading.Lock()
+
+    def request(problem):
+        barrier.wait()
+        try:
+            engine.speedup(problem)
+        except EngineLimitError as exc:
+            with outcome_lock:
+                outcomes.append(exc.limit_name)
+
+    twins = [_renamed(sc3, f"f{i}x") for i in range(4)]
+    threads = [threading.Thread(target=request, args=(t,)) for t in twins]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not any(thread.is_alive() for thread in threads), "deadlocked waiters"
+    assert outcomes == ["max_derived_labels"] * 4
+    assert len(calls) >= 1  # at least the leader tried (waiters inherit)
+    # The flight table must be empty: the next request is a fresh leader.
+    assert engine.cache._inflight == {}
+
+
+def test_speedup_many_thread_backend_coalesces_twins(sc3):
+    engine = _engine("thread", max_workers=4)
+    twins = [_renamed(sc3, f"m{i}x") for i in range(8)]
+    results = engine.speedup_many(twins)
+    stats = engine.cache_stats()
+    assert stats["misses"] == 1 and stats["hits"] == 7
+    assert len({canonical_hash(r.full) for r in results}) == 1
+
+
+# -- the process backend -------------------------------------------------------
+
+
+def test_process_results_pickle_round_trip_through_worker(sc3, so3):
+    engine = _engine("process")
+    results = engine.speedup_many([sc3, so3])
+    for result, problem in zip(results, [sc3, so3]):
+        assert result.original == problem
+        # The returned payload crossed a real process boundary already; it
+        # must also survive another explicit round trip (frozen views and
+        # all).
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.full == result.full
+        assert dict(clone.full_meaning) == dict(result.full_meaning)
+
+
+def test_process_merges_entries_into_parent_cache(sc3, so3):
+    engine = _engine("process")
+    engine.speedup_many([sc3, so3])
+    assert engine.cache_stats() == {"hits": 0, "misses": 2, "entries": 2}
+    # Both entries now serve in-memory hits without new derivations.
+    engine.speedup(sc3)
+    engine.speedup(_renamed(so3, "q"))
+    assert engine.cache_stats()["hits"] == 2
+    assert engine.cache_stats()["misses"] == 2
+
+
+def test_process_merges_memo_verdicts_from_search(so3):
+    engine = _engine("process")
+    result = engine.search_lower_bound(so3, max_steps=2)
+    assert result.kind == "fixed-point"
+    # The workers' 0-round verdicts were merged back into the parent memo.
+    assert engine.zero_round_stats()["entries"] > 0
+
+
+def test_process_limit_error_crosses_boundary_with_attributes(sc3):
+    engine = _engine("process", max_derived_labels=1, cache=False)
+    with pytest.raises(EngineLimitError) as excinfo:
+        engine.speedup_many([sc3, _renamed(sc3, "w")])
+    assert excinfo.value.limit_name == "max_derived_labels"
+    assert excinfo.value.limit == 1
+    assert excinfo.value.observed is not None
+
+
+def test_process_shares_disk_cache_with_workers(tmp_path, sc3, so3):
+    engine = _engine("process", cache_dir=tmp_path)
+    engine.speedup_many([sc3, so3])
+    # Workers persisted their derivations into the shared directory ...
+    fresh = Engine(EngineConfig(cache_dir=tmp_path))
+    fresh.speedup(sc3)
+    # ... so a brand-new engine warm-starts from disk.
+    assert fresh.cache_stats() == {"hits": 1, "misses": 0, "entries": 1}
+
+
+def test_tasks_and_payloads_pickle(sc3):
+    for task in (
+        SpeedupTask(sc3, True),
+        RunTask(sc3, 2),
+        ExpandTask(sc3, max_moves=4, beam_width=2),
+    ):
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone == task
+
+
+def test_execute_task_dispatch(sc3):
+    engine = _engine("serial")
+    speedup_value = execute_task(engine, SpeedupTask(sc3, True))
+    assert speedup_value.original == sc3
+    run_value = execute_task(engine, RunTask(sc3, 1))
+    assert run_value.steps[0].problem == sc3
+    expand_value = execute_task(engine, ExpandTask(sc3, max_moves=2, beam_width=2))
+    assert expand_value.options[0].key == canonical_hash(
+        expand_value.result.full.compressed()
+    )
+
+
+# -- parallel scaling (opt-in: needs real cores) -------------------------------
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4 or os.environ.get("REPRO_BENCH_SCALING") != "1",
+    reason="needs >=4 cores and REPRO_BENCH_SCALING=1",
+)
+def test_process_backend_scales_on_cpu_heavy_batch():
+    import time
+
+    from repro.problems.superweak import superweak
+    from repro.problems.weak_coloring import weak_coloring_pointer
+
+    base = [
+        weak_coloring_pointer(3, 2),
+        superweak(3, 2),
+    ]
+    problems = []
+    for index in range(4):
+        for problem in base:
+            problems.append(_renamed(problem, f"s{index}x"))
+    assert len(problems) >= 8
+
+    def timed(workers):
+        engine = Engine(
+            EngineConfig(executor="process", max_workers=workers, cache=False)
+        )
+        start = time.perf_counter()
+        engine.speedup_many(problems)
+        return time.perf_counter() - start
+
+    single = timed(1)
+    quad = timed(4)
+    assert single / quad >= 3.0, f"speedup only {single / quad:.2f}x"

@@ -355,7 +355,11 @@ def test_fixed_point_after_relaxation_uses_chain_positions(monkeypatch, so3):
             return super().speedup(problem, simplify=simplify)
 
     monkeypatch.setattr(driver_module, "generate_moves", scripted_moves)
-    result = ScriptedEngine().search_lower_bound(so3, max_steps=4, beam_width=4)
+    # Serial executor: the scripted monkeypatch and the ScriptedEngine
+    # override live in this process only, so beam expansion must not be
+    # shipped to pool workers (which would run the real generate_moves).
+    scripted = ScriptedEngine(EngineConfig(executor="serial"))
+    result = scripted.search_lower_bound(so3, max_steps=4, beam_width=4)
 
     assert result.kind == KIND_FIXED_POINT
     certificate = result.certificate

@@ -64,6 +64,13 @@ PICKLABLE_CLASSES: frozenset[str] = frozenset(
         "_State",
         "SearchResult",
         "SearchStats",
+        # Executor task/payload shapes shipped through the process pool.
+        "SpeedupTask",
+        "RunTask",
+        "ExpandTask",
+        "ExpandOption",
+        "ExpandPayload",
+        "TaskResult",
     }
 )
 
