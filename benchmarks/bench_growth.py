@@ -16,8 +16,14 @@ def test_bench_growth_fixed_point(benchmark):
 
 
 def test_bench_growth_coloring_explosion(benchmark):
+    # Explicit ceiling: the streaming full step would otherwise *compute*
+    # step 2 (8565 labels) in minutes rather than refuse it a priori.
     rows = benchmark.pedantic(
-        measure_growth, args=(coloring(3, 2), 2), rounds=1, iterations=1
+        measure_growth,
+        args=(coloring(3, 2), 2),
+        kwargs={"max_derived_labels": 2000},
+        rounds=1,
+        iterations=1,
     )
     benchmark.extra_info["labels_per_step"] = [row.labels for row in rows]
     assert rows[1].labels > rows[0].labels

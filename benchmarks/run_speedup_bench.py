@@ -17,15 +17,25 @@ execution backend, emitting the per-batch Amdahl instrumentation
 (``serial_fraction`` and its components: canonical hashing, cache-lock
 wait, coalesce wait, result merge) from ``Engine.last_batch_stats()``.
 
+With ``--kernel NAME`` the derivations run on that kernel tier (``auto`` /
+``mask`` / ``vector``); each completing row then carries the per-fold
+timing breakdown (closed sets, enumeration, matching, domination,
+materialise) from :class:`repro.core.vectorkernel.KernelStats`, and the
+report embeds the frozen pre-vector mask-kernel baseline rows
+(``kernel_baseline_pr8``) for the before/after comparison.
+
 Usage::
 
     python benchmarks/run_speedup_bench.py [--quick] [--search]
+        [--kernel auto|mask|vector]
         [--backend serial --backend thread --backend process]
         [--workers N] [--output BENCH_speedup.json]
 
 ``--quick`` restricts the run to the cases cheap enough for a CI smoke job
 (everything except the formerly intractable derivations, which take seconds
-to minutes even on the kernel).
+to minutes even on the kernel -- including 5-coloring at delta 2, whose
+streaming full step computes a 7577-label derivation in minutes where the
+retired grid guard used to refuse it instantly).
 """
 
 from __future__ import annotations
@@ -38,7 +48,8 @@ import time
 from pathlib import Path
 
 from repro.core import _legacy
-from repro.core.speedup import EngineLimitError
+from repro.core.speedup import EngineLimitError, compute_speedup
+from repro.core.vectorkernel import KERNEL_NAMES, resolve_kernel
 from repro.engine import EXECUTOR_NAMES, Engine, EngineConfig
 from repro.problems.catalog import get_problem
 
@@ -59,8 +70,9 @@ CASES: list[tuple[str, int, bool, bool]] = [
     # the size guards); the kernel completes them in seconds.
     ("weak-3-coloring", 2, False, False),
     ("superweak-3-coloring", 2, False, False),
-    # Still guard-refused -- on both paths identically, by design: the grid
-    # bound caps the (enormous) problem the step would materialise.
+    # Refused a-priori by the legacy grid guard; the streaming full step
+    # computes the 7577-label derivation under the default work/frontier
+    # caps (minutes -- dominated by materialising ~25M edge configs).
     ("5-coloring", 2, False, True),
 ]
 
@@ -98,6 +110,22 @@ BACKEND_BATCH: list[tuple[str, int, bool]] = [
     ("superweak-3-coloring", 2, False),
 ]
 
+# Frozen pre-vector baseline, measured once on the PR-8 tree (commit
+# 066f63e) with the mask kernel and the a-priori grid guard still in place:
+# the numbers the vector tier and the streaming full step are measured
+# against.  5-coloring's ``observed`` is the refused candidate grid --
+# the derivation itself was never attempted.  Kept verbatim (PR-5 pattern)
+# so every report carries the before/after comparison.
+KERNEL_BASELINE_PR8: list[dict] = [
+    {"problem": "weak-3-coloring", "delta": 2, "kernel": "mask",
+     "cold_s": 1.253222, "status": "ok", "derived_labels": 976},
+    {"problem": "superweak-3-coloring", "delta": 2, "kernel": "mask",
+     "cold_s": 1.464015, "status": "ok", "derived_labels": 976},
+    {"problem": "5-coloring", "delta": 2, "kernel": "mask",
+     "cold_s": 0.056129, "status": "limit:max_candidate_configs",
+     "observed_grid": 28_716_831},
+]
+
 SEARCH_BASELINE_PR3: list[dict] = [
     {"problem": "sinkless-orientation", "delta": 3, "max_steps": 4,
      "search_s": 0.004, "kind": "fixed-point", "bound": 2, "verified": True},
@@ -118,19 +146,28 @@ def _time_call(fn) -> tuple[float, str, object]:
 
 
 def bench_case(
-    name: str, delta: int, run_legacy: bool, warm_rounds: int = 3
+    name: str,
+    delta: int,
+    run_legacy: bool,
+    warm_rounds: int = 3,
+    kernel: str = "auto",
 ) -> dict:
     """Cold/warm/legacy timings for one catalog ``speedup()`` call."""
     problem = get_problem(name, delta)
-    engine = Engine()
+    engine = Engine(EngineConfig(kernel=kernel))
     cold_s, status, result = _time_call(lambda: engine.speedup(problem))
 
     record: dict = {
         "problem": name,
         "delta": delta,
+        "kernel": resolve_kernel(kernel),
         "status": status,
         "cold_s": round(cold_s, 6),
     }
+    if result is not None and result.kernel_stats is not None:
+        # Per-fold wall-clock breakdown of the cold derivation (the cache
+        # re-attaches the counters to the stored copy on the cold path).
+        record["fold_s"] = result.kernel_stats.to_dict()
     if result is not None:
         record["derived_labels"] = len(result.full.labels)
         record["derived_node_configs"] = len(result.full.node_constraint)
@@ -153,11 +190,17 @@ def bench_case(
     return record
 
 
-def bench_search_case(name: str, delta: int, max_steps: int) -> dict:
+def bench_search_case(
+    name: str, delta: int, max_steps: int, kernel: str = "auto"
+) -> dict:
     """Time one full lower-bound search run plus its independent re-verify."""
     problem = get_problem(name, delta)
     engine = Engine(
-        EngineConfig(max_derived_labels=20_000, max_candidate_configs=500_000)
+        EngineConfig(
+            max_derived_labels=20_000,
+            max_candidate_configs=500_000,
+            kernel=kernel,
+        )
     )
     start = time.perf_counter()
     result = engine.search_lower_bound(problem, max_steps=max_steps)
@@ -165,6 +208,7 @@ def bench_search_case(name: str, delta: int, max_steps: int) -> dict:
     record = {
         "problem": name,
         "delta": delta,
+        "kernel": resolve_kernel(kernel),
         "max_steps": max_steps,
         "search_s": round(search_s, 6),
         "kind": result.kind,
@@ -179,7 +223,9 @@ def bench_search_case(name: str, delta: int, max_steps: int) -> dict:
 
 
 def run_search_bench(
-    cases: list[tuple[str, int, int, bool]] | None = None, quick: bool = False
+    cases: list[tuple[str, int, int, bool]] | None = None,
+    quick: bool = False,
+    kernel: str = "auto",
 ) -> list[dict]:
     """Run the search suite; returns the rows for the report."""
     selected = [
@@ -187,13 +233,13 @@ def run_search_bench(
         if not quick or case[3]
     ]
     return [
-        bench_search_case(name, delta, max_steps)
+        bench_search_case(name, delta, max_steps, kernel=kernel)
         for name, delta, max_steps, _ in selected
     ]
 
 
 def bench_backend_case(
-    backend: str, workers: int | None, quick: bool = False
+    backend: str, workers: int | None, quick: bool = False, kernel: str = "auto"
 ) -> dict:
     """Time one cold ``speedup_many`` batch on ``backend``.
 
@@ -214,6 +260,7 @@ def bench_backend_case(
             max_workers=workers,
             max_derived_labels=20_000,
             max_candidate_configs=500_000,
+            kernel=kernel,
         )
     )
     start = time.perf_counter()
@@ -232,11 +279,15 @@ def bench_backend_case(
 
 
 def run_backend_bench(
-    backends: list[str], workers: int | None = None, quick: bool = False
+    backends: list[str],
+    workers: int | None = None,
+    quick: bool = False,
+    kernel: str = "auto",
 ) -> list[dict]:
     """Run the backend batch on each requested backend; returns the rows."""
     return [
-        bench_backend_case(backend, workers, quick=quick) for backend in backends
+        bench_backend_case(backend, workers, quick=quick, kernel=kernel)
+        for backend in backends
     ]
 
 
@@ -247,14 +298,19 @@ def run_bench(
     search: bool = False,
     backends: list[str] | None = None,
     workers: int | None = None,
+    kernel: str = "auto",
 ) -> dict:
     """Run the suite and return the JSON-ready report."""
     selected = [
         case for case in (cases if cases is not None else CASES)
         if not quick or case[2]
     ]
+    if resolve_kernel(kernel) == "vector":
+        # Pay the one-time numpy import / ufunc warmup outside the timed
+        # rows, so the first cold case is not charged for it.
+        compute_speedup(get_problem("sinkless-orientation", 3), kernel="vector")
     results = [
-        bench_case(name, delta, run_legacy, warm_rounds=warm_rounds)
+        bench_case(name, delta, run_legacy, warm_rounds=warm_rounds, kernel=kernel)
         for name, delta, _, run_legacy in selected
     ]
     ratios = [r["kernel_speedup"] for r in results if "kernel_speedup" in r]
@@ -262,9 +318,17 @@ def run_bench(
     report = {
         "benchmark": "speedup",
         "quick": quick,
+        "kernel": resolve_kernel(kernel),
         "python": platform.python_version(),
         "unix_time": int(time.time()),
         "results": results,
+        "kernel_baseline_pr8": [
+            row for row in KERNEL_BASELINE_PR8
+            if any(
+                row["problem"] == name and row["delta"] == delta
+                for name, delta, is_quick, _ in selected
+            )
+        ],
     }
     if legacy_done:
         # The headline number: kernel vs legacy on the largest (slowest
@@ -281,7 +345,7 @@ def run_bench(
         report["min_kernel_speedup"] = min(ratios)
         report["max_kernel_speedup"] = max(ratios)
     if search:
-        report["search_results"] = run_search_bench(quick=quick)
+        report["search_results"] = run_search_bench(quick=quick, kernel=kernel)
         report["search_baseline_pr3"] = [
             row for row in SEARCH_BASELINE_PR3
             if not quick
@@ -293,7 +357,7 @@ def run_bench(
         ]
     if backends:
         report["backend_results"] = run_backend_bench(
-            backends, workers=workers, quick=quick
+            backends, workers=workers, quick=quick, kernel=kernel
         )
     return report
 
@@ -305,6 +369,13 @@ def main(argv: list[str] | None = None) -> int:
         "--search",
         action="store_true",
         help="also time search_lower_bound runs (before/after vs the PR-3 baseline)",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=list(KERNEL_NAMES),
+        default="auto",
+        help="kernel tier for the derivations (rows then carry the "
+        "per-fold timing breakdown)",
     )
     parser.add_argument(
         "--backend",
@@ -331,6 +402,7 @@ def main(argv: list[str] | None = None) -> int:
         search=args.search,
         backends=args.backend,
         workers=args.workers,
+        kernel=args.kernel,
     )
     Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
@@ -349,6 +421,22 @@ def main(argv: list[str] | None = None) -> int:
             f"largest legacy-completing case: {largest['problem']} d={largest['delta']} "
             f"-> kernel x{largest['kernel_speedup']}"
         )
+    by_case = {(r["problem"], r["delta"]): r for r in report["results"]}
+    for row in report.get("kernel_baseline_pr8", ()):
+        current = by_case.get((row["problem"], row["delta"]))
+        if current is None or current["status"] != "ok":
+            continue
+        if row["status"] == "ok":
+            ratio = row["cold_s"] / max(current["cold_s"], 1e-9)
+            print(
+                f"vs pre-vector mask baseline: {row['problem']} d={row['delta']} "
+                f"{row['cold_s']:.3f}s -> {current['cold_s']:.3f}s (x{ratio:.1f})"
+            )
+        else:
+            print(
+                f"vs pre-vector baseline: {row['problem']} d={row['delta']} "
+                f"{row['status']} -> computed in {current['cold_s']:.1f}s"
+            )
     for record in report.get("search_results", ()):
         print(
             f"search {record['problem']:>18s} d={record['delta']} "

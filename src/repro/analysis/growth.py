@@ -15,7 +15,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.problem import Problem
-from repro.core.speedup import EngineLimitError, speedup
+from repro.core.speedup import (
+    MAX_CANDIDATE_CONFIGS,
+    MAX_DERIVED_LABELS,
+    MAX_LIVE_CONFIGS,
+    EngineLimitError,
+    compute_speedup,
+)
 
 
 @dataclass(frozen=True)
@@ -30,12 +36,27 @@ class GrowthRow:
     blew_up: bool = False
 
 
-def measure_growth(problem: Problem, steps: int, simplify: bool = True) -> list[GrowthRow]:
+def measure_growth(
+    problem: Problem,
+    steps: int,
+    simplify: bool = True,
+    *,
+    max_derived_labels: int = MAX_DERIVED_LABELS,
+    max_candidate_configs: int = MAX_CANDIDATE_CONFIGS,
+    max_live_configs: int = MAX_LIVE_CONFIGS,
+    kernel: str = "auto",
+) -> list[GrowthRow]:
     """Iterate the speedup up to ``steps`` times, recording sizes per step.
 
-    If a step exceeds the engine's limits, a final row with ``blew_up=True``
-    is appended and the iteration stops -- the explosion the relaxation
-    technique exists to tame.
+    If a step exceeds the limits, a final row with ``blew_up=True`` is
+    appended and the iteration stops -- the explosion the relaxation
+    technique exists to tame.  The limits are explicit parameters because
+    they *are* the measurement instrument here: since the streaming full
+    step retired the a-priori grid refusal, detecting a blow-up under the
+    default caps can mean minutes of real derivation work (the engine
+    computes multi-thousand-label steps it used to refuse outright), so
+    explosion studies should pick ceilings matched to the description sizes
+    they consider "blown up".
     """
     rows = [
         GrowthRow(
@@ -49,7 +70,14 @@ def measure_growth(problem: Problem, steps: int, simplify: bool = True) -> list[
     current = problem
     for step in range(1, steps + 1):
         try:
-            current = speedup(current, simplify=simplify).full
+            current = compute_speedup(
+                current,
+                simplify=simplify,
+                max_derived_labels=max_derived_labels,
+                max_candidate_configs=max_candidate_configs,
+                max_live_configs=max_live_configs,
+                kernel=kernel,
+            ).full
         except EngineLimitError:
             rows.append(
                 GrowthRow(

@@ -50,7 +50,13 @@ import os
 from repro.core.format import format_problem, parse_problem
 from repro.core.problem import Problem, ProblemError
 from repro.core.sequence import EliminationResult
-from repro.engine import EXECUTOR_NAMES, Engine, EngineConfig, EngineLimitError
+from repro.engine import (
+    EXECUTOR_NAMES,
+    KERNEL_NAMES,
+    Engine,
+    EngineConfig,
+    EngineLimitError,
+)
 from repro.problems.catalog import catalog, get_problem, resolve_problem_spec
 
 DEMO_PROBLEM = """
@@ -97,13 +103,37 @@ def _read_problem(path: str | None, *, allow_demo: bool = False) -> tuple[Proble
     return parse_problem(text), False
 
 
+def _resolve_max_candidate_configs(args: argparse.Namespace, defaults: EngineConfig) -> int:
+    """``--max-candidate-configs``, honoring the deprecated ``--max-configs``.
+
+    Resolution order: the canonical spelling, then the deprecated alias
+    (with a warning), then the subcommand's tighter default (the search
+    command fails fast), then the engine default.
+    """
+    value = getattr(args, "max_candidate_configs", None)
+    legacy = getattr(args, "max_configs", None)
+    if legacy is not None:
+        print(
+            "warning: --max-configs is deprecated; use --max-candidate-configs "
+            "(it matches EngineConfig.max_candidate_configs)",
+            file=sys.stderr,
+        )
+        if value is None:
+            value = legacy
+    if value is None:
+        value = getattr(args, "default_max_candidate_configs", None)
+    return value if value is not None else defaults.max_candidate_configs
+
+
 def _engine_from_args(args: argparse.Namespace) -> Engine:
     defaults = EngineConfig()
     config = EngineConfig(
         simplify=not getattr(args, "no_simplify", False),
         max_derived_labels=getattr(args, "max_labels", None) or defaults.max_derived_labels,
-        max_candidate_configs=getattr(args, "max_configs", None)
-        or defaults.max_candidate_configs,
+        max_candidate_configs=_resolve_max_candidate_configs(args, defaults),
+        max_live_configs=getattr(args, "max_live_configs", None)
+        or defaults.max_live_configs,
+        kernel=getattr(args, "kernel", None) or defaults.kernel,
         cache_dir=getattr(args, "cache_dir", None),
         zero_round_memo=not getattr(args, "no_zero_memo", False),
         executor=getattr(args, "backend", None) or defaults.executor,
@@ -144,6 +174,11 @@ def cmd_speedup(args: argparse.Namespace) -> int:
         results = engine.iterate_speedup(problem, args.steps)
     except EngineLimitError as exc:
         print(f"error: derivation exceeded size limits: {exc}", file=sys.stderr)
+        if args.json:
+            # Stable machine-readable shape (limit_name is always one of
+            # EngineLimitError.LIMIT_NAMES), so JSON consumers need not
+            # parse the message.
+            print(json.dumps(exc.to_dict(), indent=2, sort_keys=True))
         return 2
     if args.json:
         print(
@@ -326,6 +361,22 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker-pool width for batch fan-out (default: min(8, cores))",
         )
 
+    def add_kernel(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--kernel",
+            choices=KERNEL_NAMES,
+            help="derivation kernel tier: auto (default; or set REPRO_KERNEL) "
+            "picks the vectorized numpy tier when numpy is usable, mask "
+            "forces the scalar big-int kernel, vector requests numpy "
+            "(falling back to mask without it); results are identical",
+        )
+        p.add_argument(
+            "--max-live-configs",
+            type=int,
+            help="streaming full-step cap on the undominated candidate "
+            "frontier held in memory (default 1000000)",
+        )
+
     p_parse = sub.add_parser("parse", help="validate and canonicalise a problem")
     add_io(p_parse, optional_file=True)
     p_parse.set_defaults(func=cmd_parse)
@@ -340,9 +391,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_speedup.add_argument("--max-labels", type=int, help="derived-label size guard")
     p_speedup.add_argument(
-        "--max-configs", type=int, help="candidate-configuration size guard"
+        "--max-candidate-configs",
+        type=int,
+        help="candidate-configuration work guard "
+        "(matches EngineConfig.max_candidate_configs)",
+    )
+    p_speedup.add_argument(
+        "--max-configs",
+        type=int,
+        help=argparse.SUPPRESS,  # deprecated alias for --max-candidate-configs
     )
     p_speedup.add_argument("--cache-dir", help="persistent JSON cache directory")
+    add_kernel(p_speedup)
     add_backend(p_speedup)
     p_speedup.set_defaults(func=cmd_speedup)
 
@@ -360,6 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--progress", action="store_true", help="print per-step progress to stderr"
     )
+    add_kernel(p_run)
     add_backend(p_run)
     p_run.set_defaults(func=cmd_run)
 
@@ -401,17 +462,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="derived-label size guard (default 20000)",
     )
     p_search.add_argument(
+        "--max-candidate-configs",
+        type=int,
+        help="candidate-configuration work guard (default 500000; matches "
+        "EngineConfig.max_candidate_configs)",
+    )
+    p_search.add_argument(
         "--max-configs",
         type=int,
-        default=500_000,
-        help="candidate-configuration size guard (default 500000)",
+        help=argparse.SUPPRESS,  # deprecated alias for --max-candidate-configs
     )
+    p_search.set_defaults(default_max_candidate_configs=500_000)
     p_search.add_argument("--cache-dir", help="persistent JSON cache directory")
     p_search.add_argument(
         "--no-zero-memo",
         action="store_true",
         help="disable the cross-branch 0-round verdict memo",
     )
+    add_kernel(p_search)
     add_backend(p_search)
     p_search.add_argument("--json", action="store_true", help="emit JSON output")
     p_search.set_defaults(func=cmd_search)

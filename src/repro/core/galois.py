@@ -29,6 +29,7 @@ from __future__ import annotations
 from repro.core.alphabet import Alphabet, LabelMask, intern
 from repro.core.limits import EngineLimitError
 from repro.core.problem import Label, Problem
+from repro.core.vectorkernel import closed_masks_vector, get_numpy, resolve_kernel
 
 
 class Compatibility:
@@ -73,7 +74,9 @@ class Compatibility:
         """The Galois closure ``comp(comp(mask))`` on bitmasks."""
         return self.polar_mask(self.polar_mask(mask))
 
-    def closed_masks(self, limit: int | None = None) -> frozenset[LabelMask]:
+    def closed_masks(
+        self, limit: int | None = None, *, kernel: str = "mask"
+    ) -> frozenset[LabelMask]:
         """All Galois-closed sets, as bitmasks.
 
         Every closed set is ``comp(X)`` for some ``X`` and
@@ -93,7 +96,25 @@ class Compatibility:
         count at abort, a lower bound on the total.  (The frozen legacy
         path has no such guard; it cannot reach this regime in feasible
         time, which is exactly why the search needs the abort.)
+
+        ``kernel`` selects the evaluation tier: ``"vector"`` (or ``"auto"``
+        with numpy usable) batches the pairwise intersections of a whole
+        frontier per vector op (:func:`repro.core.vectorkernel.
+        closed_masks_vector`); the result, including every limit trip point,
+        is identical to the scalar fold.
         """
+        if resolve_kernel(kernel) == "vector" and get_numpy() is not None:
+            return frozenset(
+                LabelMask(mask)
+                for mask in closed_masks_vector(
+                    [int(mask) for mask in self._adjacency],
+                    int(self._full_mask),
+                    self._alphabet.size,
+                    limit,
+                    lambda mask: bool(mask) and bool(self.polar_mask(LabelMask(mask))),
+                )
+            )
+
         def abort(count: int) -> None:
             raise EngineLimitError(
                 f"half step enumerated more than {limit} usable "
@@ -127,15 +148,17 @@ class Compatibility:
                             abort(usable)
         return frozenset(closed)
 
-    def usable_closed_masks(self, limit: int | None = None) -> frozenset[LabelMask]:
+    def usable_closed_masks(
+        self, limit: int | None = None, *, kernel: str = "mask"
+    ) -> frozenset[LabelMask]:
         """Closed masks usable as half-step labels (self and polar non-empty).
 
-        ``limit`` bounds the underlying closed-set enumeration (see
-        :meth:`closed_masks`).
+        ``limit`` bounds the underlying closed-set enumeration and ``kernel``
+        selects its evaluation tier (see :meth:`closed_masks`).
         """
         return frozenset(
             candidate
-            for candidate in self.closed_masks(limit=limit)
+            for candidate in self.closed_masks(limit=limit, kernel=kernel)
             if candidate and self.polar_mask(candidate)
         )
 

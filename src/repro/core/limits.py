@@ -17,15 +17,23 @@ class EngineLimitError(RuntimeError):
     Attributes
     ----------
     limit_name:
-        Which configured limit tripped: ``"max_derived_labels"`` or
-        ``"max_candidate_configs"`` (both are :class:`repro.engine.EngineConfig`
-        knobs).
+        Which configured limit tripped: ``"max_derived_labels"``,
+        ``"max_candidate_configs"``, or ``"max_live_configs"`` (all are
+        :class:`repro.engine.EngineConfig` knobs).  ``max_live_configs`` is
+        the streaming full step's memory cap on the undominated candidate
+        frontier; it replaced the a-priori candidate-grid refusal, so
+        ``max_candidate_configs`` trips on the simplified full step now
+        report incremental enumeration *work*, not a predicted grid size.
     limit:
         The configured value of that limit.
     observed:
         The count the derivation hit (or predicted) when it gave up; always
         greater than ``limit``.
     """
+
+    #: Every limit name this error can carry -- the stable vocabulary of the
+    #: :meth:`to_dict` wire format.
+    LIMIT_NAMES = ("max_derived_labels", "max_candidate_configs", "max_live_configs")
 
     def __init__(
         self,
@@ -39,6 +47,23 @@ class EngineLimitError(RuntimeError):
         self.limit_name = limit_name
         self.limit = limit
         self.observed = observed
+
+    def to_dict(self) -> dict[str, object]:
+        """Stable JSON shape for limit trips.
+
+        ``limit_name`` is always one of :data:`LIMIT_NAMES` (or ``None`` for
+        pre-attribute errors), so consumers can switch on it without parsing
+        the message -- including the streaming full step's
+        ``"max_live_configs"``, which older schema readers should treat like
+        the grid refusals it replaced.
+        """
+        return {
+            "error": "engine_limit",
+            "message": str(self),
+            "limit_name": self.limit_name,
+            "limit": self.limit,
+            "observed": self.observed,
+        }
 
     def __reduce__(self) -> tuple[object, ...]:
         # The default exception reduce replays only ``args``, so the limit

@@ -77,26 +77,65 @@ class Problem:
     node_constraint: frozenset[NodeConfig]
 
     def __post_init__(self) -> None:
+        # Validation runs on every construction, including the full step's
+        # derived problems whose edge constraints reach hundreds of thousands
+        # of pairs, so the checks below are written allocation-free (direct
+        # comparisons instead of ``tuple(sorted(...))`` / ``set(...)``
+        # round-trips) while raising the exact same errors.
         if self.delta < 1:
             raise ProblemError("delta must be at least 1")
+        labels = self.labels
         for pair in self.edge_constraint:
             if len(pair) != 2:
                 raise ProblemError(f"edge configuration {pair!r} is not a pair")
-            if tuple(sorted(pair)) != pair:
+            first, second = pair
+            if second < first:
                 raise ProblemError(f"edge configuration {pair!r} is not canonical")
-            if not set(pair) <= self.labels:
+            if first not in labels or second not in labels:
                 raise ProblemError(f"edge configuration {pair!r} uses unknown labels")
+        delta = self.delta
         for config in self.node_constraint:
-            if len(config) != self.delta:
+            if len(config) != delta:
                 raise ProblemError(
                     f"node configuration {config!r} does not have {self.delta} entries"
                 )
-            if tuple(sorted(config)) != config:
-                raise ProblemError(f"node configuration {config!r} is not canonical")
-            if not set(config) <= self.labels:
-                raise ProblemError(f"node configuration {config!r} uses unknown labels")
+            for index in range(len(config) - 1):
+                if config[index + 1] < config[index]:
+                    raise ProblemError(f"node configuration {config!r} is not canonical")
+            for label in config:
+                if label not in labels:
+                    raise ProblemError(
+                        f"node configuration {config!r} uses unknown labels"
+                    )
 
     # -- construction helpers ---------------------------------------------
+
+    @classmethod
+    def _from_canonical(
+        cls,
+        name: str,
+        delta: int,
+        labels: frozenset[Label],
+        edge_constraint: frozenset[EdgeConfig],
+        node_constraint: frozenset[NodeConfig],
+    ) -> "Problem":
+        """Trusted constructor that skips ``__post_init__`` validation.
+
+        For internal callers whose constraints are canonical by construction
+        -- the full step's direct materialisation emits sorted pairs and
+        tuples over its own freshly minted alphabet, and re-checking hundreds
+        of thousands of pairs would dominate the derivation.  Mirrors the
+        pickle path (:meth:`__setstate__`), which likewise restores fields
+        without re-validation.  All other construction goes through
+        ``Problem(...)`` or :meth:`make`.
+        """
+        problem = object.__new__(cls)
+        object.__setattr__(problem, "name", name)
+        object.__setattr__(problem, "delta", delta)
+        object.__setattr__(problem, "labels", labels)
+        object.__setattr__(problem, "edge_constraint", edge_constraint)
+        object.__setattr__(problem, "node_constraint", node_constraint)
+        return problem
 
     @staticmethod
     def make(

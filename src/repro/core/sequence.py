@@ -187,6 +187,11 @@ def run_round_elimination(
     simplify: bool = True,
     detect_fixed_points: bool = True,
     stop_at_zero_round: bool = True,
+    *,
+    max_derived_labels: int | None = None,
+    max_candidate_configs: int | None = None,
+    max_live_configs: int | None = None,
+    kernel: str | None = None,
 ) -> EliminationResult:
     """Run the iterated speedup pipeline.
 
@@ -209,6 +214,14 @@ def run_round_elimination(
         Test each new problem for isomorphism against all previous ones.
     stop_at_zero_round:
         Stop as soon as a 0-round solvable problem appears.
+    max_derived_labels / max_candidate_configs / max_live_configs / kernel:
+        Optional :class:`repro.engine.EngineConfig` overrides for the
+        pipeline's derivations (``None`` keeps the default engine's
+        values).  Explicit ceilings matter more since the streaming full
+        step retired the a-priori grid refusal: a blown-up step is now
+        *computed* up to the work and frontier caps rather than refused
+        from a size prediction, so towers expected to explode should pick
+        ceilings matched to the description sizes they can afford.
 
     Compatibility shim: delegates to the process-wide default
     :class:`repro.engine.Engine` (re-configured with these flags but sharing
@@ -219,10 +232,19 @@ def run_round_elimination(
     """
     from repro.engine import get_default_engine
 
-    engine = get_default_engine().with_config(
-        orientations=orientations,
-        simplify=simplify,
-        detect_fixed_points=detect_fixed_points,
-        stop_at_zero_round=stop_at_zero_round,
-    )
+    overrides: dict[str, object] = {
+        "orientations": orientations,
+        "simplify": simplify,
+        "detect_fixed_points": detect_fixed_points,
+        "stop_at_zero_round": stop_at_zero_round,
+    }
+    for name, value in (
+        ("max_derived_labels", max_derived_labels),
+        ("max_candidate_configs", max_candidate_configs),
+        ("max_live_configs", max_live_configs),
+        ("kernel", kernel),
+    ):
+        if value is not None:
+            overrides[name] = value
+    engine = get_default_engine().with_config(**overrides)
     return engine.run(problem, max_steps, relaxer=relaxer)

@@ -48,6 +48,7 @@ from __future__ import annotations
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
 from itertools import product
+from time import perf_counter
 from typing import Any
 
 from repro.core.alphabet import (
@@ -63,13 +64,26 @@ from repro.core.galois import Compatibility
 # Galois layer can raise it too; this module remains the public import site.
 from repro.core.limits import EngineLimitError
 from repro.core.problem import Label, Problem, edge_config, node_config
+from repro.core.vectorkernel import (
+    AllowsTable,
+    KernelStats,
+    VectorFrontier,
+    enumerate_filters_vector,
+    existential_edge_pairs,
+    get_numpy,
+    resolve_kernel,
+)
 
 __all__ = [
     "EngineLimitError",
     "HalfStepResult",
+    "KernelStats",
     "SpeedupResult",
     "MAX_DERIVED_LABELS",
     "MAX_CANDIDATE_CONFIGS",
+    "MAX_LIVE_CONFIGS",
+    "STREAM_CHUNK",
+    "resolve_kernel",
     "set_label_name",
     "short_names",
     "half_step",
@@ -86,12 +100,26 @@ __all__ = [
 # per-call overrides so an :class:`repro.engine.Engine` can be configured
 # without touching module state.  In kernel terms: ``max_derived_labels``
 # bounds the interned derived-label masks materialised (filters of the
-# half-label poset; raw subset masks on the Theorem 1 path), and
-# ``max_candidate_configs`` bounds the candidate-configuration grid
-# ``C(candidates + delta - 1, delta)`` a step may imply -- checked a priori,
-# because it also caps the derived problem the step would have to build.
+# half-label poset; raw subset masks on the Theorem 1 path).
+# ``max_candidate_configs`` bounds candidate-configuration *work*: the
+# half step and the unsimplified (Theorem 1) full step keep the historical
+# a-priori grid bound ``C(candidates + delta - 1, delta)``, while the
+# simplified full step streams its enumeration and charges the cap
+# incrementally per prefix extension and per completion, so huge grids are
+# attempted -- and only genuinely long enumerations are refused.
+# ``max_live_configs`` is the streaming full step's *memory* cap: it bounds
+# the undominated candidate-configuration frontier actually held live (and
+# with it the derived problem's node constraint), replacing the retired
+# a-priori materialisation guard.
 MAX_DERIVED_LABELS = 100_000
 MAX_CANDIDATE_CONFIGS = 8_000_000
+MAX_LIVE_CONFIGS = 1_000_000
+
+#: How many streamed candidate configurations are buffered between
+#: domination-frontier flushes.  Pure batching: insertions happen strictly
+#: in stream order inside a flush, so results are chunk-size-invariant (the
+#: differential suite asserts byte-identical results across chunk sizes).
+STREAM_CHUNK = 2048
 
 
 @dataclass(frozen=True)
@@ -152,6 +180,18 @@ class SpeedupResult:
             frozenset(self.half_meaning[half_name])
             for half_name in self.full_meaning[label]
         )
+
+    @property
+    def kernel_stats(self) -> KernelStats | None:
+        """Per-fold timing counters for the derivation that built this result.
+
+        Present only on freshly computed results (attached out-of-band via
+        the instance ``__dict__`` by :func:`full_step`); ``None`` on results
+        rebuilt from JSON, unpickled, or returned from a cache.  Wall-clock
+        numbers deliberately stay out of ``to_dict`` / equality / pickles so
+        the result payload remains byte-deterministic.
+        """
+        return self.__dict__.get("_kernel_stats")
 
     def __reduce__(self) -> tuple[object, ...]:
         """Pickle via plain dict meanings.
@@ -264,7 +304,11 @@ class _MaskMembership:
                     allowed |= positions[low.bit_length() - 1]
                     overlap ^= low
                 slot_positions.append(allowed)
-            if realizable and mask_matching_exists(slot_positions):
+            # Memoised behind ``extendable``'s cache: amortised-constant
+            # per distinct slot tuple, so the scalar tier is fine here.
+            if realizable and mask_matching_exists(  # relint: allow[unbatched-matching]
+                slot_positions
+            ):
                 return True
         return False
 
@@ -275,6 +319,8 @@ def half_step(
     *,
     max_derived_labels: int = MAX_DERIVED_LABELS,
     max_candidate_configs: int = MAX_CANDIDATE_CONFIGS,
+    kernel: str = "auto",
+    stats: KernelStats | None = None,
 ) -> HalfStepResult:
     """Derive ``Pi_{1/2}`` (simplified: ``Pi'_{1/2}``) from ``Pi``.
 
@@ -285,19 +331,27 @@ def half_step(
     all non-empty subsets and the edge constraint contains every universally
     compatible pair.  (The empty set is omitted: the existential node
     constraint can never use it, so it is unusable by definition.)
+
+    ``kernel`` selects the evaluation tier for the closed-set fixed point
+    (see :func:`repro.core.vectorkernel.resolve_kernel`); results are
+    identical for every choice.
     """
     interned = intern(problem)
     alphabet = interned.alphabet
     comp = Compatibility(problem)
+    resolved = resolve_kernel(kernel)
     if simplify:
         # The closed-set enumeration is the one derivation phase whose size
         # is unknowable a priori; the limit aborts it incrementally (search
         # states with thousand-label alphabets would otherwise hang here
         # instead of failing fast).
+        started = perf_counter()
         half_masks = sorted(
-            comp.usable_closed_masks(limit=max_derived_labels),
+            comp.usable_closed_masks(limit=max_derived_labels, kernel=resolved),
             key=alphabet.indices,
         )
+        if stats is not None:
+            stats.closed_sets_s += perf_counter() - started
     else:
         base_size = alphabet.size
         # The raw construction materialises all subsets AND a quadratic edge
@@ -376,18 +430,37 @@ def full_step(
     *,
     max_derived_labels: int = MAX_DERIVED_LABELS,
     max_candidate_configs: int = MAX_CANDIDATE_CONFIGS,
+    max_live_configs: int = MAX_LIVE_CONFIGS,
+    kernel: str = "auto",
+    stream_chunk: int = STREAM_CHUNK,
+    stats: KernelStats | None = None,
 ) -> SpeedupResult:
     """Derive ``Pi_1`` (simplified: ``Pi'_1``) from a half-step result.
 
-    The returned :class:`SpeedupResult` carries the derived problem twice:
-    structured (labels are ``{...}`` set names over half labels -- stored in
-    ``full_meaning``) and renamed to short atomic labels (``full``), which is
-    what iteration consumes.
+    The returned :class:`SpeedupResult` carries the derived problem's
+    provenance (``full_meaning`` maps each short label of ``full`` to the
+    set of half labels it stands for) and the renamed short-label problem
+    (``full``), which is what iteration consumes.
+
+    On the simplified (Theorem 2) path the candidate-configuration
+    enumeration is *streaming*: prefix completions are generated lazily and
+    fed through an on-the-fly domination frontier, so there is no a-priori
+    ``C(candidates + delta - 1, delta)`` refusal -- ``max_candidate_configs``
+    charges enumeration work incrementally and ``max_live_configs`` caps the
+    undominated frontier actually held in memory.  The unsimplified
+    (Theorem 1) path keeps the historical a-priori grid guard.  ``kernel``
+    selects the scalar big-int or the bit-packed numpy evaluation tier;
+    results are identical for every kernel, chunk size, and limit setting
+    that does not trip.
     """
     half_problem = half.problem
     meaning = half.meaning
     original_alphabet = intern(half.original).alphabet
     membership = _MaskMembership(half.original)
+    resolved = resolve_kernel(kernel)
+    np_ = get_numpy() if resolved == "vector" else None
+    if stats is None:
+        stats = KernelStats(kernel=resolved)
 
     # Intern the half alphabet: half labels get their own bit positions, and
     # each gets its meaning as a mask over the *original* alphabet.
@@ -410,9 +483,16 @@ def full_step(
     comparable = [up[i] | down[i] for i in range(half_count)]
 
     if simplify:
-        candidate_masks = _enumerate_filters(
-            half_count, up, comparable, max_derived_labels
-        )
+        started = perf_counter()
+        if np_ is not None:
+            candidate_masks = enumerate_filters_vector(
+                half_count, up, comparable, max_derived_labels
+            )
+        else:
+            candidate_masks = _enumerate_filters(
+                half_count, up, comparable, max_derived_labels
+            )
+        stats.enumeration_s += perf_counter() - started
     else:
         if 2**half_count > max_derived_labels:
             raise EngineLimitError(
@@ -444,7 +524,10 @@ def full_step(
         if cached is not None:
             return cached
         result = all(
-            membership.allows([meaning_masks[i] for i in choice])
+            # Memoised per sorted config key; min-choice fans are tiny.
+            membership.allows(  # relint: allow[unbatched-matching]
+                [meaning_masks[i] for i in choice]
+            )
             for choice in product(*(mins[candidate] for candidate in key))
         )
         universal_cache[key] = result
@@ -458,26 +541,35 @@ def full_step(
         )
 
     delta = half_problem.delta
-    # The a-priori grid bound doubles as a materialisation guard: it also
-    # caps the size of the derived problem the step would have to build
-    # (|labels| <= candidates, |h'| <= grid), which is what keeps diverging
-    # pipelines failing fast instead of assembling multi-gigabyte problems.
-    candidate_count = _multiset_count(len(candidate_masks), delta)
-    if candidate_count > max_candidate_configs:
-        raise EngineLimitError(
-            f"full step would enumerate {candidate_count} node configurations",
-            limit_name="max_candidate_configs",
-            limit=max_candidate_configs,
-            observed=candidate_count,
-        )
-
     if simplify:
         # Only the *maximal* universal configurations survive Property 6, and
         # each one is the completion of its own (delta-1)-prefix: the last
         # component is forced to be the up-closure of the jointly-allowed
         # half labels.  Enumerating prefixes plus completions drops a whole
-        # exponent from the search compared to walking every delta-tuple.
-        allowed_configs = _complete_maximal_configs(
+        # exponent from the search compared to walking every delta-tuple --
+        # and the completions *stream* through a domination frontier, so the
+        # historical a-priori grid refusal is retired on this path: memory is
+        # bounded by the surviving frontier (``max_live_configs``) and time
+        # by the incremental work charge (``max_candidate_configs``).
+        allows_table = None
+        if np_ is not None and delta <= 16:
+            interned_original = intern(half.original)
+            allows_table = AllowsTable(
+                np_,
+                delta,
+                interned_original.config_supports,
+                interned_original.config_position_masks,
+                meaning_masks,
+                original_alphabet.size,
+            )
+        frontier: _MaskFrontier | VectorFrontier
+        if np_ is not None:
+            frontier = VectorFrontier(
+                np_, half_count, delta, max_live_configs, _config_dominates
+            )
+        else:
+            frontier = _MaskFrontier(max_live_configs)
+        _stream_maximal_configs(
             candidate_masks,
             delta,
             mins,
@@ -487,9 +579,26 @@ def full_step(
             half_count,
             extendable,
             half_alphabet.indices,
+            allows_table,
+            frontier,
+            max_candidate_configs,
+            stream_chunk,
+            stats,
         )
-        allowed_configs = _discard_dominated(allowed_configs)
+        allowed_configs = frontier.survivors()
+        stats.frontier_peak = max(stats.frontier_peak, frontier.peak)
     else:
+        # The unsimplified (Theorem 1) path keeps the historical a-priori
+        # grid bound: it needs *every* universal configuration, so the grid
+        # really is the work and the materialised output.
+        candidate_count = _multiset_count(len(candidate_masks), delta)
+        if candidate_count > max_candidate_configs:
+            raise EngineLimitError(
+                f"full step would enumerate {candidate_count} node configurations",
+                limit_name="max_candidate_configs",
+                limit=max_candidate_configs,
+                observed=candidate_count,
+            )
         allowed_configs = _enumerate_universal_configs(
             candidate_masks, delta, universal, extendable
         )
@@ -514,15 +623,24 @@ def full_step(
                     bits |= 1 << j
             partner_bits[i] = bits
 
+    # Materialise the derived problem *directly* at index level: the historic
+    # path built a full-size intermediate problem with ``{...}`` set-name
+    # labels, compressed it, then renamed it -- three constructions (and three
+    # validations) of a problem whose edge relation can run to tens of
+    # millions of pairs.  The index-level pipeline below replays the exact
+    # same steps (existential pair relation, ``compressed()`` fixpoint,
+    # set-name sort, ``short_names`` rename) but builds the final short-name
+    # problem once, which is where most of the wall clock of big derivations
+    # went.  Byte equality with the historic construction is asserted by the
+    # differential suite.
+    started = perf_counter()
     used_masks = sorted(
         {candidate for config in allowed_configs for candidate in config},
         key=half_alphabet.indices,
     )
-    set_names = {
-        candidate: set_label_name(half_alphabet.members(candidate))
-        for candidate in used_masks
-    }
-    partner_union = {}
+    used_count = len(used_masks)
+    index_of = {candidate: index for index, candidate in enumerate(used_masks)}
+    partner_union = []
     for candidate in used_masks:
         bits = 0
         remaining = candidate
@@ -530,39 +648,145 @@ def full_step(
             low = remaining & -remaining
             bits |= partner_bits[low.bit_length() - 1]
             remaining ^= low
-        partner_union[candidate] = bits
+        partner_union.append(bits)
+    # Components arrive sorted by the half-alphabet key used_masks is sorted
+    # by, so the index tuples are canonical (non-decreasing) multisets.
+    node_index_configs = [
+        tuple(index_of[candidate] for candidate in config)
+        for config in allowed_configs
+    ]
 
-    edge_configs = set()
-    for first in used_masks:
-        first_partners = partner_union[first]
-        for second in used_masks:
-            if first_partners & second:
-                edge_configs.add(edge_config(set_names[first], set_names[second]))
-
-    structured = Problem(
-        name=f"{half.original.name}|full" + ("" if simplify else "|raw"),
-        delta=delta,
-        labels=frozenset(set_names.values()),
-        edge_constraint=frozenset(edge_configs),
-        node_constraint=frozenset(
-            node_config(set_names[candidate] for candidate in config)
-            for config in allowed_configs
-        ),
-    ).compressed()
+    pair_arrays = None
+    pair_set: set[tuple[int, int]] | None = None
+    if np_ is not None:
+        first_idx, second_idx = existential_edge_pairs(
+            used_masks, partner_union, half_count
+        )
+        # The compressed() fixpoint on index arrays: usable = mentioned in
+        # both relations; dropping labels invalidates configurations, so
+        # iterate.
+        alive = np_.ones(used_count, dtype=bool)
+        while True:
+            in_edges = np_.zeros(used_count, dtype=bool)
+            in_edges[first_idx] = True
+            in_edges[second_idx] = True
+            in_nodes = np_.zeros(used_count, dtype=bool)
+            if node_index_configs:
+                flat = np_.fromiter(
+                    (index for config in node_index_configs for index in config),
+                    dtype=np_.int64,
+                )
+                in_nodes[flat] = True
+            usable = in_edges & in_nodes
+            if np_.array_equal(usable, alive):
+                break
+            alive = usable
+            keep = usable[first_idx] & usable[second_idx]
+            first_idx = first_idx[keep]
+            second_idx = second_idx[keep]
+            node_index_configs = [
+                config
+                for config in node_index_configs
+                if all(usable[index] for index in config)
+            ]
+        surviving = np_.nonzero(alive)[0].tolist()
+        pair_arrays = (first_idx, second_idx)
+    else:
+        pair_set = set()
+        for first in range(used_count):
+            first_partners = partner_union[first]
+            for second in range(used_count):
+                if first_partners & used_masks[second]:
+                    pair_set.add(
+                        (first, second) if first <= second else (second, first)
+                    )
+        alive_set = set(range(used_count))
+        while True:
+            in_edge_set = {index for pair in pair_set for index in pair}
+            in_node_set = {
+                index for config in node_index_configs for index in config
+            }
+            usable_set = in_edge_set & in_node_set
+            if usable_set == alive_set:
+                break
+            alive_set = usable_set
+            pair_set = {
+                pair
+                for pair in pair_set
+                if pair[0] in usable_set and pair[1] in usable_set
+            }
+            node_index_configs = [
+                config
+                for config in node_index_configs
+                if all(index in usable_set for index in config)
+            ]
+        surviving = sorted(alive_set)
 
     # Rename to short atomic labels for iteration; keep provenance.  The
     # fresh names avoid the original problem's own labels so a derived label
     # can never shadow a pre-existing user label (e.g. an input that already
-    # uses ``A``).
-    ordered = sorted(structured.labels)
-    rename = dict(zip(ordered, short_names(len(ordered), avoid=half.original.labels)))
-    renamed = structured.renamed(rename, name=f"{half.original.name}+1")
-    mask_of_name = {name: candidate for candidate, name in set_names.items()}
-    full_meaning = {
-        rename[structured_name]: half_alphabet.label_set(mask_of_name[structured_name])
-        for structured_name in ordered
+    # uses ``A``); the rename order is the string sort of the set names,
+    # exactly as the historic construction sorted the intermediate labels.
+    set_name_of = {
+        index: set_label_name(half_alphabet.members(used_masks[index]))
+        for index in surviving
     }
-    return SpeedupResult(
+    ordered = sorted(set_name_of.values())
+    rename = dict(zip(ordered, short_names(len(ordered), avoid=half.original.labels)))
+    short_of = {index: rename[set_name_of[index]] for index in surviving}
+
+    node_constraint = frozenset(
+        node_config(short_of[index] for index in config)
+        for config in node_index_configs
+    )
+    if pair_arrays is not None:
+        first_idx, second_idx = pair_arrays
+        pair_arrays = None
+        rank = np_.zeros(used_count, dtype=np_.int64)
+        shorts: list[Label | None] = [None] * used_count
+        for index in surviving:
+            shorts[index] = short_of[index]
+        for position, index in enumerate(
+            sorted(surviving, key=lambda index: short_of[index])
+        ):
+            rank[index] = position
+        swap = rank[first_idx] > rank[second_idx]
+        low_idx = np_.where(swap, second_idx, first_idx)
+        high_idx = np_.where(swap, first_idx, second_idx)
+        # Drop the index arrays as soon as each Python-object view exists:
+        # at tens of millions of pairs the final frozenset dominates peak
+        # memory and the arrays would otherwise sit alongside it.
+        del swap, first_idx, second_idx
+        shorts_array = np_.array(shorts, dtype=object)
+        low_labels = shorts_array[low_idx].tolist()
+        del low_idx
+        high_labels = shorts_array[high_idx].tolist()
+        del high_idx
+        edge_constraint = frozenset(zip(low_labels, high_labels))
+        del low_labels, high_labels
+    else:
+        assert pair_set is not None
+        edge_constraint = frozenset(
+            edge_config(short_of[first], short_of[second])
+            for first, second in pair_set
+        )
+
+    # Canonical by construction (pairs emitted low/high by rename rank, node
+    # tuples sorted, labels freshly minted), so take the trusted constructor
+    # and skip re-validating what can be hundreds of thousands of pairs.
+    renamed = Problem._from_canonical(
+        name=f"{half.original.name}+1",
+        delta=delta,
+        labels=frozenset(short_of.values()),
+        edge_constraint=edge_constraint,
+        node_constraint=node_constraint,
+    )
+    full_meaning = {
+        rename[set_name_of[index]]: half_alphabet.label_set(used_masks[index])
+        for index in surviving
+    }
+    stats.materialise_s += perf_counter() - started
+    result = SpeedupResult(
         original=half.original,
         half=half_problem,
         half_meaning=dict(half.meaning),
@@ -570,6 +794,8 @@ def full_step(
         full_meaning=full_meaning,
         simplified=simplify and half.simplified,
     )
+    result.__dict__["_kernel_stats"] = stats
+    return result
 
 
 def compute_speedup(
@@ -578,23 +804,37 @@ def compute_speedup(
     *,
     max_derived_labels: int = MAX_DERIVED_LABELS,
     max_candidate_configs: int = MAX_CANDIDATE_CONFIGS,
+    max_live_configs: int = MAX_LIVE_CONFIGS,
+    kernel: str = "auto",
+    stream_chunk: int = STREAM_CHUNK,
 ) -> SpeedupResult:
     """The raw (uncached) derivation ``Pi -> Pi_{1/2} -> Pi_1``.
 
     This is the computational core behind :func:`speedup` and
-    :meth:`repro.engine.Engine.speedup`; it never consults a cache.
+    :meth:`repro.engine.Engine.speedup`; it never consults a cache.  The
+    result is identical for every ``kernel`` / ``stream_chunk`` choice; the
+    per-fold timing breakdown is attached as
+    :attr:`SpeedupResult.kernel_stats`.
     """
+    resolved = resolve_kernel(kernel)
+    stats = KernelStats(kernel=resolved)
     half = half_step(
         problem,
         simplify=simplify,
         max_derived_labels=max_derived_labels,
         max_candidate_configs=max_candidate_configs,
+        kernel=resolved,
+        stats=stats,
     )
     return full_step(
         half,
         simplify=simplify,
         max_derived_labels=max_derived_labels,
         max_candidate_configs=max_candidate_configs,
+        max_live_configs=max_live_configs,
+        kernel=resolved,
+        stream_chunk=stream_chunk,
+        stats=stats,
     )
 
 
@@ -740,7 +980,7 @@ def _enumerate_universal_configs(
     return sorted(set(results))
 
 
-def _complete_maximal_configs(
+def _stream_maximal_configs(
     candidates: Sequence[int],
     delta: int,
     mins: dict[int, tuple[int, ...]],
@@ -750,8 +990,13 @@ def _complete_maximal_configs(
     half_count: int,
     extendable: Callable[[tuple[int, ...]], bool],
     sort_key: Callable[[int], object],
-) -> list[tuple[int, ...]]:
-    """Universal configurations via prefix completion (simplified path only).
+    allows_table: AllowsTable | None,
+    frontier: "_MaskFrontier | VectorFrontier",
+    max_candidate_configs: int,
+    stream_chunk: int,
+    stats: KernelStats,
+) -> None:
+    """Stream universal configurations via prefix completion (simplified path).
 
     For a fixed (delta-1)-prefix ``(F_1, ..., F_{d-1})`` the last component
     ``G`` of a universal configuration must satisfy ``mins(G) <= U`` where
@@ -762,49 +1007,196 @@ def _complete_maximal_configs(
     (the completion dominates it componentwise, and maximality forces
     equality), so enumerating all extendable prefixes and completing each
     yields a superset of the maximal configurations consisting of universal
-    configurations only; the domination filter then returns exactly the
+    configurations only; the domination ``frontier`` then keeps exactly the
     maximal set -- the same result the exhaustive delta-tuple walk produces,
-    at a whole exponent less work.
+    at a whole exponent less work, and *streamed*: completions are buffered
+    ``stream_chunk`` at a time and filtered on the fly, so memory tracks the
+    undominated frontier instead of the full completion multiset.
+
+    ``max_candidate_configs`` is charged incrementally -- one unit per prefix
+    extension attempted and per completion computed -- in deterministic DFS
+    order, so the trip point is independent of kernel and chunk size.  With
+    an :class:`~repro.core.vectorkernel.AllowsTable` the per-completion inner
+    loop evaluates every last label in one batched Hall test; the scalar
+    fallback walks the memoised matching per label.
     """
-    results: set[tuple[int, ...]] = set()
-    prefix: list[int] = []
     all_labels = (1 << half_count) - 1
+    prefix: list[int] = []
+    buffer: list[tuple[int, ...]] = []
+    work = 0
+
+    def charge() -> None:
+        nonlocal work
+        work += 1
+        if work > max_candidate_configs:
+            raise EngineLimitError(
+                f"streaming full step exceeded {max_candidate_configs} "
+                f"enumeration steps (prefix extensions plus completions)",
+                limit_name="max_candidate_configs",
+                limit=max_candidate_configs,
+                observed=work,
+            )
+
+    def flush() -> None:
+        if buffer:
+            started = perf_counter()
+            frontier.insert_chunk(buffer)
+            stats.domination_s += perf_counter() - started
+            stats.configs_streamed += len(buffer)
+            buffer.clear()
 
     def complete() -> None:
-        """Compute U for the current prefix and record its completion."""
+        """Compute U for the current prefix and stream its completion."""
+        charge()
+        started = perf_counter()
         allowed = all_labels
-        for choice in product(*(mins[candidate] for candidate in prefix)):
-            base = [meaning_masks[i] for i in choice]
-            still_allowed = 0
-            remaining = allowed
-            while remaining:
-                low = remaining & -remaining
-                remaining ^= low
-                if membership.allows(base + [meaning_masks[low.bit_length() - 1]]):
-                    still_allowed |= low
-            allowed = still_allowed
-            if not allowed:
-                return
+        if allows_table is not None:
+            for choice in product(*(mins[candidate] for candidate in prefix)):
+                allowed &= allows_table.allowed_last(choice)
+                stats.matching_calls += 1
+                if not allowed:
+                    break
+        else:
+            for choice in product(*(mins[candidate] for candidate in prefix)):
+                base = [meaning_masks[i] for i in choice]
+                still_allowed = 0
+                remaining = allowed
+                while remaining:
+                    low = remaining & -remaining
+                    remaining ^= low
+                    stats.matching_calls += 1
+                    if membership.allows(  # relint: allow[unbatched-matching]
+                        base + [meaning_masks[low.bit_length() - 1]]
+                    ):
+                        still_allowed |= low
+                allowed = still_allowed
+                if not allowed:
+                    break
+        stats.matching_s += perf_counter() - started
+        if not allowed:
+            return
         completion = 0
         remaining = allowed
         while remaining:
             low = remaining & -remaining
             remaining ^= low
             completion |= up[low.bit_length() - 1]
-        results.add(tuple(sorted([*prefix, completion], key=sort_key)))
+        buffer.append(tuple(sorted([*prefix, completion], key=sort_key)))
+        if len(buffer) >= stream_chunk:
+            flush()
 
     def extend(start: int) -> None:
         if len(prefix) == delta - 1:
             complete()
             return
         for index in range(start, len(candidates)):
+            charge()
             prefix.append(candidates[index])
             if extendable(tuple(prefix)):
                 extend(index)
             prefix.pop()
 
     extend(0)
-    return sorted(results)
+    flush()
+
+
+class _MaskFrontier:
+    """Scalar streaming domination frontier (the big-int twin of
+    :class:`repro.core.vectorkernel.VectorFrontier`).
+
+    Maintains the maximal antichain of the configurations inserted so far
+    under componentwise set containment.  Mutual domination implies
+    equality, so the surviving *set* is the unique maximal antichain of the
+    stream -- independent of insertion order and chunking, which is what
+    makes the streaming full step byte-identical to the historic collect-
+    then-filter pass.  A strict dominator always has strictly more total
+    bits, so only entries with a strictly larger total are dominator
+    candidates (and only strictly smaller totals can be evicted), with the
+    union-superset and sorted-popcount-profile prefilters skipping almost
+    every exact matching test.
+
+    ``max_live`` caps the *live* frontier: the error fires only when the
+    undominated set itself -- and with it the derived problem's node
+    constraint -- would exceed the cap, never on the raw completion count.
+    """
+
+    def __init__(self, max_live: int):
+        self._max_live = max_live
+        self._entries: dict[
+            tuple[int, ...], tuple[int, tuple[int, ...], int]
+        ] = {}
+        self.peak = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def insert(self, config: tuple[int, ...]) -> None:
+        entries = self._entries
+        if config in entries:
+            return
+        union = 0
+        for component in config:
+            union |= component
+        popcounts = tuple(
+            sorted((component.bit_count() for component in config), reverse=True)
+        )
+        total = sum(popcounts)
+        victims: list[tuple[int, ...]] = []
+        for kept_config, (kept_total, kept_pops, kept_union) in entries.items():
+            if kept_total > total:
+                if union & ~kept_union:
+                    continue
+                if any(p > q for p, q in zip(popcounts, kept_pops)):
+                    continue
+                if _config_dominates(kept_config, config):
+                    # A frontier member dominating the newcomer excludes any
+                    # frontier member dominated by it (the frontier is an
+                    # antichain and domination is transitive), so no evictions
+                    # can have been collected; drop the newcomer.
+                    return
+            elif kept_total < total:
+                if kept_union & ~union:
+                    continue
+                if any(q > p for p, q in zip(popcounts, kept_pops)):
+                    continue
+                if _config_dominates(config, kept_config):
+                    victims.append(kept_config)
+        for victim in victims:
+            del entries[victim]
+        entries[config] = (total, popcounts, union)
+        if len(entries) > self.peak:
+            self.peak = len(entries)
+        if len(entries) > self._max_live:
+            raise EngineLimitError(
+                f"streaming full step holds more than {self._max_live} "
+                f"undominated candidate configurations",
+                limit_name="max_live_configs",
+                limit=self._max_live,
+                observed=self._max_live + 1,
+            )
+
+    def insert_chunk(self, configs: Sequence[tuple[int, ...]]) -> None:
+        for config in configs:
+            self.insert(config)
+
+    def survivors(self) -> list[tuple[int, ...]]:
+        return sorted(self._entries)
+
+
+def _config_dominates(big: tuple[int, ...], small: tuple[int, ...]) -> bool:
+    """``big`` dominates ``small``: some bijection pairs every component of
+    ``small`` with a distinct superset component of ``big`` -- a perfect-
+    matching test over position masks."""
+    position_masks = []
+    for component in small:
+        allowed = 0
+        for position, candidate in enumerate(big):
+            if component & ~candidate == 0:
+                allowed |= 1 << position
+        if not allowed:
+            return False
+        position_masks.append(allowed)
+    return mask_matching_exists(position_masks)
 
 
 def _discard_dominated(configs: list[tuple[int, ...]]) -> list[tuple[int, ...]]:
@@ -820,20 +1212,13 @@ def _discard_dominated(configs: list[tuple[int, ...]]) -> list[tuple[int, ...]]:
     domination is transitive, so processing configurations in decreasing
     total-popcount order and testing only against the already-kept maximal
     ones is exact while skipping almost all of the quadratic pair grid.
+
+    The streaming full step maintains the same antichain incrementally
+    (:class:`_MaskFrontier` / :class:`~repro.core.vectorkernel.
+    VectorFrontier`); this one-shot filter remains as the order-insensitive
+    reference the frontier equivalence tests check against.
     """
-
-    def dominates(big: tuple[int, ...], small: tuple[int, ...]) -> bool:
-        position_masks = []
-        for component in small:
-            allowed = 0
-            for position, candidate in enumerate(big):
-                if component & ~candidate == 0:
-                    allowed |= 1 << position
-            if not allowed:
-                return False
-            position_masks.append(allowed)
-        return mask_matching_exists(position_masks)
-
+    dominates = _config_dominates
     annotated = []
     for config in configs:
         union = 0

@@ -31,6 +31,12 @@ out-labels is compatible with a set of in-labels iff the in-mask is a subset
 of the AND of the out-labels' adjacency masks).  Witnesses still carry the
 original name tuples, and the search visits splits in the same deterministic
 order as the legacy string path, so the witness found is identical.
+
+The polar queries here stay scalar by design even when the vectorized tier
+(:mod:`repro.core.vectorkernel`) is active: each DFS step asks for one
+memoised ``polar_mask`` of a running union, a data-dependent chain with no
+candidate batch to evaluate, unlike the closed-set fixed point or the full
+step's completion fold.
 """
 
 from __future__ import annotations

@@ -20,6 +20,7 @@ the cache.
 from repro.core.canonical import CanonicalForm, canonical_form, canonical_hash
 from repro.core.speedup import EngineLimitError
 from repro.engine.cache import SpeedupCache
+from repro.core.vectorkernel import KERNEL_NAMES
 from repro.engine.config import EXECUTOR_NAMES, EngineConfig
 from repro.engine.engine import (
     Engine,
@@ -41,6 +42,7 @@ __all__ = [
     "EngineConfig",
     "EngineLimitError",
     "ExpandTask",
+    "KERNEL_NAMES",
     "RunTask",
     "SpeedupCache",
     "SpeedupTask",

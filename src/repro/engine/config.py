@@ -14,7 +14,8 @@ import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.core.speedup import MAX_CANDIDATE_CONFIGS, MAX_DERIVED_LABELS
+from repro.core.speedup import MAX_CANDIDATE_CONFIGS, MAX_DERIVED_LABELS, MAX_LIVE_CONFIGS
+from repro.core.vectorkernel import KERNEL_NAMES
 
 #: Execution backends the batch APIs accept (see :mod:`repro.engine.executor`).
 EXECUTOR_NAMES: tuple[str, ...] = ("serial", "thread", "process")
@@ -28,6 +29,16 @@ def _default_executor() -> str:
     without threading a flag through every construction site.
     """
     return os.environ.get("REPRO_EXECUTOR", "thread")
+
+
+def _default_kernel() -> str:
+    """The default kernel tier: ``REPRO_KERNEL`` when set, else ``auto``.
+
+    Mirrors ``REPRO_EXECUTOR``: CI matrices flip the whole suite between
+    the scalar big-int and the vectorized numpy tiers without touching any
+    construction site.
+    """
+    return os.environ.get("REPRO_KERNEL", "auto")
 
 
 @dataclass(frozen=True)
@@ -45,20 +56,33 @@ class EngineConfig:
         Test each pipeline step for isomorphism against all previous steps.
     stop_at_zero_round:
         Stop a pipeline as soon as a 0-round solvable problem appears.
-    max_derived_labels / max_candidate_configs:
+    max_derived_labels / max_candidate_configs / max_live_configs:
         Size guards of the derivation (previously the hard-coded
         ``MAX_DERIVED_LABELS`` / ``MAX_CANDIDATE_CONFIGS`` constants),
         stated in bitmask-kernel terms: ``max_derived_labels`` bounds the
         interned derived-label masks materialised (filters of the half-label
         poset in the simplified path, raw subset masks in the Theorem 1
-        path), and ``max_candidate_configs`` bounds the a-priori
-        candidate-configuration grid ``C(candidates + delta - 1, delta)`` of
-        a step -- which also caps the derived problem the step would have to
-        build, so diverging pipelines fail fast instead of assembling
-        multi-gigabyte descriptions.  Within the guards the kernel's pruned
-        prefix search does orders of magnitude less work than the old
-        exhaustive walk (superweak-3 / weak-3 coloring at delta=2 went from
-        days of wall clock to seconds under the same defaults).
+        path).  ``max_candidate_configs`` bounds the enumeration *work* of
+        the streaming simplified full step (one unit per prefix extension
+        and per completion) and remains the a-priori grid bound
+        ``C(candidates + delta - 1, delta)`` on the half step and the
+        unsimplified Theorem 1 path.  ``max_live_configs`` caps the
+        undominated candidate frontier the streaming full step holds in
+        memory -- the retired grid refusal's replacement: huge-Pi_1
+        derivations are attempted, and refused only when the *surviving*
+        frontier (hence the derived node constraint) would actually exceed
+        the cap.  Within the guards the kernel's pruned prefix search does
+        orders of magnitude less work than the old exhaustive walk
+        (superweak-3 / weak-3 coloring at delta=2 went from days of wall
+        clock to seconds under the same defaults).
+    kernel:
+        Evaluation tier of the derivation hot paths
+        (:mod:`repro.core.vectorkernel`): ``"mask"`` forces the scalar
+        big-int kernel, ``"vector"`` requests the bit-packed numpy tier
+        (falling back to ``"mask"`` when numpy is unavailable), and
+        ``"auto"`` -- the default -- picks ``"vector"`` whenever numpy is
+        usable.  Results are identical on every tier; the default honors
+        the ``REPRO_KERNEL`` environment variable.
     cache:
         Memoise speedup derivations in a content-addressed cache keyed on the
         canonical problem hash (:mod:`repro.core.canonical`), so repeated --
@@ -113,6 +137,8 @@ class EngineConfig:
     stop_at_zero_round: bool = True
     max_derived_labels: int = MAX_DERIVED_LABELS
     max_candidate_configs: int = MAX_CANDIDATE_CONFIGS
+    max_live_configs: int = MAX_LIVE_CONFIGS
+    kernel: str = field(default_factory=_default_kernel)
     cache: bool = True
     cache_size: int = 512
     cache_max_weight: int | None = 5_000_000
@@ -130,6 +156,12 @@ class EngineConfig:
             raise ValueError("max_derived_labels must be positive")
         if self.max_candidate_configs < 1:
             raise ValueError("max_candidate_configs must be positive")
+        if self.max_live_configs < 1:
+            raise ValueError("max_live_configs must be positive")
+        if self.kernel not in KERNEL_NAMES:
+            raise ValueError(
+                f"kernel must be one of {KERNEL_NAMES}, got {self.kernel!r}"
+            )
         if self.cache_size < 1:
             raise ValueError("cache_size must be positive")
         if self.cache_max_weight is not None and self.cache_max_weight < 1:

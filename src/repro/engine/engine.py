@@ -172,6 +172,7 @@ class Engine:
             simplify=cfg.simplify if simplify is None else simplify,
             max_derived_labels=cfg.max_derived_labels,
             max_candidate_configs=cfg.max_candidate_configs,
+            kernel=cfg.kernel,
         )
 
     def speedup(self, problem: Problem, simplify: bool | None = None) -> SpeedupResult:
@@ -189,6 +190,8 @@ class Engine:
                 simplify=use_simplify,
                 max_derived_labels=cfg.max_derived_labels,
                 max_candidate_configs=cfg.max_candidate_configs,
+                max_live_configs=cfg.max_live_configs,
+                kernel=cfg.kernel,
             )
         # Single-flight: a miss makes this call the canonical key's leader
         # (concurrent requests for the same key -- renamed twins included --
@@ -203,6 +206,8 @@ class Engine:
                 simplify=use_simplify,
                 max_derived_labels=cfg.max_derived_labels,
                 max_candidate_configs=cfg.max_candidate_configs,
+                max_live_configs=cfg.max_live_configs,
+                kernel=cfg.kernel,
             )
         except BaseException:
             # Leadership must not outlive a failed derivation: wake the
@@ -211,8 +216,14 @@ class Engine:
             self._cache.abandon(key)
             raise
         # store() returns the frozen shared copy (read-only meaning maps),
-        # so hits and the original call observe the same object.
-        return self._cache.store(key, form, result)
+        # so hits and the original call observe the same object.  The
+        # out-of-band per-fold timing counters describe the derivation that
+        # produced the entry, so they ride along: the cold caller (and any
+        # later hit on the same stored object) can read them.
+        stored = self._cache.store(key, form, result)
+        if result.kernel_stats is not None:
+            stored.__dict__["_kernel_stats"] = result.kernel_stats
+        return stored
 
     def iterate_speedup(
         self, problem: Problem, steps: int, simplify: bool | None = None

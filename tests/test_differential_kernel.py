@@ -76,10 +76,25 @@ def assert_differential(problem: Problem) -> None:
     try:
         legacy_result = _legacy.compute_speedup(problem)
     except EngineLimitError as legacy_error:
-        with pytest.raises(EngineLimitError) as kernel_error:
-            compute_speedup(problem)
-        assert kernel_error.value.limit_name == legacy_error.limit_name
-        assert kernel_error.value.observed == legacy_error.observed
+        if str(legacy_error).startswith("full step would enumerate"):
+            # The streaming full step retired the legacy a-priori grid
+            # refusal: where the reference predicts the candidate grid and
+            # gives up, the kernel attempts the derivation under its
+            # incremental work / live-frontier caps.  There is no legacy
+            # result to compare against, so only require that the kernel
+            # either completes or trips one of the streaming limits.
+            try:
+                compute_speedup(problem)
+            except EngineLimitError as kernel_error:
+                assert kernel_error.limit_name in (
+                    "max_candidate_configs",
+                    "max_live_configs",
+                )
+        else:
+            with pytest.raises(EngineLimitError) as kernel_error:
+                compute_speedup(problem)
+            assert kernel_error.value.limit_name == legacy_error.limit_name
+            assert kernel_error.value.observed == legacy_error.observed
     else:
         assert compute_speedup(problem) == legacy_result
     assert zero_round_no_input(problem) == _legacy.zero_round_no_input(problem)
@@ -244,8 +259,9 @@ def test_kernel_matches_legacy_on_heavy_catalog():
     """4-coloring at delta=2: ~10s legacy, milliseconds on the kernel.
 
     (superweak-3 / weak-3 are beyond the legacy path entirely -- days of
-    wall clock inside the guards; 5/6-coloring trip the guards identically
-    on both paths -- see ``test_speedup.py``.)
+    wall clock inside the guards; 5/6-coloring still trip the legacy grid
+    refusal while the streaming kernel computes them -- see
+    ``test_speedup.py``.)
     """
     problem = catalog()["4-coloring"](2)
     assert_differential(problem)
@@ -272,9 +288,20 @@ def test_kernel_matches_legacy_on_larger_random_problems(seed):
     try:
         legacy_result = _legacy.compute_speedup(problem, **limits)
     except EngineLimitError as legacy_error:
-        with pytest.raises(EngineLimitError) as kernel_error:
-            compute_speedup(problem, **limits)
-        assert kernel_error.value.limit_name == legacy_error.limit_name
-        assert kernel_error.value.observed == legacy_error.observed
+        if str(legacy_error).startswith("full step would enumerate"):
+            # Retired a-priori grid refusal: the streaming kernel attempts
+            # the derivation instead (see ``assert_differential``).
+            try:
+                compute_speedup(problem, **limits)
+            except EngineLimitError as kernel_error:
+                assert kernel_error.limit_name in (
+                    "max_candidate_configs",
+                    "max_live_configs",
+                )
+        else:
+            with pytest.raises(EngineLimitError) as kernel_error:
+                compute_speedup(problem, **limits)
+            assert kernel_error.value.limit_name == legacy_error.limit_name
+            assert kernel_error.value.observed == legacy_error.observed
     else:
         assert compute_speedup(problem, **limits) == legacy_result

@@ -34,6 +34,9 @@ FIXTURE_MATRIX = [
     ("string_label/bad.py", "string-label", 2),
     ("string_label/good.py", "string-label", 0),
     ("string_label/other_module.py", "string-label", 0),
+    ("unbatched_matching/bad.py", "unbatched-matching", 3),
+    ("unbatched_matching/good.py", "unbatched-matching", 0),
+    ("unbatched_matching/other_module.py", "unbatched-matching", 0),
     ("raw_problem/bad.py", "raw-problem", 2),
     ("raw_problem/good.py", "raw-problem", 0),
     ("raw_problem/in_core.py", "raw-problem", 0),
@@ -68,7 +71,7 @@ def test_every_rule_has_a_violating_fixture() -> None:
 
 def test_bad_fixtures_flag_only_their_own_rule() -> None:
     """Under ALL rules, each bad fixture trips exactly its target rule --
-    fixtures double as false-positive probes for the other seven rules."""
+    fixtures double as false-positive probes for the other rules."""
     for fixture, rule_id, expected in FIXTURE_MATRIX:
         if expected == 0:
             continue

@@ -38,7 +38,10 @@ def test_coloring_ring_pipeline_hits_the_explosion():
     find a 0-round problem or stop at the engine's size guards -- never
     a fixed point (3-coloring takes Theta(log* n) rounds, not Omega(log n)).
     """
-    result = run_round_elimination(coloring(3, 2), max_steps=3)
+    # Explicit ceiling: the streaming full step would otherwise *compute*
+    # the second tower step (8565 labels, ~25M edge configs, minutes of
+    # wall clock) instead of refusing it from the grid prediction.
+    result = run_round_elimination(coloring(3, 2), max_steps=3, max_derived_labels=2000)
     assert result.fixed_point_index is None
     assert result.first_zero_round_index is not None or result.stopped_by_limit
     assert result.lower_bound >= 1

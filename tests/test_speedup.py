@@ -230,24 +230,41 @@ def test_kernel_unlocks_superweak3_coloring():
     assert len(result.full.node_constraint) == 488
 
 
-def test_kernel_keeps_legacy_guard_behavior_on_5_coloring():
-    """5-coloring at delta=2 still trips the a-priori grid guard, fast.
+def test_legacy_grid_guard_still_refuses_5_coloring():
+    """The frozen legacy path keeps its a-priori grid refusal, fast.
 
-    The grid bound doubles as a materialisation guard (the derived problem
-    would have ~7.6k labels and tens of millions of edge configurations);
-    both paths must refuse it identically and in milliseconds.
+    The streaming kernel retired that guard (see the slow companion test:
+    the same instance now *completes*), but the legacy reference still
+    predicts the full candidate grid and refuses in milliseconds -- the
+    differential suite relies on that asymmetry being exactly here.
     """
     from repro.core import _legacy
-    from repro.core.speedup import compute_speedup
     from repro.problems.coloring import coloring as coloring_problem
 
     five = coloring_problem(5, 2)
-    with pytest.raises(EngineLimitError) as kernel_info:
-        compute_speedup(five)
     with pytest.raises(EngineLimitError) as legacy_info:
         _legacy.compute_speedup(five)
-    assert kernel_info.value.limit_name == legacy_info.value.limit_name
-    assert kernel_info.value.observed == legacy_info.value.observed == 28_716_831
+    assert legacy_info.value.limit_name == "max_candidate_configs"
+    assert legacy_info.value.observed == 28_716_831
+
+
+@pytest.mark.slow
+def test_streaming_full_step_completes_5_coloring():
+    """5-coloring at delta=2 completes under default limits.
+
+    Historically refused a-priori (the candidate grid is ~28.7M); the
+    streaming full step bounds memory by the undominated frontier instead,
+    so the derivation goes through and materialises the real Pi_1: 7577
+    labels, 3829 node configurations, ~24.8M edge configurations.
+    """
+    from repro.core.speedup import compute_speedup
+    from repro.problems.coloring import coloring as coloring_problem
+
+    result = compute_speedup(coloring_problem(5, 2))
+    assert len(result.full.labels) == 7577
+    assert len(result.full.node_constraint) == 3829
+    assert len(result.full.edge_constraint) == 24_808_913
+    assert set(result.full_meaning) == set(result.full.labels)
 
 
 def test_derived_problem_is_compressed(sc3):

@@ -1,0 +1,17 @@
+# relint: path=src/repro/core/speedup.py
+"""Per-candidate matching calls inside loops: 3 hits."""
+
+
+def filter_feasible(candidates, position_masks):
+    kept = []
+    for candidate in candidates:
+        if mask_matching_exists(position_masks[candidate]):  # violation: depth 1
+            kept.append(candidate)
+    # A single-generator comprehension is a loop too.
+    kept += [c for c in candidates if membership.allows(c)]  # violation
+
+    while kept:
+        candidate = kept.pop()
+        if not mask_matching_exists(candidate):  # violation: while is a loop
+            break
+    return kept

@@ -1,0 +1,22 @@
+# relint: path=src/repro/core/speedup.py
+"""Matching at depth 0, batched calls, and a marked fallback: clean."""
+
+
+def dominates(big, small, position_masks):
+    # A single matching call outside any loop is the intended scalar use.
+    return mask_matching_exists(position_masks)
+
+
+def filter_feasible(kernel, packed_candidates):
+    # The batched kernel entry point takes the whole block at once.
+    keep = kernel.matching_exists_batch(packed_candidates)
+    return [c for c, ok in zip(packed_candidates, keep) if ok]
+
+
+def memoised_walk(candidates, membership):
+    kept = []
+    for candidate in candidates:
+        # Memoised fallback, explicitly marked.
+        if membership.allows(candidate):  # relint: allow[unbatched-matching]
+            kept.append(candidate)
+    return kept

@@ -1,0 +1,10 @@
+# relint: path=src/repro/core/alphabet.py
+"""Same loops, but the module has no batched vector equivalent: clean."""
+
+
+def filter_feasible(candidates, position_masks):
+    kept = []
+    for candidate in candidates:
+        if mask_matching_exists(position_masks[candidate]):
+            kept.append(candidate)
+    return kept

@@ -15,10 +15,12 @@ from tools.relint.rules.exceptions import SilentSwallowRule
 from tools.relint.rules.freeze import FrozenCertificateRule
 from tools.relint.rules.imports import LegacyImportRule, StringLabelRule
 from tools.relint.rules.pickleability import UnpicklableMemberRule
+from tools.relint.rules.vectorize import UnbatchedMatchingRule
 
 ALL_RULES: tuple[Rule, ...] = (
     LegacyImportRule(),
     StringLabelRule(),
+    UnbatchedMatchingRule(),
     RawProblemRule(),
     FrozenCertificateRule(),
     SilentSwallowRule(),
