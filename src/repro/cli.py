@@ -127,6 +127,13 @@ def _resolve_max_candidate_configs(args: argparse.Namespace, defaults: EngineCon
 
 def _engine_from_args(args: argparse.Namespace) -> Engine:
     defaults = EngineConfig()
+    policy = defaults.retry_policy
+    retries = getattr(args, "retries", None)
+    if retries is not None:
+        policy = policy.replace(max_retries=retries)
+    task_timeout = getattr(args, "task_timeout", None)
+    if task_timeout is not None:
+        policy = policy.replace(task_timeout_s=task_timeout)
     config = EngineConfig(
         simplify=not getattr(args, "no_simplify", False),
         max_derived_labels=getattr(args, "max_labels", None) or defaults.max_derived_labels,
@@ -138,6 +145,7 @@ def _engine_from_args(args: argparse.Namespace) -> Engine:
         zero_round_memo=not getattr(args, "no_zero_memo", False),
         executor=getattr(args, "backend", None) or defaults.executor,
         max_workers=getattr(args, "workers", None),
+        retry_policy=policy,
     )
     return Engine(config)
 
@@ -295,6 +303,13 @@ def cmd_search(args: argparse.Namespace) -> int:
     problem = _read_problem_spec(args)
     if problem is None:
         return 2
+    if (args.checkpoint or args.resume) and not args.cache_dir:
+        print(
+            "error: --checkpoint/--resume require --cache-dir "
+            "(checkpoints live in <cache-dir>/checkpoints/)",
+            file=sys.stderr,
+        )
+        return 2
     engine = _engine_from_args(args)
     result = engine.search_lower_bound(
         problem,
@@ -302,6 +317,8 @@ def cmd_search(args: argparse.Namespace) -> int:
         beam_width=args.beam_width,
         max_moves=args.max_moves,
         budget=args.budget,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
     )
     check = None
     if result.certificate is not None:
@@ -359,6 +376,18 @@ def build_parser() -> argparse.ArgumentParser:
             "--workers",
             type=int,
             help="worker-pool width for batch fan-out (default: min(8, cores))",
+        )
+        p.add_argument(
+            "--retries",
+            type=int,
+            help="transient-fault retries per task before quarantine "
+            "(default 2; crashes/timeouts retry, size-limit errors never do)",
+        )
+        p.add_argument(
+            "--task-timeout",
+            type=float,
+            help="per-task deadline in seconds under the process backend "
+            "(a hung worker is terminated and the task retried)",
         )
 
     def add_kernel(p: argparse.ArgumentParser) -> None:
@@ -474,6 +503,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_search.set_defaults(default_max_candidate_configs=500_000)
     p_search.add_argument("--cache-dir", help="persistent JSON cache directory")
+    p_search.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="serialize the beam state to <cache-dir>/checkpoints/ after "
+        "every completed depth (requires --cache-dir)",
+    )
+    p_search.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a killed checkpointed search from its saved state; "
+        "the resumed run emits the identical certificate (requires "
+        "--cache-dir; starts fresh when no matching checkpoint exists)",
+    )
     p_search.add_argument(
         "--no-zero-memo",
         action="store_true",

@@ -351,6 +351,7 @@ class ZeroRoundMemo:
             sweep_stale_tmp_files(self._directory)
         self.hits = 0
         self.misses = 0
+        self.store_failures = 0
         self._recorded: list[tuple[str, bool]] | None = None
 
     @staticmethod
@@ -400,10 +401,16 @@ class ZeroRoundMemo:
     def store(self, key: str, solvable: bool) -> None:
         self._remember(key, bool(solvable))
         if self._directory is not None:
-            atomic_write_json(
+            # Best-effort by contract: a full disk or interrupted rename
+            # leaves the prior entry intact and is counted, never raised
+            # into the derivation path.
+            ok = atomic_write_json(
                 self._path_for(key),
                 {"version": 1, "key": key, "solvable": bool(solvable)},
             )
+            if not ok:
+                with self._lock:
+                    self.store_failures += 1
 
     def merge(self, key: str, solvable: bool) -> None:
         """Adopt a verdict decided elsewhere (a worker process).
@@ -471,6 +478,7 @@ class ZeroRoundMemo:
             self._memory.clear()
             self.hits = 0
             self.misses = 0
+            self.store_failures = 0
 
     def stats(self) -> dict[str, int]:
         with self._lock:
@@ -478,4 +486,5 @@ class ZeroRoundMemo:
                 "hits": self.hits,
                 "misses": self.misses,
                 "entries": len(self._memory),
+                "store_failures": self.store_failures,
             }

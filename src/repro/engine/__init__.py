@@ -33,6 +33,8 @@ from repro.engine.executor import (
     RunTask,
     SpeedupTask,
 )
+from repro.engine.faultinject import FaultPlan, InjectedFault, parse_fault_plan
+from repro.engine.resilience import RetryPolicy, TaskFailure
 
 __all__ = [
     "BatchStats",
@@ -42,12 +44,17 @@ __all__ = [
     "EngineConfig",
     "EngineLimitError",
     "ExpandTask",
+    "FaultPlan",
+    "InjectedFault",
     "KERNEL_NAMES",
+    "RetryPolicy",
     "RunTask",
     "SpeedupCache",
     "SpeedupTask",
+    "TaskFailure",
     "canonical_form",
     "canonical_hash",
     "get_default_engine",
+    "parse_fault_plan",
     "set_default_engine",
 ]

@@ -57,7 +57,24 @@ from repro.core.alphabet import set_label_name
 from repro.core.canonical import CanonicalForm, canonical_form
 from repro.core.problem import Problem
 from repro.core.speedup import SpeedupResult
+from repro.engine.resilience import LATCH_PROBE_S
 from repro.utils.jsonio import atomic_write_json, load_json, sweep_stale_tmp_files
+
+
+class _InFlight:
+    """One key's in-flight derivation: the latch and the thread deriving it.
+
+    Tracking the leader *thread object* (never its reusable ident) lets
+    waiters detect a leader that died without calling ``store``/``abandon``
+    -- a killed worker thread, an ``os._exit`` mid-derivation -- and take
+    over instead of blocking forever on an Event nobody will ever set.
+    """
+
+    __slots__ = ("event", "leader")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.leader = threading.current_thread()
 
 
 class CacheEntry:
@@ -166,7 +183,9 @@ class SpeedupCache:
         self.hits = 0
         self.misses = 0
         self.coalesced = 0
-        self._inflight: dict[str, threading.Event] = {}
+        self.store_failures = 0
+        self.latch_recoveries = 0
+        self._inflight: dict[str, _InFlight] = {}
         self._recorded: list[tuple[str, CanonicalForm, SpeedupResult]] | None = None
         self._canonical_s = 0.0
         self._lock_wait_s = 0.0
@@ -273,11 +292,18 @@ class SpeedupCache:
         the in-flight latch (counted as ``coalesced``), then retries: the
         usual outcome is a translated hit on the leader's stored result; if
         the leader abandoned, the waiter inherits leadership.
+
+        Waiting is crash-safe: a waiter re-probes the latch every
+        ``LATCH_PROBE_S`` seconds and, when the leader thread has died
+        without ever releasing (a killed worker thread -- the one way
+        ``store``/``abandon`` can be skipped), clears the dead flight
+        (counted as a ``latch_recovery``) and retries -- inheriting
+        leadership instead of blocking forever.
         """
         form, key = self._canonicalize(problem, simplify)
         while True:
             entry = self._entry_for(key)
-            wait_on: threading.Event | None = None
+            wait_on: _InFlight | None = None
             start = time.perf_counter()
             with self._lock:
                 self._lock_wait_s += time.perf_counter() - start
@@ -286,7 +312,7 @@ class SpeedupCache:
                 else:
                     flight = self._inflight.get(key)
                     if flight is None:
-                        self._inflight[key] = threading.Event()
+                        self._inflight[key] = _InFlight()
                         self.misses += 1
                         return None, form, key
                     wait_on = flight
@@ -295,7 +321,17 @@ class SpeedupCache:
                 assert entry is not None
                 return _translate(entry, problem, form, simplify), form, key
             start = time.perf_counter()
-            wait_on.wait()
+            while not wait_on.event.wait(timeout=LATCH_PROBE_S):
+                if wait_on.leader.is_alive():
+                    continue  # leader still deriving, keep waiting
+                with self._lock:
+                    # First detector clears the dead flight; every other
+                    # waiter falls through and retries against whatever
+                    # state (new leader, stored entry) exists by then.
+                    if self._inflight.get(key) is wait_on:
+                        del self._inflight[key]
+                        self.latch_recoveries += 1
+                break
             waited = time.perf_counter() - start
             with self._lock:
                 self._coalesce_wait_s += waited
@@ -305,7 +341,7 @@ class SpeedupCache:
         with self._lock:
             flight = self._inflight.pop(key, None)
         if flight is not None:
-            flight.set()
+            flight.event.set()
 
     def abandon(self, key: str) -> None:
         """Give up leadership of ``key`` (the derivation failed).
@@ -364,6 +400,8 @@ class SpeedupCache:
             self.hits = 0
             self.misses = 0
             self.coalesced = 0
+            self.store_failures = 0
+            self.latch_recoveries = 0
             self._canonical_s = 0.0
             self._lock_wait_s = 0.0
             self._coalesce_wait_s = 0.0
@@ -374,6 +412,7 @@ class SpeedupCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "entries": len(self._memory),
+                "store_failures": self.store_failures,
             }
 
     def concurrency_stats(self) -> dict[str, float]:
@@ -388,6 +427,7 @@ class SpeedupCache:
         with self._lock:
             return {
                 "coalesced": float(self.coalesced),
+                "latch_recoveries": float(self.latch_recoveries),
                 "canonical_s": self._canonical_s,
                 "lock_wait_s": self._lock_wait_s,
                 "coalesce_wait_s": self._coalesce_wait_s,
@@ -447,8 +487,13 @@ class SpeedupCache:
 
     def _dump(self, key: str, result: SpeedupResult) -> None:
         # A read-only or full cache directory must never fail a derivation:
-        # atomic_write_json is best-effort by contract.
-        atomic_write_json(
+        # atomic_write_json is best-effort by contract, leaves any prior
+        # entry file intact on failure, and reports the failure so it can
+        # be counted instead of silently vanishing.
+        ok = atomic_write_json(
             self._path_for(key),
             {"version": 1, "key": key, "result": result.to_dict()},
         )
+        if not ok:
+            with self._lock:
+                self.store_failures += 1

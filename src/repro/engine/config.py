@@ -16,6 +16,8 @@ from pathlib import Path
 
 from repro.core.speedup import MAX_CANDIDATE_CONFIGS, MAX_DERIVED_LABELS, MAX_LIVE_CONFIGS
 from repro.core.vectorkernel import KERNEL_NAMES
+from repro.engine.faultinject import parse_fault_plan
+from repro.engine.resilience import RetryPolicy
 
 #: Execution backends the batch APIs accept (see :mod:`repro.engine.executor`).
 EXECUTOR_NAMES: tuple[str, ...] = ("serial", "thread", "process")
@@ -29,6 +31,17 @@ def _default_executor() -> str:
     without threading a flag through every construction site.
     """
     return os.environ.get("REPRO_EXECUTOR", "thread")
+
+
+def _default_fault_plan() -> str | None:
+    """The default fault plan: ``REPRO_FAULT_PLAN`` when set, else none.
+
+    The environment hook lets the chaos-test matrix (and one-off debugging
+    of the recovery paths) inject scripted faults into any entry point
+    without threading a flag through construction sites.  An unset or empty
+    variable means fault-free execution.
+    """
+    return os.environ.get("REPRO_FAULT_PLAN") or None
 
 
 def _default_kernel() -> str:
@@ -121,6 +134,22 @@ class EngineConfig:
         engine's content-addressed cache and 0-round memo -- true
         parallelism for CPU-heavy batches).  The default honors the
         ``REPRO_EXECUTOR`` environment variable, else ``"thread"``.
+    retry_policy:
+        Fault-tolerance policy of the batch APIs
+        (:class:`repro.engine.resilience.RetryPolicy`): bounded retries
+        with deterministic backoff for transient faults (worker crashes,
+        deadline kills, OS-level I/O errors), per-task deadlines under the
+        process backend, and the quarantine/degradation thresholds.
+        Deterministic :class:`~repro.core.limits.EngineLimitError`\\ s are
+        never retried.
+    fault_plan:
+        Scripted fault injection for chaos testing
+        (:mod:`repro.engine.faultinject`): a plan string like
+        ``"crash@2,hang@5,enospc@0"`` makes worker crashes, task hangs, and
+        cache-write failures fire at fixed, reproducible coordinates.
+        ``None`` (the default, unless ``REPRO_FAULT_PLAN`` is set) runs
+        fault-free; building an engine with a plan activates it
+        process-wide, including in pool workers.
     search_beam_width:
         How many chain states the lower-bound search
         (:meth:`repro.engine.Engine.search_lower_bound`) keeps per depth.
@@ -147,6 +176,8 @@ class EngineConfig:
     zero_round_memo_size: int = 4096
     max_workers: int | None = None
     executor: str = field(default_factory=_default_executor)
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    fault_plan: str | None = field(default_factory=_default_fault_plan)
     search_beam_width: int = 4
     search_max_moves: int = 24
     search_budget: int = 256
@@ -174,6 +205,11 @@ class EngineConfig:
             raise ValueError(
                 f"executor must be one of {EXECUTOR_NAMES}, got {self.executor!r}"
             )
+        if not isinstance(self.retry_policy, RetryPolicy):
+            raise ValueError("retry_policy must be a RetryPolicy")
+        # A typo'd plan must fail construction loudly, not run a silently
+        # fault-free "chaos" test; parsing validates the whole grammar.
+        parse_fault_plan(self.fault_plan)
         if self.search_beam_width < 1:
             raise ValueError("search_beam_width must be positive")
         if self.search_max_moves < 0:

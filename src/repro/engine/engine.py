@@ -49,6 +49,7 @@ from repro.core.zero_round import (
     zero_round_no_input,
     zero_round_with_orientations,
 )
+from repro.engine import faultinject
 from repro.engine.cache import SpeedupCache
 from repro.engine.config import EngineConfig
 from repro.engine.executor import (
@@ -58,6 +59,7 @@ from repro.engine.executor import (
     run_task_batch,
     speedup_batch,
 )
+from repro.engine.resilience import TaskFailure
 
 # Callback invoked with each freshly produced SequenceStep (progress hook for
 # long pipelines: logging, UI updates, early metrics).
@@ -104,6 +106,12 @@ class Engine:
             self._zero_round_memo = None
         self._batch_lock = threading.Lock()
         self._last_batch_stats: BatchStats | None = None
+        # Parse once; a config carrying a plan activates scripted fault
+        # injection process-wide (cache writes included) -- chaos tests
+        # build one engine and everything downstream misbehaves on script.
+        self._fault_plan = faultinject.parse_fault_plan(self._config.fault_plan)
+        if self._fault_plan is not None:
+            faultinject.activate(self._fault_plan)
 
     # -- configuration -------------------------------------------------------
 
@@ -118,6 +126,11 @@ class Engine:
     @property
     def zero_round_memo(self) -> ZeroRoundMemo | None:
         return self._zero_round_memo
+
+    @property
+    def fault_plan(self) -> "faultinject.FaultPlan | None":
+        """The parsed fault-injection plan, or None when running fault-free."""
+        return self._fault_plan
 
     def with_config(self, **overrides: Any) -> "Engine":
         """A re-configured engine; shares this engine's caches when possible.
@@ -154,7 +167,7 @@ class Engine:
     def zero_round_stats(self) -> dict[str, int]:
         """Hit/miss/entry counts of the 0-round memo (all zero when disabled)."""
         if self._zero_round_memo is None:
-            return {"hits": 0, "misses": 0, "entries": 0}
+            return {"hits": 0, "misses": 0, "entries": 0, "store_failures": 0}
         return self._zero_round_memo.stats()
 
     def clear_cache(self) -> None:
@@ -248,7 +261,7 @@ class Engine:
 
     def speedup_many(
         self, problems: Sequence[Problem], simplify: bool | None = None
-    ) -> list[SpeedupResult]:
+    ) -> list["SpeedupResult | TaskFailure"]:
         """Derive ``Pi_1`` for each problem over the configured backend.
 
         Results are returned in input order; each is a correct derivation of
@@ -260,6 +273,14 @@ class Engine:
         (The derived alphabet's arbitrary short names may still depend on
         *which* twin led the flight; canonical hashes and meanings never
         do.)  Batch metering lands in :meth:`last_batch_stats`.
+
+        Execution is fault-tolerant (:mod:`repro.engine.resilience`): a
+        slot holds a :class:`~repro.engine.resilience.TaskFailure` when
+        that problem's derivation kept failing transiently (worker crashes,
+        deadline kills) past the configured
+        :class:`~repro.engine.resilience.RetryPolicy` -- the rest of the
+        batch still returns results.  Deterministic
+        :class:`EngineLimitError`\\ s propagate as always.
         """
         cfg = self._config
         use_simplify = cfg.simplify if simplify is None else simplify
@@ -273,13 +294,15 @@ class Engine:
         problems: Sequence[Problem],
         max_steps: int,
         relaxer: Relaxer | None = None,
-    ) -> list[EliminationResult]:
+    ) -> list["EliminationResult | TaskFailure"]:
         """Run the elimination pipeline for each problem over the backend.
 
         Returns :class:`~repro.core.sequence.EliminationResult` objects in
         input order, equal to the sequential runs.  Under the ``process``
         backend ``relaxer`` must be picklable (a module-level function).
-        Batch metering lands in :meth:`last_batch_stats`.
+        A slot holds a :class:`~repro.engine.resilience.TaskFailure` when
+        that pipeline was quarantined by the retry policy.  Batch metering
+        lands in :meth:`last_batch_stats`.
         """
         results, stats = run_batch(self, list(problems), max_steps, relaxer)
         with self._batch_lock:
@@ -424,6 +447,8 @@ class Engine:
         beam_width: int | None = None,
         max_moves: int | None = None,
         budget: int | None = None,
+        checkpoint: bool = False,
+        resume: bool = False,
     ) -> SearchResult:
         """Search for a lower-bound certificate (see :mod:`repro.search`).
 
@@ -433,6 +458,12 @@ class Engine:
         ``search_*`` knobs of :class:`~repro.engine.config.EngineConfig`.
         Returns a :class:`~repro.search.driver.SearchResult` whose
         certificate (when found) re-verifies independently of this engine.
+
+        With ``checkpoint=True`` (requires a ``cache_dir``) the driver
+        serializes its full state to ``cache_dir/checkpoints/`` after every
+        completed depth; ``resume=True`` restarts a killed run from that
+        state and continues to the identical certificate an uninterrupted
+        run produces.
         """
         from repro.search.driver import search_lower_bound
 
@@ -443,6 +474,8 @@ class Engine:
             beam_width=beam_width,
             max_moves=max_moves,
             budget=budget,
+            checkpoint=checkpoint,
+            resume=resume,
         )
 
     def run(

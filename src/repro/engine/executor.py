@@ -40,15 +40,25 @@ is the measured Amdahl serial fraction the ``--backend`` rows of
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING, Union
 
 from repro.core.problem import Problem
 from repro.core.speedup import SpeedupResult
+from repro.engine import faultinject
 from repro.engine.config import EngineConfig
+from repro.engine.resilience import (
+    FaultCounters,
+    TaskFailure,
+    execute_with_retry,
+    run_resilient_process_batch,
+)
+from repro.utils.jsonio import sweep_stale_tmp_files
 
 if TYPE_CHECKING:
     from multiprocessing.context import BaseContext
@@ -174,6 +184,16 @@ class BatchStats:
     cache_misses: int
     cache_entries_added: int
     memo_entries_added: int
+    # Fault-recovery counters (see :mod:`repro.engine.resilience`): retries
+    # of transiently-failed tasks, re-dispatches of innocent tasks after a
+    # pool crash, pool rebuilds (crashes + deadline kills), deadline hits,
+    # tasks quarantined as TaskFailure, and backend degradations.
+    retries: int = 0
+    requeues: int = 0
+    pool_rebuilds: int = 0
+    deadline_hits: int = 0
+    quarantined: int = 0
+    degradations: int = 0
 
     @property
     def serial_fraction(self) -> float:
@@ -199,6 +219,12 @@ class BatchStats:
             "cache_misses": self.cache_misses,
             "cache_entries_added": self.cache_entries_added,
             "memo_entries_added": self.memo_entries_added,
+            "retries": self.retries,
+            "requeues": self.requeues,
+            "pool_rebuilds": self.pool_rebuilds,
+            "deadline_hits": self.deadline_hits,
+            "quarantined": self.quarantined,
+            "degradations": self.degradations,
             "serial_fraction": self.serial_fraction,
         }
 
@@ -221,16 +247,21 @@ def execute_task(engine: "Engine", task: Task) -> object:
 # -- the process-pool worker side ---------------------------------------------
 
 _WORKER_ENGINE: "Engine | None" = None
+_START_QUEUE: object | None = None
 
 
-def _initialize_worker(config: EngineConfig) -> None:
+def _initialize_worker(config: EngineConfig, start_queue: object = None) -> None:
     """Build the per-process engine (called once per worker by the pool).
 
     The worker engine is serial (a worker must never spawn its own pool)
     and records its cache inserts and memo verdicts so
     :func:`_execute_in_worker` can return them as mergeable deltas.
+    Building the engine also (re)activates the config's fault plan in this
+    process, so scripted worker faults fire here; ``start_queue`` is the
+    pool-shared channel workers announce task starts on (the crash-blame
+    evidence the resilient dispatcher needs).
     """
-    global _WORKER_ENGINE
+    global _WORKER_ENGINE, _START_QUEUE
     from repro.engine.engine import Engine
 
     engine = Engine(config)
@@ -238,6 +269,8 @@ def _initialize_worker(config: EngineConfig) -> None:
     if engine.zero_round_memo is not None:
         engine.zero_round_memo.start_recording()
     _WORKER_ENGINE = engine
+    _START_QUEUE = start_queue
+    faultinject.mark_worker()
 
 
 def _execute_in_worker(task: Task) -> TaskResult:
@@ -257,6 +290,24 @@ def _execute_in_worker(task: Task) -> TaskResult:
     )
 
 
+def _execute_in_worker_at(index: int, attempt: int, task: Task) -> TaskResult:
+    """Worker entry point of the resilient dispatcher.
+
+    Announces the task start *before* doing anything that can fail -- the
+    announcement is a synchronous pipe write, so even an immediate
+    ``os._exit`` cannot lose it, and the parent can blame crashes on
+    exactly the tasks that were executing.  Then fires any scripted fault
+    for this ``(index, attempt)`` coordinate and runs the task normally.
+    """
+    queue = _START_QUEUE
+    if queue is not None:
+        queue.put((index, attempt))  # type: ignore[attr-defined]
+    plan = faultinject.active_plan()
+    if plan is not None:
+        faultinject.fire_task_fault(plan, index, attempt)
+    return _execute_in_worker(task)
+
+
 def _process_context() -> "BaseContext | None":
     """Prefer ``fork`` (cheap start, inherited imports); None = default."""
     try:
@@ -265,48 +316,132 @@ def _process_context() -> "BaseContext | None":
         return None
 
 
+def _sweep_cache_tmp_files(engine: "Engine") -> None:
+    """Reclaim temp files killed workers abandoned in the shared cache dirs.
+
+    Called when a process batch dies (KeyboardInterrupt included): the
+    dispatcher has already terminated the workers, so any temp file they
+    were writing carries a dead pid and sweeps cleanly; live files from
+    unrelated processes are untouched.
+    """
+    cache_dir = engine.config.cache_dir
+    if cache_dir is None:
+        return
+    root = Path(cache_dir)
+    sweep_stale_tmp_files(root)
+    sweep_stale_tmp_files(root / "zero_round")
+
+
 def _run_process_pool(
     engine: "Engine", tasks: list[Task], workers: int
-) -> tuple[list[object], float, float]:
-    """Execute tasks on a process pool; returns (values, compute_s, merge_s).
+) -> tuple[list[object], float, float, FaultCounters]:
+    """Execute tasks on a crash-surviving process pool.
 
-    Worker engines are serial single-worker clones of the parent's
-    configuration (sharing any ``cache_dir``); their recorded cache/memo
-    deltas are merged into the parent's caches here, so a process batch
-    leaves the parent exactly as warm as a serial one.  A failing task
-    propagates its exception, like the serial loop.
+    Returns ``(values, compute_s, merge_s, counters)``; value slots hold
+    the task's result, or a :class:`~repro.engine.resilience.TaskFailure`
+    for tasks the retry policy quarantined.  Worker engines are serial
+    single-worker clones of the parent's configuration (sharing any
+    ``cache_dir``); their recorded cache/memo deltas are merged into the
+    parent's caches here, so a process batch leaves the parent exactly as
+    warm as a serial one.  A task raising a deterministic error (an
+    :class:`~repro.core.limits.EngineLimitError` above all) propagates it,
+    like the serial loop; transient infrastructure faults are retried and
+    recovered per the engine's :class:`~repro.engine.resilience.
+    RetryPolicy`, degrading to in-parent execution when process isolation
+    itself keeps failing.
     """
     worker_config = engine.config.replace(executor="serial", max_workers=1)
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        mp_context=_process_context(),
-        initializer=_initialize_worker,
-        initargs=(worker_config,),
-    ) as pool:
-        futures: list[Future[TaskResult]] = [
-            pool.submit(_execute_in_worker, task) for task in tasks
-        ]
-        results = [future.result() for future in futures]
+    policy = engine.config.retry_policy
+    plan = engine.fault_plan
+    counters = FaultCounters()
+
+    def make_pool(pool_workers: int) -> tuple[ProcessPoolExecutor, object]:
+        context = _process_context() or multiprocessing.get_context()
+        queue = context.SimpleQueue()
+        pool = ProcessPoolExecutor(
+            max_workers=pool_workers,
+            mp_context=context,
+            initializer=_initialize_worker,
+            initargs=(worker_config, queue),
+        )
+        return pool, queue
+
+    def submit(
+        pool: ProcessPoolExecutor, index: int, attempt: int, task: object
+    ) -> "Future[object]":
+        assert isinstance(task, (SpeedupTask, RunTask, ExpandTask))
+        return pool.submit(_execute_in_worker_at, index, attempt, task)
+
+    def run_local(index: int, task: object) -> object:
+        # The degraded (thread/serial) rung: execute on the parent engine,
+        # still under the retry policy, so the batch completes even when
+        # process pools cannot be built at all.
+        assert isinstance(task, (SpeedupTask, RunTask, ExpandTask))
+        value, _elapsed = _timed_execute(engine, index, task, counters)
+        return value
+
+    try:
+        slots = run_resilient_process_batch(
+            tasks,
+            workers=workers,
+            policy=policy,
+            plan=plan,
+            counters=counters,
+            make_pool=make_pool,
+            submit=submit,
+            run_local=run_local,
+        )
+    except BaseException:
+        # The dispatcher already reclaimed the workers; their abandoned
+        # temp files now carry dead pids and must not outlive the batch.
+        _sweep_cache_tmp_files(engine)
+        raise
     merge_start = time.perf_counter()
     memo = engine.zero_round_memo
-    for task_result in results:
-        for key, form, stored in task_result.cache_entries:
-            engine.cache.merge(key, form, stored)
-        if memo is not None:
-            for memo_key, solvable in task_result.memo_entries:
-                memo.merge(memo_key, solvable)
+    values: list[object] = []
+    compute_s = 0.0
+    for slot in slots:
+        if isinstance(slot, TaskResult):
+            for key, form, stored in slot.cache_entries:
+                engine.cache.merge(key, form, stored)
+            if memo is not None:
+                for memo_key, solvable in slot.memo_entries:
+                    memo.merge(memo_key, solvable)
+            values.append(slot.value)
+            compute_s += slot.compute_s
+        else:
+            # A TaskFailure, or a value computed in-parent by the degraded
+            # path (whose cache effects landed directly on the engine).
+            values.append(slot)
     merge_s = time.perf_counter() - merge_start
-    values = [task_result.value for task_result in results]
-    compute_s = sum(task_result.compute_s for task_result in results)
-    return values, compute_s, merge_s
+    return values, compute_s, merge_s, counters
 
 
 # -- batch orchestration (runs in the parent) ---------------------------------
 
 
-def _timed_execute(engine: "Engine", task: Task) -> tuple[object, float]:
+def _timed_execute(
+    engine: "Engine", index: int, task: Task, counters: FaultCounters
+) -> tuple[object, float]:
+    """One in-parent task execution under the retry policy, timed.
+
+    The serial and thread backends run every task through this; transient
+    faults (an injected flake, an OS-level I/O error mid-derivation) retry
+    with deterministic backoff, and a task that exhausts the policy comes
+    back as a :class:`TaskFailure` value instead of killing the batch.
+    """
+    policy = engine.config.retry_policy
+    plan = engine.fault_plan
     start = time.perf_counter()
-    value = execute_task(engine, task)
+
+    def attempt_run(attempt: int) -> object:
+        if plan is not None:
+            faultinject.fire_task_fault(plan, index, attempt)
+        return execute_task(engine, task)
+
+    value = execute_with_retry(
+        attempt_run, index=index, policy=policy, counters=counters
+    )
     return value, time.perf_counter() - start
 
 
@@ -323,11 +458,17 @@ class _BatchMeter:
         self._memo_before = engine.zero_round_stats()
         self._start = time.perf_counter()
 
-    def finish(self, compute_s: float, merge_s: float) -> BatchStats:
+    def finish(
+        self,
+        compute_s: float,
+        merge_s: float,
+        counters: FaultCounters | None = None,
+    ) -> BatchStats:
         wall_s = time.perf_counter() - self._start
         cache_after = self._engine.cache.stats()
         conc_after = self._engine.cache.concurrency_stats()
         memo_after = self._engine.zero_round_stats()
+        faults = counters if counters is not None else FaultCounters()
         return BatchStats(
             backend=self._backend,
             tasks=self._tasks,
@@ -345,6 +486,12 @@ class _BatchMeter:
             cache_misses=cache_after["misses"] - self._cache_before["misses"],
             cache_entries_added=cache_after["entries"] - self._cache_before["entries"],
             memo_entries_added=memo_after["entries"] - self._memo_before["entries"],
+            retries=faults.retries,
+            requeues=faults.requeues,
+            pool_rebuilds=faults.pool_rebuilds,
+            deadline_hits=faults.deadline_hits,
+            quarantined=faults.quarantined,
+            degradations=faults.degradations,
         )
 
 
@@ -362,26 +509,34 @@ def run_task_batch(
     pooled = len(tasks) > 1 and workers > 1
     meter = _BatchMeter(engine, backend, len(tasks), workers if pooled else 1)
     merge_s = 0.0
+    counters = FaultCounters()
     if backend == "process" and pooled:
-        values, compute_s, merge_s = _run_process_pool(engine, tasks, workers)
+        values, compute_s, merge_s, counters = _run_process_pool(
+            engine, tasks, workers
+        )
     elif backend == "thread" and pooled:
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            timed = list(pool.map(lambda task: _timed_execute(engine, task), tasks))
+            timed = list(
+                pool.map(
+                    lambda item: _timed_execute(engine, item[0], item[1], counters),
+                    enumerate(tasks),
+                )
+            )
         values = [value for value, _ in timed]
         compute_s = sum(elapsed for _, elapsed in timed)
     else:
         values = []
         compute_s = 0.0
-        for task in tasks:
-            value, elapsed = _timed_execute(engine, task)
+        for index, task in enumerate(tasks):
+            value, elapsed = _timed_execute(engine, index, task, counters)
             values.append(value)
             compute_s += elapsed
-    return values, meter.finish(compute_s, merge_s)
+    return values, meter.finish(compute_s, merge_s, counters)
 
 
 def speedup_batch(
     engine: "Engine", problems: list[Problem], simplify: bool
-) -> tuple[list[SpeedupResult], BatchStats]:
+) -> tuple[list["SpeedupResult | TaskFailure"], BatchStats]:
     """Batch speedup derivation with cross-backend-consistent accounting.
 
     Serial and thread backends route through ``engine.speedup`` (whose
@@ -392,6 +547,11 @@ def speedup_batch(
     count the other requests of that key as coalesced, and resolve them
     after the merge as translated hits -- the same hit/miss/coalesce totals
     a serial run of the same batch reports.
+
+    A slot holds a :class:`~repro.engine.resilience.TaskFailure` when the
+    retry policy quarantined that problem's derivation; followers coalesced
+    onto a quarantined leader inherit the failure (re-indexed) rather than
+    re-deriving a task the policy just gave up on.
     """
     backend = engine.config.executor
     workers = engine._resolve_workers(len(problems))
@@ -401,13 +561,13 @@ def speedup_batch(
         # through the shared cache; single-flight does the coalescing.
         tasks: list[Task] = [SpeedupTask(problem, simplify) for problem in problems]
         values, stats = run_task_batch(engine, tasks)
-        return [_as_speedup_result(value) for value in values], stats
+        return [_as_speedup_value(value) for value in values], stats
 
     meter = _BatchMeter(engine, backend, len(problems), workers)
     cache = engine.cache
-    resolved: dict[int, SpeedupResult] = {}
+    resolved: dict[int, "SpeedupResult | TaskFailure"] = {}
     leaders: dict[str, tuple[int, "CanonicalForm"]] = {}
-    followers: list[int] = []
+    followers: list[tuple[int, str]] = []
     for index, problem in enumerate(problems):
         hit, form, key = cache.probe(problem, simplify)
         if hit is not None:
@@ -415,7 +575,7 @@ def speedup_batch(
             continue
         if key in leaders:
             cache.note_coalesced()
-            followers.append(index)
+            followers.append((index, key))
         else:
             cache.note_dispatched_miss()
             leaders[key] = (index, form)
@@ -425,16 +585,29 @@ def speedup_batch(
     ]
     merge_s = 0.0
     compute_s = 0.0
+    counters = FaultCounters()
+    failed_keys: dict[str, TaskFailure] = {}
     if pool_tasks:
-        values, compute_s, merge_s = _run_process_pool(engine, pool_tasks, workers)
+        values, compute_s, merge_s, counters = _run_process_pool(
+            engine, pool_tasks, workers
+        )
         merge_start = time.perf_counter()
         for (key, (index, form)), value in zip(leader_items, values):
-            result = _as_speedup_result(value)
+            if isinstance(value, TaskFailure):
+                failure = dataclasses.replace(value, index=index)
+                resolved[index] = failure
+                failed_keys[key] = failure
+                continue
+            result = _as_speedup_value(value)
+            assert isinstance(result, SpeedupResult)
             # Re-merge under the leader's own key: the worker recorded the
             # entry too, but its batch may have evicted it before draining.
             resolved[index] = cache.merge(key, form, result)
         merge_s += time.perf_counter() - merge_start
-    for index in followers:
+    for index, key in followers:
+        if key in failed_keys:
+            resolved[index] = dataclasses.replace(failed_keys[key], index=index)
+            continue
         hit, _form, _key = cache.probe(problems[index], simplify)
         if hit is None:
             # The merged entry was evicted before this follower resolved
@@ -444,11 +617,11 @@ def speedup_batch(
         else:
             resolved[index] = hit
     ordered = [resolved[index] for index in range(len(problems))]
-    return ordered, meter.finish(compute_s, merge_s)
+    return ordered, meter.finish(compute_s, merge_s, counters)
 
 
-def _as_speedup_result(value: object) -> SpeedupResult:
-    assert isinstance(value, SpeedupResult)
+def _as_speedup_value(value: object) -> "SpeedupResult | TaskFailure":
+    assert isinstance(value, (SpeedupResult, TaskFailure))
     return value
 
 
@@ -457,7 +630,7 @@ def run_batch(
     problems: list[Problem],
     max_steps: int,
     relaxer: "Relaxer | None",
-) -> tuple[list["EliminationResult"], BatchStats]:
+) -> tuple[list["EliminationResult | TaskFailure"], BatchStats]:
     """Batch elimination pipelines on the engine's configured backend."""
     from repro.core.sequence import EliminationResult
 
@@ -465,8 +638,8 @@ def run_batch(
         RunTask(problem, max_steps, relaxer) for problem in problems
     ]
     values, stats = run_task_batch(engine, tasks)
-    results: list[EliminationResult] = []
+    results: list["EliminationResult | TaskFailure"] = []
     for value in values:
-        assert isinstance(value, EliminationResult)
+        assert isinstance(value, (EliminationResult, TaskFailure))
         results.append(value)
     return results, stats

@@ -36,8 +36,10 @@ is returned as a concrete ``k``-round certificate.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:
     from repro.engine.engine import Engine
@@ -56,7 +58,9 @@ from repro.core.problem import Problem
 from repro.core.speedup import EngineLimitError
 from repro.core.zero_round import ZeroRoundMemo, is_zero_round_solvable
 from repro.engine.executor import ExpandOption, ExpandPayload, ExpandTask, Task
+from repro.engine.resilience import TaskFailure
 from repro.search.moves import RelaxationMove, generate_moves
+from repro.utils.jsonio import atomic_write_json, load_json
 
 KIND_TRIVIAL = "trivial"
 KIND_CHAIN = "chain"
@@ -82,6 +86,7 @@ class SearchStats:
     limit_hits: int = 0
     zero_round_checks: int = 0
     zero_round_memo_hits: int = 0
+    task_failures: int = 0
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -93,6 +98,7 @@ class SearchStats:
             "limit_hits": self.limit_hits,
             "zero_round_checks": self.zero_round_checks,
             "zero_round_memo_hits": self.zero_round_memo_hits,
+            "task_failures": self.task_failures,
         }
 
 
@@ -251,6 +257,7 @@ class _Counters:
         "limit_hits",
         "zero_round_checks",
         "zero_round_memo_hits",
+        "task_failures",
     )
 
     def __init__(self) -> None:
@@ -259,6 +266,101 @@ class _Counters:
 
     def snapshot(self) -> SearchStats:
         return SearchStats(**{name: getattr(self, name) for name in self.__slots__})
+
+    def restore(self, data: dict[str, Any]) -> None:
+        for name in self.__slots__:
+            setattr(self, name, int(data.get(name, 0)))
+
+
+# -- checkpoint / resume -------------------------------------------------------
+
+#: Schema version of the search checkpoint files under
+#: ``cache_dir/checkpoints/``.  A checkpoint stores everything the beam loop
+#: holds between depths -- the beam states (each a partial certificate:
+#: problem, steps, dedup chain), the counters, and the parameter fingerprint
+#: -- so a resumed run replays the remaining depths exactly and emits a
+#: byte-identical certificate.
+CHECKPOINT_VERSION = 1
+
+
+def _state_to_dict(state: _State) -> dict[str, object]:
+    return {
+        "problem": state.problem.to_dict(),
+        "steps": [step.to_dict() for step in state.steps],
+        "chain_keys": list(state.chain_keys),
+        "chain_compressed": [p.to_dict() for p in state.chain_compressed],
+    }
+
+
+def _state_from_dict(data: dict[str, Any]) -> _State:
+    return _State(
+        problem=Problem.from_dict(data["problem"]),
+        steps=tuple(CertificateStep.from_dict(step) for step in data["steps"]),
+        chain_keys=tuple(str(key) for key in data["chain_keys"]),
+        chain_compressed=tuple(
+            Problem.from_dict(p) for p in data["chain_compressed"]
+        ),
+    )
+
+
+def _checkpoint_path(cache_dir: str | Path, root_key: str) -> Path:
+    # Root keys carry a "canon:" scheme prefix; keep filenames portable.
+    slug = root_key.replace(":", "_")
+    return Path(cache_dir) / "checkpoints" / f"search_{slug}.json"
+
+
+def _write_checkpoint(
+    path: Path,
+    fingerprint: dict[str, object],
+    depth: int,
+    beam: list[_State],
+    counters: _Counters,
+) -> None:
+    """Persist the beam loop's state after one completed depth, best effort.
+
+    ``deepest`` needs no slot of its own: the loop maintains ``deepest ==
+    beam[0]`` at every checkpoint site, so resume re-derives it.  A failed
+    write (full disk) leaves the previous checkpoint intact -- resuming
+    then redoes more depths but still converges on the identical result.
+    """
+    atomic_write_json(
+        path,
+        {
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": fingerprint,
+            "depth": depth,
+            "beam": [_state_to_dict(state) for state in beam],
+            "counters": counters.snapshot().to_dict(),
+        },
+    )
+
+
+def _load_checkpoint(
+    path: Path, fingerprint: dict[str, object]
+) -> tuple[list[_State], dict[str, Any], int] | None:
+    """Reconstruct ``(beam, counters, completed_depth)`` from a checkpoint.
+
+    Any corruption, schema mismatch, or *parameter* mismatch (a checkpoint
+    from a run with different beam width, budget, or root problem must
+    never seed this one) reads as "no checkpoint": the search starts fresh,
+    which is always correct, just slower.
+    """
+    payload = load_json(path)
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("version") != CHECKPOINT_VERSION:
+        return None
+    if payload.get("fingerprint") != fingerprint:
+        return None
+    try:
+        beam = [_state_from_dict(state) for state in payload["beam"]]
+        depth = int(payload["depth"])
+        counters = dict(payload["counters"])
+    except (KeyError, TypeError, ValueError, AttributeError):
+        return None
+    if not beam or depth < 1:
+        return None
+    return beam, counters, depth
 
 
 def search_lower_bound(
@@ -269,6 +371,8 @@ def search_lower_bound(
     beam_width: int | None = None,
     max_moves: int | None = None,
     budget: int | None = None,
+    checkpoint: bool = False,
+    resume: bool = False,
 ) -> SearchResult:
     """Automatically search for a lower-bound certificate for ``problem``.
 
@@ -277,6 +381,15 @@ def search_lower_bound(
     configuration; the engine also supplies the derivation size guards, the
     memo cache, the worker pool, and the 0-round input setting
     (``orientations``).  See the module docstring for the algorithm.
+
+    With ``checkpoint=True`` and an engine ``cache_dir``, the full beam
+    state is serialized to ``cache_dir/checkpoints/`` after every completed
+    depth; a later call with ``resume=True`` (same problem, same
+    parameters) reconstructs that state and continues, producing the
+    certificate an uninterrupted run would have -- byte-identical JSON.
+    The checkpoint is deleted once the search returns normally.  A resume
+    finding no usable checkpoint (absent, corrupt, or written under
+    different parameters) silently starts fresh.
     """
     if engine is None:
         from repro.engine import get_default_engine
@@ -323,7 +436,31 @@ def search_lower_bound(
     # its canonical hash doubles as the chain's first dedup key.
     root_compressed = problem.compressed()
     root_key = canonical_hash(root_compressed)
+
+    checkpointing = checkpoint or resume
+    checkpoint_file: Path | None = None
+    if checkpointing and config.cache_dir is not None:
+        checkpoint_file = _checkpoint_path(config.cache_dir, root_key)
+        checkpoint_file.parent.mkdir(parents=True, exist_ok=True)
+    fingerprint: dict[str, object] = {
+        "root_key": root_key,
+        "max_steps": max_steps,
+        "beam_width": beam_width,
+        "max_moves": max_moves,
+        "budget": budget,
+        "orientations": orientations,
+    }
+
+    def discard_checkpoint() -> None:
+        # A completed search owes no resume state; a stale checkpoint would
+        # only cost the fingerprint comparison, but deleting it keeps the
+        # directory an honest list of interrupted runs.
+        if checkpoint_file is not None:
+            with contextlib.suppress(OSError):
+                checkpoint_file.unlink(missing_ok=True)
+
     if zero_round(root_compressed, root_key):
+        discard_checkpoint()
         return SearchResult(
             problem=problem,
             kind=KIND_TRIVIAL,
@@ -339,8 +476,22 @@ def search_lower_bound(
     )
     beam = [root]
     deepest = root
+    start_depth = 1
+    if resume and checkpoint_file is not None:
+        restored = _load_checkpoint(checkpoint_file, fingerprint)
+        if restored is not None:
+            beam, saved_counters, completed_depth = restored
+            # The saved counters already include this run's root 0-round
+            # check (the original run performed it too), so restoring
+            # wholesale keeps the final stats identical to an
+            # uninterrupted run.
+            counters.restore(saved_counters)
+            deepest = beam[0]
+            start_depth = completed_depth + 1
 
-    for _depth in range(1, max_steps + 1):
+    plan = engine.fault_plan
+
+    for depth in range(start_depth, max_steps + 1):
         to_expand = beam[: max(0, budget - counters.speedup_calls)]
         if not to_expand:
             break
@@ -362,6 +513,12 @@ def search_lower_bound(
         candidates: list[_State] = []
         frontier_keys: dict[str, int] = {}
         for state, payload in zip(to_expand, payloads):
+            if isinstance(payload, TaskFailure):
+                # The expansion was quarantined by the retry policy (its
+                # worker kept crashing or hanging); drop the state like a
+                # limit hit -- its beam siblings carry on.
+                counters.task_failures += 1
+                continue
             assert isinstance(payload, ExpandPayload)
             if payload.limit_hit or payload.result is None:
                 counters.limit_hits += 1
@@ -406,6 +563,7 @@ def search_lower_bound(
                         fixed_point_of=revisit,
                         orientations=orientations,
                     )
+                    discard_checkpoint()
                     return SearchResult(
                         problem=problem,
                         kind=KIND_FIXED_POINT,
@@ -445,6 +603,12 @@ def search_lower_bound(
         candidates.sort(key=lambda state: (state.score, state.chain_keys[-1]))
         beam = candidates[:beam_width]
         deepest = beam[0]
+        if checkpointing and checkpoint_file is not None:
+            _write_checkpoint(checkpoint_file, fingerprint, depth, beam, counters)
+        if plan is not None and plan.should_abort_search(depth):
+            # The deterministic stand-in for kill -9 in checkpoint/resume
+            # tests: die right after the depth's state is durable.
+            raise KeyboardInterrupt(f"injected search abort after depth {depth}")
 
     certificate = LowerBoundCertificate(
         initial=problem,
@@ -452,6 +616,7 @@ def search_lower_bound(
         terminal=TERMINAL_UNSOLVABLE,
         orientations=orientations,
     )
+    discard_checkpoint()
     return SearchResult(
         problem=problem,
         kind=KIND_CHAIN,

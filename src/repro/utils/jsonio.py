@@ -22,14 +22,33 @@ the three halves of the required contract:
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import threading
 import time
+from collections.abc import Callable
 from pathlib import Path
 
 #: Infix separating an entry name from the writer's pid/tid in temp names.
 TMP_MARKER = ".tmp."
+
+# Fault-injection seam: when set (by repro.engine.faultinject.activate), the
+# hook is consulted before every atomic write and may script a failure.
+# Living here keeps utils ignorant of the engine package; the hook costs one
+# ``is None`` check when no chaos plan is active.
+_write_fault_hook: Callable[[Path], str | None] | None = None
+
+
+def set_write_fault_hook(hook: Callable[[Path], str | None] | None) -> None:
+    """Install (or clear) the scripted write-fault hook.
+
+    The hook returns ``"enospc"`` to make the next write fail like a full
+    disk, ``"corrupt"`` to make it complete with invalid JSON, or ``None``
+    to leave it alone.  Only the fault-injection harness sets this.
+    """
+    global _write_fault_hook
+    _write_fault_hook = hook
 
 #: Age beyond which a temp file is considered abandoned even if a process
 #: with the recorded pid exists (pid reuse, or a writer on another host
@@ -50,17 +69,33 @@ def load_json(path: Path) -> object | None:
         return None
 
 
-def atomic_write_json(path: Path, payload: object) -> None:
-    """Atomically replace ``path`` with the serialized payload, best effort."""
+def atomic_write_json(path: Path, payload: object) -> bool:
+    """Atomically replace ``path`` with the serialized payload, best effort.
+
+    Returns True when the entry was replaced, False when the write failed
+    (read-only directory, full disk, an injected fault); a failed write
+    never touches the previously stored entry -- the temp file absorbs the
+    failure and is cleaned up -- so callers can count the failure and keep
+    serving the old entry.
+    """
+    text = json.dumps(payload, sort_keys=True)
+    if _write_fault_hook is not None:
+        fault = _write_fault_hook(path)
+        if fault == "enospc":
+            return False
+        if fault == "corrupt":
+            # A torn write that still completed its rename: the entry file
+            # ends up with non-JSON bytes, which readers must treat as a miss.
+            text = text[: max(1, len(text) // 2)] + "\x00corrupt"
     tmp = path.with_suffix(f"{TMP_MARKER.rstrip('.')}.{os.getpid()}.{threading.get_ident()}")
     try:
-        tmp.write_text(json.dumps(payload, sort_keys=True))
+        tmp.write_text(text)
         tmp.replace(path)
+        return True
     except OSError:
-        try:
+        with contextlib.suppress(OSError):
             tmp.unlink(missing_ok=True)
-        except OSError:
-            pass
+        return False
 
 
 def _writer_pid(name: str) -> int | None:

@@ -59,7 +59,7 @@ def test_corrupt_entry_is_a_miss_and_gets_overwritten(tmp_path, sc3, corruption)
     # A fresh engine (cold memory cache) must treat the entry as a miss...
     engine = Engine(EngineConfig(cache_dir=tmp_path))
     result = engine.speedup(sc3)
-    assert engine.cache_stats() == {"hits": 0, "misses": 1, "entries": 1}
+    assert engine.cache_stats() == {"hits": 0, "misses": 1, "entries": 1, "store_failures": 0}
     assert result.full == original.full
     assert result.half == original.half
 

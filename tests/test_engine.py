@@ -147,7 +147,7 @@ def test_cache_miss_for_different_problems(engine, sc3, mis_d3):
 def test_cache_miss_across_simplify_modes(engine, sc3):
     engine.speedup(sc3, simplify=True)
     engine.speedup(sc3, simplify=False)
-    assert engine.cache_stats() == {"hits": 0, "misses": 2, "entries": 2}
+    assert engine.cache_stats() == {"hits": 0, "misses": 2, "entries": 2, "store_failures": 0}
 
 
 def test_renamed_problem_hits_via_canonical_hash(engine, sc3):
@@ -171,13 +171,13 @@ def test_cache_disabled(sc3):
     second = engine.speedup(sc3)
     assert first == second
     assert first is not second
-    assert engine.cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
+    assert engine.cache_stats() == {"hits": 0, "misses": 0, "entries": 0, "store_failures": 0}
 
 
 def test_clear_cache(engine, sc3):
     engine.speedup(sc3)
     engine.clear_cache()
-    assert engine.cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
+    assert engine.cache_stats() == {"hits": 0, "misses": 0, "entries": 0, "store_failures": 0}
     engine.speedup(sc3)
     assert engine.cache_stats()["misses"] == 1
 
@@ -332,6 +332,7 @@ def test_speedup_shim_uses_default_engine(sc3):
             "hits": 1,
             "misses": 1,
             "entries": 1,
+            "store_failures": 0,
         }
     finally:
         set_default_engine(original)

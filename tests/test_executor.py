@@ -84,7 +84,7 @@ def test_speedup_many_cache_accounting_matches_serial(mixed_batch):
     for backend in BACKENDS:
         engine = _engine(backend)
         engine.speedup_many(mixed_batch)
-        assert engine.cache_stats() == {"hits": 2, "misses": 3, "entries": 3}, backend
+        assert engine.cache_stats() == {"hits": 2, "misses": 3, "entries": 3, "store_failures": 0}, backend
 
 
 def test_run_many_backends_agree_per_step(sc3, so3):
@@ -257,7 +257,7 @@ def test_process_results_pickle_round_trip_through_worker(sc3, so3):
 def test_process_merges_entries_into_parent_cache(sc3, so3):
     engine = _engine("process")
     engine.speedup_many([sc3, so3])
-    assert engine.cache_stats() == {"hits": 0, "misses": 2, "entries": 2}
+    assert engine.cache_stats() == {"hits": 0, "misses": 2, "entries": 2, "store_failures": 0}
     # Both entries now serve in-memory hits without new derivations.
     engine.speedup(sc3)
     engine.speedup(_renamed(so3, "q"))
@@ -289,7 +289,7 @@ def test_process_shares_disk_cache_with_workers(tmp_path, sc3, so3):
     fresh = Engine(EngineConfig(cache_dir=tmp_path))
     fresh.speedup(sc3)
     # ... so a brand-new engine warm-starts from disk.
-    assert fresh.cache_stats() == {"hits": 1, "misses": 0, "entries": 1}
+    assert fresh.cache_stats() == {"hits": 1, "misses": 0, "entries": 1, "store_failures": 0}
 
 
 def test_tasks_and_payloads_pickle(sc3):

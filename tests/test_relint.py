@@ -45,6 +45,9 @@ FIXTURE_MATRIX = [
     ("frozen_certificate/in_defining_module.py", "frozen-certificate", 0),
     ("silent_swallow/bad.py", "silent-swallow", 3),
     ("silent_swallow/good.py", "silent-swallow", 0),
+    ("broad_fault_swallow/bad.py", "broad-fault-swallow", 3),
+    ("broad_fault_swallow/good.py", "broad-fault-swallow", 0),
+    ("broad_fault_swallow/in_resilience.py", "broad-fault-swallow", 0),
     ("unordered_serialization/bad.py", "unordered-serialization", 3),
     ("unordered_serialization/good.py", "unordered-serialization", 0),
     ("unordered_serialization/outside_repro.py", "unordered-serialization", 0),

@@ -37,13 +37,13 @@ def engine():
 
 def test_memo_hit_miss_accounting(sc3, mis_d3):
     memo = ZeroRoundMemo(maxsize=16)
-    assert memo.stats() == {"hits": 0, "misses": 0, "entries": 0}
+    assert memo.stats() == {"hits": 0, "misses": 0, "entries": 0, "store_failures": 0}
     first = memo.check(sc3)
-    assert memo.stats() == {"hits": 0, "misses": 1, "entries": 1}
+    assert memo.stats() == {"hits": 0, "misses": 1, "entries": 1, "store_failures": 0}
     assert memo.check(sc3) is first
-    assert memo.stats() == {"hits": 1, "misses": 1, "entries": 1}
+    assert memo.stats() == {"hits": 1, "misses": 1, "entries": 1, "store_failures": 0}
     memo.check(mis_d3)
-    assert memo.stats() == {"hits": 1, "misses": 2, "entries": 2}
+    assert memo.stats() == {"hits": 1, "misses": 2, "entries": 2, "store_failures": 0}
     assert memo.check(sc3) == is_zero_round_solvable(sc3)
     assert memo.check(mis_d3) == is_zero_round_solvable(mis_d3)
 
@@ -62,7 +62,7 @@ def test_memo_caches_both_verdicts(sc3):
     assert memo.stats()["misses"] == 2
     assert memo.check(trivial) is True
     assert memo.check(sc3) is False
-    assert memo.stats() == {"hits": 2, "misses": 2, "entries": 2}
+    assert memo.stats() == {"hits": 2, "misses": 2, "entries": 2, "store_failures": 0}
 
 
 def test_memo_keys_are_setting_specific(sc3):
@@ -81,7 +81,7 @@ def test_memo_renamed_twins_hit(sc3):
         {label: f"r{label}" for label in sorted(sc3.labels)}, name="twin"
     )
     assert memo.check(renamed) == is_zero_round_solvable(renamed)
-    assert memo.stats() == {"hits": 1, "misses": 1, "entries": 1}
+    assert memo.stats() == {"hits": 1, "misses": 1, "entries": 1, "store_failures": 0}
 
 
 def test_memo_lru_bound(sc3, mis_d3, so3):
@@ -149,7 +149,7 @@ def test_engine_without_memo_reports_zero_stats(sc3):
     engine = Engine(EngineConfig(zero_round_memo=False))
     assert engine.zero_round_memo is None
     assert engine.zero_round_solvable(sc3) == is_zero_round_solvable(sc3)
-    assert engine.zero_round_stats() == {"hits": 0, "misses": 0, "entries": 0}
+    assert engine.zero_round_stats() == {"hits": 0, "misses": 0, "entries": 0, "store_failures": 0}
 
 
 def test_with_config_shares_memo_unless_cache_knobs_change(engine, sc3):
@@ -166,7 +166,7 @@ def test_clear_cache_clears_memo(engine, sc3):
     engine.zero_round_solvable(sc3)
     assert engine.zero_round_stats()["entries"] == 1
     engine.clear_cache()
-    assert engine.zero_round_stats() == {"hits": 0, "misses": 0, "entries": 0}
+    assert engine.zero_round_stats() == {"hits": 0, "misses": 0, "entries": 0, "store_failures": 0}
 
 
 # -- persistence ---------------------------------------------------------------
@@ -189,7 +189,7 @@ def test_memo_persists_across_engines(tmp_path, sc3):
     verdict, _ = _warm(tmp_path, sc3)
     fresh = Engine(EngineConfig(cache_dir=tmp_path))
     assert fresh.zero_round_solvable(sc3) == verdict
-    assert fresh.zero_round_stats() == {"hits": 1, "misses": 0, "entries": 1}
+    assert fresh.zero_round_stats() == {"hits": 1, "misses": 0, "entries": 1, "store_failures": 0}
 
 
 def test_memo_persistence_preserves_negative_verdicts(tmp_path, sc3):
@@ -234,7 +234,7 @@ def test_corrupt_memo_entry_is_a_miss_and_gets_overwritten(tmp_path, sc3, corrup
 
     engine = Engine(EngineConfig(cache_dir=tmp_path))
     assert engine.zero_round_solvable(sc3) == verdict
-    assert engine.zero_round_stats() == {"hits": 0, "misses": 1, "entries": 1}
+    assert engine.zero_round_stats() == {"hits": 0, "misses": 1, "entries": 1, "store_failures": 0}
 
     # The recomputation must have overwritten the bad file in place...
     restored = json.loads(path.read_text())

@@ -1,0 +1,28 @@
+# relint: path=src/repro/engine/executor.py
+"""Decentralized pool-breakage handling + silent OSError: 3 hits."""
+import concurrent.futures
+from concurrent.futures.process import BrokenProcessPool
+
+
+def run_batch(pool, tasks, results):
+    futures = [pool.submit(t) for t in tasks]
+    for future in futures:
+        try:
+            results.append(future.result())
+        except BrokenProcessPool:  # violation: recovery policy fork
+            results.append(None)
+    return results
+
+
+def run_one(pool, task):
+    try:
+        return pool.submit(task).result()
+    except concurrent.futures.BrokenExecutor as exc:  # violation: attribute form
+        raise RuntimeError("pool died") from exc
+
+
+def cleanup(path):
+    try:
+        path.unlink()
+    except OSError:  # violation: invisible disk fault
+        pass

@@ -1,0 +1,32 @@
+# relint: path=src/repro/engine/cache.py
+"""Audited I/O tolerance outside resilience.py: clean."""
+import contextlib
+
+
+def cleanup(path):
+    # Sanctioned idiom: the suppression is explicit at the call site.
+    with contextlib.suppress(OSError):
+        path.unlink()
+
+
+def store(self, path, payload, write):
+    if not write(path, payload):
+        self.store_failures += 1  # failure counted, old entry kept
+
+
+def sweep(entries):
+    removed = 0
+    for entry in entries:
+        try:
+            entry.unlink()
+        except OSError:
+            continue  # per-item skip inside a loop stays legal
+        removed += 1
+    return removed
+
+
+def load(path, parse):
+    try:
+        return parse(path)
+    except OSError as exc:  # non-trivial body: the fault is recorded
+        raise KeyError(path) from exc

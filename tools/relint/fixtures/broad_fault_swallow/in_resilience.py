@@ -1,0 +1,18 @@
+# relint: path=src/repro/engine/resilience.py
+"""The sanctioned module may catch pool breakage and swallow OSError."""
+from concurrent.futures import BrokenExecutor
+
+
+def reap(pool, futures, counters):
+    for future in futures:
+        try:
+            future.result()
+        except BrokenExecutor:  # exempt: this IS the recovery module
+            counters.pool_rebuilds += 1
+
+
+def kill(proc):
+    try:
+        proc.terminate()
+    except OSError:  # exempt here (and only here)
+        pass

@@ -15,6 +15,7 @@ from tools.relint.rules.exceptions import SilentSwallowRule
 from tools.relint.rules.freeze import FrozenCertificateRule
 from tools.relint.rules.imports import LegacyImportRule, StringLabelRule
 from tools.relint.rules.pickleability import UnpicklableMemberRule
+from tools.relint.rules.resilience import BroadFaultSwallowRule
 from tools.relint.rules.vectorize import UnbatchedMatchingRule
 
 ALL_RULES: tuple[Rule, ...] = (
@@ -24,6 +25,7 @@ ALL_RULES: tuple[Rule, ...] = (
     RawProblemRule(),
     FrozenCertificateRule(),
     SilentSwallowRule(),
+    BroadFaultSwallowRule(),
     UnorderedSerializationRule(),
     UnlockedMutationRule(),
     UnpicklableMemberRule(),

@@ -5,9 +5,10 @@ or *degrades to a recorded miss* -- never vanishes.  A handler catching
 ``Exception``/``BaseException`` (or a bare ``except``) whose body is only
 ``pass``/``...``/``continue`` destroys that audit trail and, worse, eats
 ``EngineLimitError`` and assertion failures wholesale.  Narrow, typed
-catches with trivial bodies (e.g. best-effort ``except OSError: pass``
-cleanup in :mod:`repro.utils.jsonio`) remain legal: the type names the
-failure being tolerated.
+catches with trivial bodies remain legal under *this* rule: the type
+names the failure being tolerated.  (Pass-only ``OSError`` handlers in
+the repro package are separately policed by ``broad-fault-swallow``,
+which demands ``contextlib.suppress`` or a counted failure.)
 """
 
 from __future__ import annotations

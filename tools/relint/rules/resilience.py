@@ -1,0 +1,101 @@
+"""Pool-breakage and OSError handling stay centralized and audited.
+
+PR 10 concentrated every broad infrastructure-fault recovery decision --
+rebuilding a broken process pool, quarantining poison tasks, degrading to
+in-process execution -- in :mod:`repro.engine.resilience`.  A stray
+``except BrokenProcessPool`` elsewhere would fork that policy: the handler
+either duplicates the recovery loop (drift) or swallows the breakage and
+returns partial results (corruption).  Likewise ``except OSError: pass``
+hides disk faults the caches are contractually required to *count*
+(``store_failures``); tolerated I/O failures must be visible as
+``contextlib.suppress(OSError)``, a recorded counter, or a returned
+sentinel -- never an invisible ``pass``.
+
+Two checks, both scoped to the ``repro`` package and both exempting
+``repro/engine/resilience.py`` (the one sanctioned home):
+
+* any handler whose type mentions ``BrokenExecutor``/``BrokenProcessPool``/
+  ``BrokenThreadPool``;
+* an ``OSError`` (or alias) handler whose body is only ``pass``/``...``.
+
+``continue``-bodied handlers inside loops stay legal: skipping one entry
+of a sweep is per-item tolerance, not policy.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.relint.engine import FileContext, Rule, Violation
+
+#: Executor-breakage types whose handling is resilience.py's monopoly.
+_BROKEN = {"BrokenExecutor", "BrokenProcessPool", "BrokenThreadPool"}
+
+#: OSError and its pre-3.3 aliases.
+_OS_ERRORS = {"OSError", "IOError", "EnvironmentError"}
+
+#: The one module allowed to catch pool breakage (virtual-path suffix).
+_SANCTIONED = ("repro", "engine", "resilience.py")
+
+
+def _handler_names(handler: ast.ExceptHandler) -> set[str]:
+    if handler.type is None:
+        return set()
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    names = set()
+    for node in types:
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+def _pass_only(body: list[ast.stmt]) -> bool:
+    """Only ``pass``/``...``/docstrings -- NOT ``continue`` (per-item skip)."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue
+        return False
+    return True
+
+
+class BroadFaultSwallowRule(Rule):
+    id = "broad-fault-swallow"
+    description = (
+        "pool-breakage handlers belong in repro/engine/resilience.py, and "
+        "an OSError handler with a pass-only body hides a disk fault the "
+        "caches must count; use contextlib.suppress(OSError) or record it"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        parts = ctx.repro_parts
+        if parts is None:
+            return  # rule guards the package's own fault-handling policy
+        if ctx.virtual_path.replace("\\", "/").endswith("/".join(_SANCTIONED)):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            names = _handler_names(node)
+            if names & _BROKEN:
+                yield ctx.violation(
+                    self.id,
+                    node,
+                    "executor-breakage recovery is centralized in "
+                    "repro/engine/resilience.py; call into it instead of "
+                    "catching " + "/".join(sorted(names & _BROKEN)),
+                )
+            elif names and names <= _OS_ERRORS and _pass_only(node.body):
+                yield ctx.violation(
+                    self.id,
+                    node,
+                    "pass-only OSError handler hides a disk fault; use "
+                    "contextlib.suppress(OSError), count it, or return a "
+                    "sentinel",
+                )
