@@ -11,6 +11,11 @@ With ``--search`` the report additionally times whole
 0-round memo are exactly what those exercise) and embeds the frozen PR-3
 baseline rows for the before/after comparison.
 
+With ``--classify`` the report additionally times whole two-sided
+``classify`` runs (lower-bound search plus upper-bound chase) over the
+fast catalog families, recording each bracket and its independent
+re-verification time.
+
 With ``--backend NAME`` (repeatable) the report additionally times the
 batch API (``speedup_many``) over a CPU-heavy catalog batch on each named
 execution backend, emitting the per-batch Amdahl instrumentation
@@ -26,7 +31,7 @@ report embeds the frozen pre-vector mask-kernel baseline rows
 
 Usage::
 
-    python benchmarks/run_speedup_bench.py [--quick] [--search]
+    python benchmarks/run_speedup_bench.py [--quick] [--search] [--classify]
         [--kernel auto|mask|vector]
         [--backend serial --backend thread --backend process]
         [--workers N] [--output BENCH_speedup.json]
@@ -83,6 +88,18 @@ SEARCH_CASES: list[tuple[str, int, int, bool]] = [
     ("sinkless-orientation", 3, 4, True),
     ("mis", 3, 2, True),
     ("weak-3-coloring", 2, 2, False),
+]
+
+# Two-sided classify cases: (name, delta, max_steps, quick), covering all
+# three bracket shapes (tight / open / Omega(log n)).  The superweak row is
+# the stress case: its chase fans out over a 10-label derived problem and
+# dominates the full run.
+CLASSIFY_CASES: list[tuple[str, int, int, bool]] = [
+    ("indegree-handshake", 2, 3, True),
+    ("sinkless-orientation", 3, 4, True),
+    ("mis", 2, 2, True),
+    ("3-coloring", 2, 2, True),
+    ("superweak-2-coloring", 2, 2, False),
 ]
 
 # Frozen baseline, measured once on the PR-3 tree (commit 22095a5) with the
@@ -238,6 +255,62 @@ def run_search_bench(
     ]
 
 
+def bench_classify_case(
+    name: str, delta: int, max_steps: int, kernel: str = "auto"
+) -> dict:
+    """Time one two-sided ``classify`` run plus its independent re-verify.
+
+    The size guards are tighter than the search bench's (the chase fans out
+    over hardenings of already-derived problems; hopeless states should
+    fail fast, exactly as in the landscape survey).
+    """
+    problem = get_problem(name, delta)
+    engine = Engine(
+        EngineConfig(
+            max_derived_labels=2_000,
+            max_candidate_configs=50_000,
+            kernel=kernel,
+        )
+    )
+    start = time.perf_counter()
+    result = engine.classify(problem, max_steps=max_steps)
+    classify_s = time.perf_counter() - start
+    bracket = result.bracket
+    record = {
+        "problem": name,
+        "delta": delta,
+        "kernel": resolve_kernel(kernel),
+        "max_steps": max_steps,
+        "classify_s": round(classify_s, 6),
+        "bracket": bracket.describe(),
+        "verdict": bracket.verdict,
+        "min_rounds": bracket.min_rounds,
+        "max_rounds": bracket.max_rounds,
+        "unbounded": bracket.unbounded,
+    }
+    if bracket.lower is not None or bracket.upper is not None:
+        start = time.perf_counter()
+        record["verified"] = bracket.verify().valid
+        record["verify_s"] = round(time.perf_counter() - start, 6)
+    return record
+
+
+def run_classify_bench(
+    cases: list[tuple[str, int, int, bool]] | None = None,
+    quick: bool = False,
+    kernel: str = "auto",
+) -> list[dict]:
+    """Run the classify suite; returns the rows for the report."""
+    selected = [
+        case for case in (cases if cases is not None else CLASSIFY_CASES)
+        if not quick or case[3]
+    ]
+    return [
+        bench_classify_case(name, delta, max_steps, kernel=kernel)
+        for name, delta, max_steps, _ in selected
+    ]
+
+
 def bench_backend_case(
     backend: str, workers: int | None, quick: bool = False, kernel: str = "auto"
 ) -> dict:
@@ -296,6 +369,7 @@ def run_bench(
     quick: bool = False,
     warm_rounds: int = 3,
     search: bool = False,
+    classify: bool = False,
     backends: list[str] | None = None,
     workers: int | None = None,
     kernel: str = "auto",
@@ -355,6 +429,8 @@ def run_bench(
                 if is_quick
             )
         ]
+    if classify:
+        report["classify_results"] = run_classify_bench(quick=quick, kernel=kernel)
     if backends:
         report["backend_results"] = run_backend_bench(
             backends, workers=workers, quick=quick, kernel=kernel
@@ -369,6 +445,11 @@ def main(argv: list[str] | None = None) -> int:
         "--search",
         action="store_true",
         help="also time search_lower_bound runs (before/after vs the PR-3 baseline)",
+    )
+    parser.add_argument(
+        "--classify",
+        action="store_true",
+        help="also time two-sided classify runs (bracket + both certificates)",
     )
     parser.add_argument(
         "--kernel",
@@ -400,6 +481,7 @@ def main(argv: list[str] | None = None) -> int:
         quick=args.quick,
         warm_rounds=args.warm_rounds,
         search=args.search,
+        classify=args.classify,
         backends=args.backend,
         workers=args.workers,
         kernel=args.kernel,
@@ -442,6 +524,13 @@ def main(argv: list[str] | None = None) -> int:
             f"search {record['problem']:>18s} d={record['delta']} "
             f"steps<={record['max_steps']}  {record['kind']:>11s}  "
             f"bound={record['bound']}  search={record['search_s']:.3f}s  "
+            f"verified={record.get('verified')}"
+        )
+    for record in report.get("classify_results", ()):
+        print(
+            f"classify {record['problem']:>18s} d={record['delta']} "
+            f"steps<={record['max_steps']}  {record['bracket']:>20s}  "
+            f"classify={record['classify_s']:.3f}s  "
             f"verified={record.get('verified')}"
         )
     for record in report.get("backend_results", ()):

@@ -1,0 +1,69 @@
+"""The two-sided classifier, end to end.
+
+Classifies two problems and shows the two verdict shapes a bounded budget
+can produce:
+
+* **weak 2-coloring** (delta 2) -- Theta(log* n) in reality, so no chase
+  depth can certify a matching upper bound: the classifier returns an
+  *open* bracket ``[2, ?]``, honest about what its budget could not close;
+* **indegree handshake** (delta 2) -- the showcase problem: not 0-round
+  solvable, but its speedup is, so the lower search and the upper chase
+  meet at ``[1, 1] tight`` with *both* machine-checkable certificates.
+
+The tight bracket is then serialized to JSON and re-verified from the
+payload alone -- the audit needs no help from the search that produced it.
+
+    python examples/classify_weak_coloring.py
+
+Shell equivalent: ``python -m repro classify indegree-handshake --delta 2``.
+"""
+
+import json
+
+from repro import ComplexityBracket, Engine, EngineConfig, get_problem, indegree_handshake
+
+
+def main() -> None:
+    engine = Engine(
+        EngineConfig(max_derived_labels=1_000, max_candidate_configs=25_000)
+    )
+
+    print("=== weak 2-coloring: an honest open bracket ===")
+    weak = engine.classify(
+        get_problem("weak-2-coloring", 2),
+        max_steps=2,
+        beam_width=2,
+        max_moves=4,
+        budget=12,
+        chase_beam_width=2,
+        chase_max_hardenings=3,
+        chase_budget=12,
+    )
+    print(weak.summary())
+    bracket = weak.bracket
+    print("bracket:", bracket.describe())
+    assert bracket.verdict == "open" and bracket.max_rounds is None
+
+    print("\n=== indegree handshake: a tight bracket ===")
+    tight = engine.classify(indegree_handshake(2), max_steps=3)
+    print(tight.summary())
+    bracket = tight.bracket
+    print("bracket:", bracket.describe())
+    assert bracket.verdict == "tight"
+    assert bracket.lower is not None and bracket.upper is not None
+    print()
+    print(bracket.lower.describe())
+    print()
+    print(bracket.upper.describe())
+
+    print("\n=== audit from JSON alone ===")
+    payload = json.dumps(bracket.to_dict(), sort_keys=True)
+    print(f"bracket payload: {len(payload)} bytes of JSON")
+    rebuilt = ComplexityBracket.from_dict(json.loads(payload))
+    verdict = rebuilt.verify()
+    print("independently re-verified:", verdict.valid)
+    print("rounds bracket:", rebuilt.min_rounds, "..", rebuilt.max_rounds)
+
+
+if __name__ == "__main__":
+    main()

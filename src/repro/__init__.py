@@ -47,7 +47,7 @@ The classic function surface (``speedup``, ``iterate_speedup``,
 ``run_round_elimination``) remains available as compatibility shims over a
 process-wide default engine, and the whole API is scriptable from the shell
 via ``python -m repro`` (subcommands ``parse``, ``speedup``, ``run``,
-``catalog``, ``search``).
+``catalog``, ``search``, ``classify``).
 """
 
 from repro.core import (
@@ -79,6 +79,7 @@ from repro.problems import (
     coloring,
     get_family,
     get_problem,
+    indegree_handshake,
     maximal_matching,
     mis,
     perfect_matching,
@@ -87,12 +88,24 @@ from repro.problems import (
     superweak,
     weak_coloring_pointer,
 )
-from repro.search import SearchResult, search_lower_bound
+from repro.core import UpperBoundCertificate
+from repro.search import (
+    ChaseResult,
+    ClassifyResult,
+    ComplexityBracket,
+    SearchResult,
+    classify,
+    search_lower_bound,
+    search_upper_bound,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CertificateStep",
+    "ChaseResult",
+    "ClassifyResult",
+    "ComplexityBracket",
     "EliminationResult",
     "Engine",
     "EngineConfig",
@@ -101,9 +114,11 @@ __all__ = [
     "ProblemFamily",
     "SearchResult",
     "SequenceStep",
+    "UpperBoundCertificate",
     "are_isomorphic",
     "canonical_hash",
     "catalog",
+    "classify",
     "coloring",
     "find_isomorphism",
     "format_problem",
@@ -111,6 +126,7 @@ __all__ = [
     "get_family",
     "get_problem",
     "half_step",
+    "indegree_handshake",
     "is_zero_round_solvable",
     "iterate_speedup",
     "maximal_matching",
@@ -119,6 +135,7 @@ __all__ = [
     "perfect_matching",
     "run_round_elimination",
     "search_lower_bound",
+    "search_upper_bound",
     "set_default_engine",
     "sinkless_coloring",
     "sinkless_orientation",

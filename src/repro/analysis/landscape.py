@@ -6,7 +6,10 @@ practitioner would consult first: how the derived descriptions grow, which
 problems are trivial, which hit fixed points.  With ``search_steps > 0``
 each row additionally runs the automated lower-bound search
 (:mod:`repro.search`) and reports the bound it could certify -- a
-discovered-bounds column for the landscape.  This exercises the engine far
+discovered-bounds column for the landscape.  With ``classify_steps > 0``
+each row instead runs the full two-sided classifier
+(:meth:`repro.engine.Engine.classify`) and reports the resulting
+complexity bracket and verdict.  This exercises the engine far
 beyond the paper's own examples (the paper's Section 6 anticipates exactly
 this use: "we expect many other problems to be solved by this technique").
 """
@@ -33,6 +36,11 @@ class LandscapeRow:
     ran the lower-bound search (``search_steps > 0``): the number of rounds
     the discovered certificate proves unsolvable, and whether the search
     found a pumpable fixed point (the Omega(log n) outcome).
+
+    ``classification`` / ``classify_verdict`` are filled only when the
+    survey ran the two-sided classifier (``classify_steps > 0``): the
+    rendered complexity bracket (e.g. ``[1, 1]`` or ``[Omega(log n)]``) and
+    its ``tight`` / ``gap`` / ``open`` verdict.
     """
 
     name: str
@@ -47,6 +55,8 @@ class LandscapeRow:
     blew_up: bool
     search_bound: int | None = None
     search_unbounded: bool | None = None
+    classification: str | None = None
+    classify_verdict: str | None = None
 
     def as_tuple(self) -> tuple:
         return (
@@ -62,6 +72,8 @@ class LandscapeRow:
             self.blew_up,
             self.search_bound,
             self.search_unbounded,
+            self.classification,
+            self.classify_verdict,
         )
 
 
@@ -75,8 +87,24 @@ def _run_search(
     return result.certificate.claimed_bound, result.unbounded
 
 
+def _run_classify(
+    problem: Problem, engine: "Engine", classify_steps: int
+) -> tuple[str, str]:
+    bracket = engine.classify(problem, max_steps=classify_steps).bracket
+    if bracket.unbounded:
+        rendered = "[Omega(log n)]"
+    else:
+        high = "?" if bracket.max_rounds is None else bracket.max_rounds
+        rendered = f"[{bracket.min_rounds}, {high}]"
+    return rendered, bracket.verdict
+
+
 def survey_problem(
-    problem: Problem, *, engine: "Engine | None" = None, search_steps: int = 0
+    problem: Problem,
+    *,
+    engine: "Engine | None" = None,
+    search_steps: int = 0,
+    classify_steps: int = 0,
 ) -> LandscapeRow:
     """One-step profile of a single problem (plus an optional bound search)."""
     if engine is None:
@@ -89,6 +117,12 @@ def survey_problem(
     search_unbounded: bool | None = None
     if search_steps > 0:
         search_bound, search_unbounded = _run_search(problem, engine, search_steps)
+    classification: str | None = None
+    classify_verdict: str | None = None
+    if classify_steps > 0:
+        classification, classify_verdict = _run_classify(
+            problem, engine, classify_steps
+        )
     try:
         derived = engine.speedup(problem).full
     except EngineLimitError:
@@ -105,6 +139,8 @@ def survey_problem(
             blew_up=True,
             search_bound=search_bound,
             search_unbounded=search_unbounded,
+            classification=classification,
+            classify_verdict=classify_verdict,
         )
     return LandscapeRow(
         name=problem.name,
@@ -119,6 +155,8 @@ def survey_problem(
         blew_up=False,
         search_bound=search_bound,
         search_unbounded=search_unbounded,
+        classification=classification,
+        classify_verdict=classify_verdict,
     )
 
 
@@ -128,6 +166,7 @@ def survey_catalog(
     *,
     engine: "Engine | None" = None,
     search_steps: int = 0,
+    classify_steps: int = 0,
 ) -> list[LandscapeRow]:
     """Profile every cataloged family instantiable at ``delta``."""
     from repro.problems.catalog import catalog
@@ -139,7 +178,12 @@ def survey_catalog(
         if family.min_delta > delta:
             continue
         rows.append(
-            survey_problem(family(delta), engine=engine, search_steps=search_steps)
+            survey_problem(
+                family(delta),
+                engine=engine,
+                search_steps=search_steps,
+                classify_steps=classify_steps,
+            )
         )
     return rows
 
@@ -150,6 +194,12 @@ def _render_search_cell(row: LandscapeRow) -> str:
     if row.search_bound is None:
         return "-"
     return f">{row.search_bound} rounds"
+
+
+def _render_classify_cell(row: LandscapeRow) -> str:
+    if row.classification is None:
+        return "-"
+    return f"{row.classification} {row.classify_verdict}"
 
 
 def landscape_markdown(rows: list[LandscapeRow]) -> str:
@@ -167,6 +217,7 @@ def landscape_markdown(rows: list[LandscapeRow]) -> str:
         "derived 0-round (orient)",
         "fixed point",
         "discovered bound",
+        "classification",
     ]
     body = []
     for row in rows:
@@ -182,6 +233,7 @@ def landscape_markdown(rows: list[LandscapeRow]) -> str:
                 "-" if row.blew_up else ("yes" if row.derived_zero_round_oriented else "no"),
                 "-" if row.blew_up else ("yes" if row.fixed_point else "no"),
                 _render_search_cell(row),
+                _render_classify_cell(row),
             ]
         )
     return render_table(headers, body)

@@ -21,6 +21,13 @@ format of the core dataclasses):
     speedup steps interleaved with certified relaxations, emitting a
     machine-checkable :class:`repro.core.certificate.LowerBoundCertificate`
     that is re-verified from scratch before the command reports success.
+``classify``
+    Bracket a problem's complexity from both sides: the lower-bound search
+    plus the upper-bound chase (speedup steps interleaved with certified
+    hardening restrictions toward a 0-round-solvable terminal), emitting a
+    :class:`repro.search.classify.ComplexityBracket` with a ``tight`` /
+    ``gap`` / ``open`` verdict; every certificate present is re-verified
+    from scratch before the command reports success.
 ``moves``
     List the certified relaxation moves of a problem (merge-equivalents /
     drop / merge / addarrow, generated mask-natively) and, with
@@ -35,6 +42,7 @@ Examples::
     python -m repro catalog --name sinkless-coloring --delta 3
     python -m repro search sinkless_orientation        # fixed point, auto
     python -m repro search problem.txt --max-steps 4 --json
+    python -m repro classify indegree-handshake --delta 2
     python -m repro moves mis --harden --json
 """
 
@@ -344,6 +352,60 @@ def cmd_search(args: argparse.Namespace) -> int:
     return 0 if check.valid else 2
 
 
+def cmd_classify(args: argparse.Namespace) -> int:
+    problem = _read_problem_spec(args)
+    if problem is None:
+        return 2
+    if (args.checkpoint or args.resume) and not args.cache_dir:
+        print(
+            "error: --checkpoint/--resume require --cache-dir "
+            "(checkpoints live in <cache-dir>/checkpoints/)",
+            file=sys.stderr,
+        )
+        return 2
+    engine = _engine_from_args(args)
+    result = engine.classify(
+        problem,
+        max_steps=args.max_steps,
+        beam_width=args.beam_width,
+        max_moves=args.max_moves,
+        budget=args.budget,
+        chase_beam_width=args.chase_beam_width,
+        chase_max_hardenings=args.chase_max_hardenings,
+        chase_budget=args.chase_budget,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
+    bracket = result.bracket
+    # Never report a bracket whose certificates the independent checker
+    # rejects; a bracket with no certificate at all is "nothing found".
+    check = None
+    if bracket.lower is not None or bracket.upper is not None:
+        check = bracket.verify()
+    if args.json:
+        payload = result.to_dict()
+        payload["verified"] = None if check is None else check.valid
+        if check is not None and check.failures:
+            payload["verification_failures"] = list(check.failures)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(result.summary())
+        if bracket.lower is not None:
+            print()
+            print(bracket.lower.describe())
+        if bracket.upper is not None:
+            print()
+            print(bracket.upper.describe())
+        if check is not None:
+            print()
+            print(f"independently re-verified: {'ok' if check.valid else 'FAILED'}")
+            for failure in check.failures:
+                print(f"  {failure}", file=sys.stderr)
+    if check is None:
+        return 1
+    return 0 if check.valid else 2
+
+
 # -- parser ------------------------------------------------------------------
 
 
@@ -525,6 +587,100 @@ def build_parser() -> argparse.ArgumentParser:
     add_backend(p_search)
     p_search.add_argument("--json", action="store_true", help="emit JSON output")
     p_search.set_defaults(func=cmd_search)
+
+    p_classify = sub.add_parser(
+        "classify",
+        help="bracket a problem's complexity: lower-bound search plus "
+        "upper-bound chase",
+    )
+    p_classify.add_argument(
+        "spec",
+        help="problem file ('-' for stdin) or catalog family name "
+        "(underscores accepted, e.g. indegree_handshake)",
+    )
+    p_classify.add_argument(
+        "--delta", type=int, default=3, help="degree for catalog names (default 3)"
+    )
+    p_classify.add_argument(
+        "--max-steps",
+        type=int,
+        default=5,
+        help="maximum speedup depth per direction (default 5)",
+    )
+    p_classify.add_argument(
+        "--beam-width",
+        type=int,
+        help="lower-search chain states kept per depth (default 4)",
+    )
+    p_classify.add_argument(
+        "--max-moves",
+        type=int,
+        help="lower-search relaxation moves per derived problem (default 24)",
+    )
+    p_classify.add_argument(
+        "--budget",
+        type=int,
+        help="lower-search maximum speedup derivations (default 256)",
+    )
+    p_classify.add_argument(
+        "--chase-beam-width",
+        type=int,
+        help="upper-chase chain states kept per depth (default 4)",
+    )
+    p_classify.add_argument(
+        "--chase-max-hardenings",
+        type=int,
+        help="hardening restrictions tried per chase state (default 8)",
+    )
+    p_classify.add_argument(
+        "--chase-budget",
+        type=int,
+        help="upper-chase maximum speedup derivations (default 128)",
+    )
+    # Same fail-fast guards as `search`: classification meets the same
+    # blow-ups, twice.
+    p_classify.add_argument(
+        "--max-labels",
+        type=int,
+        default=20_000,
+        help="derived-label size guard (default 20000)",
+    )
+    p_classify.add_argument(
+        "--max-candidate-configs",
+        type=int,
+        help="candidate-configuration work guard (default 500000; matches "
+        "EngineConfig.max_candidate_configs)",
+    )
+    p_classify.add_argument(
+        "--max-configs",
+        type=int,
+        help=argparse.SUPPRESS,  # deprecated alias for --max-candidate-configs
+    )
+    p_classify.set_defaults(default_max_candidate_configs=500_000)
+    p_classify.add_argument("--cache-dir", help="persistent JSON cache directory")
+    p_classify.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="serialize both directions' beam states to "
+        "<cache-dir>/checkpoints/ after every completed depth "
+        "(requires --cache-dir)",
+    )
+    p_classify.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a killed checkpointed classification from its saved "
+        "state; the resumed run emits the identical bracket (requires "
+        "--cache-dir; starts fresh when no matching checkpoint exists)",
+    )
+    p_classify.add_argument(
+        "--no-zero-memo",
+        action="store_true",
+        help="disable the cross-branch 0-round verdict memo",
+    )
+    add_kernel(p_classify)
+    add_backend(p_classify)
+    p_classify.add_argument("--json", action="store_true", help="emit JSON output")
+    p_classify.set_defaults(func=cmd_classify)
 
     p_moves = sub.add_parser(
         "moves", help="list certified relaxation / hardening moves of a problem"

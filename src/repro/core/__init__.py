@@ -19,6 +19,7 @@ This package is the reproduction of the paper's core contribution
 from repro.core.alphabet import Alphabet, InternedProblem, intern, short_names
 from repro.core.canonical import CanonicalForm, canonical_form, canonical_hash
 from repro.core.certificate import (
+    HARDENING,
     RELAXATION,
     SPEEDUP,
     TERMINAL_FIXED_POINT,
@@ -27,6 +28,7 @@ from repro.core.certificate import (
     CertificateError,
     CertificateStep,
     LowerBoundCertificate,
+    UpperBoundCertificate,
 )
 from repro.core.diagram import Diagram, compute_diagram, merge_equivalent_labels, replaceable
 from repro.core.family import ProblemFamily
@@ -63,12 +65,14 @@ from repro.core.speedup import (
 )
 from repro.core.zero_round import (
     ZeroRoundWitness,
+    check_zero_round_witness,
     is_zero_round_solvable,
     zero_round_no_input,
     zero_round_with_orientations,
 )
 
 __all__ = [
+    "HARDENING",
     "RELAXATION",
     "SPEEDUP",
     "TERMINAL_FIXED_POINT",
@@ -94,11 +98,13 @@ __all__ = [
     "RelaxationCertificate",
     "SequenceStep",
     "SpeedupResult",
+    "UpperBoundCertificate",
     "ZeroRoundWitness",
     "are_isomorphic",
     "canonical_form",
     "canonical_hash",
     "certify_relaxation",
+    "check_zero_round_witness",
     "compute_diagram",
     "compute_speedup",
     "edge_config",

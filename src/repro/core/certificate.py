@@ -40,7 +40,13 @@ from dataclasses import dataclass
 from repro.core.alphabet import set_label_name
 from repro.core.isomorphism import find_isomorphism
 from repro.core.problem import Problem, ProblemError
-from repro.core.relaxation import RELAXES, RelaxationCertificate, is_relaxation_map
+from repro.core.relaxation import (
+    HARDENS,
+    RELAXES,
+    RelaxationCertificate,
+    is_harder_restriction,
+    is_relaxation_map,
+)
 from repro.core.speedup import (
     MAX_CANDIDATE_CONFIGS,
     MAX_DERIVED_LABELS,
@@ -48,10 +54,15 @@ from repro.core.speedup import (
     SpeedupResult,
     compute_speedup,
 )
-from repro.core.zero_round import is_zero_round_solvable
+from repro.core.zero_round import (
+    ZeroRoundWitness,
+    check_zero_round_witness,
+    is_zero_round_solvable,
+)
 
 SPEEDUP = "speedup"
 RELAXATION = "relaxation"
+HARDENING = "hardening"
 
 TERMINAL_UNSOLVABLE = "zero-round-unsolvable"
 TERMINAL_FIXED_POINT = "fixed-point"
@@ -69,6 +80,9 @@ class CertificateStep:
     For speedup steps ``problem`` is the derived ``SpeedupResult.full``; for
     relaxation steps it is the relaxation target (the certificate's label map
     alone does not pin the target problem down, so it is stored explicitly).
+    Hardening steps (upper-bound chains only) carry the restriction's
+    :class:`~repro.core.relaxation.RelaxationCertificate` in ``relaxation``
+    like relaxation steps do -- ``kind`` disambiguates the claimed direction.
     """
 
     kind: str
@@ -84,10 +98,10 @@ class CertificateStep:
                 raise CertificateError(
                     "speedup step problem does not match the derived result"
                 )
-        elif self.kind == RELAXATION:
+        elif self.kind in (RELAXATION, HARDENING):
             if self.relaxation is None or self.speedup is not None:
                 raise CertificateError(
-                    "relaxation step must carry exactly a RelaxationCertificate"
+                    f"{self.kind} step must carry exactly a RelaxationCertificate"
                 )
         else:
             raise CertificateError(f"unknown step kind {self.kind!r}")
@@ -99,7 +113,7 @@ class CertificateStep:
             return {"kind": SPEEDUP, "speedup": self.speedup.to_dict()}
         assert self.relaxation is not None
         return {
-            "kind": RELAXATION,
+            "kind": self.kind,
             "problem": self.problem.to_dict(),
             "relaxation": self.relaxation.to_dict(),
         }
@@ -111,9 +125,9 @@ class CertificateStep:
             if kind == SPEEDUP:
                 result = SpeedupResult.from_dict(data["speedup"])
                 return CertificateStep(kind=SPEEDUP, problem=result.full, speedup=result)
-            if kind == RELAXATION:
+            if kind in (RELAXATION, HARDENING):
                 return CertificateStep(
-                    kind=RELAXATION,
+                    kind=kind,
                     problem=Problem.from_dict(data["problem"]),
                     relaxation=RelaxationCertificate.from_dict(data["relaxation"]),
                 )
@@ -301,6 +315,14 @@ class LowerBoundCertificate:
                         failures.extend(
                             _check_speedup_provenance(index, step.speedup, fresh)
                         )
+            elif step.kind == HARDENING:
+                # A restriction can make the problem strictly harder; it can
+                # never justify "no harder", regardless of what direction the
+                # attached certificate claims.
+                failures.append(
+                    f"step {index}: a hardening step cannot appear in a "
+                    f"lower-bound chain"
+                )
             else:
                 assert step.relaxation is not None
                 certificate = step.relaxation
@@ -432,4 +454,212 @@ class LowerBoundCertificate:
                 f"{self.initial.name} is not solvable in "
                 f"{self.claimed_bound} round(s)"
             )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class UpperBoundCertificate:
+    """A chain from ``initial`` to a 0-round-solvable problem: an upper bound.
+
+    The speedup theorem read forwards: if ``speedup(Q)`` is solvable in
+    ``t - 1`` rounds then ``Q`` is solvable in ``t``, so a chain of ``k``
+    speedup steps ending in a 0-round-solvable problem gives a concrete
+    ``k``-round algorithm for ``initial``.  Hardening steps (``Q -> Q'``
+    with ``Q'`` a restriction of ``Q``; Section 4.5's ``harden`` moves) may
+    be interleaved for description control: any algorithm for the restricted
+    ``Q'`` solves ``Q`` verbatim, so they cost no rounds -- only speedup
+    steps count toward :attr:`claimed_rounds`.
+
+    The terminal is not a bare flag but a recorded
+    :class:`~repro.core.zero_round.ZeroRoundWitness`: the actual 0-round
+    algorithm for the final problem, which :meth:`verify` re-checks field by
+    field (:func:`~repro.core.zero_round.check_zero_round_witness`) rather
+    than re-deciding solvability -- the certificate ships the algorithm, not
+    just the claim, which is what the cross-validation suite executes on
+    port-numbered trees.
+    """
+
+    initial: Problem
+    witness: ZeroRoundWitness
+    steps: tuple[CertificateStep, ...] = ()
+    orientations: bool = True
+
+    def __post_init__(self) -> None:
+        for index, step in enumerate(self.steps):
+            if step.kind not in (SPEEDUP, HARDENING):
+                raise CertificateError(
+                    f"step {index}: {step.kind!r} steps cannot appear in an "
+                    f"upper-bound chain"
+                )
+
+    # -- chain accessors -----------------------------------------------------
+
+    @property
+    def chain(self) -> tuple[Problem, ...]:
+        """Every problem along the chain; ``chain[0]`` is ``initial``."""
+        return (self.initial,) + tuple(step.problem for step in self.steps)
+
+    @property
+    def final_problem(self) -> Problem:
+        return self.chain[-1]
+
+    @property
+    def speedup_steps(self) -> int:
+        return sum(1 for step in self.steps if step.kind == SPEEDUP)
+
+    @property
+    def claimed_rounds(self) -> int:
+        """The chain claims ``initial`` is solvable in this many rounds."""
+        return self.speedup_steps
+
+    # -- verification --------------------------------------------------------
+
+    def verify(
+        self,
+        *,
+        max_derived_labels: int = MAX_DERIVED_LABELS,
+        max_candidate_configs: int = MAX_CANDIDATE_CONFIGS,
+    ) -> CertificateCheck:
+        """Re-check every link and the terminal witness, independent of any search.
+
+        Speedup steps get the same treatment as in
+        :meth:`LowerBoundCertificate.verify`: re-derived from scratch and
+        compared including provenance.  Hardening steps must certify in the
+        hardening direction, name both endpoints, carry the identity label
+        map on the restricted problem, and the restriction itself is
+        re-checked structurally
+        (:func:`~repro.core.relaxation.is_harder_restriction`).  The terminal
+        witness is re-validated as an actual 0-round algorithm for the final
+        problem in the claimed input setting.  ``bound`` in the returned
+        check is the certified number of rounds (0 is meaningful: the
+        initial problem itself is 0-round solvable).
+        """
+        failures: list[str] = []
+        current = self.initial
+        for index, step in enumerate(self.steps):
+            if step.kind == SPEEDUP:
+                assert step.speedup is not None
+                if step.speedup.original != current:
+                    failures.append(
+                        f"step {index}: speedup does not apply to the chain's "
+                        f"current problem ({step.speedup.original.name!r} vs "
+                        f"{current.name!r})"
+                    )
+                else:
+                    try:
+                        fresh = compute_speedup(
+                            current,
+                            simplify=step.speedup.simplified,
+                            max_derived_labels=max_derived_labels,
+                            max_candidate_configs=max_candidate_configs,
+                        )
+                    except EngineLimitError as exc:
+                        failures.append(f"step {index}: could not re-derive: {exc}")
+                    else:
+                        failures.extend(
+                            _check_speedup_provenance(index, step.speedup, fresh)
+                        )
+            else:
+                assert step.relaxation is not None
+                certificate = step.relaxation
+                if certificate.direction != HARDENS:
+                    failures.append(
+                        f"step {index}: a {certificate.direction!r} certificate "
+                        f"cannot justify a hardening step"
+                    )
+                if (
+                    certificate.source_name != current.name
+                    or certificate.target_name != step.problem.name
+                ):
+                    failures.append(
+                        f"step {index}: certificate endpoints "
+                        f"({certificate.source_name!r} -> "
+                        f"{certificate.target_name!r}) do not name the chain's "
+                        f"problems ({current.name!r} -> {step.problem.name!r})"
+                    )
+                if dict(certificate.mapping) != {
+                    label: label for label in step.problem.labels
+                }:
+                    failures.append(
+                        f"step {index}: a hardening must carry the identity "
+                        f"map on the restricted problem's labels"
+                    )
+                if not is_harder_restriction(current, step.problem):
+                    failures.append(
+                        f"step {index}: {step.problem.name!r} is not a "
+                        f"restriction of {current.name!r}"
+                    )
+            current = step.problem
+
+        failures.extend(
+            f"terminal: {failure}"
+            for failure in check_zero_round_witness(
+                current, self.witness, orientations=self.orientations
+            )
+        )
+        valid = not failures
+        return CertificateCheck(
+            valid=valid,
+            failures=tuple(failures),
+            bound=self.claimed_rounds if valid else 0,
+            unbounded=False,
+        )
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready form (inverse of :meth:`from_dict`); see docs/API.md."""
+        return {
+            "version": 1,
+            "initial": self.initial.to_dict(),
+            "steps": [step.to_dict() for step in self.steps],
+            "witness": self.witness.to_dict(),
+            "orientations": self.orientations,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "UpperBoundCertificate":
+        """Rebuild a certificate; raises :class:`CertificateError` when malformed."""
+        try:
+            return UpperBoundCertificate(
+                initial=Problem.from_dict(data["initial"]),
+                witness=ZeroRoundWitness.from_dict(data["witness"]),
+                steps=tuple(
+                    CertificateStep.from_dict(step) for step in data["steps"]
+                ),
+                orientations=bool(data["orientations"]),
+            )
+        except CertificateError:
+            raise
+        except (KeyError, TypeError, AttributeError, ProblemError, ValueError) as exc:
+            raise CertificateError(f"malformed certificate payload: {exc!r}") from exc
+
+    # -- presentation ----------------------------------------------------------
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering of the chain and its claim."""
+        setting = "edge-orientations" if self.orientations else "no-input"
+        lines = [
+            f"upper-bound certificate for {self.initial.name} ({setting} setting)"
+        ]
+        for position, problem in enumerate(self.chain):
+            if position == 0:
+                how = "initial"
+            else:
+                step = self.steps[position - 1]
+                if step.kind == SPEEDUP:
+                    how = "speedup"
+                else:
+                    how = "harden (restriction)"
+            lines.append(
+                f"  {position}: {problem.name} "
+                f"(labels={len(problem.labels)}, "
+                f"node={len(problem.node_constraint)}, "
+                f"edge={len(problem.edge_constraint)})  [{how}]"
+            )
+        lines.append(
+            f"terminal: final problem 0-round solvable (witness recorded) => "
+            f"{self.initial.name} is solvable in "
+            f"{self.claimed_rounds} round(s)"
+        )
         return "\n".join(lines)

@@ -312,6 +312,127 @@ def is_zero_round_solvable(problem: Problem, orientations: bool = True) -> bool:
     return zero_round_no_input(problem) is not None
 
 
+def check_zero_round_witness(
+    problem: Problem, witness: ZeroRoundWitness, orientations: bool = True
+) -> list[str]:
+    """Independently validate a recorded 0-round witness, field by field.
+
+    Returns the list of failures (empty iff the witness proves ``problem``
+    0-round solvable in the requested input setting).  Every serialized
+    field is load-bearing: the recorded problem name must match, the setting
+    must match the claim being verified, the split keys must cover exactly
+    the in-degrees the adversary realises, each split must have the right
+    arity and be an allowed node configuration, and the all-pairs
+    edge-compatibility condition is re-decided on the bitmask kernel.  This
+    is how :meth:`~repro.core.certificate.UpperBoundCertificate.verify`
+    re-checks a chain's terminal without trusting the recorded witness.
+    """
+    failures: list[str] = []
+    if witness.problem_name != problem.name:
+        failures.append(
+            f"witness names {witness.problem_name!r}, not {problem.name!r}"
+        )
+    expected_setting = "edge-orientations" if orientations else "no-input"
+    if witness.setting != expected_setting:
+        failures.append(
+            f"witness setting {witness.setting!r} does not match the "
+            f"{expected_setting!r} claim"
+        )
+        return failures
+    interned = intern(problem)
+    index = interned.alphabet.index
+    comp = Compatibility(problem)
+
+    def resolve(config: NodeConfig) -> tuple[int, ...] | None:
+        """Sorted label indices of a recorded configuration, None off-alphabet."""
+        positions = []
+        for label in config:
+            position = index.get(label)
+            if position is None:
+                return None
+            positions.append(position)
+        return tuple(sorted(positions))
+
+    def mask_of(indices: tuple[int, ...]) -> int:
+        mask = 0
+        for position in indices:
+            mask |= 1 << position
+        return mask
+
+    if not orientations:
+        if set(witness.splits) != {-1}:
+            failures.append(
+                f"no-input witness must hold exactly the key -1, "
+                f"got {sorted(witness.splits)}"
+            )
+            return failures
+        ins, outs = witness.splits[-1]
+        if ins:
+            failures.append("no-input witness must leave the in-part empty")
+        if len(outs) != problem.delta:
+            failures.append(
+                f"witness configuration has {len(outs)} labels, "
+                f"delta is {problem.delta}"
+            )
+            return failures
+        indices = resolve(outs)
+        if indices is None:
+            failures.append("witness configuration uses labels outside the alphabet")
+            return failures
+        if indices not in interned.node_config_set:
+            failures.append(
+                "witness configuration is not an allowed node configuration"
+            )
+        support = mask_of(indices)
+        if support & ~comp.polar_mask(support):
+            failures.append(
+                "witness configuration is not self-compatible across an edge"
+            )
+        return failures
+
+    delta = problem.delta
+    if set(witness.splits) != set(range(delta + 1)):
+        failures.append(
+            f"orientation witness must choose one split per in-degree "
+            f"0..{delta}, got {sorted(witness.splits)}"
+        )
+        return failures
+    in_union = 0
+    out_union = 0
+    for s in range(delta + 1):
+        ins, outs = witness.splits[s]
+        if len(ins) != s or len(outs) != delta - s:
+            failures.append(
+                f"in-degree {s}: split arity is ({len(ins)}, {len(outs)}), "
+                f"expected ({s}, {delta - s})"
+            )
+            return failures
+        indices = resolve(ins + outs)
+        if indices is None:
+            failures.append(
+                f"in-degree {s}: split uses labels outside the alphabet"
+            )
+            return failures
+        if indices not in interned.node_config_set:
+            failures.append(
+                f"in-degree {s}: split is not an allowed node configuration"
+            )
+        in_indices = resolve(ins)
+        out_indices = resolve(outs)
+        assert in_indices is not None and out_indices is not None
+        in_union |= mask_of(in_indices)
+        out_union |= mask_of(out_indices)
+    # The 0-round condition itself: on an edge, any chosen out-label faces
+    # any chosen in-label (both endpoints' in-degrees are adversarial), so
+    # the in-union must lie in the polar of the out-union.
+    if in_union & ~comp.polar_mask(out_union):
+        failures.append(
+            "some chosen in-label is not edge-compatible with every chosen "
+            "out-label"
+        )
+    return failures
+
+
 # -- cross-branch memoisation --------------------------------------------------
 
 

@@ -158,6 +158,15 @@ class EngineConfig:
         search.
     search_budget:
         Cap on speedup derivations attempted by one search run.
+    chase_beam_width:
+        How many chain states the upper-bound chase
+        (:meth:`repro.engine.Engine.search_upper_bound`) keeps per depth.
+    chase_max_hardenings:
+        Cap on hardening restriction moves generated per chain state during
+        the chase.
+    chase_budget:
+        Cap on speedup derivations attempted by one chase run (each
+        expansion costs ``1 + #hardenings`` derivations).
     """
 
     simplify: bool = True
@@ -181,6 +190,9 @@ class EngineConfig:
     search_beam_width: int = 4
     search_max_moves: int = 24
     search_budget: int = 256
+    chase_beam_width: int = 4
+    chase_max_hardenings: int = 8
+    chase_budget: int = 128
 
     def __post_init__(self) -> None:
         if self.max_derived_labels < 1:
@@ -216,6 +228,12 @@ class EngineConfig:
             raise ValueError("search_max_moves must be non-negative")
         if self.search_budget < 1:
             raise ValueError("search_budget must be positive")
+        if self.chase_beam_width < 1:
+            raise ValueError("chase_beam_width must be positive")
+        if self.chase_max_hardenings < 0:
+            raise ValueError("chase_max_hardenings must be non-negative")
+        if self.chase_budget < 1:
+            raise ValueError("chase_budget must be positive")
 
     def replace(self, **overrides: object) -> "EngineConfig":
         """A copy of this configuration with the given fields changed."""

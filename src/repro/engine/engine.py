@@ -30,7 +30,9 @@ from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:
     from repro.core.sequence import EliminationResult, Relaxer, SequenceStep
+    from repro.search.classify import ClassifyResult
     from repro.search.driver import SearchResult
+    from repro.search.upper import ChaseResult
 
 from repro.core.isomorphism import find_isomorphism
 from repro.core.problem import Problem
@@ -474,6 +476,79 @@ class Engine:
             beam_width=beam_width,
             max_moves=max_moves,
             budget=budget,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
+
+    def search_upper_bound(
+        self,
+        problem: Problem,
+        max_steps: int = 8,
+        *,
+        beam_width: int | None = None,
+        max_hardenings: int | None = None,
+        budget: int | None = None,
+        checkpoint: bool = False,
+        resume: bool = False,
+    ) -> ChaseResult:
+        """Chase an upper-bound certificate (see :mod:`repro.search.upper`).
+
+        Beam search driving speedup steps (interleaved with certified
+        hardening restrictions) toward a 0-round-solvable problem, run
+        under this engine's size guards, memo cache and worker pool.
+        ``beam_width`` / ``max_hardenings`` / ``budget`` default to the
+        ``chase_*`` knobs of :class:`~repro.engine.config.EngineConfig`.
+        Returns a :class:`~repro.search.upper.ChaseResult` whose certificate
+        (when found) re-verifies independently of this engine.  The
+        checkpoint/resume contract matches :meth:`search_lower_bound`.
+        """
+        from repro.search.upper import search_upper_bound
+
+        return search_upper_bound(
+            problem,
+            engine=self,
+            max_steps=max_steps,
+            beam_width=beam_width,
+            max_hardenings=max_hardenings,
+            budget=budget,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
+
+    def classify(
+        self,
+        problem: Problem,
+        max_steps: int = 8,
+        *,
+        beam_width: int | None = None,
+        max_moves: int | None = None,
+        budget: int | None = None,
+        chase_beam_width: int | None = None,
+        chase_max_hardenings: int | None = None,
+        chase_budget: int | None = None,
+        checkpoint: bool = False,
+        resume: bool = False,
+    ) -> ClassifyResult:
+        """Bracket ``problem``'s round complexity from both sides.
+
+        Runs :meth:`search_lower_bound` then :meth:`search_upper_bound` on
+        this engine (sharing its caches) and folds both certificates into a
+        :class:`~repro.search.classify.ComplexityBracket`; see
+        :mod:`repro.search.classify` for the bound semantics and the
+        ``tight`` / ``gap`` / ``open`` verdicts.
+        """
+        from repro.search.classify import classify
+
+        return classify(
+            problem,
+            engine=self,
+            max_steps=max_steps,
+            beam_width=beam_width,
+            max_moves=max_moves,
+            budget=budget,
+            chase_beam_width=chase_beam_width,
+            chase_max_hardenings=chase_max_hardenings,
+            chase_budget=chase_budget,
             checkpoint=checkpoint,
             resume=resume,
         )

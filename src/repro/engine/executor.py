@@ -109,7 +109,22 @@ class ExpandTask:
     beam_width: int
 
 
-Task = Union[SpeedupTask, RunTask, ExpandTask]
+@dataclass(frozen=True)
+class ChaseTask:
+    """One upper-bound chase expansion: hardenings + speedups + 0-round checks.
+
+    Executed by :func:`repro.search.upper.execute_chase_task`: the state's
+    problem and each of its hardening restrictions get one speedup
+    derivation, and every *derived* problem gets a memoised 0-round decision
+    (hardened problems themselves never do -- a restriction cannot become
+    0-round solvable when its source is not, see ``search/upper.py``).
+    """
+
+    problem: Problem
+    max_hardenings: int
+
+
+Task = Union[SpeedupTask, RunTask, ExpandTask, ChaseTask]
 
 
 @dataclass(frozen=True)
@@ -146,6 +161,41 @@ class ExpandPayload:
     limit_hit: bool
     options: tuple[ExpandOption, ...]
     moves_generated: int
+
+
+@dataclass(frozen=True)
+class ChaseOption:
+    """One evaluated candidate of a chase expansion.
+
+    ``move`` is ``None`` for the speedup of the state's own problem, else
+    the hardening move whose target was sped up.  ``result`` is the
+    derivation (``None`` with ``limit_hit`` set when it tripped the engine's
+    size guards).  ``key``/``solvable``/``memo_hit`` describe the derived
+    problem's memoised 0-round verdict, exactly as in
+    :class:`ExpandOption`.
+    """
+
+    move: "RelaxationMove | None"
+    result: SpeedupResult | None
+    limit_hit: bool
+    key: str
+    solvable: bool
+    memo_hit: bool
+
+
+@dataclass(frozen=True)
+class ChasePayload:
+    """What one :class:`ChaseTask` produced.
+
+    ``options[0]`` always describes the state problem's own speedup; the
+    hardening options follow in move-generation order.
+    ``hardenings_generated`` records how many restriction moves existed
+    (equal to ``len(options) - 1`` -- unlike the lower-bound expansion, no
+    prune drops options backend-side).
+    """
+
+    options: tuple[ChaseOption, ...]
+    hardenings_generated: int
 
 
 @dataclass(frozen=True)
@@ -238,10 +288,14 @@ def execute_task(engine: "Engine", task: Task) -> object:
         return engine.speedup(task.problem, simplify=task.simplify)
     if isinstance(task, RunTask):
         return engine.run(task.problem, task.max_steps, relaxer=task.relaxer)
-    # Lazy import: the driver imports this module for the task types.
-    from repro.search.driver import execute_expand_task
+    # Lazy imports: the search drivers import this module for the task types.
+    if isinstance(task, ExpandTask):
+        from repro.search.driver import execute_expand_task
 
-    return execute_expand_task(engine, task)
+        return execute_expand_task(engine, task)
+    from repro.search.upper import execute_chase_task
+
+    return execute_chase_task(engine, task)
 
 
 # -- the process-pool worker side ---------------------------------------------
@@ -369,14 +423,14 @@ def _run_process_pool(
     def submit(
         pool: ProcessPoolExecutor, index: int, attempt: int, task: object
     ) -> "Future[object]":
-        assert isinstance(task, (SpeedupTask, RunTask, ExpandTask))
+        assert isinstance(task, (SpeedupTask, RunTask, ExpandTask, ChaseTask))
         return pool.submit(_execute_in_worker_at, index, attempt, task)
 
     def run_local(index: int, task: object) -> object:
         # The degraded (thread/serial) rung: execute on the parent engine,
         # still under the retry policy, so the batch completes even when
         # process pools cannot be built at all.
-        assert isinstance(task, (SpeedupTask, RunTask, ExpandTask))
+        assert isinstance(task, (SpeedupTask, RunTask, ExpandTask, ChaseTask))
         value, _elapsed = _timed_execute(engine, index, task, counters)
         return value
 

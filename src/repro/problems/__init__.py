@@ -8,6 +8,7 @@ from repro.problems.coloring import (
     edge_coloring,
     edge_coloring_family,
 )
+from repro.problems.handshake import INDEGREE_HANDSHAKE, indegree_handshake
 from repro.problems.misc import (
     MAXIMAL_MATCHING,
     MIS,
@@ -35,6 +36,7 @@ from repro.problems.weak_coloring import (
 )
 
 __all__ = [
+    "INDEGREE_HANDSHAKE",
     "MAXIMAL_MATCHING",
     "MIS",
     "PERFECT_MATCHING",
@@ -48,6 +50,7 @@ __all__ = [
     "edge_coloring_family",
     "get_family",
     "get_problem",
+    "indegree_handshake",
     "maximal_matching",
     "mis",
     "perfect_matching",

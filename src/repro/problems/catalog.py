@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.core.family import ProblemFamily
 from repro.core.problem import Problem
 from repro.problems.coloring import coloring_family, edge_coloring_family
+from repro.problems.handshake import INDEGREE_HANDSHAKE
 from repro.problems.misc import MAXIMAL_MATCHING, MIS, PERFECT_MATCHING
 from repro.problems.sinkless import SINKLESS_COLORING, SINKLESS_ORIENTATION
 from repro.problems.superweak import superweak_family
@@ -15,6 +16,7 @@ _STATIC_FAMILIES: dict[str, ProblemFamily] = {
     for family in (
         SINKLESS_COLORING,
         SINKLESS_ORIENTATION,
+        INDEGREE_HANDSHAKE,
         MIS,
         PERFECT_MATCHING,
         MAXIMAL_MATCHING,

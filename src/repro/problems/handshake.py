@@ -1,0 +1,105 @@
+"""The in-degree handshake problem: a finite-complexity classifier showcase.
+
+Every catalog problem so far sits at one of the extremes the paper's
+machinery detects immediately: 0-round solvable, or an Omega(log n)
+fixed point.  The classifier (``python -m repro classify``) needs a problem
+whose round complexity is finite and positive, so that a lower-bound chain
+*and* an upper-bound chase both terminate with certificates and the bracket
+closes.  This module provides one.
+
+In the orientation-input setting (Theorem 2), every directed edge carries a
+*handshake*: the tail announces the pair ``(x, y)`` -- its own in-degree
+``x`` and the head's in-degree ``y`` -- with a tail label ``t{x}{y}``, and
+the head must answer with the matching head label ``h{x}{y}``.  The edge
+constraint allows exactly the matched pairs ``{t{x}{y}, h{x}{y}}``; the node
+constraint forces a node of in-degree ``s`` to answer ``h{*}{s}`` on its
+``s`` in-ports (its own in-degree is the second coordinate) and claim
+``t{s}{*}`` on its ``delta - s`` out-ports (its own in-degree is the first).
+
+Zero rounds are not enough: a node sees only its own orientation pattern,
+so the tail of an edge cannot know the head's in-degree -- whatever ``y`` it
+commits to, the adversary realises a head of a different in-degree (any
+``delta >= 2`` gives at least two head in-degree values ``1..delta``).  One
+round suffices trivially: each node learns its neighbours' in-degrees and
+fills in the exact pairs.  The speedup formalises this: at ``delta == 2``
+the derived problem ``Pi_1`` is 0-round solvable, so the automatic
+classifier brackets the complexity to exactly one round, certified in both
+directions.
+
+At ``delta >= 3`` the family stays well-defined, but the derived ``Pi_1``
+explodes past the default enumeration guards (the 18 half labels of
+``d=3`` stream more than ``10^5`` filters), so the chase reports ``open``
+under default caps -- a realistic outcome the landscape survey records.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement, product
+
+from repro.core.family import ProblemFamily
+from repro.core.problem import Problem
+
+
+def _tail(x: int, y: int) -> str:
+    """Tail label: this endpoint has in-degree ``x``, the head in-degree ``y``."""
+    return f"t{x}{y}"
+
+
+def _head(x: int, y: int) -> str:
+    """Head label matching :func:`_tail`'s claim on the same edge."""
+    return f"h{x}{y}"
+
+
+def indegree_handshake(delta: int) -> Problem:
+    """The in-degree handshake problem at degree ``delta``.
+
+    A tail's in-degree is at most ``delta - 1`` (the edge itself leaves it)
+    and a head's is at least ``1`` (the edge itself enters it), so the claim
+    alphabet is ``t{x}{y}`` / ``h{x}{y}`` with ``x in 0..delta-1`` and
+    ``y in 1..delta``.  A node of in-degree ``s`` picks any multiset of
+    ``s`` head answers ``h{*}{s}`` and ``delta - s`` tail claims ``t{s}{*}``.
+    """
+    if delta < 2:
+        raise ValueError("indegree-handshake needs delta >= 2")
+    tail_xs = range(delta)
+    head_ys = range(1, delta + 1)
+    edge_configs = [(_tail(x, y), _head(x, y)) for x in tail_xs for y in head_ys]
+    node_configs = []
+    for s in range(delta + 1):
+        in_choices = (
+            [()]
+            if s == 0
+            else list(
+                combinations_with_replacement([_head(x, s) for x in tail_xs], s)
+            )
+        )
+        out_choices = (
+            [()]
+            if s == delta
+            else list(
+                combinations_with_replacement(
+                    [_tail(s, y) for y in head_ys], delta - s
+                )
+            )
+        )
+        for ins, outs in product(in_choices, out_choices):
+            node_configs.append(ins + outs)
+    return Problem.make(
+        name=f"indegree-handshake[d={delta}]",
+        delta=delta,
+        edge_configs=edge_configs,
+        node_configs=node_configs,
+        labels=[_tail(x, y) for x in tail_xs for y in head_ys]
+        + [_head(x, y) for x in tail_xs for y in head_ys],
+    )
+
+
+INDEGREE_HANDSHAKE = ProblemFamily(
+    name="indegree-handshake",
+    builder=indegree_handshake,
+    min_delta=2,
+    description=(
+        "Matched in-degree claims on every directed edge; exactly one round "
+        "at delta=2 (the classifier's tight-bracket showcase)."
+    ),
+)

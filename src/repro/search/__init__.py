@@ -18,6 +18,14 @@ Either way the output is a machine-checkable
 :class:`~repro.core.certificate.LowerBoundCertificate` whose ``verify()``
 re-checks every link independently of the search.
 
+The other direction lives in :mod:`repro.search.upper`:
+:func:`search_upper_bound` chases speedup steps (interleaved with certified
+hardening restrictions) toward a 0-round-solvable problem, certifying a
+concrete O(k) *upper* bound with a recorded 0-round witness as the
+terminal.  :func:`classify` (:mod:`repro.search.classify`) runs both and
+brackets the complexity into a :class:`ComplexityBracket` with a
+``tight`` / ``gap`` / ``open`` verdict.
+
 Quickstart::
 
     from repro import Engine, sinkless_orientation
@@ -29,6 +37,12 @@ Quickstart::
 Shell surface: ``python -m repro search sinkless-orientation``.
 """
 
+from repro.search.classify import (
+    BracketCheck,
+    ClassifyResult,
+    ComplexityBracket,
+    classify,
+)
 from repro.search.driver import SearchResult, SearchStats, search_lower_bound
 from repro.search.moves import (
     RELAXATION_KINDS,
@@ -36,13 +50,25 @@ from repro.search.moves import (
     generate_hardenings,
     generate_moves,
 )
+from repro.search.upper import (
+    ChaseResult,
+    ChaseStats,
+    search_upper_bound,
+)
 
 __all__ = [
     "RELAXATION_KINDS",
+    "BracketCheck",
+    "ChaseResult",
+    "ChaseStats",
+    "ClassifyResult",
+    "ComplexityBracket",
     "RelaxationMove",
     "SearchResult",
     "SearchStats",
+    "classify",
     "generate_hardenings",
     "generate_moves",
     "search_lower_bound",
+    "search_upper_bound",
 ]

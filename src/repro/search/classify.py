@@ -1,0 +1,352 @@
+"""The two-sided classifier: bracket a problem's round complexity.
+
+Runs the lower-bound search (:mod:`repro.search.driver`) and the
+upper-bound chase (:mod:`repro.search.upper`) on the same engine and folds
+both certificates into one :class:`ComplexityBracket` -- the
+automata-theoretic program of classifying LCL problems by certified
+complexity intervals.  Bound semantics:
+
+* a lower-bound chain of ``b`` speedup steps proves ``initial`` not
+  solvable in ``b`` rounds, i.e. ``min_rounds = b + 1``;
+* a lower-bound *fixed point* proves no finite bound exists
+  (``unbounded``); the chase is then skipped entirely -- a 0-round-solvable
+  terminal could never appear on any speedup chain from this problem, so
+  every derivation the chase would spend is provably wasted;
+* an upper-bound chain of ``k`` speedup steps ending in a witnessed
+  0-round-solvable problem proves solvability in ``k`` rounds, i.e.
+  ``max_rounds = k``.
+
+The verdict is ``tight`` when the interval collapses (``min == max``, or
+``unbounded`` -- Omega(log n) is this machinery's maximal statement, so an
+unbounded lower bound is as closed as the bracket gets), ``gap`` when both
+bounds exist but disagree, and ``open`` when the chase found no upper bound
+within its caps.  Both certificates re-verify independently of the engine
+that found them (:meth:`ComplexityBracket.verify`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.engine.engine import Engine
+
+from repro.core.certificate import (
+    MAX_CANDIDATE_CONFIGS,
+    MAX_DERIVED_LABELS,
+    CertificateError,
+    LowerBoundCertificate,
+    UpperBoundCertificate,
+)
+from repro.core.problem import Problem, ProblemError
+from repro.search.driver import SearchResult, search_lower_bound
+from repro.search.upper import ChaseResult, search_upper_bound
+
+VERDICT_TIGHT = "tight"
+VERDICT_GAP = "gap"
+VERDICT_OPEN = "open"
+
+
+@dataclass(frozen=True)
+class BracketCheck:
+    """The verdict of re-verifying a bracket's certificates from scratch."""
+
+    valid: bool
+    failures: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ComplexityBracket:
+    """A certified interval around one problem's round complexity.
+
+    ``lower`` is None when the problem is 0-round solvable (no lower bound
+    exists; ``min_rounds`` is 0).  ``upper`` is None when the chase found no
+    upper bound (``max_rounds`` is None; verdict ``open``).  An unbounded
+    ``lower`` (fixed point) makes ``min_rounds`` None and the verdict
+    ``tight``: Omega(log n) is the strongest statement this machinery makes,
+    and no finite upper bound can coexist with it.
+    """
+
+    problem: Problem
+    lower: LowerBoundCertificate | None
+    upper: UpperBoundCertificate | None
+
+    def __post_init__(self) -> None:
+        if self.lower is not None and self.lower.initial != self.problem:
+            raise CertificateError(
+                "lower certificate is not about the bracket's problem"
+            )
+        if self.upper is not None and self.upper.initial != self.problem:
+            raise CertificateError(
+                "upper certificate is not about the bracket's problem"
+            )
+        if self.unbounded and self.upper is not None:
+            raise CertificateError(
+                "an unbounded lower bound contradicts any finite upper bound"
+            )
+        min_rounds = self.min_rounds
+        max_rounds = self.max_rounds
+        if (
+            min_rounds is not None
+            and max_rounds is not None
+            and min_rounds > max_rounds
+        ):
+            raise CertificateError(
+                f"bracket is inverted: lower certifies >= {min_rounds} "
+                f"round(s), upper certifies <= {max_rounds}"
+            )
+
+    @property
+    def unbounded(self) -> bool:
+        """True iff the lower certificate claims the pumpable fixed point."""
+        return self.lower is not None and self.lower.unbounded
+
+    @property
+    def min_rounds(self) -> int | None:
+        """Certified minimum rounds (None when unbounded: no finite minimum)."""
+        if self.unbounded:
+            return None
+        if self.lower is None:
+            return 0
+        return self.lower.claimed_bound + 1
+
+    @property
+    def max_rounds(self) -> int | None:
+        """Certified maximum rounds (None when no upper bound was found)."""
+        if self.upper is None:
+            return None
+        return self.upper.claimed_rounds
+
+    @property
+    def verdict(self) -> str:
+        if self.unbounded:
+            return VERDICT_TIGHT
+        if self.upper is None:
+            return VERDICT_OPEN
+        if self.min_rounds == self.max_rounds:
+            return VERDICT_TIGHT
+        return VERDICT_GAP
+
+    # -- verification --------------------------------------------------------
+
+    def verify(
+        self,
+        *,
+        max_derived_labels: int = MAX_DERIVED_LABELS,
+        max_candidate_configs: int = MAX_CANDIDATE_CONFIGS,
+    ) -> BracketCheck:
+        """Re-verify every certificate present, independent of any search.
+
+        Delegates to the certificates' own ``verify()`` (full re-derivation
+        of every link); failures come back prefixed ``lower:`` / ``upper:``.
+        A bracket with no certificates at all (0-round-solvable problem the
+        chase also failed on cannot occur; but ``lower=None, upper=None`` is
+        constructible) verifies vacuously.
+        """
+        failures: list[str] = []
+        if self.lower is not None:
+            check = self.lower.verify(
+                max_derived_labels=max_derived_labels,
+                max_candidate_configs=max_candidate_configs,
+            )
+            failures.extend(f"lower: {failure}" for failure in check.failures)
+        if self.upper is not None:
+            check = self.upper.verify(
+                max_derived_labels=max_derived_labels,
+                max_candidate_configs=max_candidate_configs,
+            )
+            failures.extend(f"upper: {failure}" for failure in check.failures)
+        return BracketCheck(valid=not failures, failures=tuple(failures))
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready form (inverse of :meth:`from_dict`); see docs/API.md.
+
+        The derived fields (``min_rounds`` / ``max_rounds`` / ``unbounded``
+        / ``verdict``) are serialized redundantly for consumers, and
+        :meth:`from_dict` cross-checks them against recomputation so a
+        tampered summary cannot disagree with its certificates.
+        """
+        return {
+            "version": 1,
+            "problem": self.problem.to_dict(),
+            "lower": None if self.lower is None else self.lower.to_dict(),
+            "upper": None if self.upper is None else self.upper.to_dict(),
+            "min_rounds": self.min_rounds,
+            "max_rounds": self.max_rounds,
+            "unbounded": self.unbounded,
+            "verdict": self.verdict,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "ComplexityBracket":
+        """Rebuild a bracket; raises :class:`CertificateError` when malformed."""
+        try:
+            bracket = ComplexityBracket(
+                problem=Problem.from_dict(data["problem"]),
+                lower=(
+                    None
+                    if data["lower"] is None
+                    else LowerBoundCertificate.from_dict(data["lower"])
+                ),
+                upper=(
+                    None
+                    if data["upper"] is None
+                    else UpperBoundCertificate.from_dict(data["upper"])
+                ),
+            )
+        except CertificateError:
+            raise
+        except (KeyError, TypeError, AttributeError, ProblemError, ValueError) as exc:
+            raise CertificateError(f"malformed bracket payload: {exc!r}") from exc
+        for field in ("min_rounds", "max_rounds", "unbounded", "verdict"):
+            if field not in data:
+                raise CertificateError(f"bracket payload is missing {field!r}")
+            if data[field] != getattr(bracket, field):
+                raise CertificateError(
+                    f"bracket payload's {field}={data[field]!r} disagrees with "
+                    f"its certificates ({getattr(bracket, field)!r})"
+                )
+        return bracket
+
+    # -- presentation ----------------------------------------------------------
+
+    def describe(self) -> str:
+        """One-line interval rendering, e.g. ``[1, 1] tight``."""
+        if self.unbounded:
+            return "[Omega(log n)] tight"
+        low = self.min_rounds
+        high = "?" if self.max_rounds is None else str(self.max_rounds)
+        return f"[{low}, {high}] {self.verdict}"
+
+
+@dataclass(frozen=True)
+class ClassifyResult:
+    """Outcome of ``Engine.classify``: the bracket plus both search reports.
+
+    ``upper_result`` is None when the chase was skipped (unbounded lower
+    bound -- see the module docstring).
+    """
+
+    problem: Problem
+    bracket: ComplexityBracket
+    lower_result: SearchResult
+    upper_result: ChaseResult | None
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready form -- the payload of ``python -m repro classify --json``."""
+        return {
+            "problem": self.problem.to_dict(),
+            "bracket": self.bracket.to_dict(),
+            "lower_result": self.lower_result.to_dict(),
+            "upper_result": (
+                None if self.upper_result is None else self.upper_result.to_dict()
+            ),
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"classification of {self.problem.name}: "
+            f"{self.bracket.describe()}"
+        ]
+        bracket = self.bracket
+        if bracket.unbounded:
+            lines.append(
+                "lower: pumpable fixed point -- Omega(log n) on "
+                "bounded-degree high-girth classes (chase skipped: no "
+                "finite upper bound can exist)"
+            )
+        elif bracket.lower is None:
+            lines.append("lower: problem is 0-round solvable; no lower bound")
+        else:
+            lines.append(
+                f"lower: not solvable in {bracket.lower.claimed_bound} "
+                f"round(s) => at least {bracket.min_rounds}"
+            )
+        if bracket.upper is not None:
+            lines.append(
+                f"upper: solvable in {bracket.upper.claimed_rounds} round(s) "
+                f"(witnessed 0-round terminal)"
+            )
+        elif not bracket.unbounded:
+            lines.append("upper: no certificate within the chase caps")
+        return "\n".join(lines)
+
+
+def classify(
+    problem: Problem,
+    *,
+    engine: Engine | None = None,
+    max_steps: int = 8,
+    beam_width: int | None = None,
+    max_moves: int | None = None,
+    budget: int | None = None,
+    chase_beam_width: int | None = None,
+    chase_max_hardenings: int | None = None,
+    chase_budget: int | None = None,
+    checkpoint: bool = False,
+    resume: bool = False,
+) -> ClassifyResult:
+    """Bracket ``problem``'s round complexity with certificates on both sides.
+
+    Runs :func:`~repro.search.driver.search_lower_bound` first (its knobs:
+    ``beam_width`` / ``max_moves`` / ``budget``), then -- unless the lower
+    bound came back unbounded -- :func:`~repro.search.upper.
+    search_upper_bound` (its knobs: ``chase_beam_width`` /
+    ``chase_max_hardenings`` / ``chase_budget``), both to depth
+    ``max_steps`` on the same engine, sharing its speedup cache and 0-round
+    memo (the chase re-derives the very chain prefix the search walked, so
+    the cache typically pays for the whole second pass).
+    ``checkpoint``/``resume`` apply to both phases; their checkpoint files
+    share ``cache_dir/checkpoints/`` under distinct prefixes, and a resumed
+    classification re-runs the (cache-warm) lower search before resuming
+    the chase.
+    """
+    if engine is None:
+        from repro.engine import get_default_engine
+
+        engine = get_default_engine()
+    lower_result = search_lower_bound(
+        problem,
+        engine=engine,
+        max_steps=max_steps,
+        beam_width=beam_width,
+        max_moves=max_moves,
+        budget=budget,
+        checkpoint=checkpoint,
+        resume=resume,
+    )
+    if lower_result.unbounded:
+        bracket = ComplexityBracket(
+            problem=problem, lower=lower_result.certificate, upper=None
+        )
+        return ClassifyResult(
+            problem=problem,
+            bracket=bracket,
+            lower_result=lower_result,
+            upper_result=None,
+        )
+    upper_result = search_upper_bound(
+        problem,
+        engine=engine,
+        max_steps=max_steps,
+        beam_width=chase_beam_width,
+        max_hardenings=chase_max_hardenings,
+        budget=chase_budget,
+        checkpoint=checkpoint,
+        resume=resume,
+    )
+    bracket = ComplexityBracket(
+        problem=problem,
+        lower=lower_result.certificate,
+        upper=upper_result.certificate,
+    )
+    return ClassifyResult(
+        problem=problem,
+        bracket=bracket,
+        lower_result=lower_result,
+        upper_result=upper_result,
+    )

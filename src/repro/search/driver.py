@@ -60,7 +60,7 @@ from repro.core.zero_round import ZeroRoundMemo, is_zero_round_solvable
 from repro.engine.executor import ExpandOption, ExpandPayload, ExpandTask, Task
 from repro.engine.resilience import TaskFailure
 from repro.search.moves import RelaxationMove, generate_moves
-from repro.utils.jsonio import atomic_write_json, load_json
+from repro.utils.jsonio import atomic_write_json, load_json, sweep_stale_tmp_files
 
 KIND_TRIVIAL = "trivial"
 KIND_CHAIN = "chain"
@@ -442,6 +442,12 @@ def search_lower_bound(
     if checkpointing and config.cache_dir is not None:
         checkpoint_file = _checkpoint_path(config.cache_dir, root_key)
         checkpoint_file.parent.mkdir(parents=True, exist_ok=True)
+        # Reclaim temp files that interrupted runs (search or chase; the
+        # directory is shared) abandoned next to the checkpoints: the
+        # cache-wide sweep covers only the cache root and the 0-round memo
+        # directory, so without this the checkpoint directory would collect
+        # them forever.
+        sweep_stale_tmp_files(checkpoint_file.parent)
     fingerprint: dict[str, object] = {
         "root_key": root_key,
         "max_steps": max_steps,

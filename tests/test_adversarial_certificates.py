@@ -33,13 +33,21 @@ import json
 import pytest
 
 from repro.core.certificate import (
+    HARDENING,
+    SPEEDUP,
     TERMINAL_FIXED_POINT,
     TERMINAL_UNSOLVABLE,
     CertificateError,
+    CertificateStep,
     LowerBoundCertificate,
+    UpperBoundCertificate,
 )
+from repro.core.problem import Problem
+from repro.core.relaxation import certify_hardening
+from repro.core.zero_round import zero_round_with_orientations
 from repro.analysis.certificates import sinkless_certificate
 from repro.engine import Engine, EngineConfig
+from repro.problems import indegree_handshake
 
 
 @pytest.fixture(scope="module")
@@ -63,7 +71,7 @@ def fixed_point_payload(so3):
     return certificate.to_dict()
 
 
-def assert_rejected(payload: dict, reference: dict) -> None:
+def assert_rejected(payload: dict, reference: dict, cls=LowerBoundCertificate) -> None:
     """A mutant must fail from_dict or verify -- and must actually differ."""
     # Round-trip through JSON so mutants are exactly what a wire attacker
     # could present.  The no-op guard compares serialized bytes: Python's
@@ -74,7 +82,7 @@ def assert_rejected(payload: dict, reference: dict) -> None:
     )
     payload = json.loads(serialized)
     try:
-        certificate = LowerBoundCertificate.from_dict(payload)
+        certificate = cls.from_dict(payload)
     except CertificateError:
         return  # rejected at parse time
     check = certificate.verify()
@@ -481,3 +489,247 @@ def test_fixed_point_downgrade_stays_true(fixed_point_payload):
     mutant["fixed_point_of"] = None
     check = LowerBoundCertificate.from_dict(mutant).verify()
     assert check.valid and not check.unbounded
+
+
+# -- upper-bound certificate forgeries -----------------------------------------
+#
+# The UpperBoundCertificate shares the initial-problem and speedup-step
+# surface with the lower-bound chain (and the mutation catalogue above is
+# reused for those), but adds two trust boundaries of its own: hardening
+# steps (a restriction plus its HARDENS inclusion certificate) and the
+# terminal 0-round witness (an actual algorithm, re-checked field by field).
+
+
+@pytest.fixture(scope="module")
+def upper_payload():
+    """A hand-built upper chain: harden + speedup steps, witnessed terminal.
+
+    The catalog's hardening generator is empirically inert on the showcase
+    problems, so the hardening step is the identity restriction (a renamed
+    copy with identical constraints) -- `is_harder_restriction` is
+    deliberately non-strict, and the step still exercises every hardening
+    check: direction, endpoints, identity map, and the embedding itself.
+    """
+    problem = indegree_handshake(2)
+    restricted = Problem.make(
+        name=problem.name + "|restricted",
+        delta=problem.delta,
+        edge_configs=problem.edge_constraint,
+        node_configs=problem.node_constraint,
+        labels=sorted(problem.labels),
+    )
+    engine = Engine(
+        EngineConfig(max_derived_labels=5_000, max_candidate_configs=100_000)
+    )
+    result = engine.speedup(restricted)
+    witness = zero_round_with_orientations(result.full)
+    assert witness is not None  # the derived handshake problem is trivial
+    certificate = UpperBoundCertificate(
+        initial=problem,
+        witness=witness,
+        steps=(
+            CertificateStep(
+                kind=HARDENING,
+                problem=restricted,
+                relaxation=certify_hardening(problem, restricted),
+            ),
+            CertificateStep(kind=SPEEDUP, problem=result.full, speedup=result),
+        ),
+    )
+    assert certificate.claimed_rounds == 1
+    assert certificate.verify().valid  # the unmutated baseline must hold
+    return certificate.to_dict()
+
+
+def _hardening_step(p: dict) -> dict:
+    return next(s for s in p["steps"] if s["kind"] == "hardening")
+
+
+def mutate_harden_direction_relaxation(p):
+    _hardening_step(p)["relaxation"]["direction"] = "relaxation"
+
+
+def mutate_harden_direction_unknown(p):
+    _hardening_step(p)["relaxation"]["direction"] = "sideways"
+
+
+def mutate_harden_source_name(p):
+    _hardening_step(p)["relaxation"]["source_name"] += "-forged"
+
+
+def mutate_harden_target_name(p):
+    _hardening_step(p)["relaxation"]["target_name"] += "-forged"
+
+
+def mutate_harden_mapping_drop_entry(p):
+    mapping = _hardening_step(p)["relaxation"]["mapping"]
+    del mapping[sorted(mapping)[0]]
+
+
+def mutate_harden_mapping_redirect(p):
+    # Not the identity map any more: one label maps onto another's image.
+    mapping = _hardening_step(p)["relaxation"]["mapping"]
+    keys = sorted(mapping)
+    mapping[keys[0]] = mapping[keys[1]]
+
+
+def mutate_harden_mapping_spurious_key(p):
+    mapping = _hardening_step(p)["relaxation"]["mapping"]
+    mapping["no-such-label"] = sorted(mapping.values())[0]
+
+
+def mutate_harden_problem_name(p):
+    _hardening_step(p)["problem"]["name"] += "-forged"
+
+
+def mutate_harden_problem_add_edge(p):
+    # The "restriction" now allows an edge its source does not: not an
+    # embedding, so its solutions no longer solve the source verbatim.
+    step = _hardening_step(p)
+    step["problem"]["edge_constraint"].append(_missing_edge(step["problem"]))
+
+
+def mutate_witness_problem_name(p):
+    p["witness"]["problem_name"] += "-forged"
+
+
+def mutate_witness_setting_flip(p):
+    p["witness"]["setting"] = "no-input"
+
+
+def mutate_witness_setting_unknown(p):
+    p["witness"]["setting"] = "telepathy"
+
+
+def mutate_witness_drop_split(p):
+    splits = p["witness"]["splits"]
+    del splits[sorted(splits)[0]]
+
+
+def mutate_witness_swap_split_sides(p):
+    # Swap the in/out sides of the in-degree-1 split: the multiset is still
+    # an allowed configuration, so only the compatibility check can object.
+    ins, outs = p["witness"]["splits"]["1"]
+    p["witness"]["splits"]["1"] = [outs, ins]
+
+
+def mutate_witness_alien_label(p):
+    ins, outs = p["witness"]["splits"]["1"]
+    p["witness"]["splits"]["1"] = [ins, ["no-such-label"] * len(outs)]
+
+
+def mutate_witness_wrong_arity(p):
+    # Move the in-degree-1 split's in-label to the out side: the halves no
+    # longer have sizes (s, delta - s).
+    ins, outs = p["witness"]["splits"]["1"]
+    p["witness"]["splits"]["1"] = [[], sorted(ins + outs)]
+
+
+def mutate_witness_disallowed_config(p):
+    # Replace the in-degree-0 split with a label multiset the final problem's
+    # node constraint does not allow (one exists: 4 labels, 3 configurations).
+    full = _first_speedup(p)["full"]
+    allowed = {tuple(sorted(config)) for config in full["node_constraint"]}
+    bad = next(
+        [a, b]
+        for a in full["labels"]
+        for b in full["labels"]
+        if a <= b and (a, b) not in allowed
+    )
+    p["witness"]["splits"]["0"] = [[], bad]
+
+
+def mutate_upper_orientations_flip(p):
+    # Unlike the lower-bound chain (where True -> False weakens a true
+    # claim), the upper terminal's witness is setting-specific: an
+    # orientation-driven algorithm is no algorithm at all without the
+    # orientation input.
+    p["orientations"] = False
+
+
+UPPER_MUTATIONS = [
+    mutate_harden_direction_relaxation,
+    mutate_harden_direction_unknown,
+    mutate_harden_source_name,
+    mutate_harden_target_name,
+    mutate_harden_mapping_drop_entry,
+    mutate_harden_mapping_redirect,
+    mutate_harden_mapping_spurious_key,
+    mutate_harden_problem_name,
+    mutate_harden_problem_add_edge,
+    mutate_witness_problem_name,
+    mutate_witness_setting_flip,
+    mutate_witness_setting_unknown,
+    mutate_witness_drop_split,
+    mutate_witness_swap_split_sides,
+    mutate_witness_alien_label,
+    mutate_witness_wrong_arity,
+    mutate_witness_disallowed_config,
+    mutate_upper_orientations_flip,
+]
+
+# The terminal mutation targets a field the upper payload does not have (its
+# terminal is the witness, mutated above), and adding an allowed edge to the
+# initial problem *relaxes* it -- in the upper direction a weakening that
+# keeps the certificate true (pinned in
+# ``test_upper_weakening_mutations_stay_true``).  Everything else carries
+# over.
+UPPER_COMMON_MUTATIONS = [
+    m
+    for m in COMMON_MUTATIONS
+    if "terminal" not in m.__name__ and m is not mutate_initial_add_edge
+]
+
+
+@pytest.mark.parametrize(
+    "mutation",
+    UPPER_COMMON_MUTATIONS + UPPER_MUTATIONS,
+    ids=lambda m: m.__name__,
+)
+def test_upper_certificate_mutations_rejected(upper_payload, mutation):
+    mutant = copy.deepcopy(upper_payload)
+    mutation(mutant)
+    assert_rejected(mutant, upper_payload, UpperBoundCertificate)
+
+
+def test_upper_every_serialized_field_is_covered(upper_payload):
+    """The upper-bound catalogue touches every payload-specific field."""
+    mutated_names = {m.__name__ for m in UPPER_COMMON_MUTATIONS + UPPER_MUTATIONS}
+    for field in ("initial", "orientations", "witness"):
+        assert any(field in name for name in mutated_names), field
+    for field in upper_payload["witness"]:
+        # "splits" is mutated by the per-split functions (singular names).
+        assert any(field.rstrip("s") in name for name in mutated_names), field
+    hardening = _hardening_step(upper_payload)["relaxation"]
+    for field in hardening:
+        assert any(field in name for name in mutated_names), field
+    speedup = _first_speedup(upper_payload)
+    for field in speedup:
+        assert any(field.rstrip("_") in name for name in mutated_names), field
+    # steps / version are covered by the link-swap mutations and the
+    # version-metadata test respectively.
+
+
+def test_upper_weakening_mutations_stay_true(upper_payload):
+    """Upper-direction weakenings still verify -- by design.
+
+    Adding an allowed edge to ``initial`` relaxes it, and the hardening
+    step's embedding check is monotone in the source: a 1-round algorithm
+    for the restriction still solves the (now easier) initial problem
+    verbatim, so the mutated certificate is a proof of a true statement and
+    a sound verifier must accept it.  (Contrast the lower-bound suite, where
+    the same mutation breaks the speedup step's exact-match provenance.)
+    """
+    weakened = copy.deepcopy(upper_payload)
+    weakened["initial"]["edge_constraint"].append(_missing_edge(weakened["initial"]))
+    check = UpperBoundCertificate.from_dict(weakened).verify()
+    assert check.valid and check.bound == 1
+
+
+def test_upper_version_is_schema_metadata(upper_payload):
+    """Like the lower-bound payload, version is ignored by construction."""
+    relabeled = copy.deepcopy(upper_payload)
+    relabeled["version"] = 999
+    rebuilt = UpperBoundCertificate.from_dict(relabeled)
+    assert rebuilt == UpperBoundCertificate.from_dict(upper_payload)
+    assert rebuilt.verify().valid

@@ -10,6 +10,7 @@ from run_speedup_bench import (  # noqa: E402
     bench_case,
     main,
     run_bench,
+    run_classify_bench,
     run_search_bench,
 )
 
@@ -53,6 +54,39 @@ def test_run_search_bench_rows():
     assert row["verified"] is True
     assert row["search_s"] >= 0 and row["verify_s"] >= 0
     assert row["stats"]["speedup_calls"] >= 2
+
+
+def test_run_classify_bench_rows():
+    rows = run_classify_bench(
+        cases=[
+            ("indegree-handshake", 2, 3, True),
+            ("sinkless-orientation", 3, 4, True),
+        ]
+    )
+    assert len(rows) == 2
+    tight, unbounded = rows
+    assert tight["bracket"] == "[1, 1] tight"
+    assert (tight["min_rounds"], tight["max_rounds"]) == (1, 1)
+    assert tight["verified"] is True
+    assert tight["classify_s"] >= 0 and tight["verify_s"] >= 0
+    assert unbounded["bracket"] == "[Omega(log n)] tight"
+    assert unbounded["unbounded"] is True and unbounded["max_rounds"] is None
+    assert unbounded["verified"] is True
+
+
+def test_report_embeds_classify_results(monkeypatch):
+    import run_speedup_bench
+
+    monkeypatch.setattr(
+        run_speedup_bench,
+        "CLASSIFY_CASES",
+        [("indegree-handshake", 2, 3, True), ("superweak-2-coloring", 2, 2, False)],
+    )
+    report = run_bench(cases=TINY_CASES, warm_rounds=1, quick=True, classify=True)
+    # Quick mode keeps only the quick classify cases.
+    assert [r["problem"] for r in report["classify_results"]] == [
+        "indegree-handshake"
+    ]
 
 
 def test_report_embeds_search_baseline(monkeypatch):

@@ -198,3 +198,70 @@ def test_speedup_commutes_with_renaming_fuzz(engine, seed):
     except EngineLimitError:
         pytest.skip("random instance too large for the configured guards")
     assert are_isomorphic(first.compressed(), second.compressed())
+
+
+# -- executing a certified upper bound -----------------------------------------
+#
+# An UpperBoundCertificate ships an actual algorithm: the terminal witness is
+# a 0-round output rule keyed on edge-orientation in-degrees, and each
+# speedup step decodes one round backward through its provenance maps.  This
+# suite *runs* that algorithm on seeded random port-numbered rings (the
+# delta=2 regular class) under seeded random orientations and checks the
+# final labeling against the certified problem -- the upper-bound dual of
+# the simulation-argument suite above.
+
+
+def _witness_outputs(witness, pg, labeling):
+    """Run the 0-round algorithm a witness encodes on an oriented port graph.
+
+    Each node counts its incoming edges, looks up the split for that
+    in-degree, and writes the in-labels on incoming ports and the out-labels
+    on outgoing ones (in any order: the witness guarantees every chosen
+    in-label is edge-compatible with every chosen out-label).
+    """
+    outputs = {}
+    for v in pg.nodes():
+        directions = [
+            labeling.orientation_at(pg, v, port) for port in range(pg.degree(v))
+        ]
+        ins, outs = witness.splits[directions.count("in")]
+        ins, outs = list(ins), list(outs)
+        for port, direction in enumerate(directions):
+            outputs[(v, port)] = ins.pop() if direction == "in" else outs.pop()
+    return outputs
+
+
+@pytest.mark.parametrize("n", [4, 5, 6])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_certified_upper_bound_executes(engine, n, seed):
+    from repro.core.certificate import SPEEDUP
+    from repro.problems import indegree_handshake
+    from repro.sim.ports import InputLabeling, random_orientation
+
+    problem = indegree_handshake(2)
+    result = engine.search_upper_bound(problem, max_steps=3)
+    certificate = result.certificate
+    assert certificate is not None and certificate.verify().valid
+    assert certificate.claimed_rounds == 1
+
+    pg = PortGraph.with_random_ports(ring(n), seed=seed)
+    labeling = InputLabeling(
+        orientation=random_orientation(pg.graph, seed=seed + 100)
+    )
+
+    # Round 0: the witness rule solves the terminal problem outright.
+    outputs = _witness_outputs(certificate.witness, pg, labeling)
+    assert solves(certificate.final_problem, pg, outputs)
+
+    # Decode backward through the chain: each speedup step simulates one
+    # round; hardening steps cost nothing (a solution of the restriction
+    # solves its source verbatim).
+    rounds_simulated = 0
+    for step in reversed(certificate.steps):
+        if step.kind == SPEEDUP:
+            outputs = reconstruct_original_outputs(step.speedup, pg, outputs)
+            assert outputs is not None, "decode failed on a valid terminal output"
+            rounds_simulated += 1
+    assert rounds_simulated == certificate.claimed_rounds
+    violations = verify_outputs(problem, pg, outputs)
+    assert not violations, f"executed upper bound violates constraints: {violations}"

@@ -40,6 +40,31 @@ def test_search_lower_bound_flow():
     assert rebuilt.verify().valid
 
 
+def test_classify_weak_coloring_flow():
+    import json
+
+    from repro import ComplexityBracket, Engine, EngineConfig, get_problem, indegree_handshake
+
+    engine = Engine(
+        EngineConfig(max_derived_labels=1_000, max_candidate_configs=25_000)
+    )
+    weak = engine.classify(
+        get_problem("weak-2-coloring", 2),
+        max_steps=2,
+        beam_width=2,
+        max_moves=4,
+        budget=12,
+        chase_beam_width=2,
+        chase_max_hardenings=3,
+        chase_budget=12,
+    )
+    assert weak.bracket.verdict == "open" and weak.bracket.max_rounds is None
+    tight = engine.classify(indegree_handshake(2), max_steps=3).bracket
+    assert tight.verdict == "tight" and (tight.min_rounds, tight.max_rounds) == (1, 1)
+    rebuilt = ComplexityBracket.from_dict(json.loads(json.dumps(tight.to_dict())))
+    assert rebuilt.verify().valid
+
+
 def test_figure2_flow():
     graph = petersen()
     pg = PortGraph(graph)

@@ -93,6 +93,42 @@ def test_landscape_survey_golden(golden):
     golden("landscape_delta3.md", landscape_markdown(rows) + "\n")
 
 
+def test_classify_cli_golden(golden):
+    """Two-sided classification of the showcase problem, text rendering."""
+    golden(
+        "classify_handshake_d2.txt",
+        _cli_stdout(["classify", "indegree-handshake", "--delta", "2", "--max-steps", "3"]),
+    )
+
+
+def test_classify_cli_json_golden(golden):
+    """The full bracket payload (both certificates) as emitted by --json."""
+    golden(
+        "classify_handshake_d2.json",
+        _cli_stdout(
+            ["classify", "indegree-handshake", "--delta", "2", "--max-steps", "3", "--json"]
+        ),
+    )
+
+
+def test_landscape_survey_with_classify_golden(golden):
+    """The classification column, on fast delta-2 families covering all
+    three bracket shapes: tight, open, and Omega(log n)."""
+    from repro.analysis.landscape import landscape_markdown, survey_catalog
+    from repro.engine import Engine, EngineConfig
+
+    engine = Engine(
+        EngineConfig(max_derived_labels=2_000, max_candidate_configs=50_000)
+    )
+    rows = survey_catalog(
+        delta=2,
+        names=["5-coloring", "indegree-handshake", "mis", "sinkless-orientation"],
+        engine=engine,
+        classify_steps=2,
+    )
+    golden("landscape_classify_delta2.md", landscape_markdown(rows) + "\n")
+
+
 def test_landscape_survey_with_search_golden(golden):
     """The discovered-bound column, on the two fixed-point flagships."""
     from repro.analysis.landscape import landscape_markdown, survey_catalog

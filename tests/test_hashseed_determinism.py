@@ -10,7 +10,9 @@ different hash seeds must emit identical bytes for
 * canonical hashes of every cataloged problem,
 * a full speedup result serialized via ``to_dict`` -> JSON,
 * a searched lower-bound certificate and its verification transcript,
-* one iterated-elimination run serialized step by step.
+* one iterated-elimination run serialized step by step,
+* a two-sided classification (bracket + both certificates) and its
+  re-verification transcript.
 """
 
 from __future__ import annotations
@@ -49,6 +51,10 @@ search = engine.search_lower_bound(so3, max_steps=2)
 if search.certificate is not None:
     lines.append(json.dumps(search.certificate.to_dict(), sort_keys=True))
     lines.append(str(search.certificate.verify()))
+
+classified = engine.classify(get_problem("indegree-handshake", 2), max_steps=3)
+lines.append(json.dumps(classified.to_dict(), sort_keys=True))
+lines.append(str(classified.bracket.verify()))
 
 print("\n".join(lines))
 """
